@@ -1,0 +1,28 @@
+"""Benchmark harness conventions.
+
+Every paper artifact (Table 1, Figures 2-10) has one bench that *regenerates*
+it: the bench runs the experiment once (``benchmark.pedantic`` with a single
+round — these are end-to-end regenerations, not microbenchmarks), prints the
+same rows/series the paper reports, asserts the qualitative shape, and files
+the headline numbers into ``benchmark.extra_info`` for machine-readable
+comparison. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Microbenchmarks (controller solve latency, engine tick rate, modulators,
+fitting) use normal multi-round timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def regen(benchmark):
+    """Run an experiment once under timing and return its result."""
+
+    def _run(fn, **kwargs):
+        return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

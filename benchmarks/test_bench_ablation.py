@@ -1,0 +1,58 @@
+"""Ablation benches: what each CapGPU design choice buys (DESIGN.md index)."""
+
+from repro.experiments.ablation import (
+    run_ablation_horizon,
+    run_ablation_modulator,
+    run_ablation_solver,
+    run_ablation_weights,
+)
+
+
+def test_bench_ablation_weights(regen, benchmark):
+    result = regen(run_ablation_weights, seed=0)
+    print()
+    print(result.render())
+    inv, uni = result.data["inverse"], result.data["uniform"]
+    # The weight mechanism throttles the mostly-idle GPU and shifts its
+    # budget to the busy ones, raising useful throughput.
+    assert inv["idle_gpu_f_mhz"] < uni["idle_gpu_f_mhz"] - 100.0
+    assert inv["busy_gpu_f_mhz"] > uni["busy_gpu_f_mhz"] + 30.0
+    assert inv["busy_tput_batch_s"] > uni["busy_tput_batch_s"]
+    benchmark.extra_info["busy_tput_gain"] = round(
+        inv["busy_tput_batch_s"] / uni["busy_tput_batch_s"], 3
+    )
+
+
+def test_bench_ablation_modulator(regen, benchmark):
+    result = regen(run_ablation_modulator, seed=0)
+    print()
+    print(result.render())
+    ds, nl = result.data["delta-sigma"], result.data["nearest-level"]
+    # Delta-sigma removes quantization limit cycles: no worse std, same mean.
+    assert ds["std_w"] <= nl["std_w"] + 0.1
+    assert ds["abs_err_w"] < 2.0
+    benchmark.extra_info["delta_sigma_std_w"] = round(ds["std_w"], 2)
+    benchmark.extra_info["nearest_std_w"] = round(nl["std_w"], 2)
+
+
+def test_bench_ablation_solver(regen, benchmark):
+    result = regen(run_ablation_solver, seed=0)
+    print()
+    print(result.render())
+    slsqp, fast = result.data["slsqp"], result.data["analytic"]
+    # Same closed-loop quality; the fast path is cheaper.
+    assert abs(slsqp["mean_w"] - fast["mean_w"]) < 2.0
+    assert fast["ctl_ms"] < slsqp["ctl_ms"]
+    benchmark.extra_info["slsqp_ms"] = round(slsqp["ctl_ms"], 3)
+    benchmark.extra_info["analytic_ms"] = round(fast["ctl_ms"], 3)
+
+
+def test_bench_ablation_horizon(regen, benchmark):
+    result = regen(run_ablation_horizon, seed=0)
+    print()
+    print(result.render())
+    stds = [result.data[p]["std_w"] for p in (2, 4, 8, 16)]
+    # First-order plant: horizon choice is not load-bearing.
+    assert max(stds) - min(stds) < 1.0
+    for p in (2, 4, 8, 16):
+        benchmark.extra_info[f"P{p}_std_w"] = round(result.data[p]["std_w"], 2)

@@ -1,0 +1,26 @@
+"""Extension bench: coordinated batching+DVFS [20] vs CapGPU under SLOs."""
+
+from repro.experiments.batching import run_batching_comparison
+
+
+def test_bench_batching(regen, benchmark):
+    result = regen(run_batching_comparison, seed=0)
+    print()
+    print(result.render())
+
+    gpu_only = result.data["GPU-Only"]
+    batch = result.data["Batch+DVFS"]
+    capgpu = result.data["CapGPU"]
+
+    # Batch adaptation buys the shared-clock controller real SLO compliance
+    # over plain GPU-Only ...
+    assert batch["worst_miss"] < gpu_only["worst_miss"] / 2.0
+    # ... but CapGPU's per-device clocks still deliver zero misses and the
+    # highest throughput at the same power.
+    assert capgpu["worst_miss"] < 0.02
+    assert capgpu["img_rate"] > batch["img_rate"]
+    assert capgpu["img_rate"] > gpu_only["img_rate"]
+
+    for label, d in result.data.items():
+        benchmark.extra_info[f"{label}/img_rate"] = round(d["img_rate"], 1)
+        benchmark.extra_info[f"{label}/worst_miss"] = round(d["worst_miss"], 3)

@@ -1,0 +1,30 @@
+"""Regenerate Figure 10 (online adaptation to changing power budgets)."""
+
+import numpy as np
+
+from repro.experiments import run_fig10
+
+
+def test_bench_fig10(regen, benchmark):
+    result = regen(run_fig10, seed=0)
+    print()
+    print(result.sections[-1])
+
+    rows = {r[0]: r for r in result.data["summary_rows"]}
+
+    # All strategies adapt to the schedule; CapGPU fluctuates least and
+    # settles at least as fast as GPU-Only (the paper's conclusion).
+    for label in ("GPU-Only", "CapGPU"):
+        assert rows[label][1] != "inf"
+        assert rows[label][2] != "inf"
+    assert rows["CapGPU"][3] <= rows["GPU-Only"][3] + 0.5
+    assert rows["CapGPU"][3] < rows["Safe Fixed-step"][3]
+
+    # Power actually follows 800 -> 900 -> 800.
+    trace = result.data["CapGPU"]
+    assert abs(np.mean(trace["power_w"][30:40]) - 800.0) < 10.0
+    assert abs(np.mean(trace["power_w"][65:80]) - 900.0) < 10.0
+    assert abs(np.mean(trace["power_w"][110:]) - 800.0) < 10.0
+
+    for label, row in rows.items():
+        benchmark.extra_info[f"{label}/settled_std_w"] = round(row[3], 2)

@@ -1,0 +1,23 @@
+"""Regenerate Figure 2 (system identification quality, both panels)."""
+
+from repro.experiments import run_fig2
+
+
+def test_bench_fig2(regen, benchmark):
+    result = regen(run_fig2, seed=0)
+    print()
+    print(result.render())
+
+    power_fit = result.data["power_fit"]
+    latency_fit = result.data["latency_fit"]
+
+    # Panel (a): high-but-imperfect linear fit (paper: R^2 = 0.96).
+    assert power_fit.r2 > 0.95
+    # Panel (b): Eq. 8 fit with gamma near the paper's 0.91, R^2 ~ 0.9.
+    assert 0.8 <= latency_fit.gamma <= 1.0
+    assert latency_fit.r2 > 0.8
+
+    benchmark.extra_info["power_r2"] = round(power_fit.r2, 4)
+    benchmark.extra_info["power_rmse_w"] = round(power_fit.rmse_w, 2)
+    benchmark.extra_info["latency_gamma"] = round(latency_fit.gamma, 3)
+    benchmark.extra_info["latency_r2"] = round(latency_fit.r2, 3)

@@ -1,0 +1,29 @@
+"""Regenerate Figure 3 (power-control traces: all strategies at 900 W)."""
+
+import numpy as np
+
+from repro.experiments import run_fig3
+
+
+def test_bench_fig3(regen, benchmark):
+    result = regen(run_fig3, seed=0)
+    print()
+    print(result.sections[-1])  # summary table (series omitted for brevity)
+
+    s = result.data["summary"]
+    # CPU-Only cannot reach the cap; GPU-Only and CapGPU converge; CPU+GPU
+    # misses in a split-dependent direction; Fixed-step oscillates most.
+    assert s["CPU-Only"]["mean_w"] > 1150.0
+    assert abs(s["GPU-Only"]["mean_w"] - 900.0) < 8.0
+    assert abs(s["CapGPU"]["mean_w"] - 900.0) < 5.0
+    assert s["CPU+GPU 50/50"]["mean_w"] < 885.0
+    assert s["CPU+GPU 60/40"]["mean_w"] > 915.0
+    assert s["Fixed-step"]["std_w"] > s["CapGPU"]["std_w"]
+
+    # CapGPU settles within a handful of periods.
+    trace = result.data["traces"]["CapGPU"]
+    assert np.all(np.abs(trace["power_w"][10:] - 900.0) < 40.0)
+
+    for name, row in s.items():
+        benchmark.extra_info[f"{name}/mean_w"] = round(row["mean_w"], 1)
+        benchmark.extra_info[f"{name}/std_w"] = round(row["std_w"], 2)

@@ -1,0 +1,24 @@
+"""Regenerate Figure 4 (Fixed-step behaviour vs step size)."""
+
+import numpy as np
+
+from repro.experiments import run_fig4
+
+
+def test_bench_fig4(regen, benchmark):
+    result = regen(run_fig4, seed=0)
+    print()
+    print(result.sections[-1])
+
+    t1 = result.data["traces"][1]
+    t5 = result.data["traces"][5]
+
+    # Small steps: slow climb toward the set point.
+    assert np.mean(t1["power_w"][:8]) < 820.0
+    # Large steps: reaches the vicinity fast but oscillates hard.
+    assert np.std(t5["power_w"][-60:]) > 2.5 * np.std(t1["power_w"][-60:])
+    # Both oscillate around the set point in steady state.
+    assert abs(np.mean(t1["power_w"][-60:]) - 900.0) < 25.0
+
+    benchmark.extra_info["step1_std_w"] = round(float(np.std(t1["power_w"][-60:])), 2)
+    benchmark.extra_info["step5_std_w"] = round(float(np.std(t5["power_w"][-60:])), 2)

@@ -1,0 +1,33 @@
+"""Regenerate Figure 6 (control accuracy across 900-1200 W set points)."""
+
+import numpy as np
+
+from repro.experiments import run_fig6
+
+
+def test_bench_fig6(regen, benchmark):
+    result = regen(run_fig6, seed=0)
+    print()
+    for section in result.sections:
+        print(section)
+        print()
+
+    errors = result.data["errors"]
+    stds = result.data["stds"]
+    mean_err = {k: float(np.mean(v)) for k, v in errors.items()}
+    mean_std = {k: float(np.mean(v)) for k, v in stds.items()}
+
+    # Safe Fixed-step tracks worst (margin); CPU+GPU misses the cap; CapGPU
+    # is the most accurate and the most stable (Section 6.3's conclusion).
+    assert mean_err["Safe Fixed-step"] > 10.0
+    assert mean_err["CPU+GPU 50/50"] > 5.0 or mean_err["CPU+GPU 60/40"] > 5.0
+    assert mean_err["CapGPU"] == min(
+        v for k, v in mean_err.items()
+    )
+    assert mean_std["CapGPU"] <= min(
+        v for k, v in mean_std.items() if k != "CapGPU"
+    )
+
+    for k in mean_err:
+        benchmark.extra_info[f"{k}/mean_abs_err_w"] = round(mean_err[k], 2)
+        benchmark.extra_info[f"{k}/mean_std_w"] = round(mean_std[k], 2)

@@ -1,0 +1,29 @@
+"""Regenerate Figure 7 (application performance under the cap)."""
+
+from repro.experiments import run_fig7
+
+
+def test_bench_fig7(regen, benchmark):
+    result = regen(run_fig7, seed=0)
+    print()
+    print(result.sections[-1])
+
+    panels = result.data["panels"]
+    cap, gpu_only = panels["CapGPU"], panels["GPU-Only"]
+    safe = panels["Safe Fixed-step"]
+
+    # (a)/(c): CapGPU beats GPU-Only on every GPU, and all baselines overall.
+    for g in range(3):
+        assert cap["gpu_tput_batch_s"][g] > gpu_only["gpu_tput_batch_s"][g]
+        assert cap["gpu_latency_s"][g] < gpu_only["gpu_latency_s"][g]
+    assert sum(cap["gpu_tput_batch_s"]) > sum(safe["gpu_tput_batch_s"])
+    # (b)/(d): GPU-Only pins the CPU at max, so its CPU metrics are best —
+    # the price CapGPU consciously pays on SLO-free work.
+    assert gpu_only["cpu_tput_subsets_s"] > cap["cpu_tput_subsets_s"]
+    assert gpu_only["cpu_latency_s"] < cap["cpu_latency_s"]
+
+    for name, p in panels.items():
+        benchmark.extra_info[f"{name}/gpu_tput_total"] = round(
+            sum(p["gpu_tput_batch_s"]), 3
+        )
+        benchmark.extra_info[f"{name}/cpu_tput"] = round(p["cpu_tput_subsets_s"], 1)

@@ -1,0 +1,25 @@
+"""Extension bench: LLM serving under the cap through a traffic surge."""
+
+from repro.experiments.llm_serving import run_llm_serving
+
+
+def test_bench_llm_serving(regen, benchmark):
+    result = regen(run_llm_serving, seed=0)
+    print()
+    print(result.render())
+
+    cap = result.data["CapGPU"]
+    gpu_only = result.data["GPU-Only"]
+
+    # Both hold the cap on a phase-varying plant; identification was clean.
+    assert result.data["model_r2"] > 0.95
+    assert abs(cap["mean_w"] - 900.0) < 10.0
+    assert abs(gpu_only["mean_w"] - 900.0) < 10.0
+    # CapGPU's reallocation buys better interactive latency at equal power.
+    assert cap["ttft_s"] < gpu_only["ttft_s"]
+    assert cap["p90_s"] <= gpu_only["p90_s"] * 1.05
+    assert cap["dropped"] == 0
+
+    for label in ("CapGPU", "GPU-Only"):
+        benchmark.extra_info[f"{label}/ttft_s"] = round(result.data[label]["ttft_s"], 3)
+        benchmark.extra_info[f"{label}/req_s"] = round(result.data[label]["req_s"], 2)

@@ -1,0 +1,125 @@
+"""Controller overhead microbenchmarks (Section 4.3's claim).
+
+The paper states the MPC "can complete its computation in just a few
+milliseconds when a server has about 4 to 8 GPUs", and that a
+multi-parametric offline/online split reduces it further. These benches time
+one MPC solve at several server sizes for both solvers, plus supporting hot
+paths (engine tick, delta-sigma, least-squares identification).
+"""
+
+import numpy as np
+import pytest
+
+from repro.actuators import DeltaSigmaModulator
+from repro.core import MimoPowerMpc, MpcConfig
+from repro.hardware import TESLA_V100_16GB
+from repro.sim import paper_scenario
+from repro.sim.scenarios import PAPER_TASKS
+from repro.sysid import fit_power_model
+
+
+def _mpc_inputs(n_gpus, rng):
+    n = 1 + n_gpus
+    a = np.concatenate([[0.06], np.full(n_gpus, 0.2)])
+    r = rng.uniform(2e-5, 1e-4, n)
+    f_min = np.concatenate([[1000.0], np.full(n_gpus, 435.0)])
+    f_max = np.concatenate([[2400.0], np.full(n_gpus, 1350.0)])
+    f_now = f_min + 0.5 * (f_max - f_min)
+    return n, a, r, f_min, f_max, f_now
+
+
+@pytest.mark.parametrize("n_gpus", [4, 8])
+@pytest.mark.parametrize("solver", ["slsqp", "analytic"])
+def test_bench_mpc_solve(benchmark, n_gpus, solver):
+    """One MPC solve; the paper's overhead claim is a few ms at 4-8 GPUs."""
+    rng = np.random.default_rng(0)
+    n, a, r, f_min, f_max, f_now = _mpc_inputs(n_gpus, rng)
+    mpc = MimoPowerMpc(n, MpcConfig(solver=solver))
+
+    def solve():
+        return mpc.solve(-40.0, f_now, a, r, f_min, f_max)
+
+    sol = benchmark(solve)
+    assert np.all(np.isfinite(sol.d0_mhz))
+    benchmark.extra_info["n_channels"] = n
+    # The paper's claim holds comfortably for SLSQP; the analytic fast path
+    # (the multi-parametric offline/online idea) is far below it.
+    assert benchmark.stats["mean"] < 0.02  # 20 ms ceiling
+
+
+def test_bench_engine_period(benchmark):
+    """One full control period (40 ticks) of the 3-GPU scenario."""
+    sim = paper_scenario(seed=0, set_point_w=900.0)
+
+    def one_period():
+        sim.run(None, 1)
+
+    benchmark(one_period)
+    assert benchmark.stats["mean"] < 0.2
+
+
+def test_bench_delta_sigma(benchmark):
+    """Per-tick modulator cost (runs once per channel per tick)."""
+    mod = DeltaSigmaModulator(TESLA_V100_16GB.domain())
+
+    def hundred_levels():
+        for _ in range(100):
+            mod.next_level(742.3)
+
+    benchmark(hundred_levels)
+
+
+def test_bench_fit_power_model(benchmark):
+    """Least-squares identification over a realistic excitation set."""
+    rng = np.random.default_rng(0)
+    n = 1 + len(PAPER_TASKS)
+    F = rng.uniform(435, 2400, size=(48, n))
+    a = np.concatenate([[0.06], np.full(n - 1, 0.2)])
+    p = F @ a + 300.0 + rng.normal(0, 3.0, 48)
+
+    fit = benchmark(fit_power_model, F, p)
+    assert fit.r2 > 0.9
+
+
+def test_bench_pipeline_step(benchmark):
+    """One second of pipeline simulation (10 ticks) under saturation."""
+    import numpy as np
+
+    from repro.workloads import RESNET50, InferencePipeline, PipelineConfig
+
+    pipe = InferencePipeline(
+        RESNET50, PipelineConfig(preproc_frequency="fixed"),
+        np.random.default_rng(0),
+    )
+    state = {"t": 0.0}
+
+    def ten_ticks():
+        for _ in range(10):
+            pipe.step(state["t"], 0.1, 2.4, 900.0)
+            state["t"] += 0.1
+
+    benchmark(ten_ticks)
+    # A control period (40 ticks x 4 pipelines) must stay far below the
+    # 4-second real-time budget it simulates.
+    assert benchmark.stats["mean"] < 0.01
+
+
+def test_bench_llm_pipeline_step(benchmark):
+    """One second of LLM serving simulation under load."""
+    import numpy as np
+
+    from repro.workloads import LLAMA_7B_V100, LlmPipeline, SteadyArrivals
+
+    pipe = LlmPipeline(
+        LLAMA_7B_V100, np.random.default_rng(0),
+        arrivals=SteadyArrivals(1.5),
+    )
+    state = {"t": 0.0}
+
+    def ten_ticks():
+        for _ in range(10):
+            pipe.step(state["t"], 0.1, 2.4, 900.0)
+            state["t"] += 0.1
+
+    benchmark(ten_ticks)
+    assert benchmark.stats["mean"] < 0.01

@@ -1,0 +1,25 @@
+"""Stability-bound bench: the Section 4.4 analysis vs the actual closed loop."""
+
+from repro.experiments.robustness import run_robustness
+
+
+def test_bench_robustness(regen, benchmark):
+    result = regen(run_robustness, seed=0)
+    print()
+    print(result.render())
+
+    sweep = result.data["sweep"]
+    # Inside the analytic bound: small error and small oscillation.
+    for g in (0.25, 0.5, 1.0, 2.0, 3.0, 3.8):
+        assert sweep[g]["stable_predicted"]
+        assert abs(sweep[g]["ss_err_w"]) < 5.0, g
+        assert sweep[g]["ss_std_w"] < 15.0, g
+    # Outside the bound: the loop visibly oscillates, exactly as predicted.
+    for g in (4.5, 6.0):
+        assert not sweep[g]["stable_predicted"]
+        assert sweep[g]["ss_std_w"] > 50.0, g
+
+    benchmark.extra_info["last_stable_g"] = 3.8
+    benchmark.extra_info["first_unstable_g"] = 4.5
+    benchmark.extra_info["std_at_3.8"] = round(sweep[3.8]["ss_std_w"], 1)
+    benchmark.extra_info["std_at_4.5"] = round(sweep[4.5]["ss_std_w"], 1)

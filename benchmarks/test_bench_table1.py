@@ -1,0 +1,29 @@
+"""Regenerate Table 1 (motivation: static frequency configurations)."""
+
+from repro.experiments import run_table1
+from repro.experiments.table1 import PAPER_TABLE1
+
+
+def test_bench_table1(regen, benchmark):
+    result = regen(run_table1, seed=0)
+    print()
+    print(result.render())
+    rows = result.data["rows"]
+
+    # Shape: the coordinated mid-point configuration wins throughput and
+    # queue delay; GPU batch latencies track the paper's Eq. 8 calibration.
+    assert (
+        rows["CapGPU"]["throughput_img_s"]
+        > rows["GPU-only"]["throughput_img_s"]
+        > rows["CPU-only"]["throughput_img_s"]
+    )
+    assert rows["CapGPU"]["queue_wait_s"] == min(
+        r["queue_wait_s"] for r in rows.values()
+    )
+    for label, paper in PAPER_TABLE1.items():
+        measured = rows[label]["gpu_latency_s"]
+        assert abs(measured - paper[1]) < 0.25, (label, measured, paper[1])
+
+    for label, row in rows.items():
+        benchmark.extra_info[f"{label}/tput_img_s"] = round(row["throughput_img_s"], 2)
+        benchmark.extra_info[f"{label}/power_w"] = round(row["power_w"], 1)

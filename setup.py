@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package (offline editable installs).
+
+``pip install -e . --no-build-isolation`` on older setuptools needs a
+``setup.py`` to fall back to ``develop`` mode. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,101 @@
+"""CapGPU reproduction: joint CPU + multi-GPU power capping for ML inference.
+
+A full reimplementation of *"Power Capping of GPU Servers for Machine
+Learning Inference Optimization"* (Ma, Subramaniyan, Wang — ICPP 2025) on a
+simulated multi-GPU server testbed. See DESIGN.md for the system inventory
+and EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro.sim import paper_scenario
+    from repro.core import build_capgpu
+
+    ident = paper_scenario(seed=0)           # instance burned for sys-id
+    sim = paper_scenario(seed=0, set_point_w=900.0)
+    controller = build_capgpu(sim, ident_sim=ident)
+    trace = sim.run(controller, n_periods=100)
+    print(trace["power_w"][-10:])            # ~900 W
+
+Package map:
+
+===================  ========================================================
+``repro.core``       CapGPU itself: MIMO MPC, weight assignment, SLOs,
+                     stability analysis
+``repro.control``    Controller interface + the four baselines
+``repro.hardware``   Simulated server: CPU/GPU power models, fan, thermal
+``repro.telemetry``  ACPI power meter, monitors, simulated NVML / RAPL
+``repro.actuators``  Delta-sigma frequency modulation, cpupower/nvidia-smi
+``repro.workloads``  Inference pipelines, model zoo, feature selection, PAI
+``repro.sysid``      System identification (power + latency models)
+``repro.sim``        Discrete-time engine, events, canonical scenarios
+``repro.experiments``One module per paper table/figure
+``repro.analysis``   Metrics and report rendering
+===================  ========================================================
+"""
+
+from ._version import __version__
+from .control import (
+    ControlObservation,
+    CpuOnlyController,
+    CpuPlusGpuController,
+    FixedStepController,
+    GpuOnlyController,
+    PowerCappingController,
+    SafeFixedStepController,
+)
+from .core import (
+    CapGpuController,
+    MimoPowerMpc,
+    MpcConfig,
+    SloManager,
+    WeightAssigner,
+    build_capgpu,
+)
+from .errors import (
+    ActuationError,
+    ConfigurationError,
+    IdentificationError,
+    InfeasibleSetPointError,
+    ReproError,
+    SloInfeasibleError,
+    SolverError,
+    TelemetryError,
+)
+from .hardware import GpuServer, rtx3090_server, v100_server
+from .sim import ServerSimulation, SimConfig, motivation_scenario, paper_scenario
+
+__all__ = [
+    "__version__",
+    # core
+    "CapGpuController",
+    "MimoPowerMpc",
+    "MpcConfig",
+    "SloManager",
+    "WeightAssigner",
+    "build_capgpu",
+    # control
+    "ControlObservation",
+    "PowerCappingController",
+    "FixedStepController",
+    "SafeFixedStepController",
+    "GpuOnlyController",
+    "CpuOnlyController",
+    "CpuPlusGpuController",
+    # hardware / sim
+    "GpuServer",
+    "v100_server",
+    "rtx3090_server",
+    "ServerSimulation",
+    "SimConfig",
+    "paper_scenario",
+    "motivation_scenario",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "ActuationError",
+    "TelemetryError",
+    "IdentificationError",
+    "SolverError",
+    "InfeasibleSetPointError",
+    "SloInfeasibleError",
+]

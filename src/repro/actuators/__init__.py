@@ -1,0 +1,21 @@
+"""Actuation: modulators resolving fractional frequency commands to levels.
+
+Implements the paper's Section 5 actuation path: controllers emit fractional
+targets once per control period; first-order delta-sigma modulators dither
+between adjacent discrete levels each tick so the time-averaged frequency
+converges to the command.
+"""
+
+from .actuator import ChannelActuator, ServerActuator
+from .interfaces import CpupowerInterface, NvidiaSmiInterface
+from .modulator import DeltaSigmaModulator, Modulator, NearestLevelModulator
+
+__all__ = [
+    "ChannelActuator",
+    "ServerActuator",
+    "CpupowerInterface",
+    "NvidiaSmiInterface",
+    "DeltaSigmaModulator",
+    "NearestLevelModulator",
+    "Modulator",
+]

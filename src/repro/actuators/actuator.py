@@ -1,0 +1,135 @@
+"""Per-channel and server-wide frequency actuation.
+
+The actuation layer sits between controllers (which emit fractional targets
+once per control period) and devices (which accept one discrete level per
+simulation tick):
+
+* :class:`ChannelActuator` owns the modulator for one device and applies one
+  level per tick;
+* :class:`ServerActuator` fans a target vector out to all channels, tracks
+  the tick-averaged *applied* frequency per control period (what the
+  controller's incremental model should see as ``F(k-1)``), and models a
+  one-tick command latency: a target set during tick ``t`` first affects the
+  level applied at tick ``t+1`` — like writing a sysfs file that the
+  governor picks up on its next update.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import ActuationError
+from ..hardware.device import Device
+from ..hardware.server import GpuServer
+from .modulator import DeltaSigmaModulator, Modulator
+
+__all__ = ["ChannelActuator", "ServerActuator"]
+
+
+class ChannelActuator:
+    """Actuates a single device through a modulator."""
+
+    def __init__(self, device: Device, modulator: Modulator | None = None):
+        self.device = device
+        self.modulator = modulator if modulator is not None else DeltaSigmaModulator(device.domain)
+        self._target_mhz = device.frequency_mhz
+        self._pending_mhz: float | None = None
+
+    @property
+    def target_mhz(self) -> float:
+        """Currently active (possibly fractional) target."""
+        return self._target_mhz
+
+    def set_target(self, f_mhz: float) -> None:
+        """Stage a new fractional target (takes effect next tick)."""
+        if not np.isfinite(f_mhz):
+            raise ActuationError(f"{self.device.name}: non-finite target {f_mhz!r}")
+        self._pending_mhz = self.device.domain.clamp(float(f_mhz))
+
+    def tick(self) -> float:
+        """Apply one modulated discrete level; returns the applied level."""
+        if self._pending_mhz is not None:
+            self._target_mhz = self._pending_mhz
+            self._pending_mhz = None
+        level = self.modulator.next_level(self._target_mhz)
+        self.device.apply_frequency(level)
+        return level
+
+    def reset(self) -> None:
+        """Clear modulator state and pending commands; target = current freq."""
+        self.modulator.reset()
+        self._pending_mhz = None
+        self._target_mhz = self.device.frequency_mhz
+
+
+class ServerActuator:
+    """Vector actuation across all channels of a server.
+
+    Parameters
+    ----------
+    server:
+        The plant.
+    modulator_factory:
+        Callable ``FrequencyDomain -> Modulator``; defaults to the paper's
+        delta-sigma modulator.
+    """
+
+    def __init__(self, server: GpuServer, modulator_factory=None):
+        factory = modulator_factory if modulator_factory is not None else DeltaSigmaModulator
+        self.server = server
+        self.channels = [ChannelActuator(d, factory(d.domain)) for d in server.devices]
+        n = len(self.channels)
+        self._applied_sum = np.zeros(n, dtype=np.float64)
+        self._applied_ticks = 0
+
+    @property
+    def n_channels(self) -> int:
+        return len(self.channels)
+
+    def targets(self) -> np.ndarray:
+        """Vector of active targets in MHz."""
+        return np.array([c.target_mhz for c in self.channels], dtype=np.float64)
+
+    def set_targets(self, f_mhz: Sequence[float]) -> None:
+        """Stage a full target vector (length must match channel count)."""
+        arr = np.asarray(f_mhz, dtype=np.float64)
+        if arr.shape != (len(self.channels),):
+            raise ActuationError(
+                f"expected {len(self.channels)} targets, got shape {arr.shape}"
+            )
+        for chan, f in zip(self.channels, arr):
+            chan.set_target(float(f))
+
+    def set_target(self, channel: int, f_mhz: float) -> None:
+        """Stage a target for one channel."""
+        self.channels[channel].set_target(f_mhz)
+
+    def tick(self) -> np.ndarray:
+        """Advance all modulators one tick; returns applied discrete levels."""
+        applied = np.array([c.tick() for c in self.channels], dtype=np.float64)
+        self._applied_sum += applied
+        self._applied_ticks += 1
+        return applied
+
+    def applied_average_and_reset(self) -> np.ndarray:
+        """Tick-averaged applied frequencies since the last call.
+
+        This is the effective ``F(k-1)`` the plant actually experienced over
+        the elapsed control period (the whole point of delta-sigma: the
+        average, not any single level, tracks the fractional command).
+        """
+        if self._applied_ticks == 0:
+            return self.targets()
+        avg = self._applied_sum / self._applied_ticks
+        self._applied_sum[:] = 0.0
+        self._applied_ticks = 0
+        return avg
+
+    def reset(self) -> None:
+        """Reset all channel actuators and the averaging window."""
+        for c in self.channels:
+            c.reset()
+        self._applied_sum[:] = 0.0
+        self._applied_ticks = 0

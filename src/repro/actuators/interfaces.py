@@ -1,0 +1,110 @@
+"""Command-style frequency interfaces (cpupower / nvidia-smi fidelity layer).
+
+The paper's frequency modulators are driven through OS tools:
+
+* ``sudo cpupower frequency-set -f {freq}GHz`` for the host CPU;
+* ``nvidia-smi -ac 877,<core>`` for each GPU (memory pinned at 877 MHz).
+
+These classes parse/validate commands in exactly those shapes and forward to
+the :class:`~repro.actuators.actuator.ServerActuator`. They exist so the
+examples and tests can exercise the same command surface a deployment would,
+including its failure modes (off-grid clocks rejected, bad GHz strings).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ActuationError, ConfigurationError
+from ..hardware.server import GpuServer
+from ..units import ghz_to_mhz
+from .actuator import ServerActuator
+
+__all__ = ["CpupowerInterface", "NvidiaSmiInterface"]
+
+_GHZ_RE = re.compile(r"^\s*(?P<value>\d+(?:\.\d+)?)\s*GHz\s*$", re.IGNORECASE)
+
+
+class CpupowerInterface:
+    """``cpupower frequency-set``-shaped control of one CPU package.
+
+    Fractional targets are legal here (unlike the real tool) because the
+    delta-sigma modulator underneath realizes them over time — this mirrors
+    the paper's Section 5, where the modulator code locally resolves the
+    controller's floating-point command into a level sequence.
+    """
+
+    def __init__(self, server: GpuServer, actuator: ServerActuator, cpu_index: int = 0):
+        if not 0 <= cpu_index < server.n_cpus:
+            raise ConfigurationError(f"cpu_index {cpu_index} out of range")
+        self._channel = server.cpu_channel_indices()[cpu_index]
+        self._actuator = actuator
+        self._domain = server.cpus[cpu_index].domain
+
+    def frequency_set(self, command: str) -> float:
+        """Parse a ``-f`` argument like ``"1.6GHz"`` and stage the target.
+
+        Returns the staged target in MHz. Raises :class:`ActuationError` for
+        malformed strings or out-of-range frequencies.
+        """
+        m = _GHZ_RE.match(command)
+        if not m:
+            raise ActuationError(f"malformed cpupower frequency {command!r}")
+        mhz = ghz_to_mhz(float(m.group("value")))
+        if mhz < self._domain.f_min - 1e-9 or mhz > self._domain.f_max + 1e-9:
+            raise ActuationError(
+                f"{mhz:.0f} MHz outside supported range "
+                f"[{self._domain.f_min:.0f}, {self._domain.f_max:.0f}]"
+            )
+        self._actuator.set_target(self._channel, mhz)
+        return mhz
+
+    def frequency_info(self) -> dict:
+        """Analogue of ``cpupower frequency-info``: range + current target."""
+        return {
+            "hardware_limits_mhz": (self._domain.f_min, self._domain.f_max),
+            "available_frequencies_mhz": list(self._domain.levels),
+            "current_target_mhz": float(self._actuator.targets()[self._channel]),
+        }
+
+
+class NvidiaSmiInterface:
+    """``nvidia-smi -ac``-shaped control of the GPUs.
+
+    :meth:`set_application_clocks` takes only on-grid core clocks, like the
+    real tool. :meth:`set_fractional_clock` is the controller-facing path
+    that accepts floats and relies on delta-sigma modulation.
+    """
+
+    def __init__(self, server: GpuServer, actuator: ServerActuator):
+        self._server = server
+        self._actuator = actuator
+        self._gpu_channels = server.gpu_channel_indices()
+
+    def set_application_clocks(self, gpu_index: int, mem_mhz: float, core_mhz: float) -> float:
+        """Stage a discrete application clock, validating like ``nvidia-smi -ac``."""
+        if not 0 <= gpu_index < self._server.n_gpus:
+            raise ActuationError(f"GPU index {gpu_index} out of range")
+        gpu = self._server.gpus[gpu_index]
+        if abs(mem_mhz - gpu.memory_clock_mhz) > 1e-6:
+            raise ActuationError(
+                f"memory clock {mem_mhz} MHz unsupported (fixed at "
+                f"{gpu.memory_clock_mhz} MHz)"
+            )
+        if not gpu.domain.contains(core_mhz):
+            raise ActuationError(f"core clock {core_mhz} MHz is not a supported level")
+        self._actuator.set_target(self._gpu_channels[gpu_index], core_mhz)
+        return float(core_mhz)
+
+    def set_fractional_clock(self, gpu_index: int, core_mhz: float) -> float:
+        """Stage a fractional core-clock target (modulator resolves it)."""
+        if not 0 <= gpu_index < self._server.n_gpus:
+            raise ActuationError(f"GPU index {gpu_index} out of range")
+        channel = self._gpu_channels[gpu_index]
+        clamped = self._server.gpus[gpu_index].domain.clamp(core_mhz)
+        self._actuator.set_target(channel, clamped)
+        return clamped
+
+    def query_clocks(self) -> list[float]:
+        """Current applied core clocks of all GPUs (``nvidia-smi -q -d CLOCK``)."""
+        return [g.core_clock_mhz for g in self._server.gpus]

@@ -1,0 +1,77 @@
+"""Frequency modulators: resolving fractional commands onto discrete levels.
+
+The controller emits floating-point frequency targets, but hardware only
+supports discrete levels. Section 5 of the paper resolves this with a
+*first-order delta-sigma modulator* that toggles between the two nearest
+discrete steps so the time-averaged frequency converges to the target (their
+example: toggling 2, 2, 2, 3 GHz to average 2.25 GHz).
+
+Two modulators are provided:
+
+* :class:`DeltaSigmaModulator` — the paper's scheme (error feedback);
+* :class:`NearestLevelModulator` — plain rounding, used as an ablation
+  (``benchmarks/test_bench_ablation.py`` shows the steady-state power bias
+  it introduces).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..hardware.device import FrequencyDomain
+
+__all__ = ["Modulator", "DeltaSigmaModulator", "NearestLevelModulator"]
+
+
+class Modulator(ABC):
+    """Maps a fractional frequency target to a sequence of discrete levels."""
+
+    def __init__(self, domain: FrequencyDomain):
+        self.domain = domain
+
+    @abstractmethod
+    def next_level(self, target_mhz: float) -> float:
+        """Return the discrete level to apply for the next tick."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Clear internal state."""
+
+
+class DeltaSigmaModulator(Modulator):
+    """First-order error-feedback delta-sigma modulator.
+
+    Each tick the accumulated quantization error is added to the target
+    before snapping to the nearest level; the residual feeds back. Over a
+    window of ticks the mean applied level converges to the (clamped) target
+    with error bounded by one level pitch divided by the window length.
+    """
+
+    def __init__(self, domain: FrequencyDomain):
+        super().__init__(domain)
+        self._err = 0.0
+
+    def next_level(self, target_mhz: float) -> float:
+        target = self.domain.clamp(target_mhz)
+        desired = target + self._err
+        level = self.domain.nearest(self.domain.clamp(desired))
+        self._err = desired - level
+        # Saturate the error so a long stretch at a domain boundary cannot
+        # wind up an unbounded correction (anti-windup).
+        max_pitch = float(self.domain.levels[-1] - self.domain.levels[0])
+        pitch = max_pitch / max(self.domain.n_levels - 1, 1)
+        self._err = min(max(self._err, -pitch), pitch)
+        return level
+
+    def reset(self) -> None:
+        self._err = 0.0
+
+
+class NearestLevelModulator(Modulator):
+    """Stateless rounding to the nearest discrete level (ablation baseline)."""
+
+    def next_level(self, target_mhz: float) -> float:
+        return self.domain.nearest(self.domain.clamp(target_mhz))
+
+    def reset(self) -> None:  # no state
+        pass

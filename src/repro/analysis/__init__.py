@@ -1,0 +1,33 @@
+"""Analysis: control/serving metrics and report rendering."""
+
+from .metrics import (
+    ViolationStats,
+    mean_over_steady,
+    overshoot_w,
+    rmse_to_set_point,
+    settling_time_periods,
+    slo_miss_rate,
+    steady_state_stats,
+    violation_stats,
+)
+from .ascii_plot import ascii_plot, sparkline
+from .energy import EfficiencyReport, efficiency_report, energy_j
+from .tables import format_series, format_table
+
+__all__ = [
+    "steady_state_stats",
+    "mean_over_steady",
+    "settling_time_periods",
+    "overshoot_w",
+    "rmse_to_set_point",
+    "ViolationStats",
+    "violation_stats",
+    "slo_miss_rate",
+    "format_table",
+    "format_series",
+    "sparkline",
+    "ascii_plot",
+    "energy_j",
+    "EfficiencyReport",
+    "efficiency_report",
+]

@@ -1,0 +1,124 @@
+"""Dependency-free ASCII visualization for traces (reports and CLI output).
+
+The experiment harness prints numbers; these helpers add a quick visual:
+:func:`sparkline` renders a series as one line of block characters, and
+:func:`ascii_plot` renders a small multi-row chart with a y-axis. Both are
+NaN-aware (gaps render as spaces).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["sparkline", "ascii_plot"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _resample(values: np.ndarray, width: int) -> np.ndarray:
+    """Bucket-average ``values`` down to ``width`` samples (NaN-aware)."""
+    if values.size <= width:
+        return values
+    bounds = np.linspace(0, values.size, width + 1).astype(int)
+    out = np.empty(width)
+    for i in range(width):
+        chunk = values[bounds[i]:bounds[i + 1]]
+        finite = chunk[np.isfinite(chunk)]
+        out[i] = finite.mean() if finite.size else np.nan
+    return out
+
+
+def sparkline(
+    values: Sequence[float],
+    width: int = 60,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """One-line block-character rendering of a series.
+
+    ``lo``/``hi`` pin the scale (useful to compare several sparklines);
+    by default the finite min/max of the data are used.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError("sparkline needs a non-empty 1-D series")
+    if width < 1:
+        raise ConfigurationError("width must be >= 1")
+    arr = _resample(arr, width)
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return " " * arr.size
+    lo_v = float(np.min(finite)) if lo is None else float(lo)
+    hi_v = float(np.max(finite)) if hi is None else float(hi)
+    span = hi_v - lo_v
+    chars = []
+    for v in arr:
+        if not np.isfinite(v):
+            chars.append(" ")
+            continue
+        if span <= 0:
+            chars.append(_BLOCKS[len(_BLOCKS) // 2])
+            continue
+        frac = min(max((v - lo_v) / span, 0.0), 1.0)
+        chars.append(_BLOCKS[int(round(frac * (len(_BLOCKS) - 1)))])
+    return "".join(chars)
+
+
+def ascii_plot(
+    values: Sequence[float],
+    width: int = 70,
+    height: int = 10,
+    title: str | None = None,
+    y_fmt: str = "{:8.1f}",
+    marker: str = "*",
+    reference: float | None = None,
+) -> str:
+    """Small ASCII chart with a y-axis; optionally draws a reference line.
+
+    ``reference`` (e.g. the power set point) renders as a row of ``-``.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError("ascii_plot needs a non-empty 1-D series")
+    if width < 2 or height < 2:
+        raise ConfigurationError("width and height must be >= 2")
+    arr = _resample(arr, width)
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        raise ConfigurationError("series contains no finite values")
+    lo = float(np.min(finite))
+    hi = float(np.max(finite))
+    if reference is not None:
+        lo = min(lo, reference)
+        hi = max(hi, reference)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * arr.size for _ in range(height)]
+    ref_row = None
+    if reference is not None:
+        ref_row = int(round((hi - reference) / (hi - lo) * (height - 1)))
+        for x in range(arr.size):
+            grid[ref_row][x] = "-"
+    for x, v in enumerate(arr):
+        if not np.isfinite(v):
+            continue
+        row = int(round((hi - v) / (hi - lo) * (height - 1)))
+        grid[row][x] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_fmt.format(hi)
+        elif r == height - 1:
+            label = y_fmt.format(lo)
+        elif ref_row is not None and r == ref_row and reference is not None:
+            label = y_fmt.format(reference)
+        else:
+            label = " " * len(y_fmt.format(0.0))
+        lines.append(f"{label} |{''.join(row)}")
+    return "\n".join(lines)

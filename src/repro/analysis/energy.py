@@ -1,0 +1,93 @@
+"""Energy and efficiency metrics derived from run traces.
+
+The power-capping literature the paper builds on (and its related-work
+energy-efficiency thread) evaluates not just *whether* a controller holds
+the cap but what useful work each joule buys. These helpers integrate the
+period-averaged power into energy and relate it to delivered inference
+work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..telemetry.trace import Trace
+
+__all__ = ["energy_j", "EfficiencyReport", "efficiency_report"]
+
+
+def energy_j(trace: Trace, start_period: int = 0) -> float:
+    """Energy consumed from ``start_period`` on, in joules.
+
+    Integrates the per-period mean power over the period durations derived
+    from the ``time_s`` channel (the engine records period end times).
+    """
+    t = trace["time_s"][start_period:]
+    p = trace["power_w"][start_period:]
+    if t.size == 0:
+        raise ConfigurationError("trace window is empty")
+    if t.size == 1:
+        raise ConfigurationError("need at least two periods to integrate")
+    durations = np.empty_like(t)
+    durations[1:] = np.diff(t)
+    durations[0] = durations[1]  # first period: same length as the second
+    if np.any(durations <= 0):
+        raise ConfigurationError("time_s must be strictly increasing")
+    return float(np.sum(p * durations))
+
+
+@dataclass(frozen=True)
+class EfficiencyReport:
+    """Work-per-energy summary of one run."""
+
+    energy_j: float
+    gpu_batches: float
+    cpu_events: float
+    duration_s: float
+
+    @property
+    def mean_power_w(self) -> float:
+        return self.energy_j / self.duration_s
+
+    @property
+    def batches_per_kj(self) -> float:
+        """Inference batches completed per kilojoule."""
+        return self.gpu_batches / (self.energy_j / 1e3)
+
+    @property
+    def joules_per_batch(self) -> float:
+        return self.energy_j / self.gpu_batches if self.gpu_batches else float("inf")
+
+
+def efficiency_report(
+    trace: Trace, gpu_channels, start_period: int = 0
+) -> EfficiencyReport:
+    """Build an :class:`EfficiencyReport` from a run trace.
+
+    ``gpu_channels`` are the channel indices whose ``tput_<c>`` columns
+    count inference batches per second; CPU work comes from ``cpu_tput``.
+    """
+    t = trace["time_s"][start_period:]
+    if t.size < 2:
+        raise ConfigurationError("need at least two periods")
+    durations = np.empty_like(t)
+    durations[1:] = np.diff(t)
+    durations[0] = durations[1]
+    e = energy_j(trace, start_period)
+    batches = 0.0
+    for c in gpu_channels:
+        rates = trace[f"tput_{c}"][start_period:]
+        finite = np.isfinite(rates)
+        batches += float(np.sum(rates[finite] * durations[finite]))
+    cpu_rates = trace["cpu_tput"][start_period:]
+    finite = np.isfinite(cpu_rates)
+    cpu_events = float(np.sum(cpu_rates[finite] * durations[finite]))
+    return EfficiencyReport(
+        energy_j=e,
+        gpu_batches=batches,
+        cpu_events=cpu_events,
+        duration_s=float(np.sum(durations)),
+    )

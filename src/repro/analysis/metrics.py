@@ -1,0 +1,140 @@
+"""Control-quality and serving-quality metrics computed from run traces.
+
+These are the quantities the paper's evaluation reports: steady-state power
+statistics (Fig. 6's mean ± std), settling time and overshoot (Fig. 3/10
+narratives), cap violations (Fig. 4/5), throughput/latency aggregates
+(Fig. 7) and SLO miss rates (Fig. 8/9). All functions take the engine's
+:class:`~repro.telemetry.trace.Trace` (one row per control period).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..telemetry.trace import Trace
+
+__all__ = [
+    "steady_state_stats",
+    "settling_time_periods",
+    "overshoot_w",
+    "rmse_to_set_point",
+    "ViolationStats",
+    "violation_stats",
+    "slo_miss_rate",
+    "mean_over_steady",
+]
+
+
+def _steady_slice(trace: Trace, steady_last: int) -> slice:
+    if steady_last < 1:
+        raise ConfigurationError("steady_last must be >= 1")
+    if len(trace) == 0:
+        raise ConfigurationError("trace is empty")
+    return slice(max(0, len(trace) - steady_last), len(trace))
+
+
+def steady_state_stats(trace: Trace, steady_last: int = 80) -> tuple[float, float]:
+    """(mean, std) of period-average power over the last ``steady_last`` periods.
+
+    Section 6.3 averages the last 80 of 100 periods — the same convention.
+    """
+    sl = _steady_slice(trace, steady_last)
+    p = trace["power_w"][sl]
+    return float(np.mean(p)), float(np.std(p))
+
+
+def mean_over_steady(trace: Trace, channel: str, steady_last: int = 80) -> float:
+    """Steady-state mean of any trace channel (NaN-aware)."""
+    sl = _steady_slice(trace, steady_last)
+    vals = trace[channel][sl]
+    vals = vals[np.isfinite(vals)]
+    return float(np.mean(vals)) if vals.size else float("nan")
+
+
+def settling_time_periods(
+    trace: Trace,
+    tolerance_w: float = 15.0,
+    hold_periods: int = 5,
+    start_period: int = 0,
+) -> float:
+    """First period after ``start_period`` from which power stays within
+    ``tolerance_w`` of the set point for at least ``hold_periods`` periods.
+
+    Returns ``inf`` when the trace never settles (e.g. CPU-Only against an
+    unreachable cap). Set-point changes are handled by passing the change
+    period as ``start_period`` (used for Fig. 10's adaptation timing).
+    """
+    if hold_periods < 1:
+        raise ConfigurationError("hold_periods must be >= 1")
+    p = trace["power_w"]
+    sp = trace["set_point_w"]
+    n = len(trace)
+    inside = np.abs(p - sp) <= tolerance_w
+    for k in range(max(start_period, 0), n - hold_periods + 1):
+        if np.all(inside[k : k + hold_periods]):
+            return float(k - start_period)
+    return float("inf")
+
+
+def overshoot_w(trace: Trace, start_period: int = 0) -> float:
+    """Maximum excursion of the period-max power above the set point."""
+    peaks = trace["power_max_w"][start_period:]
+    sp = trace["set_point_w"][start_period:]
+    excess = peaks - sp
+    return float(np.max(excess)) if excess.size else float("nan")
+
+
+def rmse_to_set_point(trace: Trace, steady_last: int = 80) -> float:
+    """Steady-state RMS tracking error."""
+    sl = _steady_slice(trace, steady_last)
+    err = trace["power_w"][sl] - trace["set_point_w"][sl]
+    return float(np.sqrt(np.mean(err**2)))
+
+
+@dataclass(frozen=True)
+class ViolationStats:
+    """Cap-violation accounting over (part of) a run."""
+
+    n_periods: int
+    n_violations: int
+    worst_excess_w: float
+    mean_excess_w: float
+
+    @property
+    def violation_rate(self) -> float:
+        return self.n_violations / self.n_periods if self.n_periods else float("nan")
+
+
+def violation_stats(
+    trace: Trace, margin_w: float = 0.0, start_period: int = 0
+) -> ViolationStats:
+    """Count periods whose *maximum sample* exceeded the cap by > ``margin_w``.
+
+    Violations are judged on the 1-second meter samples' maximum, not the
+    period average — a breaker trips on the peak, which is why Safe
+    Fixed-step needs its margin (Section 6.2).
+    """
+    peaks = trace["power_max_w"][start_period:]
+    sp = trace["set_point_w"][start_period:]
+    excess = peaks - sp - margin_w
+    over = excess > 0
+    return ViolationStats(
+        n_periods=int(peaks.size),
+        n_violations=int(np.sum(over)),
+        worst_excess_w=float(np.max(excess)) if excess.size else float("nan"),
+        mean_excess_w=float(np.mean(excess[over])) if np.any(over) else 0.0,
+    )
+
+
+def slo_miss_rate(trace: Trace, gpu_index: int, start_period: int = 0) -> float:
+    """Fraction of batches violating the SLO, aggregated over periods.
+
+    Uses the per-period miss fractions recorded by the engine (NaN periods —
+    no batch completed or no SLO set — are skipped).
+    """
+    col = trace[f"slo_miss_g{gpu_index}"][start_period:]
+    vals = col[np.isfinite(col)]
+    return float(np.mean(vals)) if vals.size else float("nan")

@@ -1,0 +1,173 @@
+"""Command-line interface: run paper experiments and print their reports.
+
+Usage::
+
+    capgpu list                     # show available experiment ids
+    capgpu run fig3 --seed 1        # run one experiment
+    capgpu run all                  # run everything (slow)
+    capgpu stability                # print the Section 4.4 gain bound
+
+Also runnable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from ._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="capgpu",
+        description="CapGPU reproduction — run paper experiments on the simulated testbed",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run_p = sub.add_parser("run", help="run an experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id from 'capgpu list', or 'all'")
+    run_p.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+    run_p.add_argument(
+        "--save-dir", default=None,
+        help="directory to write every result trace as <experiment>_<name>.npz",
+    )
+
+    stab_p = sub.add_parser(
+        "stability", help="print the Section 4.4 stable gain-variation range"
+    )
+    stab_p.add_argument("--seed", type=int, default=0)
+
+    ident_p = sub.add_parser(
+        "identify", help="run system identification and print the model + validation"
+    )
+    ident_p.add_argument("--seed", type=int, default=0)
+    ident_p.add_argument("--points", type=int, default=8,
+                         help="excitation points per channel")
+
+    rep_p = sub.add_parser(
+        "report", help="run experiments and write a markdown reproduction report"
+    )
+    rep_p.add_argument("-o", "--output", default="report.md")
+    rep_p.add_argument("--seed", type=int, default=0)
+    rep_p.add_argument(
+        "--ids", nargs="*", default=None,
+        help="experiment ids to include (default: all)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    from .experiments import experiment_ids
+
+    for eid in experiment_ids():
+        print(eid)
+    return 0
+
+
+def _cmd_run(experiment: str, seed: int, save_dir: str | None = None) -> int:
+    from .experiments import experiment_ids, run_experiment
+
+    ids = experiment_ids() if experiment == "all" else [experiment]
+    for eid in ids:
+        result = run_experiment(eid, seed=seed)
+        print(result.render())
+        print()
+        if save_dir is not None:
+            _save_traces(result, save_dir)
+    return 0
+
+
+def _save_traces(result, save_dir: str) -> None:
+    """Persist every Trace found in the result's data as NPZ."""
+    import re
+    from pathlib import Path
+
+    from .telemetry import Trace, save_trace_npz
+
+    out = Path(save_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    def walk(obj, label):
+        if isinstance(obj, Trace):
+            slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", str(label)).strip("-")
+            path = out / f"{result.experiment_id}_{slug}.npz"
+            save_trace_npz(obj, path)
+            print(f"saved {path}")
+        elif isinstance(obj, dict):
+            for key, value in obj.items():
+                walk(value, f"{label}-{key}" if label else str(key))
+
+    walk(result.data, "")
+
+
+def _cmd_identify(seed: int, points: int) -> int:
+    from .sim import paper_scenario
+    from .sysid import (
+        cross_validate_power_model,
+        identify_power_model,
+        residual_summary,
+    )
+
+    sim = paper_scenario(seed=seed)
+    ds = identify_power_model(sim, points_per_channel=points)
+    fit = ds.fit
+    print("identified model p = A.F + C")
+    for ref, gain in zip(sim.server.channels, fit.a_w_per_mhz):
+        print(f"  A[{ref.name}] = {gain:.4f} W/MHz")
+    print(f"  C = {fit.c_w:.1f} W")
+    print(f"  training R^2 = {fit.r2:.4f}, RMSE = {fit.rmse_w:.2f} W "
+          f"({fit.n_samples} points)")
+    scores = cross_validate_power_model(ds.f_mhz, ds.power_w, k_folds=4)
+    print(f"  4-fold CV R^2 = {min(scores):.4f} .. {max(scores):.4f}")
+    summary = residual_summary(fit, ds.f_mhz, ds.power_w)
+    print(f"  residuals: std {summary.std_w:.2f} W, max |r| "
+          f"{summary.max_abs_w:.2f} W, lag-1 autocorr "
+          f"{summary.lag1_autocorr:+.2f}, looks white: {summary.looks_white}")
+    return 0
+
+
+def _cmd_stability(seed: int) -> int:
+    from .core import stable_gain_range
+    from .experiments import identified_model
+
+    model = identified_model(seed)
+    r = np.full(model.n_channels, 5e-5)
+    sweep = stable_gain_range(model.a_w_per_mhz, r)
+    lo, hi = sweep.stable_interval()
+    print(f"identified gains A = {np.round(model.a_w_per_mhz, 4)} (W/MHz)")
+    print(
+        "closed loop remains stable for uniform gain variation "
+        f"g in [{lo:.2f}, {hi:.2f}] (A' = g*A)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.seed, args.save_dir)
+    if args.command == "stability":
+        return _cmd_stability(args.seed)
+    if args.command == "identify":
+        return _cmd_identify(args.seed, args.points)
+    if args.command == "report":
+        from .report import write_report
+
+        path = write_report(args.output, seed=args.seed, ids=args.ids)
+        print(f"wrote {path}")
+        return 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

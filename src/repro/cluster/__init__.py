@@ -1,0 +1,25 @@
+"""Rack-level hierarchical power capping over CapGPU servers (extension).
+
+See DESIGN.md: this layer implements the oversubscription context the paper
+motivates (Dynamo-style budget reallocation), with CapGPU as the per-server
+enforcement mechanism.
+"""
+
+from .allocator import (
+    BudgetAllocator,
+    FairShareAllocator,
+    PriorityAllocator,
+    ProportionalDemandAllocator,
+    ServerPowerState,
+)
+from .rack import RackServer, RackSimulation
+
+__all__ = [
+    "ServerPowerState",
+    "BudgetAllocator",
+    "FairShareAllocator",
+    "ProportionalDemandAllocator",
+    "PriorityAllocator",
+    "RackServer",
+    "RackSimulation",
+]

@@ -1,0 +1,40 @@
+"""Power-capping controllers: the shared interface and the paper's baselines.
+
+The CapGPU MIMO MPC lives in :mod:`repro.core`; this package holds the
+controller contract (:class:`ControlObservation`,
+:class:`PowerCappingController`) and the four baselines of Section 6.1.
+"""
+
+from .base import ControlObservation, PowerCappingController
+from .batch_dvfs import BatchDvfsController
+from .cpu_plus_gpu import CpuPlusGpuController
+from .fixed_step import (
+    FixedStepController,
+    SafeFixedStepController,
+    estimate_safety_margin,
+)
+from .pid import OracleController, PidController
+from .pole_placement import closed_loop_pole, proportional_gain, settling_periods
+from .proportional import (
+    CpuOnlyController,
+    GpuOnlyController,
+    GroupProportionalController,
+)
+
+__all__ = [
+    "ControlObservation",
+    "PowerCappingController",
+    "BatchDvfsController",
+    "FixedStepController",
+    "SafeFixedStepController",
+    "estimate_safety_margin",
+    "GpuOnlyController",
+    "CpuOnlyController",
+    "GroupProportionalController",
+    "CpuPlusGpuController",
+    "PidController",
+    "OracleController",
+    "proportional_gain",
+    "closed_loop_pole",
+    "settling_periods",
+]

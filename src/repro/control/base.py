@@ -1,0 +1,118 @@
+"""Controller interface: observation/command types and the controller ABC.
+
+All power-capping strategies (the CapGPU MPC and the four baselines) share
+one closed-loop contract: at the end of each control period the simulator
+hands the controller a :class:`ControlObservation` — only quantities that
+would be measurable on the real testbed — and the controller returns a
+vector of (possibly fractional) frequency targets, one per channel in the
+server's CPUs-then-GPUs ordering.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["ControlObservation", "PowerCappingController"]
+
+
+@dataclass
+class ControlObservation:
+    """Everything a controller may observe at the end of one control period.
+
+    Frequencies are MHz vectors over the server's channels (CPUs first, then
+    GPUs). ``f_applied_mhz`` is the tick-averaged frequency actually applied
+    during the elapsed period (the plant's effective ``F(k-1)``), which can
+    differ from ``f_targets_mhz`` because of delta-sigma dithering and
+    clamping.
+
+    ``slos_s`` maps GPU *channel index* to the task's current latency SLO in
+    seconds (absent key = no SLO). ``cpu_power_w``/``gpu_power_w`` carry the
+    per-subsystem measurements (RAPL / NVML) that the split-budget baseline
+    needs; server-level controllers ignore them.
+    """
+
+    period_index: int
+    time_s: float
+    power_w: float
+    power_samples_w: np.ndarray
+    set_point_w: float
+    f_targets_mhz: np.ndarray
+    f_applied_mhz: np.ndarray
+    f_min_mhz: np.ndarray
+    f_max_mhz: np.ndarray
+    utilization: np.ndarray
+    throughput_norm: np.ndarray
+    throughput_raw: np.ndarray
+    cpu_channels: tuple[int, ...]
+    gpu_channels: tuple[int, ...]
+    slos_s: dict[int, float] = field(default_factory=dict)
+    cpu_power_w: float = float("nan")
+    gpu_power_w: np.ndarray | None = None
+
+    @property
+    def n_channels(self) -> int:
+        return int(self.f_targets_mhz.shape[0])
+
+    @property
+    def error_w(self) -> float:
+        """Tracking error ``P_s - p(k)`` (positive = headroom available)."""
+        return self.set_point_w - self.power_w
+
+    def validate(self) -> None:
+        """Consistency checks (used by tests and defensive controllers)."""
+        n = self.n_channels
+        for name in ("f_applied_mhz", "f_min_mhz", "f_max_mhz", "utilization",
+                     "throughput_norm", "throughput_raw"):
+            arr = getattr(self, name)
+            if arr.shape != (n,):
+                raise ConfigurationError(f"{name} must have shape ({n},), got {arr.shape}")
+        if set(self.cpu_channels) & set(self.gpu_channels):
+            raise ConfigurationError("cpu_channels and gpu_channels overlap")
+        if len(self.cpu_channels) + len(self.gpu_channels) != n:
+            raise ConfigurationError("channel partition does not cover all channels")
+
+
+class PowerCappingController(ABC):
+    """Abstract base of every power-capping strategy.
+
+    Subclasses implement :meth:`step`; the returned array is the vector of
+    frequency *targets* in MHz for the next control period, with the same
+    channel ordering as the observation. Targets may be fractional — the
+    actuation layer resolves them to discrete levels.
+    """
+
+    #: Human-readable strategy name (used by experiment tables).
+    name: str = "controller"
+
+    @abstractmethod
+    def step(self, obs: ControlObservation) -> np.ndarray:
+        """Compute next-period frequency targets from the observation."""
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh run (default: stateless)."""
+
+    def batch_commands(self, obs: ControlObservation) -> dict[int, int] | None:
+        """Optional second knob: per-GPU batch sizes for the next period.
+
+        Called by the engine *after* :meth:`step`. The default (``None``)
+        leaves every pipeline's batch size unchanged; the coordinated
+        batching + DVFS extension overrides this. Keys are GPU *indices*
+        (not channels).
+        """
+        return None
+
+    def initial_targets(
+        self, f_min_mhz: np.ndarray, f_max_mhz: np.ndarray
+    ) -> np.ndarray:
+        """Targets to apply before the first observation.
+
+        Default: all channels at their minimum frequency — the safe start the
+        paper's fixed-step baseline mandates and a reasonable cold start for
+        every strategy (power can only need to *rise* toward the set point).
+        """
+        return np.asarray(f_min_mhz, dtype=np.float64).copy()

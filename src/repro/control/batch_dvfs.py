@@ -1,0 +1,107 @@
+"""Coordinated batching + DVFS controller (extension, after [20]).
+
+The related work the paper's Fixed-step baseline is inspired by —
+Nabavinejad et al., "Coordinated batching and DVFS for DNN inference on GPU
+accelerators" (TPDS 2022) — uses the *batch size* as a second knob next to
+the GPU clock: larger batches amortize fixed launch costs (better
+throughput per watt) but lengthen per-batch latency, so the batch is pushed
+as high as each task's SLO allows while a frequency loop tracks the power
+cap.
+
+Our rendition for the multi-GPU server:
+
+* power loop — proportional control of a single shared GPU clock against
+  the total-power error (pole-placed, like GPU-Only; CPU pinned at max);
+* batching loop — each period, every GPU's batch size is set to the largest
+  value whose model-predicted latency at the *current* clock meets that
+  task's SLO (or ``batch_cap`` without an SLO).
+
+Like GPU-Only it cannot give different GPUs different clocks; unlike
+GPU-Only it can trade latency headroom for throughput via batch size. The
+comparison bench shows where that helps and where CapGPU's per-device
+clocks still win.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..workloads.models import InferenceModelSpec
+from .base import ControlObservation
+from .proportional import GroupProportionalController
+
+__all__ = ["BatchDvfsController"]
+
+
+class BatchDvfsController(GroupProportionalController):
+    """Shared-GPU-clock P-control plus per-task SLO-bounded batch sizing.
+
+    Parameters
+    ----------
+    gpu_group_gain_w_per_mhz:
+        Aggregate identified GPU gain (pole placement, as GPU-Only).
+    task_specs:
+        Mapping GPU *index* -> workload spec (provides the batch-latency
+        model used to size batches).
+    pole:
+        Closed-loop pole of the power loop.
+    batch_cap / batch_floor:
+        Bounds on the commanded batch size.
+    headroom:
+        Back-off factor applied to SLOs before sizing (guards jitter).
+    """
+
+    name = "batch-dvfs"
+
+    def __init__(
+        self,
+        gpu_group_gain_w_per_mhz: float,
+        task_specs: dict[int, InferenceModelSpec],
+        pole: float = 0.5,
+        batch_cap: int = 64,
+        batch_floor: int = 4,
+        headroom: float = 0.9,
+    ):
+        super().__init__(
+            actuated="gpu",
+            group_gain_w_per_mhz=gpu_group_gain_w_per_mhz,
+            pole=pole,
+            pinned_fraction=1.0,
+        )
+        if batch_floor < 1 or batch_cap < batch_floor:
+            raise ConfigurationError("need 1 <= batch_floor <= batch_cap")
+        if not 0.0 < headroom <= 1.0:
+            raise ConfigurationError("headroom must lie in (0, 1]")
+        self.task_specs = dict(task_specs)
+        self.batch_cap = int(batch_cap)
+        self.batch_floor = int(batch_floor)
+        self.headroom = float(headroom)
+        self.last_batches: dict[int, int] = {}
+
+    def batch_commands(self, obs: ControlObservation) -> dict[int, int]:
+        """Per-GPU batch sizes for the next period.
+
+        Uses the clock the power loop just commanded (``self._shared_f``,
+        set during :meth:`step`) — batch sizing reacts to the same period's
+        frequency decision, which is the coordination in "coordinated
+        batching and DVFS".
+        """
+        clock = self._shared_f
+        batches: dict[int, int] = {}
+        for g, spec in self.task_specs.items():
+            chan = obs.gpu_channels[g]
+            slo = obs.slos_s.get(chan)
+            if clock is None or slo is None:
+                batches[g] = self.batch_cap
+                continue
+            best = spec.max_batch_for_slo(
+                slo * self.headroom, clock, batch_cap=self.batch_cap
+            )
+            batches[g] = self.batch_floor if best is None else max(
+                best, self.batch_floor
+            )
+        self.last_batches = batches
+        return batches
+
+    def reset(self) -> None:
+        super().reset()
+        self.last_batches = {}

@@ -1,0 +1,99 @@
+"""CPU+GPU split-budget baseline (PowerCoord [2]-style).
+
+Section 6.1: "CPU+GPU utilizes two separate power control loops to
+independently control the CPU and GPU power ... Given a total power budget,
+CPU+GPU simply divides the budget using fixed values." Each loop is a
+proportional controller on its *subsystem* power:
+
+* the CPU loop reads package power from RAPL and tracks
+  ``cpu_ratio * P_s``;
+* the GPU loop reads total board power from NVML and tracks
+  ``(1 - cpu_ratio) * P_s`` with a single shared GPU clock.
+
+Because the platform floor (motherboard, fans, PSU losses) belongs to
+neither loop, and because the subsystem ranges rarely match the fixed split,
+the *total* wall power does not converge to the cap — the failure mode
+Figures 3 and 6 demonstrate for both the 50/50 and 60/40 splits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import ControlObservation, PowerCappingController
+from .pole_placement import proportional_gain
+
+__all__ = ["CpuPlusGpuController"]
+
+
+class CpuPlusGpuController(PowerCappingController):
+    """Two independent subsystem loops with a fixed budget split.
+
+    Parameters
+    ----------
+    gpu_ratio:
+        Fraction of the total budget assigned to the GPU subsystem (the
+        paper tests 0.5 and 0.6); the CPU subsystem receives the remainder.
+    cpu_gain_w_per_mhz / gpu_group_gain_w_per_mhz:
+        Identified subsystem gains for pole placement (the CPU loop sees
+        only RAPL power, the GPU loop only the summed board power).
+    pole:
+        Closed-loop pole of both loops.
+    """
+
+    name = "cpu+gpu"
+
+    def __init__(
+        self,
+        gpu_ratio: float,
+        cpu_gain_w_per_mhz: float,
+        gpu_group_gain_w_per_mhz: float,
+        pole: float = 0.5,
+    ):
+        if not 0.0 < gpu_ratio < 1.0:
+            raise ConfigurationError("gpu_ratio must lie in (0, 1)")
+        self.gpu_ratio = float(gpu_ratio)
+        self.kp_cpu = proportional_gain(cpu_gain_w_per_mhz, pole)
+        self.kp_gpu = proportional_gain(gpu_group_gain_w_per_mhz, pole)
+        self._f_cpu: float | None = None
+        self._f_gpu: float | None = None
+
+    def reset(self) -> None:
+        self._f_cpu = None
+        self._f_gpu = None
+
+    @property
+    def cpu_ratio(self) -> float:
+        return 1.0 - self.gpu_ratio
+
+    def step(self, obs: ControlObservation) -> np.ndarray:
+        if obs.gpu_power_w is None or not np.isfinite(obs.cpu_power_w):
+            raise ConfigurationError(
+                "CPU+GPU needs per-subsystem power (RAPL + NVML) in the observation"
+            )
+        targets = obs.f_targets_mhz.copy()
+        cpu_cap = self.cpu_ratio * obs.set_point_w
+        gpu_cap = self.gpu_ratio * obs.set_point_w
+
+        # CPU loop: shared command over all CPU channels against RAPL power.
+        cpu_idx = list(obs.cpu_channels)
+        if self._f_cpu is None:
+            self._f_cpu = float(np.mean(targets[cpu_idx]))
+        self._f_cpu += self.kp_cpu * (cpu_cap - obs.cpu_power_w)
+        lo = float(np.max(obs.f_min_mhz[cpu_idx]))
+        hi = float(np.min(obs.f_max_mhz[cpu_idx]))
+        self._f_cpu = min(max(self._f_cpu, lo), hi)
+        targets[cpu_idx] = self._f_cpu
+
+        # GPU loop: shared command over all GPU channels against NVML power.
+        gpu_idx = list(obs.gpu_channels)
+        if self._f_gpu is None:
+            self._f_gpu = float(np.mean(targets[gpu_idx]))
+        total_gpu_power = float(np.sum(obs.gpu_power_w))
+        self._f_gpu += self.kp_gpu * (gpu_cap - total_gpu_power)
+        lo = float(np.max(obs.f_min_mhz[gpu_idx]))
+        hi = float(np.min(obs.f_max_mhz[gpu_idx]))
+        self._f_gpu = min(max(self._f_gpu, lo), hi)
+        targets[gpu_idx] = self._f_gpu
+        return targets

@@ -1,0 +1,127 @@
+"""PID power controller and a ground-truth oracle (extra comparators).
+
+Neither is in the paper, but both sharpen the evaluation:
+
+* :class:`PidController` — the classic server-capping design (Lefurgy et
+  al.'s P-controller plus integral action): the integral term removes any
+  steady-state bias, at the cost of tuning and wind-up handling. Actuates
+  all channels with a shared *fraction-of-range* command, so CPU and GPU
+  ranges are respected without per-channel logic.
+* :class:`OracleController` — cheats: reads the plant's true deterministic
+  power model and solves for the frequency vector that exactly hits the set
+  point (one-dimensional along the current allocation direction). It is the
+  performance *upper bound* for power-tracking accuracy; CapGPU's residual
+  vs the oracle is pure disturbance, not control error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..hardware.server import GpuServer
+from .base import ControlObservation, PowerCappingController
+
+__all__ = ["PidController", "OracleController"]
+
+
+class PidController(PowerCappingController):
+    """Shared fraction-of-range PID on the total-power error.
+
+    The command ``u`` in [0, 1] maps each channel to
+    ``f_min + u * (f_max - f_min)``. Gains are expressed in fraction per
+    watt; a plant-aware default is ``kp = pole_factor / span`` where
+    ``span`` is the total controllable watts.
+
+    Anti-windup: the integral freezes while the command saturates.
+    """
+
+    name = "pid"
+
+    def __init__(
+        self,
+        span_w: float,
+        kp_frac_per_w: float | None = None,
+        ki_frac_per_w: float | None = None,
+        kd_frac_per_w: float = 0.0,
+    ):
+        if span_w <= 0:
+            raise ConfigurationError("span_w must be positive")
+        self.span_w = float(span_w)
+        self.kp = kp_frac_per_w if kp_frac_per_w is not None else 0.5 / span_w
+        self.ki = ki_frac_per_w if ki_frac_per_w is not None else 0.1 / span_w
+        self.kd = float(kd_frac_per_w)
+        if self.kp < 0 or self.ki < 0 or self.kd < 0:
+            raise ConfigurationError("PID gains must be >= 0")
+        self._integral = 0.0
+        self._last_error: float | None = None
+        self._u = 0.0
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._last_error = None
+        self._u = 0.0
+
+    def step(self, obs: ControlObservation) -> np.ndarray:
+        err = obs.error_w  # positive = headroom
+        d_term = 0.0
+        if self._last_error is not None:
+            d_term = self.kd * (err - self._last_error)
+        self._last_error = err
+        u_unsat = self.kp * err + self.ki * (self._integral + err) + d_term + self._u
+        u = min(max(u_unsat, 0.0), 1.0)
+        # Conditional integration: accumulate only when not pushing further
+        # into a saturated command (anti-windup).
+        if (u_unsat <= 1.0 or err < 0) and (u_unsat >= 0.0 or err > 0):
+            self._integral += err
+        self._u = u
+        return obs.f_min_mhz + u * (obs.f_max_mhz - obs.f_min_mhz)
+
+
+class OracleController(PowerCappingController):
+    """Upper-bound comparator with access to the plant's true power model.
+
+    Each period it computes, from the *noiseless* device models at current
+    utilizations, the scalar position ``u`` along [f_min, f_max] whose
+    predicted total power equals the set point (bisection — the true model
+    includes a quadratic term, so it is monotone but not affine), and
+    commands that frequency vector. Residual tracking error under the
+    oracle is exactly the unmodelled disturbance (wall noise + utilization
+    drift within the period).
+    """
+
+    name = "oracle"
+
+    def __init__(self, server: GpuServer, tol_w: float = 0.01):
+        self.server = server
+        if tol_w <= 0:
+            raise ConfigurationError("tol_w must be positive")
+        self.tol_w = float(tol_w)
+
+    def _predicted_power(self, u: float) -> float:
+        total = self.server.static_power_w + self.server.fan.power_w()
+        for dev in self.server.devices:
+            f = dev.domain.f_min + u * (dev.domain.f_max - dev.domain.f_min)
+            total += dev.power_model.power_w(f, dev.utilization)
+        return total
+
+    def step(self, obs: ControlObservation) -> np.ndarray:
+        lo, hi = 0.0, 1.0
+        p_lo, p_hi = self._predicted_power(lo), self._predicted_power(hi)
+        target = obs.set_point_w
+        if target <= p_lo:
+            u = 0.0
+        elif target >= p_hi:
+            u = 1.0
+        else:
+            for _ in range(60):
+                mid = 0.5 * (lo + hi)
+                p_mid = self._predicted_power(mid)
+                if abs(p_mid - target) < self.tol_w:
+                    break
+                if p_mid < target:
+                    lo = mid
+                else:
+                    hi = mid
+            u = 0.5 * (lo + hi)
+        return obs.f_min_mhz + u * (obs.f_max_mhz - obs.f_min_mhz)

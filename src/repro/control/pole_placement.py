@@ -1,0 +1,55 @@
+"""Pole-placement helpers for proportional power controllers.
+
+The GPU-Only and CPU-Only baselines (Section 6.1) are proportional
+controllers whose gain is "determined by pole placement and choosing the one
+that minimizes oscillations". For the scalar loop
+
+    p(k+1) = p(k) + G * delta_f(k),      delta_f(k) = Kp * (P_s - p(k))
+
+the closed-loop error evolves as ``e(k+1) = (1 - G*Kp) e(k)``, so placing
+the pole at ``z`` gives ``Kp = (1 - z) / G``. ``G`` is the aggregate plant
+gain seen by the actuated knob: when one shared frequency adjustment is
+applied to a set of channels, ``G`` is the *sum* of their identified gains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["proportional_gain", "closed_loop_pole", "settling_periods"]
+
+
+def proportional_gain(aggregate_gain_w_per_mhz: float, pole: float = 0.5) -> float:
+    """Kp (MHz per W) placing the closed-loop pole at ``pole``.
+
+    ``pole`` in [0, 1): 0 = deadbeat (one-period convergence under a perfect
+    model, most aggressive), values near 1 = sluggish. The paper's baselines
+    pick a pole that avoids oscillation; 0.5 is a standard compromise.
+    """
+    if not 0.0 <= pole < 1.0:
+        raise ConfigurationError(f"pole must lie in [0, 1), got {pole}")
+    if aggregate_gain_w_per_mhz <= 0:
+        raise ConfigurationError("aggregate gain must be positive")
+    return (1.0 - pole) / aggregate_gain_w_per_mhz
+
+
+def closed_loop_pole(aggregate_gain_w_per_mhz: float, kp_mhz_per_w: float) -> float:
+    """Pole of the scalar loop for a given gain pair (``1 - G*Kp``)."""
+    return 1.0 - aggregate_gain_w_per_mhz * kp_mhz_per_w
+
+
+def settling_periods(pole: float, tolerance: float = 0.02) -> float:
+    """Periods for the error to decay to ``tolerance`` of its initial value.
+
+    Infinite when ``|pole| >= 1`` (unstable or marginally stable loop).
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise ConfigurationError("tolerance must lie in (0, 1)")
+    a = abs(pole)
+    if a >= 1.0:
+        return float("inf")
+    if a == 0.0:
+        return 1.0
+    return float(np.log(tolerance) / np.log(a))

@@ -1,0 +1,129 @@
+"""Shared proportional-controller machinery for the single-knob baselines.
+
+Both GPU-Only ([4]-style) and CPU-Only (IBM [14]-style) are instances of one
+scheme: measure total power, compute the error against the cap, and move a
+*single shared frequency command* for the actuated channel group by
+``Kp * error``; non-actuated channels are pinned (GPU-Only pins the CPU at
+its maximum — Section 6.2 notes this eats power budget; CPU-Only pins the
+GPUs at maximum, which is why its control range is hopeless on a GPU
+server).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import ControlObservation, PowerCappingController
+from .pole_placement import proportional_gain
+
+__all__ = ["GroupProportionalController", "GpuOnlyController", "CpuOnlyController"]
+
+
+class GroupProportionalController(PowerCappingController):
+    """P-control of one channel group with a shared frequency command.
+
+    Parameters
+    ----------
+    actuated:
+        ``"gpu"`` or ``"cpu"`` — which group follows the shared command.
+    group_gain_w_per_mhz:
+        Aggregate identified plant gain of the group (sum of per-channel
+        gains), used for pole placement.
+    pole:
+        Desired closed-loop pole.
+    pinned_fraction:
+        Where to pin the non-actuated group within its range (1.0 = max,
+        the paper's choice for both baselines).
+    """
+
+    def __init__(
+        self,
+        actuated: str,
+        group_gain_w_per_mhz: float,
+        pole: float = 0.5,
+        pinned_fraction: float = 1.0,
+    ):
+        if actuated not in ("cpu", "gpu"):
+            raise ConfigurationError("actuated must be 'cpu' or 'gpu'")
+        if not 0.0 <= pinned_fraction <= 1.0:
+            raise ConfigurationError("pinned_fraction must lie in [0, 1]")
+        self.actuated = actuated
+        self.kp_mhz_per_w = proportional_gain(group_gain_w_per_mhz, pole)
+        self.pole = float(pole)
+        self.pinned_fraction = float(pinned_fraction)
+        self._shared_f: float | None = None
+
+    def _groups(self, obs: ControlObservation) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        if self.actuated == "gpu":
+            return obs.gpu_channels, obs.cpu_channels
+        return obs.cpu_channels, obs.gpu_channels
+
+    def reset(self) -> None:
+        self._shared_f = None
+
+    def initial_targets(self, f_min_mhz, f_max_mhz) -> np.ndarray:
+        # Actuated group starts at minimum (safe cold start); the pinned
+        # group starts where it will stay.
+        targets = np.asarray(f_min_mhz, dtype=np.float64).copy()
+        return targets
+
+    def step(self, obs: ControlObservation) -> np.ndarray:
+        actuated, pinned = self._groups(obs)
+        if not actuated:
+            raise ConfigurationError(f"no {self.actuated} channels to actuate")
+        targets = obs.f_targets_mhz.copy()
+        # Pin the non-actuated group.
+        for c in pinned:
+            targets[c] = (
+                obs.f_min_mhz[c]
+                + self.pinned_fraction * (obs.f_max_mhz[c] - obs.f_min_mhz[c])
+            )
+        if self._shared_f is None:
+            self._shared_f = float(np.mean(targets[list(actuated)]))
+        # One shared command moves by Kp * error, then clamps to the group's
+        # common feasible band.
+        self._shared_f += self.kp_mhz_per_w * obs.error_w
+        lo = float(np.max(obs.f_min_mhz[list(actuated)]))
+        hi = float(np.min(obs.f_max_mhz[list(actuated)]))
+        self._shared_f = min(max(self._shared_f, lo), hi)
+        for c in actuated:
+            targets[c] = self._shared_f
+        return targets
+
+
+class GpuOnlyController(GroupProportionalController):
+    """The paper's GPU-Only baseline: P-control of a single shared GPU clock.
+
+    Adapted from OptimML [4]; the CPU is pinned at its maximum frequency
+    for the whole run.
+    """
+
+    name = "gpu-only"
+
+    def __init__(self, gpu_group_gain_w_per_mhz: float, pole: float = 0.5):
+        super().__init__(
+            actuated="gpu",
+            group_gain_w_per_mhz=gpu_group_gain_w_per_mhz,
+            pole=pole,
+            pinned_fraction=1.0,
+        )
+
+
+class CpuOnlyController(GroupProportionalController):
+    """The paper's CPU-Only baseline: traditional server DVFS capping [14].
+
+    GPUs are pinned at maximum; only the host CPU's DVFS moves. On a GPU
+    server the CPU's ~85 W span cannot bridge the gap to typical caps,
+    which is exactly the failure Figure 3 shows.
+    """
+
+    name = "cpu-only"
+
+    def __init__(self, cpu_group_gain_w_per_mhz: float, pole: float = 0.5):
+        super().__init__(
+            actuated="cpu",
+            group_gain_w_per_mhz=cpu_group_gain_w_per_mhz,
+            pole=pole,
+            pinned_fraction=1.0,
+        )

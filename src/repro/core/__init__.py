@@ -1,0 +1,49 @@
+"""CapGPU core: the MIMO MPC power-capping framework (the paper's contribution).
+
+Components map to the paper's Section 4:
+
+* :class:`MimoPowerMpc` — the constrained MPC of Eq. 9-10 (Section 4.3);
+* :class:`WeightAssigner` — throughput-driven weight assignment;
+* :class:`SloManager` — latency SLOs as frequency floors (Eq. 10b-c);
+* :class:`CapGpuController` — the closed-loop strategy of Figure 1;
+* :mod:`repro.core.stability` — the Section 4.4 mismatch analysis;
+* :func:`build_capgpu` — identification-to-controller assembly.
+"""
+
+from .capgpu import build_capgpu, group_gains, slo_manager_from_sim
+from .controller import CapGpuController
+from .feasibility import FeasibilityReport, check_set_point, predicted_power_range
+from .mpc import MimoPowerMpc, MpcConfig, MpcSolution, unconstrained_gains
+from .slo import SloManager, TaskLatencyModel
+from .stability import (
+    GainSweepResult,
+    closed_loop_matrix,
+    error_mode_pole,
+    is_stable,
+    non_structural_radius,
+    stable_gain_range,
+)
+from .weights import WeightAssigner
+
+__all__ = [
+    "CapGpuController",
+    "MimoPowerMpc",
+    "MpcConfig",
+    "MpcSolution",
+    "unconstrained_gains",
+    "SloManager",
+    "TaskLatencyModel",
+    "WeightAssigner",
+    "build_capgpu",
+    "group_gains",
+    "check_set_point",
+    "predicted_power_range",
+    "FeasibilityReport",
+    "slo_manager_from_sim",
+    "closed_loop_matrix",
+    "non_structural_radius",
+    "error_mode_pole",
+    "is_stable",
+    "stable_gain_range",
+    "GainSweepResult",
+]

@@ -1,0 +1,134 @@
+"""High-level CapGPU assembly: identification -> models -> controller.
+
+The façade used by experiments and examples. Given a scenario simulation it
+performs the paper's offline phase (system identification of the power
+model, Eq. 3-5; optionally fitting the per-task latency models, Eq. 8) and
+wires up the :class:`~repro.core.controller.CapGpuController` with weight
+assignment and SLO management. It also derives the subsystem gains the
+baseline controllers need for pole placement, so every strategy in a
+comparison works from the *same* identified model — as in the paper, where
+all control-theoretic baselines share the identification step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sim.engine import ServerSimulation
+from ..sysid.identifier import identify_latency_model, identify_power_model
+from ..sysid.least_squares import PowerModelFit
+from .controller import CapGpuController
+from .mpc import MpcConfig
+from .slo import SloManager, TaskLatencyModel
+from .weights import WeightAssigner
+
+__all__ = ["build_capgpu", "slo_manager_from_sim", "group_gains"]
+
+
+def group_gains(
+    model: PowerModelFit,
+    cpu_channels: tuple[int, ...],
+    gpu_channels: tuple[int, ...],
+) -> tuple[float, float]:
+    """Aggregate (CPU, GPU) gains for the baselines' pole placement.
+
+    A shared frequency command moving a whole group sees the *sum* of that
+    group's identified per-channel gains.
+    """
+    a = model.a_w_per_mhz
+    cpu_gain = float(np.sum(a[list(cpu_channels)])) if cpu_channels else 0.0
+    gpu_gain = float(np.sum(a[list(gpu_channels)])) if gpu_channels else 0.0
+    return cpu_gain, gpu_gain
+
+
+def slo_manager_from_sim(
+    sim: ServerSimulation,
+    latency_from: str = "spec",
+    ident_sim: ServerSimulation | None = None,
+    strict: bool = False,
+    headroom: float = 0.9,
+) -> SloManager:
+    """Build the SLO manager for a scenario's GPU tasks.
+
+    ``latency_from="spec"`` uses the workload specs' (e_min, gamma) directly
+    (the deployment case where the operator profiled the model offline);
+    ``"fit"`` runs the Fig. 2(b) clock sweep on ``ident_sim`` and uses the
+    fitted parameters — closer to the paper's methodology, and what the
+    controller would have on unknown workloads.
+    """
+    if latency_from not in ("spec", "fit"):
+        raise ConfigurationError("latency_from must be 'spec' or 'fit'")
+    task_models: dict[int, TaskLatencyModel] = {}
+    for g, pipe in enumerate(sim.pipelines):
+        if pipe is None:
+            continue
+        chan = sim.gpu_channels[g]
+        if latency_from == "spec":
+            task_models[chan] = TaskLatencyModel.from_spec(pipe.spec)
+        else:
+            if ident_sim is None:
+                raise ConfigurationError("latency_from='fit' requires ident_sim")
+            fit, _, _ = identify_latency_model(ident_sim, g)
+            task_models[chan] = TaskLatencyModel.from_fit(fit)
+    return SloManager(task_models, strict=strict, headroom=headroom)
+
+
+def build_capgpu(
+    sim: ServerSimulation,
+    model: PowerModelFit | None = None,
+    ident_sim: ServerSimulation | None = None,
+    mpc_config: MpcConfig = MpcConfig(),
+    weights: WeightAssigner | None = None,
+    with_slo: bool = True,
+    latency_from: str = "spec",
+    online_adaptation: bool = False,
+    points_per_channel: int = 6,
+) -> CapGpuController:
+    """Assemble a CapGPU controller for scenario ``sim``.
+
+    Parameters
+    ----------
+    sim:
+        The scenario the controller will run on (provides structure: channel
+        layout, task specs).
+    model:
+        Pre-identified power model. If ``None``, identification runs on
+        ``ident_sim`` (which must then be a *separate* instance of the same
+        scenario, so the target run starts from a clean state).
+    ident_sim:
+        Scenario instance to burn for system identification.
+    mpc_config / weights / online_adaptation:
+        Controller knobs (see :class:`CapGpuController`).
+    with_slo:
+        Attach the SLO manager (Eq. 10b-c). Without it CapGPU is a pure
+        power tracker.
+    latency_from:
+        ``"spec"`` or ``"fit"`` (see :func:`slo_manager_from_sim`).
+    points_per_channel:
+        Excitation points per channel for identification.
+    """
+    if model is None:
+        if ident_sim is None:
+            raise ConfigurationError("provide either a model or an ident_sim")
+        dataset = identify_power_model(
+            ident_sim, points_per_channel=points_per_channel
+        )
+        model = dataset.fit
+    if model.n_channels != sim.server.n_channels:
+        raise ConfigurationError(
+            f"model has {model.n_channels} channels, scenario has "
+            f"{sim.server.n_channels}"
+        )
+    slo_mgr = (
+        slo_manager_from_sim(sim, latency_from=latency_from, ident_sim=ident_sim)
+        if with_slo
+        else None
+    )
+    return CapGpuController(
+        model=model,
+        mpc_config=mpc_config,
+        weights=weights,
+        slo_manager=slo_mgr,
+        online_adaptation=online_adaptation,
+    )

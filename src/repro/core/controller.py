@@ -1,0 +1,137 @@
+"""The CapGPU controller: MPC + weight assignment + SLO constraints.
+
+This is the strategy Figure 1 of the paper wires into the control loop. Each
+control period it:
+
+1. reads the period-averaged power from the meter path and forms the
+   tracking error against the (possibly just-changed) set point;
+2. asks the :class:`~repro.core.weights.WeightAssigner` for this period's
+   control-penalty weights from the normalized throughputs;
+3. asks the :class:`~repro.core.slo.SloManager` for SLO-derived frequency
+   floors (Eq. 10b-c inverted);
+4. solves the MIMO MPC (Eq. 9-10) and stages the first move of the input
+   trajectory, receding-horizon style.
+
+The identified power model comes from :mod:`repro.sysid`; optionally an
+online RLS estimator refreshes it each period (extension).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..control.base import ControlObservation, PowerCappingController
+from ..errors import ConfigurationError
+from ..sysid.least_squares import PowerModelFit
+from ..sysid.rls import RecursiveLeastSquares
+from .feasibility import FeasibilityReport, check_set_point
+from .mpc import MimoPowerMpc, MpcConfig, MpcSolution
+from .slo import SloManager
+from .weights import WeightAssigner
+
+__all__ = ["CapGpuController"]
+
+
+class CapGpuController(PowerCappingController):
+    """Joint CPU + multi-GPU MIMO power-capping controller (the paper's CapGPU).
+
+    Parameters
+    ----------
+    model:
+        Identified linear power model (``A`` gains are what the MPC uses;
+        the offset ``C`` cancels in the incremental form of Eq. 7).
+    mpc_config:
+        Horizons and solver (paper defaults P=8, M=2, SLSQP).
+    weights:
+        Throughput-to-penalty mapping; default is the paper's inverse
+        normalized throughput.
+    slo_manager:
+        Optional SLO constraint handler; omit for SLO-free capping.
+    online_adaptation:
+        If True, refresh the gain estimate each period with recursive least
+        squares on the observed (applied frequencies, power) pairs.
+    """
+
+    name = "capgpu"
+
+    def __init__(
+        self,
+        model: PowerModelFit,
+        mpc_config: MpcConfig = MpcConfig(),
+        weights: WeightAssigner | None = None,
+        slo_manager: SloManager | None = None,
+        online_adaptation: bool = False,
+    ):
+        self.model = model
+        self.mpc = MimoPowerMpc(model.n_channels, mpc_config)
+        self.weights = weights if weights is not None else WeightAssigner()
+        self.slo_manager = slo_manager
+        self.online_adaptation = bool(online_adaptation)
+        self._rls: RecursiveLeastSquares | None = None
+        if online_adaptation:
+            theta0 = np.append(model.a_w_per_mhz, model.c_w)
+            self._rls = RecursiveLeastSquares(
+                model.n_channels, forgetting=0.97, theta0=theta0, p0=10.0
+            )
+        self.last_solution: MpcSolution | None = None
+        self.last_floors_mhz: np.ndarray | None = None
+        self.last_penalty_weights: np.ndarray | None = None
+        self.last_feasibility: FeasibilityReport | None = None
+
+    def reset(self) -> None:
+        self.last_solution = None
+        self.last_floors_mhz = None
+        self.last_penalty_weights = None
+        if self.online_adaptation:
+            theta0 = np.append(self.model.a_w_per_mhz, self.model.c_w)
+            self._rls = RecursiveLeastSquares(
+                self.model.n_channels, forgetting=0.97, theta0=theta0, p0=10.0
+            )
+
+    def current_gains(self) -> np.ndarray:
+        """Gains the MPC will use next period (RLS-refreshed if enabled)."""
+        if self._rls is not None and self._rls.n_updates > 0:
+            return self._rls.estimate().a_w_per_mhz
+        return self.model.a_w_per_mhz
+
+    def step(self, obs: ControlObservation) -> np.ndarray:
+        if obs.n_channels != self.model.n_channels:
+            raise ConfigurationError(
+                f"observation has {obs.n_channels} channels, model has "
+                f"{self.model.n_channels}"
+            )
+        if self._rls is not None and np.isfinite(obs.power_w):
+            self._rls.update(obs.f_applied_mhz, obs.power_w)
+
+        floors = (
+            self.slo_manager.frequency_floors(obs)
+            if self.slo_manager is not None
+            else obs.f_min_mhz.copy()
+        )
+        r = self.weights.penalty_weights(obs)
+        self.last_floors_mhz = floors
+        self.last_penalty_weights = r
+        # Section 4.4's assumption, continuously monitored: with the current
+        # SLO floors, can any frequency combination reach the set point?
+        if self.online_adaptation and self._rls is not None and self._rls.n_updates:
+            feas_model = self._rls.estimate()
+        else:
+            feas_model = self.model
+        self.last_feasibility = check_set_point(
+            feas_model, floors, obs.f_max_mhz, obs.set_point_w
+        )
+
+        # Base the move on the current *commands*: the plant model (Eq. 7)
+        # is incremental, and the commands are what the next period's
+        # modulators will realize.
+        f_now = np.clip(obs.f_targets_mhz, floors, obs.f_max_mhz)
+        sol = self.mpc.solve(
+            error_w=obs.power_w - obs.set_point_w,
+            f_now_mhz=f_now,
+            a_w_per_mhz=self.current_gains(),
+            r_weights=r,
+            floors_mhz=floors,
+            f_max_mhz=obs.f_max_mhz,
+        )
+        self.last_solution = sol
+        return f_now + sol.d0_mhz

@@ -1,0 +1,90 @@
+"""Set-point feasibility checks (the Section 4.4 assumption, executable).
+
+The paper assumes "there exists at least one combination of CPU and GPU
+frequency levels that achieves p(k) = P_s"; when none exists, no frequency
+controller can enforce the cap and other mechanisms (memory throttling,
+admission control) must engage. This module predicts the achievable power
+interval from the *identified* model — which is what a deployed controller
+actually knows — and classifies set points against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, InfeasibleSetPointError
+from ..sysid.least_squares import PowerModelFit
+
+__all__ = ["predicted_power_range", "FeasibilityReport", "check_set_point"]
+
+
+def predicted_power_range(
+    model: PowerModelFit, f_min_mhz: np.ndarray, f_max_mhz: np.ndarray
+) -> tuple[float, float]:
+    """Model-predicted achievable (min, max) power over the frequency box.
+
+    With non-negative identified gains the extremes sit at the box corners;
+    negative gains (possible from noisy identification) are handled by
+    picking the minimizing/maximizing corner per channel.
+    """
+    f_min = np.asarray(f_min_mhz, dtype=np.float64)
+    f_max = np.asarray(f_max_mhz, dtype=np.float64)
+    if f_min.shape != f_max.shape or f_min.shape != model.a_w_per_mhz.shape:
+        raise ConfigurationError("frequency bounds must match the model channels")
+    if np.any(f_min > f_max):
+        raise ConfigurationError("f_min exceeds f_max on some channel")
+    a = model.a_w_per_mhz
+    lo = float(np.where(a >= 0, f_min, f_max) @ a + model.c_w)
+    hi = float(np.where(a >= 0, f_max, f_min) @ a + model.c_w)
+    return lo, hi
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of a set-point feasibility check."""
+
+    set_point_w: float
+    p_min_w: float
+    p_max_w: float
+    feasible: bool
+    margin_w: float
+
+    @property
+    def headroom_w(self) -> float:
+        """Distance from the set point to the nearest envelope edge
+        (negative when infeasible)."""
+        if self.set_point_w < self.p_min_w:
+            return self.set_point_w - self.p_min_w
+        if self.set_point_w > self.p_max_w:
+            return self.p_max_w - self.set_point_w
+        return min(self.set_point_w - self.p_min_w, self.p_max_w - self.set_point_w)
+
+
+def check_set_point(
+    model: PowerModelFit,
+    f_min_mhz: np.ndarray,
+    f_max_mhz: np.ndarray,
+    set_point_w: float,
+    margin_w: float = 0.0,
+    raise_on_infeasible: bool = False,
+) -> FeasibilityReport:
+    """Classify ``set_point_w`` against the model-predicted envelope.
+
+    ``margin_w`` shrinks the envelope on both sides (require the set point
+    to be reachable with room for disturbances, not just on the boundary).
+    """
+    if margin_w < 0:
+        raise ConfigurationError("margin_w must be >= 0")
+    lo, hi = predicted_power_range(model, f_min_mhz, f_max_mhz)
+    feasible = (lo + margin_w) <= set_point_w <= (hi - margin_w)
+    if not feasible and raise_on_infeasible:
+        raise InfeasibleSetPointError(set_point_w, lo, hi)
+    return FeasibilityReport(
+        set_point_w=float(set_point_w),
+        p_min_w=lo,
+        p_max_w=hi,
+        feasible=bool(feasible),
+        margin_w=float(margin_w),
+    )

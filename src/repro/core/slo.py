@@ -1,0 +1,119 @@
+"""SLO management: latency constraints as per-GPU frequency floors.
+
+Eq. 10b-c constrain the MPC: the latency model ``e_i = e_min_i
+(f_gmax/f_g)^gamma`` must keep every task under its SLO. Inverting Eq. 8
+turns each SLO into a *lower bound* on that GPU's clock::
+
+    f_g >= f_gmax * (e_min_i / SLO_i)^(1/gamma)
+
+which is a linear box constraint the solver handles natively. The manager
+holds the per-task latency model (from system identification or from the
+task spec) and converts the observation's current SLO map — which events may
+change at run time (Section 6.4) — into a frequency-floor vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..control.base import ControlObservation
+from ..errors import ConfigurationError, SloInfeasibleError
+from ..sysid.latency_fit import LatencyModelFit
+from ..workloads.models import InferenceModelSpec
+
+__all__ = ["SloManager", "TaskLatencyModel"]
+
+
+class TaskLatencyModel:
+    """Latency-model parameters for one GPU channel."""
+
+    __slots__ = ("e_min_s", "gamma", "f_max_mhz")
+
+    def __init__(self, e_min_s: float, gamma: float, f_max_mhz: float):
+        if e_min_s <= 0 or gamma <= 0 or f_max_mhz <= 0:
+            raise ConfigurationError("latency-model parameters must be positive")
+        self.e_min_s = float(e_min_s)
+        self.gamma = float(gamma)
+        self.f_max_mhz = float(f_max_mhz)
+
+    @classmethod
+    def from_spec(cls, spec: InferenceModelSpec) -> "TaskLatencyModel":
+        return cls(spec.e_min_s, spec.gamma, spec.f_gmax_mhz)
+
+    @classmethod
+    def from_fit(cls, fit: LatencyModelFit) -> "TaskLatencyModel":
+        return cls(fit.e_min_s, fit.gamma, fit.f_max_mhz)
+
+    def latency_s(self, f_mhz: float) -> float:
+        """Eq. 8 latency at clock ``f_mhz``."""
+        return self.e_min_s * (self.f_max_mhz / f_mhz) ** self.gamma
+
+    def floor_mhz(self, slo_s: float) -> float:
+        """Smallest clock meeting ``slo_s`` (may exceed ``f_max_mhz``)."""
+        return self.f_max_mhz * (self.e_min_s / slo_s) ** (1.0 / self.gamma)
+
+
+class SloManager:
+    """Translates the live SLO map into per-channel frequency floors.
+
+    Parameters
+    ----------
+    task_models:
+        Mapping from GPU *channel index* to that task's latency model.
+    strict:
+        If True, an SLO tighter than the task's minimum latency raises
+        :class:`SloInfeasibleError`; if False the floor clamps to ``f_max``
+        and the infeasibility is recorded in :attr:`infeasible_channels`
+        (the controller then does its best, as a deployment would).
+    headroom:
+        Multiplicative back-off applied to each SLO before inversion
+        (e.g. 0.95 targets 95% of the SLO so jitter does not ride the
+        boundary). 1.0 = exact inversion.
+    """
+
+    def __init__(
+        self,
+        task_models: dict[int, TaskLatencyModel],
+        strict: bool = False,
+        headroom: float = 0.9,
+    ):
+        if not 0.0 < headroom <= 1.0:
+            raise ConfigurationError("headroom must lie in (0, 1]")
+        self.task_models = dict(task_models)
+        self.strict = bool(strict)
+        self.headroom = float(headroom)
+        self.infeasible_channels: set[int] = set()
+
+    def frequency_floors(self, obs: ControlObservation) -> np.ndarray:
+        """Per-channel lower bounds honoring the observation's current SLOs.
+
+        Channels without an SLO (all CPUs; SLO-free GPUs) keep their domain
+        minimum. Floors never drop below the domain minimum and, in
+        non-strict mode, never exceed the domain maximum.
+        """
+        floors = obs.f_min_mhz.copy()
+        self.infeasible_channels.clear()
+        for chan, slo_s in obs.slos_s.items():
+            model = self.task_models.get(chan)
+            if model is None:
+                raise ConfigurationError(
+                    f"SLO set on channel {chan} but no latency model registered"
+                )
+            effective = slo_s * self.headroom
+            floor = model.floor_mhz(effective)
+            if floor > obs.f_max_mhz[chan] + 1e-9:
+                if self.strict:
+                    raise SloInfeasibleError(
+                        task=f"channel{chan}", slo_s=slo_s, e_min_s=model.e_min_s
+                    )
+                self.infeasible_channels.add(chan)
+                floor = obs.f_max_mhz[chan]
+            floors[chan] = max(floors[chan], floor)
+        return floors
+
+    def predicted_latency_s(self, chan: int, f_mhz: float) -> float:
+        """Model-predicted latency of channel ``chan`` at clock ``f_mhz``."""
+        model = self.task_models.get(chan)
+        if model is None:
+            raise ConfigurationError(f"no latency model for channel {chan}")
+        return model.latency_s(f_mhz)

@@ -1,0 +1,73 @@
+"""Throughput-driven weight assignment (the paper's core performance idea).
+
+Section 1/4.3: CapGPU "monitors the inference throughput of each GPU and the
+CPU in real time and gives higher weights to CPU/GPU with higher throughput,
+so that they can run at higher frequencies", implemented "by normalizing and
+inverting their throughput" inside the control penalty of Eq. 9.
+
+Eq. 9's second term penalizes ``||f - f_min||^2_R`` — distance *above* the
+minimum frequency. A device is free to run fast exactly when its penalty
+weight ``R_j`` is **small**. So the narrative "weight" (priority ``w_j``,
+the normalized throughput) and the cost-function weight ``R_j`` are
+inverses: busy device -> high ``w_j`` -> small ``R_j`` -> keeps frequency;
+idle device -> low ``w_j`` -> large ``R_j`` -> throttled first. This module
+computes ``R_j`` from the monitors' normalized throughputs.
+
+Two mappings are provided (ablated in ``benchmarks/test_bench_ablation.py``):
+
+* ``"inverse"`` (default, the paper's wording): ``R_j ~ 1 / (w_j + eps)``,
+  renormalized so the mean penalty equals ``r_scale`` — renormalization
+  keeps the MPC Hessian's conditioning independent of absolute throughput;
+* ``"uniform"``: all ``R_j = r_scale`` (weight assignment disabled; this is
+  the ablation arm that shows where CapGPU's throughput edge comes from).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..control.base import ControlObservation
+from ..units import require_positive
+
+__all__ = ["WeightAssigner"]
+
+
+class WeightAssigner:
+    """Maps normalized throughputs to control-penalty weights ``R``.
+
+    Parameters
+    ----------
+    r_scale:
+        Mean penalty magnitude. Units are (W^2 / MHz^2) relative to a unit
+        tracking weight Q; small values (default 5e-5) keep the power-
+        tracking objective dominant while still shaping the frequency
+        distribution across devices.
+    eps:
+        Floor added to normalized throughput before inversion, bounding the
+        penalty ratio between the busiest and idlest device to
+        ``(1 + eps) / eps``.
+    mode:
+        ``"inverse"`` or ``"uniform"`` (see module docstring).
+    """
+
+    def __init__(self, r_scale: float = 5e-5, eps: float = 0.1, mode: str = "inverse"):
+        self.r_scale = require_positive(r_scale, "r_scale")
+        self.eps = require_positive(eps, "eps")
+        if mode not in ("inverse", "uniform"):
+            raise ConfigurationError(f"mode must be 'inverse' or 'uniform', got {mode!r}")
+        self.mode = mode
+
+    def priorities(self, obs: ControlObservation) -> np.ndarray:
+        """Narrative weights ``w_j``: normalized throughput, clipped to [0, 1]."""
+        return np.clip(obs.throughput_norm, 0.0, 1.0)
+
+    def penalty_weights(self, obs: ControlObservation) -> np.ndarray:
+        """Per-channel ``R_j`` for Eq. 9's control penalty."""
+        n = obs.n_channels
+        if self.mode == "uniform":
+            return np.full(n, self.r_scale)
+        w = self.priorities(obs)
+        raw = 1.0 / (w + self.eps)
+        # Renormalize to mean r_scale so conditioning is load-independent.
+        return self.r_scale * raw / raw.mean()

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the CapGPU reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch package-level failures with a single ``except`` clause while
+still being able to discriminate the failure domain (configuration, actuation,
+identification, control, telemetry).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ActuationError",
+    "TelemetryError",
+    "IdentificationError",
+    "SolverError",
+    "InfeasibleSetPointError",
+    "SloInfeasibleError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid configuration value was supplied.
+
+    Raised eagerly at object construction time so that misconfigured
+    experiments fail before any simulation time is spent.
+    """
+
+
+class ActuationError(ReproError):
+    """A frequency command could not be applied by an actuator.
+
+    Examples: commanding a frequency outside the device's supported range
+    when clamping is disabled, or addressing a device index that does not
+    exist on the server.
+    """
+
+
+class TelemetryError(ReproError):
+    """A sensor could not produce a reading (e.g. empty power-meter buffer)."""
+
+
+class IdentificationError(ReproError):
+    """System identification failed (rank-deficient design, too few samples)."""
+
+
+class SolverError(ReproError):
+    """The MPC optimizer failed to produce a usable solution."""
+
+
+class InfeasibleSetPointError(ReproError):
+    """No frequency combination can reach the requested power set point.
+
+    Mirrors the feasibility assumption of Section 4.4 of the paper: when the
+    set point lies outside the achievable power envelope, frequency adaptation
+    alone cannot enforce it and additional mechanisms would be required.
+    """
+
+    def __init__(self, set_point_w: float, p_min_w: float, p_max_w: float):
+        self.set_point_w = float(set_point_w)
+        self.p_min_w = float(p_min_w)
+        self.p_max_w = float(p_max_w)
+        super().__init__(
+            f"set point {set_point_w:.1f} W outside achievable envelope "
+            f"[{p_min_w:.1f}, {p_max_w:.1f}] W"
+        )
+
+
+class SloInfeasibleError(ReproError):
+    """An SLO cannot be met even at the maximum GPU frequency."""
+
+    def __init__(self, task: str, slo_s: float, e_min_s: float):
+        self.task = task
+        self.slo_s = float(slo_s)
+        self.e_min_s = float(e_min_s)
+        super().__init__(
+            f"task {task!r}: SLO {slo_s:.3f} s below minimum latency "
+            f"{e_min_s:.3f} s at f_g,max"
+        )
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was invoked with inconsistent arguments."""

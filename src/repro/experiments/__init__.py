@@ -1,0 +1,41 @@
+"""Experiment harness: one module per paper table/figure (see DESIGN.md),
+plus the ablation/robustness/batching extension studies."""
+
+from .ablation import ABLATIONS
+from .batching import run_batching_comparison
+from .common import ExperimentResult, identified_model
+from .fig2_sysid import run_fig2
+from .fig3_baselines import run_fig3
+from .fig4_fixed_step import run_fig4
+from .fig5_safe_fixed_step import run_fig5
+from .fig6_setpoints import run_fig6
+from .fig7_performance import run_fig7
+from .fig8_slo_baselines import run_fig8
+from .fig9_slo_capgpu import run_fig9
+from .fig10_adaptation import run_fig10
+from .llm_serving import run_llm_serving
+from .registry import EXPERIMENTS, experiment_ids, run_experiment
+from .robustness import run_robustness
+from .table1 import run_table1
+
+__all__ = [
+    "ExperimentResult",
+    "identified_model",
+    "run_table1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "run_experiment",
+    "ABLATIONS",
+    "run_robustness",
+    "run_batching_comparison",
+    "run_llm_serving",
+]

@@ -1,0 +1,92 @@
+"""Comparator study: CapGPU vs classic PID vs the ground-truth oracle.
+
+Extension beyond the paper's baseline set. The oracle (which reads the true
+plant model) bounds achievable tracking accuracy — its residual is pure
+disturbance — so each controller's *regret* is its excess error/std over
+the oracle. A classic PID (integral action, anti-windup) represents the
+traditional server-capping lineage with bias removal. The question this
+answers: how much of CapGPU's advantage is the MIMO/MPC machinery vs just
+having *some* well-tuned feedback loop — and the answer is that PID matches
+CapGPU on raw power tracking but, being a single shared command, cannot do
+per-device allocation (no weight assignment, no per-GPU SLO floors), which
+is where Figures 7-9 are won.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import format_table, steady_state_stats
+from ..control import OracleController, PidController
+from ..sim import paper_scenario
+from .common import (
+    ExperimentResult,
+    identified_model,
+    make_capgpu,
+    make_gpu_only,
+    steady_window,
+)
+
+__all__ = ["run_comparators"]
+
+
+def run_comparators(
+    seed: int = 0,
+    set_points_w: tuple[float, ...] = (850.0, 1000.0, 1150.0),
+    n_periods: int = 70,
+) -> ExperimentResult:
+    """Tracking accuracy across set points, with oracle regret."""
+    result = ExperimentResult(
+        "comparators", "CapGPU vs PID vs ground-truth oracle (tracking regret)"
+    )
+    model = identified_model(seed)
+    span_w = float(
+        model.a_w_per_mhz @ (
+            paper_scenario(seed=seed).server.f_max_vector()
+            - paper_scenario(seed=seed).server.f_min_vector()
+        )
+    )
+    strategies = [
+        ("Oracle", lambda sim: OracleController(sim.server)),
+        ("PID", lambda sim: PidController(span_w=span_w)),
+        ("GPU-Only", lambda sim: make_gpu_only(sim, seed)),
+        ("CapGPU", lambda sim: make_capgpu(sim, seed)),
+    ]
+    errors: dict[str, list[float]] = {name: [] for name, _ in strategies}
+    stds: dict[str, list[float]] = {name: [] for name, _ in strategies}
+    for sp in set_points_w:
+        for name, factory in strategies:
+            sim = paper_scenario(seed=seed, set_point_w=sp)
+            trace = sim.run(factory(sim), n_periods)
+            mean, std = steady_state_stats(trace, steady_window(n_periods))
+            errors[name].append(abs(mean - sp))
+            stds[name].append(std)
+    oracle_err = float(np.mean(errors["Oracle"]))
+    oracle_std = float(np.mean(stds["Oracle"]))
+    rows = []
+    data = {}
+    for name, _ in strategies:
+        mean_err = float(np.mean(errors[name]))
+        mean_std = float(np.mean(stds[name]))
+        rows.append([
+            name, mean_err, mean_std,
+            mean_err - oracle_err, mean_std - oracle_std,
+        ])
+        data[name] = {
+            "mean_abs_err_w": mean_err,
+            "mean_std_w": mean_std,
+            "err_regret_w": mean_err - oracle_err,
+            "std_regret_w": mean_std - oracle_std,
+        }
+    result.add(
+        format_table(
+            ["Strategy", "Mean |err| W", "Mean std W",
+             "Err regret W", "Std regret W"],
+            rows,
+            title=f"Comparators over set points {set_points_w} "
+                  f"(regret vs the ground-truth oracle)",
+            float_fmt="{:.2f}",
+        )
+    )
+    result.data.update(data)
+    return result

@@ -1,0 +1,87 @@
+"""Figure 2 — system identification quality.
+
+(a) Measured vs. least-squares-predicted server power across the one-knob
+excitation staircase (paper: R^2 = 0.96 on a one-CPU/one-GPU system).
+(b) Measured vs. Eq. 8-predicted inference latency across a GPU clock sweep
+(paper: gamma = 0.91, R^2 ~= 0.91).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import format_series, format_table
+from ..sim import SimConfig, paper_scenario
+from ..sysid import identify_latency_model, identify_power_model
+from .common import ExperimentResult
+
+__all__ = ["run_fig2"]
+
+
+def run_fig2(
+    seed: int = 0,
+    points_per_channel: int = 8,
+    single_gpu: bool = True,
+) -> ExperimentResult:
+    """Reproduce both panels of Figure 2.
+
+    ``single_gpu=True`` identifies a one-CPU/one-GPU system as in the
+    paper's example; the full three-GPU identification is exercised by the
+    other experiments.
+    """
+    result = ExperimentResult("fig2", "System identification (power + latency models)")
+
+    # Panel (a): power model.
+    from ..sim.scenarios import PAPER_TASKS
+
+    tasks = PAPER_TASKS[:1] if single_gpu else PAPER_TASKS
+    sim = paper_scenario(seed=seed, tasks=tasks)
+    ds = identify_power_model(sim, points_per_channel=points_per_channel)
+    pred = ds.predicted_w()
+    result.add(
+        format_table(
+            ["Channel", "Gain W/MHz"],
+            [[name, float(g)] for name, g in zip(
+                [c.name for c in sim.server.channels], ds.fit.a_w_per_mhz
+            )] + [["offset C (W)", ds.fit.c_w]],
+            title=(
+                f"Fig 2(a): power model fit — R^2 = {ds.fit.r2:.3f}, "
+                f"RMSE = {ds.fit.rmse_w:.2f} W over {ds.fit.n_samples} points "
+                "(paper: R^2 = 0.96)"
+            ),
+            float_fmt="{:.4f}",
+        )
+    )
+    idx = np.arange(len(ds.power_w), dtype=float)
+    result.add(format_series("measured_W", idx, ds.power_w))
+    result.add(format_series("predicted_W", idx, pred))
+
+    # Panel (b): latency model on GPU 0 (fresh scenario so time starts clean).
+    sim_lat = paper_scenario(seed=seed + 1, tasks=tasks, sim_config=SimConfig())
+    fit, f_mhz, lat_s = identify_latency_model(sim_lat, 0, n_points=8)
+    spec = sim_lat.pipelines[0].spec
+    result.add(
+        format_table(
+            ["Quantity", "Fitted", "Ground truth"],
+            [
+                ["gamma", fit.gamma, spec.gamma],
+                ["e_min (s)", fit.e_min_s, spec.e_min_s],
+                ["R^2", fit.r2, float("nan")],
+            ],
+            title=(
+                f"Fig 2(b): latency model fit on {spec.name} "
+                "(paper: gamma = 0.91, R^2 ~ 0.91)"
+            ),
+            float_fmt="{:.3f}",
+        )
+    )
+    result.data.update(
+        power_fit=ds.fit,
+        excitation_f_mhz=ds.f_mhz,
+        measured_power_w=ds.power_w,
+        predicted_power_w=pred,
+        latency_fit=fit,
+        latency_f_mhz=f_mhz,
+        latency_s=lat_s,
+    )
+    return result

@@ -1,0 +1,102 @@
+"""Figure 3 — power-control traces of every strategy at a 900 W cap.
+
+Runs CPU-Only, GPU-Only, CPU+GPU (50/50 and 60/40), Fixed-step and CapGPU on
+the three-GPU scenario and reports each strategy's power trajectory plus
+summary statistics. Expected shape (Section 6.2):
+
+* CPU-Only cannot come close to the cap (minimal control range);
+* GPU-Only converges precisely with small oscillation;
+* CPU+GPU converges to the wrong level (split-dependent, one side under and
+  the other over);
+* Fixed-step reaches the vicinity slowly and oscillates;
+* CapGPU converges to the set point without violations and stays there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import (
+    format_series,
+    format_table,
+    sparkline,
+    settling_time_periods,
+    steady_state_stats,
+    violation_stats,
+)
+from ..control import FixedStepController
+from ..sim import paper_scenario
+from .common import (
+    N_PERIODS,
+    ExperimentResult,
+    make_capgpu,
+    make_cpu_only,
+    make_cpu_plus_gpu,
+    make_gpu_only,
+    modulator_for,
+    steady_window,
+)
+
+__all__ = ["run_fig3", "fig3_strategies"]
+
+
+def fig3_strategies(seed: int = 0):
+    """(label, controller-factory) pairs for the Figure 3 comparison.
+
+    Factories take the freshly built scenario simulation, so strategies that
+    need the identified model (via the cached per-seed identification) can
+    derive their gains from it.
+    """
+    return [
+        ("CPU-Only", lambda sim: make_cpu_only(sim, seed)),
+        ("GPU-Only", lambda sim: make_gpu_only(sim, seed)),
+        ("CPU+GPU 50/50", lambda sim: make_cpu_plus_gpu(sim, 0.5, seed)),
+        ("CPU+GPU 60/40", lambda sim: make_cpu_plus_gpu(sim, 0.6, seed)),
+        ("Fixed-step", lambda sim: FixedStepController(step_size=1)),
+        ("CapGPU", lambda sim: make_capgpu(sim, seed)),
+    ]
+
+
+def run_fig3(
+    seed: int = 0, set_point_w: float = 900.0, n_periods: int = N_PERIODS
+) -> ExperimentResult:
+    """Run the full baseline comparison of Figure 3."""
+    result = ExperimentResult("fig3", f"Power control at {set_point_w:.0f} W: baselines vs CapGPU")
+    rows = []
+    traces = {}
+    for label, factory in fig3_strategies(seed):
+        sim = paper_scenario(
+            seed=seed, set_point_w=set_point_w,
+            modulator_factory=modulator_for(label),
+        )
+        controller = factory(sim)
+        trace = sim.run(controller, n_periods)
+        steady = steady_window(n_periods)
+        mean, std = steady_state_stats(trace, steady)
+        settle = settling_time_periods(trace)
+        viol = violation_stats(trace, margin_w=10.0, start_period=20)
+        rows.append([
+            label, mean, std,
+            "inf" if np.isinf(settle) else f"{settle:.0f}",
+            viol.n_violations, viol.worst_excess_w,
+        ])
+        traces[label] = trace
+        periods = np.arange(len(trace), dtype=float)
+        result.add(format_series(f"power_W[{label}]", periods, trace["power_w"]))
+        result.add(
+            f"power[{label:>13s}] {sparkline(trace['power_w'], lo=650.0, hi=1250.0)}"
+        )
+    result.add(
+        format_table(
+            ["Strategy", "SS mean W", "SS std W", "Settle (periods)",
+             "Violations", "Worst excess W"],
+            rows,
+            title=f"Figure 3 summary (set point {set_point_w:.0f} W, "
+                  f"last {steady_window(n_periods)} of {n_periods} periods)",
+        )
+    )
+    result.data["traces"] = traces
+    result.data["summary"] = {
+        r[0]: {"mean_w": r[1], "std_w": r[2]} for r in rows
+    }
+    return result

@@ -1,0 +1,67 @@
+"""Figure 4 — Fixed-step behaviour across step sizes.
+
+Step size 1 (100 MHz CPU / 90 MHz GPU) versus step size 5 (500 / 450 MHz):
+the small step takes long to reach the vicinity of the set point and then
+oscillates; the large step converges fast but oscillates with much larger
+amplitude (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import (
+    format_series,
+    format_table,
+    settling_time_periods,
+    steady_state_stats,
+    violation_stats,
+)
+from ..control import FixedStepController
+from ..sim import paper_scenario
+from .common import N_PERIODS, ExperimentResult, steady_window
+
+__all__ = ["run_fig4"]
+
+
+def run_fig4(
+    seed: int = 0,
+    set_point_w: float = 900.0,
+    step_sizes: tuple[int, ...] = (1, 5),
+    n_periods: int = N_PERIODS,
+) -> ExperimentResult:
+    """Run Fixed-step at each step size and tabulate oscillation metrics."""
+    result = ExperimentResult("fig4", "Fixed-step controller for different step sizes")
+    rows = []
+    traces = {}
+    for step in step_sizes:
+        sim = paper_scenario(seed=seed, set_point_w=set_point_w)
+        trace = sim.run(FixedStepController(step_size=step), n_periods)
+        steady = steady_window(n_periods)
+        mean, std = steady_state_stats(trace, steady)
+        settle = settling_time_periods(trace, tolerance_w=60.0)
+        viol = violation_stats(trace, margin_w=10.0, start_period=20)
+        # Peak-to-peak oscillation over the steady window.
+        osc = trace["power_w"][-steady:]
+        rows.append([
+            f"stepsize {step}", mean, std, float(np.ptp(osc)),
+            "inf" if np.isinf(settle) else f"{settle:.0f}",
+            viol.n_violations,
+        ])
+        traces[step] = trace
+        result.add(
+            format_series(
+                f"power_W[step{step}]",
+                np.arange(len(trace), dtype=float),
+                trace["power_w"],
+            )
+        )
+    result.add(
+        format_table(
+            ["Config", "SS mean W", "SS std W", "P2P W", "Settle (periods)", "Violations"],
+            rows,
+            title=f"Figure 4 summary (set point {set_point_w:.0f} W)",
+        )
+    )
+    result.data["traces"] = traces
+    return result

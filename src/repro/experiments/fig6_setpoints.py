@@ -1,0 +1,96 @@
+"""Figure 6 — control accuracy across power set points (900-1200 W).
+
+For each set point in 50 W increments, run Safe Fixed-step, GPU-Only, the
+two CPU+GPU splits and CapGPU for 100 periods and report the last-80-period
+mean +/- std. Expected shape (Section 6.3): Safe Fixed-step tracks lowest
+(margin) with the largest deviation; CPU+GPU misses the set point in a
+split-dependent direction; GPU-Only is accurate but with residual
+fluctuation; CapGPU is the most accurate and stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import format_table, steady_state_stats
+from ..sim import paper_scenario
+from .common import (
+    N_PERIODS,
+    ExperimentResult,
+    make_capgpu,
+    make_cpu_plus_gpu,
+    make_gpu_only,
+    make_safe_fixed_step,
+    modulator_for,
+    steady_window,
+)
+
+__all__ = ["run_fig6", "DEFAULT_SET_POINTS"]
+
+DEFAULT_SET_POINTS: tuple[float, ...] = (900.0, 950.0, 1000.0, 1050.0, 1100.0, 1150.0, 1200.0)
+
+
+def fig6_strategies(seed: int, set_point_w: float, include_cpu_plus_gpu: bool):
+    strategies = [
+        ("Safe Fixed-step", lambda sim: make_safe_fixed_step(seed, set_point_w)),
+        ("GPU-Only", lambda sim: make_gpu_only(sim, seed)),
+        ("CapGPU", lambda sim: make_capgpu(sim, seed)),
+    ]
+    if include_cpu_plus_gpu:
+        strategies[2:2] = [
+            ("CPU+GPU 50/50", lambda sim: make_cpu_plus_gpu(sim, 0.5, seed)),
+            ("CPU+GPU 60/40", lambda sim: make_cpu_plus_gpu(sim, 0.6, seed)),
+        ]
+    return strategies
+
+
+def run_fig6(
+    seed: int = 0,
+    set_points_w: tuple[float, ...] = DEFAULT_SET_POINTS,
+    n_periods: int = N_PERIODS,
+    include_cpu_plus_gpu: bool = True,
+) -> ExperimentResult:
+    """Sweep the set points and tabulate steady-state accuracy per strategy."""
+    result = ExperimentResult("fig6", "Control accuracy across power set points")
+    labels = [s[0] for s in fig6_strategies(seed, set_points_w[0], include_cpu_plus_gpu)]
+    means = {lab: [] for lab in labels}
+    stds = {lab: [] for lab in labels}
+    errors = {lab: [] for lab in labels}
+    for sp in set_points_w:
+        for label, factory in fig6_strategies(seed, sp, include_cpu_plus_gpu):
+            sim = paper_scenario(
+                seed=seed, set_point_w=sp, modulator_factory=modulator_for(label)
+            )
+            trace = sim.run(factory(sim), n_periods)
+            mean, std = steady_state_stats(trace, steady_window(n_periods))
+            means[label].append(mean)
+            stds[label].append(std)
+            errors[label].append(abs(mean - sp))
+    rows = []
+    for label in labels:
+        for sp, mean, std, err in zip(set_points_w, means[label], stds[label], errors[label]):
+            rows.append([label, sp, mean, std, err])
+    result.add(
+        format_table(
+            ["Strategy", "Set point W", "SS mean W", "SS std W", "|error| W"],
+            rows,
+            title="Figure 6: steady-state power per set point "
+                  f"(last {steady_window(n_periods)} of {n_periods} periods)",
+        )
+    )
+    summary = [
+        [label,
+         float(np.mean(errors[label])),
+         float(np.max(errors[label])),
+         float(np.mean(stds[label]))]
+        for label in labels
+    ]
+    result.add(
+        format_table(
+            ["Strategy", "Mean |error| W", "Max |error| W", "Mean std W"],
+            summary,
+            title="Aggregate accuracy over all set points",
+        )
+    )
+    result.data.update(set_points_w=set_points_w, means=means, stds=stds, errors=errors)
+    return result

@@ -1,0 +1,90 @@
+"""Figure 7 — application performance under the cap.
+
+At a fixed set point, compares Safe Fixed-step, GPU-Only and CapGPU on:
+
+(a) per-GPU inference throughput (batches/s, steady-state mean),
+(b) CPU throughput (feature subsets/s),
+(c) per-GPU inference latency (s/batch),
+(d) CPU latency (s per feature-subset evaluation).
+
+Expected shape (Section 6.3): CapGPU posts the highest GPU throughput and
+lowest GPU latency (it throttles the SLO-free CPU work to buy GPU watts);
+GPU-Only posts the best CPU latency/throughput (the CPU is pinned at max)
+at the cost of GPU performance; CapGPU's CPU latency is slightly higher —
+acceptable because preprocessing/feature-selection has no SLO.
+"""
+
+from __future__ import annotations
+
+from ..analysis import format_table, mean_over_steady
+from ..sim import paper_scenario
+from .common import (
+    N_PERIODS,
+    ExperimentResult,
+    make_capgpu,
+    make_gpu_only,
+    make_safe_fixed_step,
+    modulator_for,
+    steady_window,
+)
+
+__all__ = ["run_fig7"]
+
+
+def run_fig7(
+    seed: int = 0, set_point_w: float = 900.0, n_periods: int = N_PERIODS
+) -> ExperimentResult:
+    """Run the three strategies and tabulate the four performance panels."""
+    result = ExperimentResult("fig7", "Application performance under the power cap")
+    strategies = [
+        ("Safe Fixed-step", lambda sim: make_safe_fixed_step(seed, set_point_w)),
+        ("GPU-Only", lambda sim: make_gpu_only(sim, seed)),
+        ("CapGPU", lambda sim: make_capgpu(sim, seed)),
+    ]
+    rows = []
+    raw = {}
+    n_gpus = None
+    for label, factory in strategies:
+        sim = paper_scenario(
+            seed=seed, set_point_w=set_point_w,
+            modulator_factory=modulator_for(label),
+        )
+        n_gpus = sim.server.n_gpus
+        trace = sim.run(factory(sim), n_periods)
+        steady = steady_window(n_periods)
+        gpu_tput = [
+            mean_over_steady(trace, f"tput_{c}", steady)
+            for c in sim.gpu_channels
+        ]
+        gpu_lat = [
+            mean_over_steady(trace, f"lat_mean_g{g}", steady)
+            for g in range(n_gpus)
+        ]
+        cpu_tput = mean_over_steady(trace, "cpu_tput", steady)
+        cpu_lat = mean_over_steady(trace, "cpu_lat_s", steady)
+        power = mean_over_steady(trace, "power_w", steady)
+        rows.append([label, *gpu_tput, cpu_tput, *gpu_lat, cpu_lat, power])
+        raw[label] = {
+            "gpu_tput_batch_s": gpu_tput,
+            "gpu_latency_s": gpu_lat,
+            "cpu_tput_subsets_s": cpu_tput,
+            "cpu_latency_s": cpu_lat,
+            "power_w": power,
+        }
+    headers = (
+        ["Strategy"]
+        + [f"(a) GPU{g} tput" for g in range(n_gpus)]
+        + ["(b) CPU tput"]
+        + [f"(c) GPU{g} lat s" for g in range(n_gpus)]
+        + ["(d) CPU lat s", "Power W"]
+    )
+    result.add(
+        format_table(
+            headers, rows,
+            title=f"Figure 7 panels at {set_point_w:.0f} W "
+                  f"(steady-state means over last {steady_window(n_periods)} periods)",
+            float_fmt="{:.3f}",
+        )
+    )
+    result.data["panels"] = raw
+    return result

@@ -1,0 +1,90 @@
+"""Figure 8 — SLO compliance of the baselines (Safe Fixed-step, GPU-Only).
+
+Runs the Section 6.4 SLO schedule (50%-tail SLOs, switched at period 14 to
+a tightened SLO on GPU 0 and relaxed SLOs on GPUs 1-2) at a 1000 W set
+point. Neither baseline can allocate per-device frequencies by SLO — GPU-
+Only shares one clock across all GPUs and Safe Fixed-step moves one level
+per period — so the tightened task misses its deadline while others may be
+over-served. Reports per-GPU latency series, SLO lines and deadline miss
+rates after the switch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import format_series, format_table, slo_miss_rate
+from ..sim import paper_scenario
+from .common import ExperimentResult, make_gpu_only, make_safe_fixed_step, modulator_for
+from .slo_schedule import SLO_CHANGE_PERIOD, initial_slos, section64_slo_events
+
+__all__ = ["run_fig8", "run_slo_strategy"]
+
+
+def run_slo_strategy(
+    label: str,
+    controller_factory,
+    seed: int = 0,
+    set_point_w: float = 1100.0,
+    n_periods: int = 60,
+):
+    """Run one strategy under the Section 6.4 SLO schedule.
+
+    Returns ``(trace, sim)``.
+    """
+    sim = paper_scenario(
+        seed=seed, set_point_w=set_point_w,
+        modulator_factory=modulator_for(label),
+    )
+    for g, slo in enumerate(initial_slos(sim)):
+        sim.set_slo(g, slo)
+    events = section64_slo_events(sim)
+    controller = controller_factory(sim)
+    trace = sim.run(controller, n_periods, events=events)
+    return trace, sim
+
+
+def summarize_slo_trace(label: str, trace, sim, result: ExperimentResult) -> list:
+    """Append latency/SLO series and return the summary row list."""
+    rows = []
+    periods = np.arange(len(trace), dtype=float)
+    for g in range(sim.server.n_gpus):
+        result.add(format_series(
+            f"lat_s[{label}][gpu{g}]", periods, trace[f"lat_mean_g{g}"],
+            float_fmt="{:.3f}",
+        ))
+        result.add(format_series(
+            f"slo_s[{label}][gpu{g}]", periods, trace[f"slo_g{g}"],
+            float_fmt="{:.3f}",
+        ))
+        miss_after = slo_miss_rate(trace, g, start_period=SLO_CHANGE_PERIOD + 2)
+        rows.append([label, f"GPU{g}", miss_after])
+    return rows
+
+
+def run_fig8(
+    seed: int = 0, set_point_w: float = 1100.0, n_periods: int = 60
+) -> ExperimentResult:
+    """SLO compliance of Safe Fixed-step and GPU-Only."""
+    result = ExperimentResult(
+        "fig8", "Inference latency vs SLO under baselines (no per-device allocation)"
+    )
+    strategies = [
+        ("Safe Fixed-step", lambda sim: make_safe_fixed_step(seed, set_point_w)),
+        ("GPU-Only", lambda sim: make_gpu_only(sim, seed)),
+    ]
+    rows = []
+    for label, factory in strategies:
+        trace, sim = run_slo_strategy(label, factory, seed, set_point_w, n_periods)
+        rows.extend(summarize_slo_trace(label, trace, sim, result))
+        result.data[label] = trace
+    result.add(
+        format_table(
+            ["Strategy", "Task", "Miss rate after switch"],
+            rows,
+            title="Figure 8: deadline miss rates after the period-14 SLO change",
+            float_fmt="{:.3f}",
+        )
+    )
+    result.data["miss_rows"] = rows
+    return result

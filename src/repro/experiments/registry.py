@@ -1,0 +1,60 @@
+"""Experiment registry: id -> runner, for the CLI and the bench harness."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..errors import ExperimentError
+from .ablation import ABLATIONS
+from .batching import run_batching_comparison
+from .common import ExperimentResult
+from .comparators import run_comparators
+from .fig2_sysid import run_fig2
+from .fig3_baselines import run_fig3
+from .fig4_fixed_step import run_fig4
+from .fig5_safe_fixed_step import run_fig5
+from .fig6_setpoints import run_fig6
+from .fig7_performance import run_fig7
+from .fig8_slo_baselines import run_fig8
+from .fig9_slo_capgpu import run_fig9
+from .fig10_adaptation import run_fig10
+from .llm_serving import run_llm_serving
+from .robustness import run_robustness
+from .table1 import run_table1
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": run_table1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    # Extensions beyond the paper (DESIGN.md's ablation/extension index).
+    "robustness": run_robustness,
+    "batching": run_batching_comparison,
+    "llm": run_llm_serving,
+    "comparators": run_comparators,
+    **{f"ablation-{name}": fn for name, fn in ABLATIONS.items()},
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids in paper order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id; raises :class:`ExperimentError` for unknown ids."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {experiment_ids()}"
+        ) from None
+    return runner(**kwargs)

@@ -1,0 +1,71 @@
+"""Empirical validation of the Section 4.4 stability bound.
+
+The analysis predicts the closed loop stays stable while the true gains
+``A' = g * A`` remain inside a derived interval (with the default reference
+trajectory lambda = 0.5, instability at g = 2/(1 - lambda) = 4). This
+experiment runs the *actual* closed loop with deliberately mis-scaled models
+— the controller believes ``A/g`` while the plant has ``A``, equivalent to a
+true/nominal mismatch of ``g`` — and measures steady-state oscillation,
+placing the empirical stability edge next to the analytical one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import format_table
+from ..core import CapGpuController, MpcConfig, error_mode_pole
+from ..sim import paper_scenario
+from .common import ExperimentResult, identified_model
+
+__all__ = ["run_robustness"]
+
+#: Mismatch factors swept; the analytic edge for lambda=0.5 sits at g=4.
+DEFAULT_GAINS: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 3.0, 3.8, 4.5, 6.0)
+
+
+def run_robustness(
+    seed: int = 0,
+    set_point_w: float = 900.0,
+    gains: tuple[float, ...] = DEFAULT_GAINS,
+    n_periods: int = 60,
+    mpc_config: MpcConfig = MpcConfig(),
+) -> ExperimentResult:
+    """Sweep gain mismatch g and measure closed-loop behaviour."""
+    result = ExperimentResult(
+        "robustness", "Empirical stability under gain mismatch (Section 4.4)"
+    )
+    model = identified_model(seed)
+    r_nominal = np.full(model.n_channels, 5e-5)
+    rows = []
+    data = {}
+    for g in gains:
+        believed = model.with_gains(np.full(model.n_channels, 1.0 / g))
+        sim = paper_scenario(seed=seed, set_point_w=set_point_w)
+        ctl = CapGpuController(model=believed, mpc_config=mpc_config)
+        trace = sim.run(ctl, n_periods)
+        tail = trace["power_w"][-30:]
+        err = float(np.mean(tail)) - set_point_w
+        std = float(np.std(tail))
+        # Predicted pole: controller designed on the believed gains, plant
+        # gains are g x believed.
+        pole = error_mode_pole(
+            believed.a_w_per_mhz, np.full(model.n_channels, g),
+            r_nominal, mpc_config,
+        )
+        stable_pred = abs(pole) < 1.0
+        rows.append([g, pole, stable_pred, err, std])
+        data[g] = {"pole": pole, "ss_err_w": err, "ss_std_w": std,
+                   "stable_predicted": stable_pred}
+    result.add(
+        format_table(
+            ["g (true/nominal)", "Predicted pole", "Predicted stable",
+             "SS error W", "SS std W"],
+            rows,
+            title=f"Gain-mismatch sweep at {set_point_w:.0f} W "
+                  "(analytic edge at g = 2/(1 - lambda))",
+            float_fmt="{:.3f}",
+        )
+    )
+    result.data["sweep"] = data
+    return result

@@ -1,0 +1,91 @@
+"""Table 1 — end-to-end performance under static frequency configurations.
+
+The Section 3.2 motivation experiment: GoogLeNet inference on the RTX 3090
+box fed by ten preprocessing workers, evaluated at three fixed operating
+points:
+
+* ``CPU-only``  — CPU throttled to 1.1 GHz, GPU high at 810 MHz;
+* ``GPU-only``  — GPU throttled to 495 MHz, CPU high at 2.1 GHz;
+* ``CapGPU``    — both near mid-range (1.6 GHz, 660 MHz).
+
+Reported per config: preprocessing latency (s/img), GPU batch latency
+(s/batch), queue delay (s/img), throughput (img/s), mean power (W). The
+paper's shape: the balanced configuration wins throughput and queue delay at
+roughly equal power; GPU batch latencies follow Eq. 8 (1.3 / 2.0 / 1.6 s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import format_table
+from ..sim import motivation_scenario
+from .common import ExperimentResult
+
+__all__ = ["run_table1", "TABLE1_CONFIGS", "PAPER_TABLE1"]
+
+#: (label, cpu MHz, gpu MHz) of the three studied operating points.
+TABLE1_CONFIGS: tuple[tuple[str, float, float], ...] = (
+    ("CPU-only", 1100.0, 810.0),
+    ("GPU-only", 2100.0, 495.0),
+    ("CapGPU", 1600.0, 660.0),
+)
+
+#: The paper's reported rows (for EXPERIMENTS.md's paper-vs-measured index):
+#: label -> (preproc s/img, gpu s/batch, queue s/img, throughput img/s, power W).
+PAPER_TABLE1: dict[str, tuple[float, float, float, float, float]] = {
+    "CPU-only": (0.1, 1.3, 3.2, 5.3, 406.4),
+    "GPU-only": (0.2, 2.0, 2.7, 5.9, 421.3),
+    "CapGPU": (0.1, 1.6, 2.5, 6.4, 415.1),
+}
+
+
+def run_table1(
+    seed: int = 0, n_periods: int = 50, warmup_periods: int = 10
+) -> ExperimentResult:
+    """Run the three static configurations and tabulate end-to-end metrics."""
+    result = ExperimentResult(
+        "table1", "End-to-end performance under different frequency controls"
+    )
+    rows = []
+    raw = {}
+    for label, cpu_mhz, gpu_mhz in TABLE1_CONFIGS:
+        sim = motivation_scenario(seed=seed)
+        targets = np.array([cpu_mhz, gpu_mhz])
+        sim.run_open_loop(targets, warmup_periods)
+        pipe = sim.pipelines[0]
+        # Reset lifetime aggregates after warm-up so steady state dominates.
+        img0 = pipe.completed_images
+        lat0, n0 = pipe._total_latency_s, pipe.completed_batches
+        wait0 = pipe._total_queue_wait_s
+        t0 = sim.time_s
+        trace = sim.run_open_loop(targets, n_periods)
+        elapsed = sim.time_s - t0
+        n_batches = pipe.completed_batches - n0
+        throughput = (pipe.completed_images - img0) / elapsed
+        gpu_lat = (pipe._total_latency_s - lat0) / n_batches if n_batches else float("nan")
+        queue_wait = (pipe._total_queue_wait_s - wait0) / n_batches if n_batches else float("nan")
+        preproc = pipe.preproc_latency_s(cpu_mhz / 1000.0)
+        power = float(np.mean(trace["power_w"][-n_periods:]))
+        rows.append(
+            [label, cpu_mhz / 1000.0, gpu_mhz, preproc, gpu_lat, queue_wait,
+             throughput, power]
+        )
+        raw[label] = {
+            "throughput_img_s": throughput,
+            "gpu_latency_s": gpu_lat,
+            "queue_wait_s": queue_wait,
+            "preproc_s": preproc,
+            "power_w": power,
+        }
+    result.add(
+        format_table(
+            ["Config", "CPU GHz", "GPU MHz", "Preproc s/img", "GPU s/batch",
+             "Queue s/img", "Tput img/s", "Power W"],
+            rows,
+            title="Table 1 (measured on the simulated RTX 3090 box)",
+        )
+    )
+    result.data["rows"] = raw
+    result.data["paper"] = PAPER_TABLE1
+    return result

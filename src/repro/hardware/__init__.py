@@ -1,0 +1,42 @@
+"""Simulated GPU-server hardware: devices, power models, server composition.
+
+This package is the substitute for the paper's physical testbed (see
+DESIGN.md). It provides parametric CPU/GPU models with discrete frequency
+grids and utilization-dependent power, a fan and optional thermal model,
+and :class:`GpuServer` composing them into the controlled plant.
+"""
+
+from .breaker import BreakerVerdict, CircuitBreaker, evaluate_trace
+from .cpu import XEON_GOLD_5215, CpuModel, CpuSpec
+from .device import Device, FrequencyDomain
+from .fan import FanMode, FanModel
+from .gpu import RTX_3090, TESLA_V100_16GB, GpuModel, GpuSpec
+from .power import Ar1Noise, DevicePowerModel
+from .presets import custom_server, rtx3090_server, v100_server
+from .server import ChannelRef, GpuServer
+from .thermal import ThermalNode
+
+__all__ = [
+    "CircuitBreaker",
+    "BreakerVerdict",
+    "evaluate_trace",
+    "CpuModel",
+    "CpuSpec",
+    "XEON_GOLD_5215",
+    "Device",
+    "FrequencyDomain",
+    "FanMode",
+    "FanModel",
+    "GpuModel",
+    "GpuSpec",
+    "TESLA_V100_16GB",
+    "RTX_3090",
+    "Ar1Noise",
+    "DevicePowerModel",
+    "ChannelRef",
+    "GpuServer",
+    "ThermalNode",
+    "v100_server",
+    "rtx3090_server",
+    "custom_server",
+]

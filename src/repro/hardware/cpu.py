@@ -1,0 +1,120 @@
+"""CPU package model (host processor with DVFS).
+
+Models the server's host CPU as one frequency domain spanning all cores
+(package-level DVFS, as actuated by ``cpupower frequency-set`` in the paper).
+Per-core busy fractions are aggregated into a package utilization for the
+power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import require_positive
+from .device import Device, FrequencyDomain
+from .power import DevicePowerModel
+
+__all__ = ["CpuSpec", "CpuModel", "XEON_GOLD_5215"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of a host CPU package.
+
+    Frequencies are MHz. ``levels_mhz`` is the discrete P-state grid exposed
+    to the governor (``cpupower`` accepts any of these).
+    """
+
+    name: str
+    n_cores: int
+    levels_mhz: tuple[float, ...]
+    idle_w: float
+    dyn_w_per_mhz: float
+    util_floor: float = 0.35
+    quad_w_per_mhz2: float = 0.0
+
+    def __post_init__(self):
+        if self.n_cores < 1:
+            raise ConfigurationError("n_cores must be >= 1")
+        require_positive(self.idle_w, "idle_w")
+
+    def domain(self) -> FrequencyDomain:
+        """Build the frequency domain from the level grid."""
+        return FrequencyDomain(self.levels_mhz)
+
+    def power_model(self) -> DevicePowerModel:
+        """Build the package power model."""
+        return DevicePowerModel(
+            idle_w=self.idle_w,
+            dyn_w_per_mhz=self.dyn_w_per_mhz,
+            util_floor=self.util_floor,
+            quad_w_per_mhz2=self.quad_w_per_mhz2,
+            f_ref_mhz=min(self.levels_mhz),
+        )
+
+
+#: Calibrated to the paper's testbed host (Intel Xeon Gold 5215, 40 cores,
+#: DVFS range roughly 1.0-2.4 GHz in 100 MHz steps). The dynamic slope gives
+#: a package-level controllable span of ~85 W across the DVFS range — the
+#: "very minimal control range" that makes CPU-Only capping infeasible on a
+#: GPU server (Section 6.2).
+XEON_GOLD_5215 = CpuSpec(
+    name="xeon-gold-5215",
+    n_cores=40,
+    levels_mhz=tuple(1000.0 + 100.0 * i for i in range(15)),  # 1000..2400
+    idle_w=46.0,
+    dyn_w_per_mhz=0.0607,
+    util_floor=0.35,
+    quad_w_per_mhz2=1.2e-6,
+)
+
+
+class CpuModel(Device):
+    """A host CPU package with per-core utilization accounting."""
+
+    def __init__(self, spec: CpuSpec, initial_frequency_mhz: float | None = None):
+        super().__init__(
+            name=spec.name,
+            kind="cpu",
+            domain=spec.domain(),
+            power_model=spec.power_model(),
+            initial_frequency_mhz=initial_frequency_mhz,
+        )
+        self.spec = spec
+        self._core_util = np.zeros(spec.n_cores, dtype=np.float64)
+
+    @property
+    def n_cores(self) -> int:
+        return self.spec.n_cores
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Convenience accessor in GHz (the unit ``cpupower`` displays)."""
+        return self.frequency_mhz / 1000.0
+
+    def set_core_utilization(self, core: int, util: float) -> None:
+        """Set one core's busy fraction; package utilization is the mean."""
+        if not 0 <= core < self.spec.n_cores:
+            raise ConfigurationError(
+                f"core index {core} out of range [0, {self.spec.n_cores})"
+            )
+        self._core_util[core] = min(max(float(util), 0.0), 1.0)
+        self.set_utilization(float(self._core_util.mean()))
+
+    def set_core_utilizations(self, utils: np.ndarray) -> None:
+        """Set all core busy fractions at once (length must match n_cores)."""
+        arr = np.asarray(utils, dtype=np.float64)
+        if arr.shape != (self.spec.n_cores,):
+            raise ConfigurationError(
+                f"expected shape ({self.spec.n_cores},), got {arr.shape}"
+            )
+        np.clip(arr, 0.0, 1.0, out=self._core_util)
+        self.set_utilization(float(self._core_util.mean()))
+
+    @property
+    def core_utilizations(self) -> np.ndarray:
+        """Copy of the per-core busy fractions."""
+        return self._core_util.copy()

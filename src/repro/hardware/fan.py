@@ -1,0 +1,93 @@
+"""Server fan model.
+
+The paper notes that fans are a significant contributor to ML-server power
+and that the authors *fix the fan speed to a constant value* to isolate
+workload-driven variation (Section 5). We model both modes:
+
+* ``FIXED`` — constant speed, constant power (the paper's configuration and
+  our default);
+* ``THERMAL`` — speed follows the hottest device temperature through a
+  proportional fan curve (used by the robustness extensions to inject
+  unmodeled power dynamics).
+
+Fan power follows the cube law ``P = p_max * (speed_fraction)^3``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import ConfigurationError
+from ..units import require_in_range, require_positive
+
+__all__ = ["FanMode", "FanModel"]
+
+
+class FanMode(enum.Enum):
+    """Fan control mode."""
+
+    FIXED = "fixed"
+    THERMAL = "thermal"
+
+
+class FanModel:
+    """Cube-law fan bank.
+
+    Parameters
+    ----------
+    max_power_w:
+        Electrical power of the fan bank at 100% speed.
+    fixed_speed:
+        Speed fraction in ``(0, 1]`` used in ``FIXED`` mode.
+    mode:
+        Control mode; defaults to the paper's fixed-speed configuration.
+    t_low_c / t_high_c:
+        In ``THERMAL`` mode, the fan ramps linearly from ``min_speed`` at
+        ``t_low_c`` to full speed at ``t_high_c``.
+    min_speed:
+        Floor speed fraction in ``THERMAL`` mode.
+    """
+
+    def __init__(
+        self,
+        max_power_w: float = 120.0,
+        fixed_speed: float = 0.7,
+        mode: FanMode = FanMode.FIXED,
+        t_low_c: float = 40.0,
+        t_high_c: float = 85.0,
+        min_speed: float = 0.3,
+    ):
+        self.max_power_w = require_positive(max_power_w, "max_power_w")
+        self.fixed_speed = require_in_range(fixed_speed, 1e-6, 1.0, "fixed_speed")
+        if not isinstance(mode, FanMode):
+            raise ConfigurationError(f"mode must be a FanMode, got {mode!r}")
+        if t_high_c <= t_low_c:
+            raise ConfigurationError("t_high_c must exceed t_low_c")
+        self.mode = mode
+        self.t_low_c = float(t_low_c)
+        self.t_high_c = float(t_high_c)
+        self.min_speed = require_in_range(min_speed, 0.0, 1.0, "min_speed")
+        self._speed = self.fixed_speed
+
+    @property
+    def speed(self) -> float:
+        """Current speed fraction."""
+        return self._speed
+
+    def update(self, hottest_temp_c: float | None = None) -> None:
+        """Advance the fan state for one tick.
+
+        In ``FIXED`` mode the argument is ignored. In ``THERMAL`` mode the
+        hottest device temperature drives the fan curve.
+        """
+        if self.mode is FanMode.FIXED:
+            self._speed = self.fixed_speed
+            return
+        if hottest_temp_c is None:
+            raise ConfigurationError("THERMAL fan mode requires a temperature input")
+        frac = (hottest_temp_c - self.t_low_c) / (self.t_high_c - self.t_low_c)
+        self._speed = min(max(self.min_speed, self.min_speed + (1 - self.min_speed) * frac), 1.0)
+
+    def power_w(self) -> float:
+        """Electrical power at the current speed (cube law)."""
+        return self.max_power_w * self._speed**3

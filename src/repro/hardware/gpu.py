@@ -1,0 +1,110 @@
+"""GPU accelerator model.
+
+Models an NVIDIA-style GPU with application clocks: a fixed memory clock and
+a discrete grid of core clocks (what ``nvidia-smi -ac <mem>,<core>`` sets).
+Calibrations are provided for the paper's Tesla V100 (evaluation testbed)
+and the RTX 3090 used in the motivation experiment (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import require_positive
+from .device import Device, FrequencyDomain
+from .power import DevicePowerModel
+
+__all__ = ["GpuSpec", "GpuModel", "TESLA_V100_16GB", "RTX_3090"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a GPU.
+
+    ``core_levels_mhz`` is the supported application-clock grid (NVIDIA
+    exposes core clocks in coarse vendor-specific multiples; the paper cites
+    135/225 MHz-style granularity and uses 90 MHz fixed steps).
+    """
+
+    name: str
+    core_levels_mhz: tuple[float, ...]
+    memory_clock_mhz: float
+    idle_w: float
+    dyn_w_per_mhz: float
+    util_floor: float = 0.25
+    quad_w_per_mhz2: float = 0.0
+    tdp_w: float = 300.0
+
+    def __post_init__(self):
+        require_positive(self.memory_clock_mhz, "memory_clock_mhz")
+        require_positive(self.tdp_w, "tdp_w")
+        if not self.core_levels_mhz:
+            raise ConfigurationError("core_levels_mhz must be non-empty")
+
+    def domain(self) -> FrequencyDomain:
+        """Build the core-clock frequency domain."""
+        return FrequencyDomain(self.core_levels_mhz)
+
+    def power_model(self) -> DevicePowerModel:
+        """Build the board power model."""
+        return DevicePowerModel(
+            idle_w=self.idle_w,
+            dyn_w_per_mhz=self.dyn_w_per_mhz,
+            util_floor=self.util_floor,
+            quad_w_per_mhz2=self.quad_w_per_mhz2,
+            f_ref_mhz=min(self.core_levels_mhz),
+        )
+
+
+#: Calibrated to the paper's Tesla V100 16 GB: core clocks 435-1350 MHz
+#: (15 MHz granularity — V100 exposes a fine application-clock grid), memory
+#: fixed at 877 MHz as in Section 5. Under full load the board draws ~120 W
+#: at 435 MHz and ~290 W at 1350 MHz (TDP 300 W), giving each GPU a ~170 W
+#: controllable span — an order of magnitude more than the host CPU.
+TESLA_V100_16GB = GpuSpec(
+    name="tesla-v100-16gb",
+    core_levels_mhz=tuple(435.0 + 15.0 * i for i in range(62)),  # 435..1350
+    memory_clock_mhz=877.0,
+    idle_w=41.0,
+    dyn_w_per_mhz=0.185,
+    util_floor=0.25,
+    quad_w_per_mhz2=1.6e-5,
+    tdp_w=300.0,
+)
+
+#: Calibrated to the RTX 3090 used in the Table 1 motivation box: core clocks
+#: 495-1695 MHz, TDP 350 W.
+RTX_3090 = GpuSpec(
+    name="rtx-3090",
+    core_levels_mhz=tuple(495.0 + 15.0 * i for i in range(81)),  # 495..1695
+    memory_clock_mhz=9751.0,
+    idle_w=35.0,
+    dyn_w_per_mhz=0.175,
+    util_floor=0.25,
+    quad_w_per_mhz2=1.2e-5,
+    tdp_w=350.0,
+)
+
+
+class GpuModel(Device):
+    """A GPU with application-clock actuation and a fixed memory clock."""
+
+    def __init__(self, spec: GpuSpec, initial_frequency_mhz: float | None = None):
+        super().__init__(
+            name=spec.name,
+            kind="gpu",
+            domain=spec.domain(),
+            power_model=spec.power_model(),
+            initial_frequency_mhz=initial_frequency_mhz,
+        )
+        self.spec = spec
+
+    @property
+    def memory_clock_mhz(self) -> float:
+        return self.spec.memory_clock_mhz
+
+    @property
+    def core_clock_mhz(self) -> float:
+        """Alias of :attr:`frequency_mhz` using NVIDIA terminology."""
+        return self.frequency_mhz

@@ -1,0 +1,95 @@
+"""Server presets calibrated to the paper's two testbeds.
+
+* :func:`v100_server` — the evaluation testbed of Section 5: one Intel Xeon
+  Gold 5215 host CPU and three Tesla V100 16 GB GPUs. Wall power spans
+  roughly 700-1300 W across the actuation range under load, which makes the
+  paper's 800-1200 W set points feasible (Section 6.3) and leaves CPU-Only
+  capping with far too little range (Section 6.2).
+* :func:`rtx3090_server` — the motivation box of Section 3.2: one host CPU
+  and a single RTX 3090, used for the Table 1 end-to-end experiment
+  (~400-420 W wall power at the studied frequency pairs).
+"""
+
+from __future__ import annotations
+
+from .cpu import XEON_GOLD_5215, CpuModel, CpuSpec
+from .fan import FanModel
+from .gpu import RTX_3090, TESLA_V100_16GB, GpuModel
+from .server import GpuServer
+
+__all__ = ["v100_server", "rtx3090_server", "custom_server"]
+
+
+def v100_server(
+    seed: int | None = 0,
+    n_gpus: int = 3,
+    noise_sigma_w: float = 3.5,
+    thermal: bool = False,
+) -> GpuServer:
+    """Build the paper's 3x V100 evaluation server.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the wall-power disturbance; ``None`` disables noise.
+    n_gpus:
+        Number of V100s (the paper uses 3; up to 8 is typical for the class
+        of server the paper targets).
+    noise_sigma_w:
+        AR(1) innovation std of the wall disturbance.
+    thermal:
+        Enable the thermal extension (off in the paper's methodology).
+    """
+    cpus = [CpuModel(XEON_GOLD_5215)]
+    gpus = [GpuModel(TESLA_V100_16GB) for _ in range(n_gpus)]
+    return GpuServer(
+        cpus=cpus,
+        gpus=gpus,
+        static_power_w=180.0,
+        fan=FanModel(max_power_w=120.0, fixed_speed=0.7),
+        seed=seed,
+        noise_sigma_w=noise_sigma_w,
+        thermal=thermal,
+    )
+
+
+def rtx3090_server(seed: int | None = 0, noise_sigma_w: float = 2.0) -> GpuServer:
+    """Build the single-GPU RTX 3090 motivation box (Table 1).
+
+    The host CPU of the motivation box runs 1.1-2.1 GHz in the paper's
+    experiment; we expose 1000-2400 MHz like the main testbed and let the
+    experiment pick the paper's operating points.
+    """
+    cpu_spec = CpuSpec(
+        name="desktop-host",
+        n_cores=12,
+        levels_mhz=tuple(1000.0 + 100.0 * i for i in range(15)),
+        idle_w=30.0,
+        dyn_w_per_mhz=0.058,
+        util_floor=0.35,
+        quad_w_per_mhz2=8e-7,
+    )
+    return GpuServer(
+        cpus=[CpuModel(cpu_spec)],
+        gpus=[GpuModel(RTX_3090)],
+        static_power_w=158.0,
+        fan=FanModel(max_power_w=40.0, fixed_speed=0.6),
+        seed=seed,
+        noise_sigma_w=noise_sigma_w,
+    )
+
+
+def custom_server(
+    n_cpus: int = 1,
+    n_gpus: int = 3,
+    seed: int | None = 0,
+    **server_kwargs,
+) -> GpuServer:
+    """Build a server with ``n_cpus`` Xeon packages and ``n_gpus`` V100s.
+
+    Convenience for scaling studies (e.g. controller overhead vs. number of
+    GPUs, Section 4.3's 4-8 GPU overhead claim).
+    """
+    cpus = [CpuModel(XEON_GOLD_5215) for _ in range(n_cpus)]
+    gpus = [GpuModel(TESLA_V100_16GB) for _ in range(n_gpus)]
+    return GpuServer(cpus=cpus, gpus=gpus, seed=seed, **server_kwargs)

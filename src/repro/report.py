@@ -1,0 +1,89 @@
+"""Full reproduction report generation.
+
+``capgpu report -o report.md`` runs every registered experiment (paper
+artifacts plus extensions) and writes one self-contained markdown document:
+per-experiment rendered sections, power-trace sparklines where traces are
+available, and a header recording seed and versions — the artifact you
+attach to a reproduction claim.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from ._version import __version__
+from .analysis import sparkline
+from .experiments import run_experiment
+from .experiments.registry import experiment_ids
+from .telemetry.trace import Trace
+
+__all__ = ["generate_report", "write_report"]
+
+
+def _trace_sparklines(data: dict, indent: str = "") -> list[str]:
+    """Collect sparklines for every Trace reachable in a result's data."""
+    lines: list[str] = []
+
+    def walk(obj, label):
+        if isinstance(obj, Trace) and "power_w" in obj and len(obj) > 1:
+            lines.append(
+                f"{indent}`{label or 'trace':>18s}` "
+                f"`{sparkline(obj['power_w'], width=60)}`"
+            )
+        elif isinstance(obj, dict):
+            for key, value in obj.items():
+                walk(value, f"{label}/{key}" if label else str(key))
+
+    walk(data, "")
+    return lines
+
+
+def generate_report(
+    seed: int = 0,
+    ids: list[str] | None = None,
+    include_extensions: bool = True,
+) -> str:
+    """Run experiments and return the report as markdown text."""
+    selected = ids if ids is not None else experiment_ids()
+    if ids is None and not include_extensions:
+        paper_only = {"table1", "fig2", "fig3", "fig4", "fig5",
+                      "fig6", "fig7", "fig8", "fig9", "fig10"}
+        selected = [e for e in selected if e in paper_only]
+    parts = [
+        "# CapGPU reproduction report",
+        "",
+        f"- package version: `{__version__}`",
+        f"- seed: `{seed}`",
+        f"- generated: {time.strftime('%Y-%m-%d %H:%M:%S')}",
+        f"- experiments: {', '.join(selected)}",
+        "",
+    ]
+    for eid in selected:
+        result = run_experiment(eid, seed=seed)
+        parts.append(f"## {eid}: {result.title}")
+        parts.append("")
+        for section in result.sections:
+            # Series dumps are long and machine-oriented; keep tables and
+            # sparklines, link the raw data to --save-dir instead.
+            if section.startswith(("power_W[", "measured_W", "predicted_W",
+                                   "lat_s[", "slo_s[", "set_point_W[")):
+                continue
+            parts.append("```")
+            parts.append(section)
+            parts.append("```")
+            parts.append("")
+        sparks = _trace_sparklines(result.data)
+        if sparks:
+            parts.append("Power traces (one block char per control period):")
+            parts.append("")
+            parts.extend(sparks)
+            parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(path: str | Path, seed: int = 0, ids: list[str] | None = None) -> Path:
+    """Generate and write the report; returns the output path."""
+    out = Path(path)
+    out.write_text(generate_report(seed=seed, ids=ids), encoding="utf-8")
+    return out

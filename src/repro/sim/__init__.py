@@ -1,0 +1,28 @@
+"""Discrete-time simulation engine, scheduled events and canonical scenarios."""
+
+from .engine import PeriodRecord, ServerSimulation, SimConfig
+from .events import (
+    ArrivalRateChange,
+    CallbackEvent,
+    EventSchedule,
+    ScheduledEvent,
+    SetPointChange,
+    SloChange,
+)
+from .scenarios import PAPER_TASKS, llm_scenario, motivation_scenario, paper_scenario
+
+__all__ = [
+    "ServerSimulation",
+    "SimConfig",
+    "PeriodRecord",
+    "EventSchedule",
+    "ScheduledEvent",
+    "SetPointChange",
+    "SloChange",
+    "ArrivalRateChange",
+    "CallbackEvent",
+    "paper_scenario",
+    "motivation_scenario",
+    "llm_scenario",
+    "PAPER_TASKS",
+]

@@ -1,0 +1,437 @@
+"""The closed-loop simulation engine.
+
+Wires the plant (server), workloads (pipelines + feature selection),
+telemetry (power meter, monitors, NVML, RAPL) and actuation (delta-sigma
+modulators) into the feedback loop of Figure 1 of the paper:
+
+1. each simulation tick (``dt_s``, default 100 ms) the modulators apply one
+   discrete frequency level per device, the workload pipelines advance, and
+   the power meter integrates the wall power;
+2. every ``meter_interval_s`` (1 s, the paper's ACPI meter) a power sample
+   is emitted;
+3. every ``control_period_s`` (4 s = 4 samples, Section 6.1) the controller
+   receives a :class:`~repro.control.base.ControlObservation` built purely
+   from telemetry and returns the next frequency targets.
+
+The engine also provides open-loop facilities used by system identification
+and the static-configuration experiments (Table 1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..actuators import ServerActuator
+from ..control.base import ControlObservation, PowerCappingController
+from ..errors import ConfigurationError
+from ..hardware.server import GpuServer
+from ..rng import spawn
+from ..telemetry import (
+    AcpiPowerMeter,
+    SimulatedNvml,
+    SimulatedRapl,
+    ThroughputMonitor,
+    Trace,
+    UtilizationMonitor,
+)
+from ..units import require_positive
+from ..workloads.feature_selection import FeatureSelectionWorkload
+from ..workloads.pipeline import InferencePipeline
+from .events import EventSchedule
+
+__all__ = ["SimConfig", "ServerSimulation", "PeriodRecord"]
+
+#: Fraction of one core consumed by the controller process (Section 5 pins
+#: one core for the controller; it is mostly idle between invocations).
+_CONTROLLER_CORE_UTIL = 0.3
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Timing configuration of the simulation loop."""
+
+    dt_s: float = 0.1
+    meter_interval_s: float = 1.0
+    control_period_s: float = 4.0
+    meter_noise_sigma_w: float = 1.0
+    meter_resolution_w: float = 0.1
+
+    def __post_init__(self):
+        require_positive(self.dt_s, "dt_s")
+        require_positive(self.meter_interval_s, "meter_interval_s")
+        require_positive(self.control_period_s, "control_period_s")
+        if self.meter_interval_s % self.dt_s > 1e-9 and (
+            self.dt_s - self.meter_interval_s % self.dt_s
+        ) > 1e-9:
+            raise ConfigurationError("dt_s must divide meter_interval_s")
+        ratio = self.control_period_s / self.meter_interval_s
+        if abs(ratio - round(ratio)) > 1e-9:
+            raise ConfigurationError("meter_interval_s must divide control_period_s")
+
+    @property
+    def samples_per_period(self) -> int:
+        return int(round(self.control_period_s / self.meter_interval_s))
+
+    @property
+    def ticks_per_period(self) -> int:
+        return int(round(self.control_period_s / self.dt_s))
+
+
+@dataclass
+class PeriodRecord:
+    """Aggregates computed over one control period (engine-internal)."""
+
+    batch_latencies: list
+    batch_slo_misses: list
+    fs_latencies: list
+
+
+class ServerSimulation:
+    """Closed-loop simulation of one GPU server under a capping controller.
+
+    Parameters
+    ----------
+    server:
+        The plant (see :mod:`repro.hardware.presets`).
+    pipelines:
+        One :class:`InferencePipeline` per GPU (``None`` entries allowed for
+        idle GPUs). Length must equal ``server.n_gpus``.
+    fs_workload:
+        Optional CPU feature-selection workload (the paper's CPU-side task).
+    set_point_w:
+        Initial power budget.
+    config:
+        Loop timing; defaults to the paper's (0.1 s tick, 1 s meter, 4 s
+        control period).
+    seed:
+        Root seed for telemetry noise streams.
+    slos_s:
+        Optional initial SLO per GPU index (list aligned with GPUs; ``None``
+        entries mean no SLO).
+    modulator_factory:
+        Override the per-channel modulator (ablations use nearest-level).
+    """
+
+    def __init__(
+        self,
+        server: GpuServer,
+        pipelines: list[InferencePipeline | None],
+        fs_workload: FeatureSelectionWorkload | None = None,
+        set_point_w: float = 900.0,
+        config: SimConfig = SimConfig(),
+        seed: int = 0,
+        slos_s: list[float | None] | None = None,
+        modulator_factory=None,
+    ):
+        if len(pipelines) != server.n_gpus:
+            raise ConfigurationError(
+                f"need one pipeline slot per GPU ({server.n_gpus}), got {len(pipelines)}"
+            )
+        self.server = server
+        self.pipelines = list(pipelines)
+        self.fs = fs_workload
+        self.set_point_w = require_positive(set_point_w, "set_point_w")
+        self.config = config
+        self.actuator = ServerActuator(server, modulator_factory)
+        self.meter = AcpiPowerMeter(
+            sample_interval_s=config.meter_interval_s,
+            resolution_w=config.meter_resolution_w,
+            noise_sigma_w=config.meter_noise_sigma_w,
+            rng=spawn(seed, "acpi-meter-noise"),
+        )
+        self.nvml = SimulatedNvml(server, rng=spawn(seed, "nvml-noise"))
+        self.rapl = SimulatedRapl(server)
+        self._rapl_energy_anchor = 0
+        self._rapl_time_anchor = 0.0
+
+        n = server.n_channels
+        self.cpu_channels = tuple(server.cpu_channel_indices())
+        self.gpu_channels = tuple(server.gpu_channel_indices())
+        self._slos: dict[int, float] = {}
+        if slos_s is not None:
+            if len(slos_s) != server.n_gpus:
+                raise ConfigurationError("slos_s must align with GPUs")
+            for g, slo in enumerate(slos_s):
+                if slo is not None:
+                    self._slos[self.gpu_channels[g]] = float(slo)
+
+        # Monitors: throughput per channel (CPU = feature-selection subsets/s,
+        # GPU = inference batches/s), utilization per channel.
+        self.tput_monitors: list[ThroughputMonitor] = []
+        self.util_monitors: list[UtilizationMonitor] = []
+        f_max_ghz = server.cpus[0].domain.f_max / 1000.0 if server.cpus else 0.0
+        for ref in server.channels:
+            if ref.kind == "cpu":
+                hint = (
+                    fs_workload.max_rate_subsets_s(f_max_ghz)
+                    if fs_workload is not None
+                    else None
+                )
+                self.tput_monitors.append(ThroughputMonitor(ref.name, hint))
+            else:
+                pipe = self.pipelines[ref.device_index]
+                hint = pipe.spec.max_batch_rate_s() if pipe is not None else None
+                self.tput_monitors.append(ThroughputMonitor(ref.name, hint))
+            self.util_monitors.append(UtilizationMonitor(ref.name))
+
+        self.time_s = 0.0
+        self.period_index = 0
+        self.trace = Trace(self._trace_channels(), capacity=1024)
+        self.last_control_ms = 0.0
+
+        # Reserve cores: each pipeline's workers + one controller core; the
+        # rest run feature selection. (Used only for utilization accounting.)
+        self._preproc_workers = sum(
+            p.config.n_workers for p in self.pipelines if p is not None
+        )
+
+    # -- trace layout -----------------------------------------------------------
+
+    def _trace_channels(self) -> list[str]:
+        chans = [
+            "time_s", "period", "set_point_w", "power_w",
+            "power_max_w", "power_min_w", "ctl_ms",
+        ]
+        for i in range(self.server.n_channels):
+            chans += [f"f_tgt_{i}", f"f_app_{i}", f"util_{i}", f"tput_{i}", f"tput_norm_{i}"]
+        for g in range(self.server.n_gpus):
+            chans += [f"lat_mean_g{g}", f"lat_p95_g{g}", f"slo_g{g}", f"slo_miss_g{g}"]
+        chans += ["cpu_lat_s", "cpu_tput"]
+        return chans
+
+    # -- SLO management -----------------------------------------------------------
+
+    def set_slo(self, gpu_index: int, slo_s: float | None) -> None:
+        """Set or clear the SLO of GPU ``gpu_index`` (fires from events too)."""
+        if not 0 <= gpu_index < self.server.n_gpus:
+            raise ConfigurationError(f"gpu_index {gpu_index} out of range")
+        chan = self.gpu_channels[gpu_index]
+        if slo_s is None:
+            self._slos.pop(chan, None)
+        else:
+            self._slos[chan] = float(slo_s)
+
+    @property
+    def slos(self) -> dict[int, float]:
+        """Current SLOs keyed by *channel* index."""
+        return dict(self._slos)
+
+    # -- one tick -----------------------------------------------------------------
+
+    def _tick(self, record: PeriodRecord) -> None:
+        cfg = self.config
+        applied = self.actuator.tick()
+
+        cpu = self.server.cpus[0]
+        cpu_ghz = cpu.frequency_ghz
+
+        preproc_busy_cores = 0.0
+        for g, pipe in enumerate(self.pipelines):
+            gpu = self.server.gpus[g]
+            chan = self.gpu_channels[g]
+            if pipe is None:
+                gpu.set_utilization(0.0)
+                self.tput_monitors[chan].record(0.0, cfg.dt_s)
+                self.util_monitors[chan].record(0.0, cfg.dt_s)
+                continue
+            tick = pipe.step(self.time_s, cfg.dt_s, cpu_ghz, gpu.frequency_mhz)
+            gpu.set_utilization(tick.gpu_busy_s / cfg.dt_s)
+            self.tput_monitors[chan].record(tick.batches_completed, cfg.dt_s)
+            self.util_monitors[chan].record(tick.gpu_busy_s, cfg.dt_s)
+            preproc_busy_cores += pipe.config.n_workers * tick.preproc_busy_frac
+            slo = self._slos.get(chan)
+            for lat in tick.batch_latencies_s:
+                record.batch_latencies[g].append(lat)
+                record.batch_slo_misses[g].append(
+                    False if slo is None else lat > slo
+                )
+
+        fs_cores = 0
+        cpu_chan = self.cpu_channels[0]
+        if self.fs is not None:
+            fs_cores = self.fs.n_cores
+            done, lats = self.fs.step(cfg.dt_s, cpu_ghz)
+            self.tput_monitors[cpu_chan].record(done, cfg.dt_s)
+            record.fs_latencies.extend(lats)
+        else:
+            self.tput_monitors[cpu_chan].record(0.0, cfg.dt_s)
+
+        busy_cores = preproc_busy_cores + fs_cores + _CONTROLLER_CORE_UTIL
+        cpu_util = min(busy_cores / cpu.n_cores, 1.0)
+        cpu.set_utilization(cpu_util)
+        self.util_monitors[cpu_chan].record(cpu_util * cfg.dt_s, cfg.dt_s)
+        # Additional CPU packages host no simulated workload: their monitors
+        # still need a window entry every tick, and their package
+        # utilization reflects whatever the device model currently reports.
+        for extra_chan in self.cpu_channels[1:]:
+            dev = self.server.device(extra_chan)
+            self.tput_monitors[extra_chan].record(0.0, cfg.dt_s)
+            self.util_monitors[extra_chan].record(
+                dev.utilization * cfg.dt_s, cfg.dt_s
+            )
+
+        self.server.advance(cfg.dt_s)
+        self.meter.accumulate(self.server.total_power_w(), cfg.dt_s)
+        self.rapl.accumulate(cfg.dt_s)
+        self.time_s += cfg.dt_s
+
+    # -- observation assembly --------------------------------------------------------
+
+    def _build_observation(self) -> ControlObservation:
+        cfg = self.config
+        samples = np.array(
+            [s.power_w for s in self.meter.last_n(cfg.samples_per_period)],
+            dtype=np.float64,
+        )
+        power = float(samples.mean()) if samples.size else float("nan")
+
+        tput_raw = np.empty(self.server.n_channels)
+        tput_norm = np.empty(self.server.n_channels)
+        util = np.empty(self.server.n_channels)
+        for i in range(self.server.n_channels):
+            tput_raw[i] = self.tput_monitors[i].read_and_reset()
+            tput_norm[i] = self.tput_monitors[i].normalized()
+            util[i] = self.util_monitors[i].read_and_reset()
+
+        gpu_power = np.array(
+            [
+                self.nvml.power_usage_mw(self.nvml.device_handle_by_index(g)) / 1e3
+                for g in range(self.server.n_gpus)
+            ]
+        )
+        # RAPL window power since the previous observation.
+        now_uj = self.rapl.read_energy_uj()
+        d_uj = now_uj - self._rapl_energy_anchor
+        if d_uj < 0:
+            d_uj += self.rapl.max_energy_range_uj
+        dt = self.time_s - self._rapl_time_anchor
+        cpu_power = (d_uj / 1e6) / dt if dt > 0 else float("nan")
+        self._rapl_energy_anchor = now_uj
+        self._rapl_time_anchor = self.time_s
+
+        obs = ControlObservation(
+            period_index=self.period_index,
+            time_s=self.time_s,
+            power_w=power,
+            power_samples_w=samples,
+            set_point_w=self.set_point_w,
+            f_targets_mhz=self.actuator.targets(),
+            f_applied_mhz=self.actuator.applied_average_and_reset(),
+            f_min_mhz=self.server.f_min_vector(),
+            f_max_mhz=self.server.f_max_vector(),
+            utilization=util,
+            throughput_norm=tput_norm,
+            throughput_raw=tput_raw,
+            cpu_channels=self.cpu_channels,
+            gpu_channels=self.gpu_channels,
+            slos_s=dict(self._slos),
+            cpu_power_w=cpu_power,
+            gpu_power_w=gpu_power,
+        )
+        return obs
+
+    def _record_period(self, obs: ControlObservation, record: PeriodRecord) -> None:
+        row: dict[str, float] = {
+            "time_s": obs.time_s,
+            "period": float(self.period_index),
+            "set_point_w": obs.set_point_w,
+            "power_w": obs.power_w,
+            "power_max_w": float(obs.power_samples_w.max()) if obs.power_samples_w.size else float("nan"),
+            "power_min_w": float(obs.power_samples_w.min()) if obs.power_samples_w.size else float("nan"),
+            "ctl_ms": self.last_control_ms,
+        }
+        for i in range(self.server.n_channels):
+            row[f"f_tgt_{i}"] = float(obs.f_targets_mhz[i])
+            row[f"f_app_{i}"] = float(obs.f_applied_mhz[i])
+            row[f"util_{i}"] = float(obs.utilization[i])
+            row[f"tput_{i}"] = float(obs.throughput_raw[i])
+            row[f"tput_norm_{i}"] = float(obs.throughput_norm[i])
+        for g in range(self.server.n_gpus):
+            lats = record.batch_latencies[g]
+            misses = record.batch_slo_misses[g]
+            chan = self.gpu_channels[g]
+            row[f"lat_mean_g{g}"] = float(np.mean(lats)) if lats else float("nan")
+            row[f"lat_p95_g{g}"] = float(np.quantile(lats, 0.95)) if lats else float("nan")
+            row[f"slo_g{g}"] = self._slos.get(chan, float("nan"))
+            row[f"slo_miss_g{g}"] = (
+                float(np.mean(misses)) if misses else float("nan")
+            )
+        row["cpu_lat_s"] = (
+            float(np.mean(record.fs_latencies)) if record.fs_latencies else float("nan")
+        )
+        row["cpu_tput"] = float(obs.throughput_raw[self.cpu_channels[0]])
+        self.trace.append(**row)
+
+    # -- run loops ---------------------------------------------------------------
+
+    def run(
+        self,
+        controller: PowerCappingController | None,
+        n_periods: int,
+        events: EventSchedule | None = None,
+        apply_initial_targets: bool = True,
+    ) -> Trace:
+        """Run ``n_periods`` control periods under ``controller``.
+
+        ``controller=None`` runs open loop at the current targets (used for
+        static-configuration experiments). Returns the engine's trace (one
+        row per period; cumulative across successive ``run`` calls).
+        """
+        if n_periods < 1:
+            raise ConfigurationError("n_periods must be >= 1")
+        if controller is not None and apply_initial_targets:
+            self.actuator.set_targets(
+                controller.initial_targets(
+                    self.server.f_min_vector(), self.server.f_max_vector()
+                )
+            )
+        for _ in range(n_periods):
+            if events is not None:
+                events.fire(self.period_index, self)
+            record = PeriodRecord(
+                batch_latencies=[[] for _ in range(self.server.n_gpus)],
+                batch_slo_misses=[[] for _ in range(self.server.n_gpus)],
+                fs_latencies=[],
+            )
+            for _ in range(self.config.ticks_per_period):
+                self._tick(record)
+            obs = self._build_observation()
+            if controller is not None:
+                t0 = time.perf_counter()
+                targets = controller.step(obs)
+                batches = controller.batch_commands(obs)
+                self.last_control_ms = (time.perf_counter() - t0) * 1e3
+                self.actuator.set_targets(targets)
+                if batches:
+                    for g, batch in batches.items():
+                        pipe = self.pipelines[g]
+                        if pipe is not None:
+                            pipe.set_batch_size(batch)
+            else:
+                self.last_control_ms = 0.0
+            self._record_period(obs, record)
+            self.period_index += 1
+        return self.trace
+
+    def run_open_loop(self, targets_mhz, n_periods: int) -> Trace:
+        """Hold fixed frequency targets for ``n_periods`` periods."""
+        self.actuator.set_targets(np.asarray(targets_mhz, dtype=np.float64))
+        return self.run(controller=None, n_periods=n_periods)
+
+    def measure_power_w(
+        self, targets_mhz, settle_periods: int = 1, measure_periods: int = 2
+    ) -> float:
+        """Open-loop power measurement at a frequency point (for sys-id).
+
+        Applies the targets, discards ``settle_periods`` periods of samples,
+        then returns the mean meter power over ``measure_periods`` periods.
+        """
+        self.actuator.set_targets(np.asarray(targets_mhz, dtype=np.float64))
+        self.run(controller=None, n_periods=settle_periods)
+        before = len(self.trace)
+        self.run(controller=None, n_periods=measure_periods)
+        power = self.trace["power_w"][before:]
+        return float(np.mean(power))

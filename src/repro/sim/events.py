@@ -1,0 +1,126 @@
+"""Scheduled run-time events: set-point changes, SLO changes, load changes.
+
+Section 6.4 of the paper evaluates *online adaptability*: the power budget
+is raised from 800 W to 900 W at control period 40 and lowered back at
+period 80; separately, per-GPU SLOs are tightened/relaxed at period 14.
+Events fire at control-period boundaries, immediately before the controller
+observes that period, matching how a data-center-level budget manager would
+push new targets between control invocations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+
+from ..errors import ConfigurationError
+from ..units import require_positive
+
+__all__ = [
+    "ScheduledEvent",
+    "SetPointChange",
+    "SloChange",
+    "ArrivalRateChange",
+    "CallbackEvent",
+    "EventSchedule",
+]
+
+
+class ScheduledEvent(ABC):
+    """An event that fires at the start of a given control period."""
+
+    def __init__(self, period: int):
+        if period < 0:
+            raise ConfigurationError("period must be >= 0")
+        self.period = int(period)
+
+    @abstractmethod
+    def apply(self, sim) -> None:
+        """Mutate the simulation (``sim`` is a ``ServerSimulation``)."""
+
+
+class SetPointChange(ScheduledEvent):
+    """Change the server power budget."""
+
+    def __init__(self, period: int, set_point_w: float):
+        super().__init__(period)
+        self.set_point_w = require_positive(set_point_w, "set_point_w")
+
+    def apply(self, sim) -> None:
+        sim.set_point_w = self.set_point_w
+
+
+class SloChange(ScheduledEvent):
+    """Change (or clear) the latency SLO of one GPU task.
+
+    ``gpu_index`` counts GPUs (0-based), not channels.
+    """
+
+    def __init__(self, period: int, gpu_index: int, slo_s: float | None):
+        super().__init__(period)
+        if gpu_index < 0:
+            raise ConfigurationError("gpu_index must be >= 0")
+        if slo_s is not None:
+            require_positive(slo_s, "slo_s")
+        self.gpu_index = int(gpu_index)
+        self.slo_s = slo_s
+
+    def apply(self, sim) -> None:
+        sim.set_slo(self.gpu_index, self.slo_s)
+
+
+class ArrivalRateChange(ScheduledEvent):
+    """Replace the arrival process of one pipeline (workload surge/quiet)."""
+
+    def __init__(self, period: int, gpu_index: int, arrivals):
+        super().__init__(period)
+        self.gpu_index = int(gpu_index)
+        self.arrivals = arrivals
+
+    def apply(self, sim) -> None:
+        pipeline = sim.pipelines[self.gpu_index]
+        if pipeline is None:
+            raise ConfigurationError(f"no pipeline on GPU {self.gpu_index}")
+        pipeline.arrivals = self.arrivals
+
+
+class CallbackEvent(ScheduledEvent):
+    """Escape hatch: run an arbitrary callable against the simulation."""
+
+    def __init__(self, period: int, fn):
+        super().__init__(period)
+        if not callable(fn):
+            raise ConfigurationError("fn must be callable")
+        self.fn = fn
+
+    def apply(self, sim) -> None:
+        self.fn(sim)
+
+
+class EventSchedule:
+    """Ordered collection of events, fired once each at their period."""
+
+    def __init__(self, events: Iterable[ScheduledEvent] = ()):
+        self._events = sorted(events, key=lambda e: e.period)
+        self._fired: set[int] = set()
+
+    def add(self, event: ScheduledEvent) -> None:
+        self._events.append(event)
+        self._events.sort(key=lambda e: e.period)
+
+    def fire(self, period: int, sim) -> list[ScheduledEvent]:
+        """Apply all not-yet-fired events scheduled at or before ``period``."""
+        fired = []
+        for i, ev in enumerate(self._events):
+            if i in self._fired or ev.period > period:
+                continue
+            ev.apply(sim)
+            self._fired.add(i)
+            fired.append(ev)
+        return fired
+
+    def reset(self) -> None:
+        self._fired.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)

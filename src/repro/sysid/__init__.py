@@ -1,0 +1,42 @@
+"""System identification: excitation, least-squares power fit, latency fit.
+
+Implements Section 4.2 of the paper (Fig. 2): the one-knob-at-a-time
+staircase, the linear power model ``p = A.F + C``, the Eq. 8 latency model,
+and an online recursive-least-squares extension.
+"""
+
+from .excitation import one_knob_at_a_time, random_levels_plan
+from .identifier import (
+    IdentificationDataset,
+    identify_latency_model,
+    identify_power_model,
+    measure_latency_curve,
+)
+from .latency_fit import LatencyModelFit, fit_latency_model
+from .least_squares import PowerModelFit, fit_power_model, r_squared
+from .rls import RecursiveLeastSquares
+from .validation import (
+    ResidualSummary,
+    cross_validate_power_model,
+    holdout_validation,
+    residual_summary,
+)
+
+__all__ = [
+    "one_knob_at_a_time",
+    "random_levels_plan",
+    "IdentificationDataset",
+    "identify_power_model",
+    "identify_latency_model",
+    "measure_latency_curve",
+    "LatencyModelFit",
+    "fit_latency_model",
+    "PowerModelFit",
+    "fit_power_model",
+    "r_squared",
+    "RecursiveLeastSquares",
+    "holdout_validation",
+    "cross_validate_power_model",
+    "ResidualSummary",
+    "residual_summary",
+]

@@ -1,0 +1,72 @@
+"""Excitation plans for system identification.
+
+The paper's protocol (Section 4.2): "systematically vary one frequency input
+(e.g., GPU frequency) while holding the other fixed ... and record the
+resulting power consumption; then we reverse the process."
+:func:`one_knob_at_a_time` generates exactly that staircase; a richer
+random-levels plan is provided for the online re-identification extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..hardware.server import GpuServer
+
+__all__ = ["one_knob_at_a_time", "random_levels_plan"]
+
+
+def one_knob_at_a_time(
+    server: GpuServer,
+    points_per_channel: int = 8,
+    base_fraction: float = 0.4,
+) -> np.ndarray:
+    """Build the paper's staircase excitation plan.
+
+    For each channel in turn, sweep ``points_per_channel`` evenly spaced
+    levels from its minimum to its maximum while every other channel holds a
+    fixed base level (``base_fraction`` of its range, snapped to the grid —
+    the paper holds the CPU at 1.4 GHz while sweeping the GPU).
+
+    Returns an array of frequency vectors, shape
+    ``(n_channels * points_per_channel, n_channels)``.
+    """
+    if points_per_channel < 2:
+        raise ConfigurationError("points_per_channel must be >= 2")
+    if not 0.0 <= base_fraction <= 1.0:
+        raise ConfigurationError("base_fraction must lie in [0, 1]")
+    devices = server.devices
+    base = np.array(
+        [
+            d.domain.nearest(d.domain.f_min + base_fraction * d.domain.span)
+            for d in devices
+        ],
+        dtype=np.float64,
+    )
+    plan: list[np.ndarray] = []
+    for i, dev in enumerate(devices):
+        sweep = np.linspace(dev.domain.f_min, dev.domain.f_max, points_per_channel)
+        for f in sweep:
+            point = base.copy()
+            point[i] = dev.domain.nearest(f)
+            plan.append(point)
+    return np.asarray(plan)
+
+
+def random_levels_plan(
+    server: GpuServer, n_points: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniformly random on-grid frequency vectors (persistently exciting).
+
+    Used by the recursive-least-squares extension, which re-identifies the
+    model online and benefits from richer excitation than staircases.
+    """
+    if n_points < 1:
+        raise ConfigurationError("n_points must be >= 1")
+    devices = server.devices
+    plan = np.empty((n_points, len(devices)), dtype=np.float64)
+    for j, dev in enumerate(devices):
+        levels = dev.domain.levels
+        plan[:, j] = rng.choice(levels, size=n_points)
+    return plan

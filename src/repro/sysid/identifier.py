@@ -1,0 +1,123 @@
+"""System-identification orchestration against a simulated server.
+
+Drives the open-loop excitation protocol of Section 4.2 on a
+:class:`~repro.sim.engine.ServerSimulation`: apply each plan point, let the
+plant settle, average the power-meter samples, then fit the linear model.
+Also collects per-batch latency measurements across a GPU clock sweep for
+fitting Eq. 8 (Fig. 2(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import IdentificationError
+from ..sim.engine import ServerSimulation
+from .excitation import one_knob_at_a_time
+from .latency_fit import LatencyModelFit, fit_latency_model
+from .least_squares import PowerModelFit, fit_power_model
+
+__all__ = [
+    "IdentificationDataset",
+    "identify_power_model",
+    "measure_latency_curve",
+    "identify_latency_model",
+]
+
+
+@dataclass(frozen=True)
+class IdentificationDataset:
+    """Raw excitation data plus the resulting fit (Fig. 2(a) material)."""
+
+    f_mhz: np.ndarray
+    power_w: np.ndarray
+    fit: PowerModelFit
+
+    def predicted_w(self) -> np.ndarray:
+        """Model predictions at the excitation points."""
+        return self.fit.predict(self.f_mhz)
+
+
+def identify_power_model(
+    sim: ServerSimulation,
+    plan: np.ndarray | None = None,
+    settle_periods: int = 1,
+    measure_periods: int = 2,
+    points_per_channel: int = 8,
+) -> IdentificationDataset:
+    """Run the excitation plan open loop and fit ``p = A.F + C``.
+
+    Note: identification consumes simulated time on ``sim`` — experiments
+    either identify on a dedicated scenario instance or accept the warm-up
+    (the paper likewise identifies before enabling the controller).
+    """
+    if plan is None:
+        plan = one_knob_at_a_time(sim.server, points_per_channel=points_per_channel)
+    plan = np.asarray(plan, dtype=np.float64)
+    if plan.ndim != 2 or plan.shape[1] != sim.server.n_channels:
+        raise IdentificationError(
+            f"plan must be (n_points, {sim.server.n_channels})"
+        )
+    powers = np.empty(plan.shape[0])
+    for i, point in enumerate(plan):
+        powers[i] = sim.measure_power_w(
+            point, settle_periods=settle_periods, measure_periods=measure_periods
+        )
+    fit = fit_power_model(plan, powers)
+    return IdentificationDataset(f_mhz=plan, power_w=powers, fit=fit)
+
+
+def measure_latency_curve(
+    sim: ServerSimulation,
+    gpu_index: int,
+    clocks_mhz: np.ndarray,
+    periods_per_point: int = 3,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sweep one GPU's clock and collect per-batch latencies.
+
+    All other channels run at maximum so supply never limits the GPU.
+    Returns aligned arrays ``(clock per batch, measured latency)``.
+    """
+    pipe = sim.pipelines[gpu_index]
+    if pipe is None:
+        raise IdentificationError(f"no pipeline on GPU {gpu_index}")
+    chan = sim.gpu_channels[gpu_index]
+    targets = sim.server.f_max_vector()
+    freqs: list[float] = []
+    lats: list[float] = []
+    for clock in np.asarray(clocks_mhz, dtype=np.float64):
+        targets = targets.copy()
+        targets[chan] = clock
+        before = pipe.completed_batches
+        sim.run_open_loop(targets, periods_per_point)
+        new = pipe.completed_batches - before
+        if new == 0:
+            continue
+        window = list(pipe.recent_latencies_s)[-new:]
+        # Drop the first batch at each point: it may straddle the clock change.
+        window = window[1:] if len(window) > 1 else window
+        freqs.extend([float(clock)] * len(window))
+        lats.extend(window)
+    if len(lats) < 3:
+        raise IdentificationError("latency sweep produced too few batches")
+    return np.asarray(freqs), np.asarray(lats)
+
+
+def identify_latency_model(
+    sim: ServerSimulation,
+    gpu_index: int,
+    n_points: int = 8,
+    periods_per_point: int = 3,
+) -> tuple[LatencyModelFit, np.ndarray, np.ndarray]:
+    """Fit Eq. 8 for one GPU task from a clock sweep.
+
+    Returns ``(fit, clock-per-batch, latency-per-batch)``.
+    """
+    gpu = sim.server.gpus[gpu_index]
+    clocks = np.linspace(gpu.domain.f_min, gpu.domain.f_max, n_points)
+    clocks = np.array([gpu.domain.nearest(c) for c in clocks])
+    f, e = measure_latency_curve(sim, gpu_index, clocks, periods_per_point)
+    fit = fit_latency_model(f, e, f_max_mhz=gpu.domain.f_max)
+    return fit, f, e

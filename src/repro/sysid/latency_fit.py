@@ -1,0 +1,82 @@
+"""Fitting the frequency-latency model (Eq. 8) from measured batches.
+
+Eq. 8 is log-linear: ``log e = log e_min + gamma * (log f_max - log f)``,
+so (e_min, gamma) come from ordinary least squares in log space. The paper
+reports gamma = 0.91 with R^2 ~= 0.91 (Fig. 2(b)); the residual scatter in
+our pipeline comes from the log-normal per-batch jitter, which is exactly
+the deviation Fig. 2(b) visualizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import IdentificationError
+from .least_squares import r_squared
+
+__all__ = ["LatencyModelFit", "fit_latency_model"]
+
+
+@dataclass(frozen=True)
+class LatencyModelFit:
+    """Identified Eq. 8 parameters for one task."""
+
+    e_min_s: float
+    gamma: float
+    f_max_mhz: float
+    r2: float
+    n_samples: int
+
+    def predict(self, f_mhz) -> np.ndarray:
+        """Predicted latency at core clock(s) ``f_mhz``."""
+        f = np.asarray(f_mhz, dtype=np.float64)
+        return self.e_min_s * (self.f_max_mhz / f) ** self.gamma
+
+    def min_frequency_mhz(self, slo_s: float) -> float:
+        """Smallest clock meeting ``slo_s`` under the fitted model."""
+        if slo_s <= 0:
+            raise IdentificationError("slo_s must be positive")
+        return float(self.f_max_mhz * (self.e_min_s / slo_s) ** (1.0 / self.gamma))
+
+
+def fit_latency_model(
+    f_mhz: np.ndarray, latency_s: np.ndarray, f_max_mhz: float
+) -> LatencyModelFit:
+    """Fit ``e = e_min (f_max/f)^gamma`` to measured (frequency, latency) pairs.
+
+    Parameters
+    ----------
+    f_mhz:
+        Core clock per measured batch.
+    latency_s:
+        Measured batch latency.
+    f_max_mhz:
+        The reference maximum clock (defines where ``e_min`` is anchored).
+    """
+    f = np.asarray(f_mhz, dtype=np.float64)
+    e = np.asarray(latency_s, dtype=np.float64)
+    if f.ndim != 1 or f.shape != e.shape:
+        raise IdentificationError("f_mhz and latency_s must be 1-D and aligned")
+    if f.shape[0] < 3:
+        raise IdentificationError("need at least 3 samples to fit (e_min, gamma)")
+    if np.any(f <= 0) or np.any(e <= 0):
+        raise IdentificationError("frequencies and latencies must be positive")
+    if float(np.ptp(f)) == 0.0:
+        raise IdentificationError("latency fit needs at least two distinct clocks")
+    x = np.log(f_max_mhz / f)
+    y = np.log(e)
+    design = np.column_stack([x, np.ones_like(x)])
+    coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+    gamma, log_emin = float(coef[0]), float(coef[1])
+    pred = design @ coef
+    # R^2 is reported in latency space (as the paper plots it), not log space.
+    r2 = r_squared(e, np.exp(pred))
+    return LatencyModelFit(
+        e_min_s=float(np.exp(log_emin)),
+        gamma=gamma,
+        f_max_mhz=float(f_max_mhz),
+        r2=r2,
+        n_samples=int(f.shape[0]),
+    )

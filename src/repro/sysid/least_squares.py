@@ -1,0 +1,124 @@
+"""Least-squares fitting of the linear power model (Eq. 3-5).
+
+The paper identifies ``p = A . F + C`` by varying one frequency input at a
+time while holding the others fixed, recording power, and solving the
+resulting overdetermined linear system with least squares (Section 4.2,
+Fig. 2(a), reported R^2 = 0.96).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import IdentificationError
+
+__all__ = ["PowerModelFit", "fit_power_model", "r_squared"]
+
+
+def r_squared(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination of predictions ``y_pred``.
+
+    Returns 1.0 for a perfect fit on a constant target (zero total variance
+    with zero residuals) and -inf-free values otherwise.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise IdentificationError("shape mismatch between y_true and y_pred")
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+@dataclass(frozen=True)
+class PowerModelFit:
+    """Identified linear power model ``p = A . F + C``.
+
+    ``A`` has one gain per channel (W/MHz), ``c_w`` is the static offset,
+    and the fit diagnostics mirror what Fig. 2(a) reports.
+    """
+
+    a_w_per_mhz: np.ndarray
+    c_w: float
+    r2: float
+    rmse_w: float
+    n_samples: int
+
+    @property
+    def n_channels(self) -> int:
+        return int(self.a_w_per_mhz.shape[0])
+
+    def predict(self, f_mhz: np.ndarray) -> np.ndarray:
+        """Predicted power for frequency vector(s); accepts (n,) or (m, n)."""
+        F = np.asarray(f_mhz, dtype=np.float64)
+        return F @ self.a_w_per_mhz + self.c_w
+
+    def predict_delta(self, delta_f_mhz: np.ndarray) -> float:
+        """Predicted power change for a frequency increment (Eq. 7)."""
+        return float(np.asarray(delta_f_mhz, dtype=np.float64) @ self.a_w_per_mhz)
+
+    def with_gains(self, gains: np.ndarray) -> "PowerModelFit":
+        """Return a copy whose ``A`` entries are scaled by ``gains``.
+
+        Used by the Section 4.4 robustness analysis (``A' = g o A``).
+        """
+        g = np.asarray(gains, dtype=np.float64)
+        if g.shape != self.a_w_per_mhz.shape:
+            raise IdentificationError("gains must match the channel count")
+        return PowerModelFit(
+            a_w_per_mhz=self.a_w_per_mhz * g,
+            c_w=self.c_w,
+            r2=self.r2,
+            rmse_w=self.rmse_w,
+            n_samples=self.n_samples,
+        )
+
+
+def fit_power_model(f_mhz: np.ndarray, power_w: np.ndarray) -> PowerModelFit:
+    """Fit ``p = A . F + C`` by ordinary least squares.
+
+    Parameters
+    ----------
+    f_mhz:
+        Design matrix, shape ``(n_samples, n_channels)`` — one frequency
+        vector per measurement.
+    power_w:
+        Measured mean power per point, shape ``(n_samples,)``.
+
+    Raises
+    ------
+    IdentificationError
+        If there are fewer samples than unknowns or the design does not
+        excite every channel (rank deficiency) — e.g. a channel was never
+        varied during the excitation runs.
+    """
+    F = np.asarray(f_mhz, dtype=np.float64)
+    p = np.asarray(power_w, dtype=np.float64)
+    if F.ndim != 2 or p.ndim != 1 or F.shape[0] != p.shape[0]:
+        raise IdentificationError("need F of shape (n, c) and power of shape (n,)")
+    n, c = F.shape
+    if n < c + 1:
+        raise IdentificationError(
+            f"{n} samples cannot identify {c} gains plus an offset"
+        )
+    design = np.column_stack([F, np.ones(n)])
+    rank = np.linalg.matrix_rank(design)
+    if rank < c + 1:
+        raise IdentificationError(
+            "excitation is rank-deficient: some channel was never varied "
+            f"independently (rank {rank} < {c + 1})"
+        )
+    coef, *_ = np.linalg.lstsq(design, p, rcond=None)
+    a, c_w = coef[:-1], float(coef[-1])
+    pred = design @ coef
+    return PowerModelFit(
+        a_w_per_mhz=a,
+        c_w=c_w,
+        r2=r_squared(p, pred),
+        rmse_w=float(np.sqrt(np.mean((p - pred) ** 2))),
+        n_samples=n,
+    )

@@ -1,0 +1,95 @@
+"""Recursive least squares with forgetting — online model re-identification.
+
+Extension beyond the paper (its Section 4.4 future work mentions adapting to
+model drift): the controller can refresh its ``A`` estimate from closed-loop
+data instead of re-running the offline staircase. Standard exponentially
+weighted RLS on the regressor ``[F, 1]`` with target ``p``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, IdentificationError
+from .least_squares import PowerModelFit
+
+__all__ = ["RecursiveLeastSquares"]
+
+
+class RecursiveLeastSquares:
+    """Exponentially weighted RLS estimator of ``p = A.F + C``.
+
+    Parameters
+    ----------
+    n_channels:
+        Number of frequency channels.
+    forgetting:
+        Forgetting factor in (0, 1]; 1.0 = ordinary growing-window RLS.
+    p0:
+        Initial covariance scale (large = weak prior).
+    theta0:
+        Optional initial parameter vector ``[A..., C]`` (e.g. an offline fit
+        to warm-start from).
+    """
+
+    def __init__(
+        self,
+        n_channels: int,
+        forgetting: float = 0.98,
+        p0: float = 1e6,
+        theta0: np.ndarray | None = None,
+    ):
+        if n_channels < 1:
+            raise ConfigurationError("n_channels must be >= 1")
+        if not 0.0 < forgetting <= 1.0:
+            raise ConfigurationError("forgetting must lie in (0, 1]")
+        if p0 <= 0:
+            raise ConfigurationError("p0 must be positive")
+        self.n_channels = int(n_channels)
+        self.forgetting = float(forgetting)
+        d = n_channels + 1
+        self._P = np.eye(d) * float(p0)
+        if theta0 is None:
+            self._theta = np.zeros(d)
+        else:
+            theta0 = np.asarray(theta0, dtype=np.float64)
+            if theta0.shape != (d,):
+                raise ConfigurationError(f"theta0 must have shape ({d},)")
+            self._theta = theta0.copy()
+        self._n_updates = 0
+
+    @property
+    def n_updates(self) -> int:
+        return self._n_updates
+
+    def update(self, f_mhz: np.ndarray, power_w: float) -> None:
+        """Incorporate one (frequency vector, measured power) pair."""
+        f = np.asarray(f_mhz, dtype=np.float64)
+        if f.shape != (self.n_channels,):
+            raise IdentificationError(f"expected shape ({self.n_channels},)")
+        phi = np.append(f, 1.0)
+        lam = self.forgetting
+        Pphi = self._P @ phi
+        denom = lam + phi @ Pphi
+        gain = Pphi / denom
+        err = float(power_w) - float(phi @ self._theta)
+        self._theta = self._theta + gain * err
+        self._P = (self._P - np.outer(gain, Pphi)) / lam
+        # Keep the covariance symmetric against numerical drift.
+        self._P = 0.5 * (self._P + self._P.T)
+        self._n_updates += 1
+
+    def estimate(self) -> PowerModelFit:
+        """Current parameter estimate as a :class:`PowerModelFit`.
+
+        R^2/RMSE are not tracked online and are reported as NaN.
+        """
+        if self._n_updates == 0:
+            raise IdentificationError("no updates incorporated yet")
+        return PowerModelFit(
+            a_w_per_mhz=self._theta[:-1].copy(),
+            c_w=float(self._theta[-1]),
+            r2=float("nan"),
+            rmse_w=float("nan"),
+            n_samples=self._n_updates,
+        )

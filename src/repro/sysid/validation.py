@@ -1,0 +1,126 @@
+"""Model-validation utilities for system identification.
+
+Fig. 2 of the paper reports the training-fit R²; a deployment should also
+check how the model *generalizes* (fresh operating points) and whether the
+residual structure betrays unmodelled dynamics. These helpers provide
+held-out evaluation, k-fold cross-validation of the power model, and a
+residual summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import IdentificationError
+from .least_squares import PowerModelFit, fit_power_model, r_squared
+
+__all__ = [
+    "holdout_validation",
+    "cross_validate_power_model",
+    "ResidualSummary",
+    "residual_summary",
+]
+
+
+def holdout_validation(
+    f_mhz: np.ndarray,
+    power_w: np.ndarray,
+    train_fraction: float = 0.7,
+    rng: np.random.Generator | None = None,
+) -> tuple[PowerModelFit, float]:
+    """Fit on a random subset, score R² on the held-out remainder.
+
+    Returns ``(fit-on-train, held-out R²)``. Without ``rng`` the split is
+    deterministic (every third point held out), keeping results stable.
+    """
+    F = np.asarray(f_mhz, dtype=np.float64)
+    p = np.asarray(power_w, dtype=np.float64)
+    n = F.shape[0]
+    if not 0.0 < train_fraction < 1.0:
+        raise IdentificationError("train_fraction must lie in (0, 1)")
+    if rng is None:
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[::3] = True
+        if test_mask.all() or not test_mask.any():
+            raise IdentificationError("dataset too small for a holdout split")
+    else:
+        test_mask = rng.random(n) > train_fraction
+        if test_mask.all() or not test_mask.any():
+            raise IdentificationError("degenerate holdout split; adjust fraction")
+    fit = fit_power_model(F[~test_mask], p[~test_mask])
+    r2 = r_squared(p[test_mask], fit.predict(F[test_mask]))
+    return fit, float(r2)
+
+
+def cross_validate_power_model(
+    f_mhz: np.ndarray, power_w: np.ndarray, k_folds: int = 5
+) -> list[float]:
+    """k-fold cross-validated R² scores of the linear power model.
+
+    Folds are interleaved (every k-th point) so each fold spans the whole
+    excitation range — contiguous folds would hold out entire sweeps and
+    guarantee extrapolation failure.
+    """
+    F = np.asarray(f_mhz, dtype=np.float64)
+    p = np.asarray(power_w, dtype=np.float64)
+    n = F.shape[0]
+    if not 2 <= k_folds <= n // 2:
+        raise IdentificationError(f"k_folds must lie in [2, {n // 2}]")
+    scores = []
+    for k in range(k_folds):
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[k::k_folds] = True
+        fit = fit_power_model(F[~test_mask], p[~test_mask])
+        scores.append(float(r_squared(p[test_mask], fit.predict(F[test_mask]))))
+    return scores
+
+
+@dataclass(frozen=True)
+class ResidualSummary:
+    """Structure of the fit residuals."""
+
+    mean_w: float
+    std_w: float
+    max_abs_w: float
+    lag1_autocorr: float
+    frequency_correlation: float
+
+    @property
+    def looks_white(self) -> bool:
+        """Heuristic: residuals centered, weakly autocorrelated, and not
+        trending with frequency (no gross unmodelled dynamics)."""
+        return (
+            abs(self.mean_w) < 2.0 * self.std_w / 3.0
+            and abs(self.lag1_autocorr) < 0.6
+            and abs(self.frequency_correlation) < 0.5
+        )
+
+
+def residual_summary(fit: PowerModelFit, f_mhz: np.ndarray, power_w: np.ndarray) -> ResidualSummary:
+    """Summarize residual structure of ``fit`` on a dataset."""
+    F = np.asarray(f_mhz, dtype=np.float64)
+    p = np.asarray(power_w, dtype=np.float64)
+    resid = p - fit.predict(F)
+    if resid.size < 3:
+        raise IdentificationError("need at least 3 samples")
+    std = float(np.std(resid))
+    if std > 0 and resid.size > 1:
+        lag1 = float(np.corrcoef(resid[:-1], resid[1:])[0, 1])
+    else:
+        lag1 = 0.0
+    # Correlate against the strongest single regressor: total gain-weighted
+    # frequency (a trend here means curvature the linear model missed).
+    drive = F @ fit.a_w_per_mhz
+    if std > 0 and float(np.std(drive)) > 0:
+        f_corr = float(np.corrcoef(drive, resid)[0, 1])
+    else:
+        f_corr = 0.0
+    return ResidualSummary(
+        mean_w=float(np.mean(resid)),
+        std_w=std,
+        max_abs_w=float(np.max(np.abs(resid))),
+        lag1_autocorr=lag1,
+        frequency_correlation=f_corr,
+    )

@@ -1,0 +1,101 @@
+"""Simulated IPMI/BMC chassis telemetry (read-only).
+
+Production power-capping agents (IBM's Active Energy Manager, Dynamo's node
+agents) read chassis state from the baseboard management controller. This
+read-only view complements the ACPI meter with the sensors a BMC exposes:
+inlet/device temperatures, fan speed, PSU load, and a sensor-record dump in
+`ipmitool sensor`-like rows. It never feeds the control loop in the paper's
+design — it exists for operator dashboards and the thermal extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TelemetryError
+from ..hardware.server import GpuServer
+
+__all__ = ["SensorReading", "SimulatedIpmi"]
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One BMC sensor row."""
+
+    name: str
+    value: float
+    unit: str
+
+    def render(self) -> str:
+        """`ipmitool sensor`-style line."""
+        return f"{self.name:<24s}| {self.value:10.2f} | {self.unit}"
+
+
+class SimulatedIpmi:
+    """BMC sensor surface over a simulated server.
+
+    Parameters
+    ----------
+    server:
+        The plant. Temperatures require the server's thermal extension
+        (``thermal=True``); without it temperature queries raise
+        :class:`TelemetryError`, mirroring a board without those sensors.
+    psu_rating_w:
+        Nameplate PSU capacity, for the load-fraction sensor.
+    """
+
+    def __init__(self, server: GpuServer, psu_rating_w: float = 1600.0):
+        if psu_rating_w <= 0:
+            raise TelemetryError("psu_rating_w must be positive")
+        self._server = server
+        self.psu_rating_w = float(psu_rating_w)
+
+    # -- individual sensors ---------------------------------------------------
+
+    def psu_load_fraction(self) -> float:
+        """Current draw over nameplate capacity."""
+        return self._server.total_power_w() / self.psu_rating_w
+
+    def fan_speed_fraction(self) -> float:
+        return self._server.fan.speed
+
+    def fan_power_w(self) -> float:
+        return self._server.fan.power_w()
+
+    def inlet_temp_c(self) -> float:
+        """Ambient/inlet temperature (needs the thermal extension)."""
+        nodes = self._server.thermal_nodes
+        if nodes is None:
+            raise TelemetryError("server built without thermal=True")
+        return nodes[0].t_ambient
+
+    def device_temps_c(self) -> list[float]:
+        """Junction temperature per device, channel order."""
+        nodes = self._server.thermal_nodes
+        if nodes is None:
+            raise TelemetryError("server built without thermal=True")
+        return [n.temperature_c for n in nodes]
+
+    def hottest_device_c(self) -> float:
+        return max(self.device_temps_c())
+
+    # -- full dump -------------------------------------------------------------
+
+    def sensor_records(self) -> list[SensorReading]:
+        """All available sensors (temperatures only with thermal enabled)."""
+        records = [
+            SensorReading("Sys Power", self._server.total_power_w(), "Watts"),
+            SensorReading("CPU Power", self._server.cpu_power_w(), "Watts"),
+            SensorReading("GPU Power", self._server.gpu_power_w(), "Watts"),
+            SensorReading("PSU Load", 100.0 * self.psu_load_fraction(), "percent"),
+            SensorReading("Fan Speed", 100.0 * self.fan_speed_fraction(), "percent"),
+        ]
+        if self._server.thermal_nodes is not None:
+            records.append(SensorReading("Inlet Temp", self.inlet_temp_c(), "degrees C"))
+            for ref, temp in zip(self._server.channels, self.device_temps_c()):
+                records.append(SensorReading(f"{ref.name} Temp", temp, "degrees C"))
+        return records
+
+    def render(self) -> str:
+        """`ipmitool sensor`-like text dump."""
+        return "\n".join(r.render() for r in self.sensor_records())

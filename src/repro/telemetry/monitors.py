@@ -1,0 +1,135 @@
+"""Throughput and utilization monitors.
+
+Section 3.1 of the paper: each GPU's monitor reports average inference
+throughput (tasks completed per second) and the CPU monitor reports feature
+subsets evaluated per second; each is then *normalized by the maximum
+throughput of the respective device*. The normalized values drive the weight
+assignment of the CapGPU controller.
+
+Monitors are windowed: producers report event counts (and busy time) per
+simulation tick; at the end of each control period the controller reads the
+windowed rate and the window resets.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, TelemetryError
+from ..units import require_positive
+
+__all__ = ["ThroughputMonitor", "UtilizationMonitor"]
+
+
+class ThroughputMonitor:
+    """Windowed event-rate monitor with running-maximum normalization.
+
+    Parameters
+    ----------
+    name:
+        Device/workload label (diagnostics only).
+    max_rate_hint:
+        Optional prior for the device's maximum achievable rate. The
+        normalizer is ``max(max_rate_hint, running max of observed rates)``,
+        so normalization works from the first period even before the device
+        has demonstrated its peak (and adapts upward if the hint was low).
+    """
+
+    def __init__(self, name: str, max_rate_hint: float | None = None):
+        self.name = str(name)
+        if max_rate_hint is not None:
+            require_positive(max_rate_hint, "max_rate_hint")
+        self._max_seen = float(max_rate_hint) if max_rate_hint else 0.0
+        self._events = 0.0
+        self._elapsed = 0.0
+        self._last_rate: float | None = None
+
+    def record(self, n_events: float, dt_s: float) -> None:
+        """Record ``n_events`` completions over ``dt_s`` seconds of this window."""
+        if n_events < 0:
+            raise ConfigurationError("n_events must be >= 0")
+        if dt_s <= 0:
+            raise ConfigurationError("dt_s must be positive")
+        self._events += float(n_events)
+        self._elapsed += float(dt_s)
+
+    def read_and_reset(self) -> float:
+        """Return the window's mean rate (events/s) and start a new window."""
+        if self._elapsed <= 0:
+            raise TelemetryError(f"monitor {self.name!r}: empty window")
+        rate = self._events / self._elapsed
+        self._events = 0.0
+        self._elapsed = 0.0
+        self._last_rate = rate
+        self._max_seen = max(self._max_seen, rate)
+        return rate
+
+    @property
+    def last_rate(self) -> float:
+        """Most recent windowed rate (0.0 before the first window closes)."""
+        return 0.0 if self._last_rate is None else self._last_rate
+
+    @property
+    def max_rate(self) -> float:
+        """Current normalizer (hint or running maximum)."""
+        return self._max_seen
+
+    def normalized(self) -> float:
+        """Last rate divided by the device maximum, clamped to [0, 1].
+
+        Returns 0.0 before any window has closed (a cold device is treated as
+        idle, which makes the controller throttle it first — the safe side).
+        """
+        if self._last_rate is None or self._max_seen <= 0:
+            return 0.0
+        return min(self._last_rate / self._max_seen, 1.0)
+
+    def reset(self) -> None:
+        """Clear window state (keeps the normalizer hint/running max)."""
+        self._events = 0.0
+        self._elapsed = 0.0
+        self._last_rate = None
+
+
+class UtilizationMonitor:
+    """Windowed busy-fraction monitor (what ``nvidia-smi``'s util column shows).
+
+    Producers report busy time per tick; the monitor returns the mean busy
+    fraction over the control period. Used by the fixed-step baseline, which
+    selects which component to throttle by *utilization* rather than by
+    throughput.
+    """
+
+    def __init__(self, name: str):
+        self.name = str(name)
+        self._busy = 0.0
+        self._elapsed = 0.0
+        self._last: float | None = None
+
+    def record(self, busy_s: float, dt_s: float) -> None:
+        """Record ``busy_s`` seconds of busy time within a ``dt_s`` tick."""
+        if dt_s <= 0:
+            raise ConfigurationError("dt_s must be positive")
+        if busy_s < 0 or busy_s > dt_s + 1e-9:
+            raise ConfigurationError(f"busy_s must lie in [0, dt_s], got {busy_s} vs {dt_s}")
+        self._busy += float(busy_s)
+        self._elapsed += float(dt_s)
+
+    def read_and_reset(self) -> float:
+        """Return the window's mean busy fraction in [0, 1] and reset."""
+        if self._elapsed <= 0:
+            raise TelemetryError(f"monitor {self.name!r}: empty window")
+        util = min(self._busy / self._elapsed, 1.0)
+        self._busy = 0.0
+        self._elapsed = 0.0
+        self._last = util
+        return util
+
+    @property
+    def last_utilization(self) -> float:
+        """Most recent windowed busy fraction (0.0 before first window)."""
+        return 0.0 if self._last is None else self._last
+
+    def reset(self) -> None:
+        """Clear window state."""
+        self._busy = 0.0
+        self._elapsed = 0.0
+        self._last = None

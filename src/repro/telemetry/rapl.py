@@ -1,0 +1,96 @@
+"""Simulated Intel RAPL energy counters.
+
+The CPU-side loop of the CPU+GPU split-budget baseline measures CPU package
+power the way production power-capping agents do: by differencing the RAPL
+``energy_uj`` counter over a window. We reproduce the counter's quirks:
+
+* it counts **microjoules** and is monotonically increasing,
+* it wraps around at a platform-specific maximum (``max_energy_range_uj``),
+  so naive differencing across a wrap yields a huge negative value — the
+  adapter handles the wrap like real readers must.
+
+The counter integrates the simulated CPU package power each tick.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, TelemetryError
+from ..hardware.server import GpuServer
+from ..units import joules_to_microjoules
+
+__all__ = ["SimulatedRapl", "RaplWindowReader"]
+
+#: Typical ``max_energy_range_uj`` for a Xeon package (~262144 J).
+DEFAULT_MAX_ENERGY_RANGE_UJ = 262_143_328_850
+
+
+class SimulatedRapl:
+    """Package-domain RAPL counter backed by the simulated server.
+
+    Parameters
+    ----------
+    server:
+        The simulated plant (all CPU packages are aggregated into one
+        package domain, matching the single-host-CPU testbed).
+    max_energy_range_uj:
+        Counter wrap point.
+    """
+
+    def __init__(
+        self,
+        server: GpuServer,
+        max_energy_range_uj: int = DEFAULT_MAX_ENERGY_RANGE_UJ,
+    ):
+        if max_energy_range_uj <= 0:
+            raise ConfigurationError("max_energy_range_uj must be positive")
+        self._server = server
+        self.max_energy_range_uj = int(max_energy_range_uj)
+        self._energy_uj = 0.0
+
+    def accumulate(self, dt_s: float) -> None:
+        """Integrate the current CPU package power for one tick."""
+        if dt_s <= 0:
+            raise ConfigurationError("dt_s must be positive")
+        self._energy_uj += joules_to_microjoules(self._server.cpu_power_w() * dt_s)
+        self._energy_uj %= self.max_energy_range_uj
+
+    def read_energy_uj(self) -> int:
+        """Current counter value in microjoules (``energy_uj`` sysfs file)."""
+        return int(self._energy_uj)
+
+    def reset(self) -> None:
+        """Zero the counter (module reload / machine reboot)."""
+        self._energy_uj = 0.0
+
+
+class RaplWindowReader:
+    """Computes average package power between successive reads, wrap-safe."""
+
+    def __init__(self, rapl: SimulatedRapl):
+        self._rapl = rapl
+        self._last_uj: int | None = None
+        self._last_t: float | None = None
+
+    def start(self, time_s: float) -> None:
+        """Anchor the window at ``time_s``."""
+        self._last_uj = self._rapl.read_energy_uj()
+        self._last_t = float(time_s)
+
+    def read_power_w(self, time_s: float) -> float:
+        """Average package power since the previous read, then re-anchor.
+
+        Raises :class:`TelemetryError` if :meth:`start` was never called or
+        no time elapsed.
+        """
+        if self._last_uj is None or self._last_t is None:
+            raise TelemetryError("RaplWindowReader.read_power_w before start()")
+        dt = float(time_s) - self._last_t
+        if dt <= 0:
+            raise TelemetryError("RAPL window has zero duration")
+        now_uj = self._rapl.read_energy_uj()
+        delta = now_uj - self._last_uj
+        if delta < 0:  # counter wrapped between reads
+            delta += self._rapl.max_energy_range_uj
+        self._last_uj = now_uj
+        self._last_t = float(time_s)
+        return (delta / 1e6) / dt

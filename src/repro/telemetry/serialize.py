@@ -1,0 +1,71 @@
+"""Trace serialization: CSV (human) and NPZ (lossless) round trips.
+
+Experiment traces are the primary artifact of a run; these helpers let the
+CLI and users persist and reload them without any extra dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .trace import Trace
+
+__all__ = ["trace_to_csv", "trace_from_csv", "save_trace_npz", "load_trace_npz"]
+
+
+def trace_to_csv(trace: Trace) -> str:
+    """Render a trace as CSV text (header = channel names)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(trace.channels)
+    data = trace.as_array()
+    for row in data:
+        writer.writerow([repr(float(v)) for v in row])
+    return buf.getvalue()
+
+
+def trace_from_csv(text: str) -> Trace:
+    """Parse CSV text produced by :func:`trace_to_csv`."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ConfigurationError("empty CSV") from None
+    trace = Trace(header)
+    for lineno, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(header):
+            raise ConfigurationError(
+                f"line {lineno}: {len(row)} cells, expected {len(header)}"
+            )
+        trace.append(**{name: float(v) for name, v in zip(header, row)})
+    return trace
+
+
+def save_trace_npz(trace: Trace, path: str | Path) -> Path:
+    """Save a trace to a compressed ``.npz`` (lossless float64)."""
+    path = Path(path)
+    arrays = {name: trace[name].copy() for name in trace.channels}
+    # Channel order must survive the round trip.
+    np.savez_compressed(path, __channels__=np.array(trace.channels), **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_trace_npz(path: str | Path) -> Trace:
+    """Load a trace saved by :func:`save_trace_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if "__channels__" not in data:
+            raise ConfigurationError(f"{path} is not a saved trace")
+        channels = [str(c) for c in data["__channels__"]]
+        trace = Trace(channels)
+        columns = {name: data[name] for name in channels}
+        n = len(columns[channels[0]]) if channels else 0
+        for i in range(n):
+            trace.append(**{name: float(columns[name][i]) for name in channels})
+    return trace

@@ -1,0 +1,99 @@
+"""Unit conversions and validation helpers.
+
+Internal convention of the whole package:
+
+* frequencies are **MHz** (``float``) — matches ``nvidia-smi`` output and
+  keeps CPU (1000-2400) and GPU (435-1350) knobs on comparable scales, which
+  conditions the MPC Hessian far better than mixing GHz and MHz;
+* power is **watts**;
+* energy is **joules** (RAPL exposes microjoules; the adapter converts);
+* time is **seconds**.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "MHZ_PER_GHZ",
+    "ghz_to_mhz",
+    "mhz_to_ghz",
+    "watts_to_milliwatts",
+    "milliwatts_to_watts",
+    "joules_to_microjoules",
+    "microjoules_to_joules",
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "require_monotonic",
+]
+
+MHZ_PER_GHZ = 1000.0
+
+
+def ghz_to_mhz(ghz: float) -> float:
+    """Convert gigahertz to megahertz."""
+    return float(ghz) * MHZ_PER_GHZ
+
+
+def mhz_to_ghz(mhz: float) -> float:
+    """Convert megahertz to gigahertz."""
+    return float(mhz) / MHZ_PER_GHZ
+
+
+def watts_to_milliwatts(watts: float) -> float:
+    """Convert watts to milliwatts (NVML reports milliwatts)."""
+    return float(watts) * 1e3
+
+
+def milliwatts_to_watts(mw: float) -> float:
+    """Convert milliwatts to watts."""
+    return float(mw) / 1e3
+
+
+def joules_to_microjoules(j: float) -> float:
+    """Convert joules to microjoules (RAPL counts microjoules)."""
+    return float(j) * 1e6
+
+
+def microjoules_to_joules(uj: float) -> float:
+    """Convert microjoules to joules."""
+    return float(uj) / 1e6
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number strictly greater than zero."""
+    v = float(value)
+    if not math.isfinite(v) or v <= 0.0:
+        raise ConfigurationError(f"{name} must be a positive finite number, got {value!r}")
+    return v
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number greater than or equal to zero."""
+    v = float(value)
+    if not math.isfinite(v) or v < 0.0:
+        raise ConfigurationError(f"{name} must be a non-negative finite number, got {value!r}")
+    return v
+
+
+def require_in_range(value: float, lo: float, hi: float, name: str) -> float:
+    """Validate that ``lo <= value <= hi``."""
+    v = float(value)
+    if not math.isfinite(v) or v < lo or v > hi:
+        raise ConfigurationError(f"{name} must lie in [{lo}, {hi}], got {value!r}")
+    return v
+
+
+def require_monotonic(values: Iterable[float], name: str) -> list[float]:
+    """Validate that ``values`` is non-empty and strictly increasing."""
+    out = [float(v) for v in values]
+    if not out:
+        raise ConfigurationError(f"{name} must be non-empty")
+    for a, b in zip(out, out[1:]):
+        if not b > a:
+            raise ConfigurationError(f"{name} must be strictly increasing, got {out!r}")
+    return out

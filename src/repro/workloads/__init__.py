@@ -1,0 +1,69 @@
+"""Workloads: inference pipelines, model zoo, CPU feature selection, traces.
+
+Substitutes the paper's PyTorch inference stack and the Alibaba PAI dataset
+(see DESIGN.md): analytic pipelines execute the paper's own latency model
+(Eq. 8), and a synthetic PAI-like trace feeds a real exhaustive
+feature-selection implementation.
+"""
+
+from .llm import LLAMA_7B_V100, LlmPipeline, LlmRequest, LlmSpec
+from .feature_selection import (
+    FeatureSelectionResult,
+    FeatureSelectionWorkload,
+    cross_val_mse,
+    exhaustive_feature_selection,
+)
+from .models import (
+    GOOGLENET_3090,
+    MODEL_ZOO,
+    RESNET50,
+    SWIN_T,
+    VGG16,
+    InferenceModelSpec,
+    latency_at,
+    min_frequency_for_latency,
+    tail_latency,
+)
+from .pai import PAI_FEATURE_NAMES, TRUE_SUPPORT, PaiTrace, generate_pai_trace
+from .pipeline import InferencePipeline, PipelineConfig, PipelineTick
+from .request_gen import (
+    ArrivalProcess,
+    BurstArrivals,
+    PoissonArrivals,
+    SaturatedArrivals,
+    SteadyArrivals,
+    TraceArrivals,
+)
+
+__all__ = [
+    "InferenceModelSpec",
+    "latency_at",
+    "min_frequency_for_latency",
+    "tail_latency",
+    "RESNET50",
+    "SWIN_T",
+    "VGG16",
+    "GOOGLENET_3090",
+    "MODEL_ZOO",
+    "InferencePipeline",
+    "PipelineConfig",
+    "PipelineTick",
+    "FeatureSelectionWorkload",
+    "FeatureSelectionResult",
+    "cross_val_mse",
+    "exhaustive_feature_selection",
+    "PaiTrace",
+    "generate_pai_trace",
+    "PAI_FEATURE_NAMES",
+    "TRUE_SUPPORT",
+    "ArrivalProcess",
+    "SaturatedArrivals",
+    "SteadyArrivals",
+    "PoissonArrivals",
+    "BurstArrivals",
+    "TraceArrivals",
+    "LlmSpec",
+    "LlmPipeline",
+    "LlmRequest",
+    "LLAMA_7B_V100",
+]

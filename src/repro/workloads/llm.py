@@ -1,0 +1,344 @@
+"""LLM inference workload (extension beyond the paper's CNN/ViT tasks).
+
+The paper motivates SLO adaptation with bursty generative traffic (its
+Section 6.4 cites the ChatGPT Ghibli-image surge), and its related work
+(Patel et al., ASPLOS'24) characterizes LLM power behaviour: *prefill* is
+compute-bound (power tracks clock strongly) while *decode* is memory-bound
+(lower dynamic intensity, latency less clock-sensitive). This module adds a
+token-level serving model with those phases, so CapGPU can be exercised on
+a workload whose *effective power gain changes with phase mix* — a live
+instance of the Section 4.4 model-mismatch robustness argument.
+
+Model
+-----
+Requests carry (prompt_tokens, output_tokens). The engine serves:
+
+* a FIFO **prefill** stage processing prompt tokens at
+  ``prefill_tok_s * (f/f_max)^gamma`` (one request at a time);
+* a **decode** pool generating output tokens at an aggregate
+  ``decode_tok_s * (f/f_max)^gamma_decode`` shared round-robin among active
+  requests, up to ``max_concurrency`` (continuous batching).
+
+Metrics: TTFT (time to first token — prefill wait + prefill time) and
+end-to-end request latency. The per-tick GPU "busy" signal is weighted by
+phase intensity (prefill 1.0, decode ``decode_intensity``), which the power
+model sees as utilization — so a decode-heavy mix draws less power per MHz,
+exactly the time-varying-gain effect we want the controller to ride out.
+
+The pipeline exposes the same duck-typed surface as
+:class:`~repro.workloads.pipeline.InferencePipeline` (``spec``, ``config``,
+``step``, latency stats), so it drops into :class:`~repro.sim.engine.
+ServerSimulation` unchanged; "batches" in the engine's throughput
+accounting become "completed requests".
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import require_positive
+from .pipeline import PipelineTick
+from .request_gen import ArrivalProcess, SteadyArrivals
+
+__all__ = ["LlmSpec", "LlmRequest", "LlmPipeline", "LLAMA_7B_V100"]
+
+_LATENCY_WINDOW = 512
+
+
+@dataclass(frozen=True)
+class LlmSpec:
+    """Static parameters of one LLM served on one GPU.
+
+    Rates are tokens/s at ``f_gmax_mhz``. ``gamma`` scales prefill (compute
+    bound, near the CNN exponent); ``gamma_decode`` scales decode (memory
+    bound, much flatter). ``decode_intensity`` is the relative dynamic-power
+    activity of decode vs prefill.
+    """
+
+    name: str
+    prefill_tok_s: float
+    decode_tok_s: float
+    gamma: float
+    gamma_decode: float
+    f_gmax_mhz: float
+    decode_intensity: float = 0.6
+    mean_prompt_tokens: float = 512.0
+    mean_output_tokens: float = 128.0
+    batch_size: int = 1  # engine-facing: one "batch" = one request
+
+    def __post_init__(self):
+        require_positive(self.prefill_tok_s, "prefill_tok_s")
+        require_positive(self.decode_tok_s, "decode_tok_s")
+        require_positive(self.gamma, "gamma")
+        require_positive(self.gamma_decode, "gamma_decode")
+        require_positive(self.f_gmax_mhz, "f_gmax_mhz")
+        if not 0.0 < self.decode_intensity <= 1.0:
+            raise ConfigurationError("decode_intensity must lie in (0, 1]")
+        require_positive(self.mean_prompt_tokens, "mean_prompt_tokens")
+        require_positive(self.mean_output_tokens, "mean_output_tokens")
+
+    def prefill_rate(self, f_mhz: float) -> float:
+        """Prompt tokens/s at clock ``f_mhz``."""
+        return self.prefill_tok_s * (f_mhz / self.f_gmax_mhz) ** self.gamma
+
+    def decode_rate(self, f_mhz: float) -> float:
+        """Aggregate output tokens/s at clock ``f_mhz``."""
+        return self.decode_tok_s * (f_mhz / self.f_gmax_mhz) ** self.gamma_decode
+
+    def mean_request_latency_s(self, f_mhz: float, concurrency: float = 1.0) -> float:
+        """Model-predicted end-to-end latency of an average request."""
+        ttft = self.mean_prompt_tokens / self.prefill_rate(f_mhz)
+        decode = self.mean_output_tokens * max(concurrency, 1.0) / self.decode_rate(f_mhz)
+        return ttft + decode
+
+    def max_batch_rate_s(self) -> float:
+        """Expected request completions/s at f_max (engine normalizer).
+
+        At full clock the shared decode pool bounds throughput:
+        ``decode_tok_s / mean_output_tokens`` requests/s (prefill is
+        typically faster per request).
+        """
+        by_decode = self.decode_tok_s / self.mean_output_tokens
+        by_prefill = self.prefill_tok_s / self.mean_prompt_tokens
+        return min(by_decode, by_prefill)
+
+    def max_throughput_img_s(self) -> float:
+        """Engine-facing alias (requests/s)."""
+        return self.max_batch_rate_s()
+
+
+#: A 7B-parameter-class model on a V100: ~2400 tok/s prefill, ~220 tok/s
+#: aggregate decode at 1350 MHz; decode latency almost clock-flat.
+LLAMA_7B_V100 = LlmSpec(
+    name="llama-7b",
+    prefill_tok_s=2400.0,
+    decode_tok_s=220.0,
+    gamma=0.9,
+    gamma_decode=0.35,
+    f_gmax_mhz=1350.0,
+    decode_intensity=0.6,
+    mean_prompt_tokens=512.0,
+    mean_output_tokens=128.0,
+)
+
+
+class LlmRequest:
+    """One in-flight request."""
+
+    __slots__ = ("prompt_tokens", "output_tokens", "arrival_t",
+                 "prefill_done", "decoded", "ttft_s")
+
+    def __init__(self, prompt_tokens: float, output_tokens: float, arrival_t: float):
+        self.prompt_tokens = float(prompt_tokens)
+        self.output_tokens = float(output_tokens)
+        self.arrival_t = float(arrival_t)
+        self.prefill_done = 0.0
+        self.decoded = 0.0
+        self.ttft_s: float | None = None
+
+
+class _EngineConfigShim:
+    """Duck-typed stand-in for PipelineConfig (the engine reads n_workers)."""
+
+    n_workers = 1
+    preproc_frequency = "fixed"
+
+    def __init__(self, queue_capacity: int):
+        self.queue_capacity_img = queue_capacity
+        self.inflight_limit_img = None
+
+
+class LlmPipeline:
+    """Token-level LLM serving on one GPU (continuous batching)."""
+
+    def __init__(
+        self,
+        spec: LlmSpec,
+        rng: np.random.Generator,
+        arrivals: ArrivalProcess | None = None,
+        max_concurrency: int = 8,
+        queue_capacity: int = 256,
+        length_jitter: float = 0.3,
+    ):
+        if max_concurrency < 1:
+            raise ConfigurationError("max_concurrency must be >= 1")
+        if queue_capacity < 1:
+            raise ConfigurationError("queue_capacity must be >= 1")
+        if not 0.0 <= length_jitter < 1.0:
+            raise ConfigurationError("length_jitter must lie in [0, 1)")
+        self.spec = spec
+        self._rng = rng
+        default_rate = 0.5 * spec.max_batch_rate_s()
+        self.arrivals = arrivals if arrivals is not None else SteadyArrivals(default_rate)
+        self.max_concurrency = int(max_concurrency)
+        self.queue_capacity = int(queue_capacity)
+        self.length_jitter = float(length_jitter)
+        self.config = _EngineConfigShim(queue_capacity)
+
+        self._carry_arrivals = 0.0
+        self._prefill_q: deque[LlmRequest] = deque()
+        self._decoding: list[LlmRequest] = []
+        self.completed_requests = 0
+        self.dropped_requests = 0
+        self.recent_latencies_s: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self.recent_ttft_s: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self.recent_queue_waits_s: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._total_latency_s = 0.0
+
+    # -- engine-facing stats ------------------------------------------------
+
+    @property
+    def completed_batches(self) -> int:
+        """Engine alias: one request == one batch."""
+        return self.completed_requests
+
+    @property
+    def completed_images(self) -> int:
+        return self.completed_requests
+
+    @property
+    def queue_len_img(self) -> float:
+        return float(len(self._prefill_q))
+
+    @property
+    def inflight_img(self) -> float:
+        return float(len(self._prefill_q) + len(self._decoding))
+
+    def mean_batch_latency_s(self) -> float:
+        if self.completed_requests == 0:
+            return float("nan")
+        return self._total_latency_s / self.completed_requests
+
+    def latency_percentile_s(self, q: float) -> float:
+        if not self.recent_latencies_s:
+            return float("nan")
+        return float(np.quantile(np.asarray(self.recent_latencies_s), q))
+
+    def mean_ttft_s(self) -> float:
+        """Mean time-to-first-token over the recent window."""
+        if not self.recent_ttft_s:
+            return float("nan")
+        return float(np.mean(self.recent_ttft_s))
+
+    def set_batch_size(self, batch: int) -> None:
+        """Batch commands map to the continuous-batching concurrency cap."""
+        if batch < 1:
+            raise ConfigurationError("batch must be >= 1")
+        self.max_concurrency = int(batch)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _draw_request(self, t: float) -> LlmRequest:
+        if self.length_jitter == 0.0:
+            p, o = self.spec.mean_prompt_tokens, self.spec.mean_output_tokens
+        else:
+            p = self.spec.mean_prompt_tokens * self._rng.lognormal(
+                -0.5 * self.length_jitter**2, self.length_jitter
+            )
+            o = self.spec.mean_output_tokens * self._rng.lognormal(
+                -0.5 * self.length_jitter**2, self.length_jitter
+            )
+        return LlmRequest(max(p, 1.0), max(o, 1.0), t)
+
+    # -- dynamics -----------------------------------------------------------
+
+    def step(
+        self, t_s: float, dt_s: float, cpu_freq_ghz: float, gpu_freq_mhz: float
+    ) -> PipelineTick:
+        """Advance one tick (duck-compatible with InferencePipeline)."""
+        if dt_s <= 0:
+            raise ConfigurationError("dt_s must be positive")
+        tick = PipelineTick()
+        spec = self.spec
+
+        # 1. arrivals (fractional carry -> whole requests). A saturated
+        # process tops the queue up without counting drops (the backlog is
+        # notional); metered arrivals that find the queue full are dropped.
+        new = self.arrivals.arrivals(t_s, dt_s)
+        if math.isinf(new):
+            self._carry_arrivals = 0.0
+            n_new = max(self.queue_capacity - len(self._prefill_q), 0)
+            for _ in range(n_new):
+                self._prefill_q.append(self._draw_request(t_s))
+        else:
+            self._carry_arrivals += new
+            n_new = int(self._carry_arrivals)
+            self._carry_arrivals -= n_new
+            for _ in range(n_new):
+                if len(self._prefill_q) >= self.queue_capacity:
+                    self.dropped_requests += 1
+                    continue
+                self._prefill_q.append(self._draw_request(t_s))
+        tick.images_preprocessed = float(n_new)
+
+        # 2. admit queued requests into the decode pool via prefill
+        prefill_budget = spec.prefill_rate(gpu_freq_mhz) * dt_s
+        prefill_used = 0.0
+        while self._prefill_q and len(self._decoding) < self.max_concurrency:
+            req = self._prefill_q[0]
+            need = req.prompt_tokens - req.prefill_done
+            if prefill_budget < need:
+                req.prefill_done += prefill_budget
+                prefill_used += prefill_budget
+                prefill_budget = 0.0
+                break
+            prefill_budget -= need
+            prefill_used += need
+            req.prefill_done = req.prompt_tokens
+            req.ttft_s = (t_s + dt_s) - req.arrival_t
+            self.recent_ttft_s.append(req.ttft_s)
+            self.recent_queue_waits_s.append(req.ttft_s)
+            self._prefill_q.popleft()
+            self._decoding.append(req)
+
+        # 3. decode round-robin
+        decode_budget = spec.decode_rate(gpu_freq_mhz) * dt_s
+        decode_used = 0.0
+        if self._decoding:
+            share = decode_budget / len(self._decoding)
+            finished: list[LlmRequest] = []
+            for req in self._decoding:
+                take = min(share, req.output_tokens - req.decoded)
+                req.decoded += take
+                decode_used += take
+                if req.decoded >= req.output_tokens - 1e-9:
+                    finished.append(req)
+            for req in finished:
+                self._decoding.remove(req)
+                latency = (t_s + dt_s) - req.arrival_t
+                self.completed_requests += 1
+                self._total_latency_s += latency
+                self.recent_latencies_s.append(latency)
+                tick.batches_completed += 1
+                tick.images_completed += 1
+                tick.batch_latencies_s.append(latency)
+                tick.queue_waits_s.append(req.ttft_s or 0.0)
+
+        # 4. busy signal weighted by phase intensity (power coupling)
+        prefill_frac = prefill_used / (spec.prefill_rate(gpu_freq_mhz) * dt_s)
+        decode_frac = decode_used / (spec.decode_rate(gpu_freq_mhz) * dt_s)
+        intensity = min(
+            prefill_frac * 1.0 + decode_frac * spec.decode_intensity, 1.0
+        )
+        tick.gpu_busy_s = dt_s * intensity
+        tick.preproc_busy_frac = 0.05  # tokenization is negligible CPU work
+        tick.queue_len_img = float(len(self._prefill_q))
+        return tick
+
+    def reset(self) -> None:
+        """Return to the empty initial state."""
+        self._carry_arrivals = 0.0
+        self._prefill_q.clear()
+        self._decoding.clear()
+        self.completed_requests = 0
+        self.dropped_requests = 0
+        self.recent_latencies_s.clear()
+        self.recent_ttft_s.clear()
+        self.recent_queue_waits_s.clear()
+        self._total_latency_s = 0.0
+        self.arrivals.reset()

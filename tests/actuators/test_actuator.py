@@ -1,0 +1,108 @@
+"""Channel/server actuation: staging, tick application, applied averages."""
+
+import numpy as np
+import pytest
+
+from repro.actuators import (
+    ChannelActuator,
+    DeltaSigmaModulator,
+    NearestLevelModulator,
+    ServerActuator,
+)
+from repro.errors import ActuationError
+
+
+class TestChannelActuator:
+    def test_command_latency_one_tick(self, quiet_server):
+        chan = ChannelActuator(quiet_server.gpus[0])
+        chan.set_target(900.0)
+        # The pending target takes effect at the next tick, not before.
+        assert chan.target_mhz == 435.0
+        chan.tick()
+        assert chan.target_mhz == 900.0
+        assert quiet_server.gpus[0].frequency_mhz == 900.0
+
+    def test_rejects_non_finite(self, quiet_server):
+        chan = ChannelActuator(quiet_server.gpus[0])
+        with pytest.raises(ActuationError):
+            chan.set_target(float("nan"))
+
+    def test_clamps_target(self, quiet_server):
+        chan = ChannelActuator(quiet_server.gpus[0])
+        chan.set_target(10_000.0)
+        chan.tick()
+        assert chan.target_mhz == 1350.0
+
+    def test_reset(self, quiet_server):
+        chan = ChannelActuator(quiet_server.gpus[0])
+        chan.set_target(900.0)
+        chan.reset()
+        chan.tick()
+        assert quiet_server.gpus[0].frequency_mhz == 435.0
+
+
+class TestServerActuator:
+    def test_vector_roundtrip(self, quiet_server):
+        act = ServerActuator(quiet_server)
+        act.set_targets([1600.0, 900.0, 750.0, 600.0])
+        act.tick()
+        assert np.array_equal(
+            quiet_server.frequency_vector(), [1600.0, 900.0, 750.0, 600.0]
+        )
+
+    def test_shape_checked(self, quiet_server):
+        act = ServerActuator(quiet_server)
+        with pytest.raises(ActuationError):
+            act.set_targets([1600.0, 900.0])
+
+    def test_single_channel_set(self, quiet_server):
+        act = ServerActuator(quiet_server)
+        act.set_target(1, 900.0)
+        act.tick()
+        assert quiet_server.gpus[0].frequency_mhz == 900.0
+        assert quiet_server.cpus[0].frequency_mhz == 1000.0
+
+    def test_applied_average_tracks_fractional_targets(self, quiet_server):
+        act = ServerActuator(quiet_server)
+        act.set_targets([1650.0, 742.5, 742.5, 742.5])
+        for _ in range(200):
+            act.tick()
+        avg = act.applied_average_and_reset()
+        assert avg[0] == pytest.approx(1650.0, abs=1.0)
+        assert avg[1] == pytest.approx(742.5, abs=1.0)
+
+    def test_applied_average_resets_window(self, quiet_server):
+        act = ServerActuator(quiet_server)
+        act.set_targets(quiet_server.f_max_vector())
+        for _ in range(10):
+            act.tick()
+        act.applied_average_and_reset()
+        act.set_targets(quiet_server.f_min_vector())
+        for _ in range(10):
+            act.tick()
+        avg = act.applied_average_and_reset()
+        assert np.array_equal(avg, quiet_server.f_min_vector())
+
+    def test_applied_average_before_any_tick_returns_targets(self, quiet_server):
+        act = ServerActuator(quiet_server)
+        assert np.array_equal(act.applied_average_and_reset(), act.targets())
+
+    def test_custom_modulator_factory(self, quiet_server):
+        act = ServerActuator(quiet_server, modulator_factory=NearestLevelModulator)
+        act.set_targets([1650.0, 742.0, 742.0, 742.0])
+        for _ in range(50):
+            act.tick()
+        avg = act.applied_average_and_reset()
+        # Nearest-level rounding: constant 735, never averaging to 742.
+        assert avg[1] == pytest.approx(735.0)
+
+    def test_default_is_delta_sigma(self, quiet_server):
+        act = ServerActuator(quiet_server)
+        assert isinstance(act.channels[0].modulator, DeltaSigmaModulator)
+
+    def test_reset(self, quiet_server):
+        act = ServerActuator(quiet_server)
+        act.set_targets(quiet_server.f_max_vector())
+        act.tick()
+        act.reset()
+        assert np.array_equal(act.targets(), quiet_server.frequency_vector())

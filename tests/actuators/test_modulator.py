@@ -1,0 +1,87 @@
+"""Delta-sigma and nearest-level modulators, incl. the key averaging property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.actuators import DeltaSigmaModulator, NearestLevelModulator
+from repro.hardware import FrequencyDomain
+
+CPU_DOMAIN = FrequencyDomain.from_range(1000.0, 2400.0, 100.0)
+GPU_DOMAIN = FrequencyDomain.from_range(435.0, 1350.0, 15.0)
+
+
+class TestDeltaSigma:
+    def test_on_grid_target_is_constant(self):
+        mod = DeltaSigmaModulator(CPU_DOMAIN)
+        levels = [mod.next_level(1600.0) for _ in range(20)]
+        assert set(levels) == {1600.0}
+
+    def test_paper_example_time_average(self):
+        """Toggling between adjacent levels realizes the fractional target.
+
+        The paper's example: averaging 2, 2, 2, 3 GHz approximates 2.25 GHz.
+        """
+        mod = DeltaSigmaModulator(CPU_DOMAIN)
+        levels = [mod.next_level(2250.0) for _ in range(4)]
+        assert sorted(set(levels)) == [2200.0, 2300.0]
+        assert np.mean(levels) == pytest.approx(2250.0)
+
+    def test_levels_always_adjacent_to_target(self):
+        mod = DeltaSigmaModulator(GPU_DOMAIN)
+        levels = [mod.next_level(742.0) for _ in range(100)]
+        assert set(levels) <= {735.0, 750.0}
+
+    def test_clamps_out_of_range_target(self):
+        mod = DeltaSigmaModulator(GPU_DOMAIN)
+        assert mod.next_level(5000.0) == 1350.0
+        assert mod.next_level(-100.0) == 435.0
+
+    def test_no_windup_after_saturation(self):
+        mod = DeltaSigmaModulator(GPU_DOMAIN)
+        for _ in range(100):
+            mod.next_level(5000.0)  # pegged at max
+        # After saturation, tracking a mid-range target resumes immediately.
+        levels = [mod.next_level(750.0) for _ in range(40)]
+        assert np.mean(levels) == pytest.approx(750.0, abs=15.0)
+
+    def test_reset_clears_error(self):
+        mod = DeltaSigmaModulator(GPU_DOMAIN)
+        mod.next_level(742.0)
+        mod.reset()
+        assert mod.next_level(735.0) == 735.0
+
+    @given(st.floats(min_value=435.0, max_value=1350.0, allow_nan=False))
+    @settings(max_examples=60)
+    def test_property_time_average_converges(self, target):
+        """Core delta-sigma guarantee: mean applied level -> target."""
+        mod = DeltaSigmaModulator(GPU_DOMAIN)
+        levels = [mod.next_level(target) for _ in range(400)]
+        assert np.mean(levels) == pytest.approx(target, abs=15.0 / 4)
+
+    @given(st.floats(min_value=1000.0, max_value=2400.0, allow_nan=False))
+    @settings(max_examples=40)
+    def test_property_levels_on_grid(self, target):
+        mod = DeltaSigmaModulator(CPU_DOMAIN)
+        for _ in range(30):
+            assert CPU_DOMAIN.contains(mod.next_level(target))
+
+
+class TestNearestLevel:
+    def test_rounds_to_nearest(self):
+        mod = NearestLevelModulator(GPU_DOMAIN)
+        assert mod.next_level(741.0) == 735.0
+        assert mod.next_level(744.0) == 750.0
+
+    def test_constant_bias_for_fractional_target(self):
+        """The ablation point: rounding never realizes fractional targets."""
+        mod = NearestLevelModulator(GPU_DOMAIN)
+        levels = [mod.next_level(742.0) for _ in range(50)]
+        assert set(levels) == {735.0}
+        assert abs(np.mean(levels) - 742.0) == pytest.approx(7.0)
+
+    def test_stateless_reset_noop(self):
+        mod = NearestLevelModulator(GPU_DOMAIN)
+        mod.reset()
+        assert mod.next_level(435.0) == 435.0

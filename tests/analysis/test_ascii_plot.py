@@ -1,0 +1,76 @@
+"""ASCII sparkline and chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_plot, sparkline
+from repro.errors import ConfigurationError
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_blocks(self):
+        s = sparkline([1.0, 2.0, 3.0, 4.0], width=4)
+        assert s == "▁▃▆█"
+
+    def test_constant_series_mid_blocks(self):
+        s = sparkline([5.0, 5.0, 5.0], width=3)
+        assert len(set(s)) == 1
+
+    def test_nan_renders_as_space(self):
+        s = sparkline([1.0, float("nan"), 3.0], width=3)
+        assert s[1] == " "
+
+    def test_resampling_long_series(self):
+        s = sparkline(np.linspace(0, 1, 1000), width=10)
+        assert len(s) == 10
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_pinned_scale(self):
+        a = sparkline([700.0], width=1, lo=650.0, hi=1250.0)
+        b = sparkline([1200.0], width=1, lo=650.0, hi=1250.0)
+        assert a < b  # block characters sort by height in this range
+
+    def test_out_of_scale_values_clamped(self):
+        s = sparkline([0.0, 2000.0], width=2, lo=650.0, hi=1250.0)
+        assert s == "▁█"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+        with pytest.raises(ConfigurationError):
+            sparkline([1.0], width=0)
+
+    def test_all_nan_gives_spaces(self):
+        assert sparkline([float("nan")] * 3, width=3).strip() == ""
+
+
+class TestAsciiPlot:
+    def test_basic_shape(self):
+        out = ascii_plot([1.0, 2.0, 3.0], width=10, height=5, title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 6
+        assert all("|" in line for line in lines[1:])
+
+    def test_extremes_labelled(self):
+        # Resampling bucket-averages the series, so the labels show the
+        # resampled extremes (close to, not exactly, the raw ones).
+        out = ascii_plot(np.linspace(100.0, 200.0, 50), width=20, height=4)
+        top = float(out.splitlines()[0].split("|")[0])
+        bottom = float(out.splitlines()[-1].split("|")[0])
+        assert 190.0 < top <= 200.0
+        assert 100.0 <= bottom < 110.0
+
+    def test_reference_line(self):
+        out = ascii_plot([850.0, 900.0, 950.0], width=12, height=7,
+                         reference=900.0)
+        assert "-" in out
+        assert "900.0" in out
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([])
+        with pytest.raises(ConfigurationError):
+            ascii_plot([1.0], width=1)
+        with pytest.raises(ConfigurationError):
+            ascii_plot([float("nan")])

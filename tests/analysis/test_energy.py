@@ -1,0 +1,91 @@
+"""Energy and efficiency metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import EfficiencyReport, efficiency_report, energy_j
+from repro.errors import ConfigurationError
+from repro.telemetry import Trace
+
+
+def make_trace(powers, tputs=None, cpu_tputs=None, period_s=4.0):
+    chans = ["time_s", "power_w", "tput_1", "cpu_tput"]
+    t = Trace(chans)
+    tputs = tputs if tputs is not None else [1.0] * len(powers)
+    cpu_tputs = cpu_tputs if cpu_tputs is not None else [50.0] * len(powers)
+    for k, (p, b, c) in enumerate(zip(powers, tputs, cpu_tputs)):
+        t.append(time_s=(k + 1) * period_s, power_w=p, tput_1=b, cpu_tput=c)
+    return t
+
+
+class TestEnergy:
+    def test_constant_power_energy(self):
+        t = make_trace([500.0] * 10)
+        # 10 periods x 4 s x 500 W = 20 kJ.
+        assert energy_j(t) == pytest.approx(20_000.0)
+
+    def test_start_period_window(self):
+        t = make_trace([500.0] * 10)
+        assert energy_j(t, start_period=5) == pytest.approx(10_000.0)
+
+    def test_varying_power(self):
+        t = make_trace([100.0, 200.0, 300.0])
+        assert energy_j(t) == pytest.approx(4.0 * 600.0)
+
+    def test_requires_two_periods(self):
+        with pytest.raises(ConfigurationError):
+            energy_j(make_trace([500.0]))
+
+    def test_rejects_non_monotone_time(self):
+        t = Trace(["time_s", "power_w"])
+        t.append(time_s=4.0, power_w=100.0)
+        t.append(time_s=4.0, power_w=100.0)
+        with pytest.raises(ConfigurationError):
+            energy_j(t)
+
+
+class TestEfficiencyReport:
+    def test_batches_per_kj(self):
+        t = make_trace([500.0] * 10, tputs=[2.0] * 10)
+        rep = efficiency_report(t, gpu_channels=[1])
+        assert rep.gpu_batches == pytest.approx(80.0)  # 2/s x 40 s
+        assert rep.energy_j == pytest.approx(20_000.0)
+        assert rep.batches_per_kj == pytest.approx(4.0)
+        assert rep.joules_per_batch == pytest.approx(250.0)
+        assert rep.mean_power_w == pytest.approx(500.0)
+
+    def test_nan_rates_skipped(self):
+        t = make_trace([500.0] * 4, tputs=[1.0, float("nan"), 1.0, 1.0])
+        rep = efficiency_report(t, gpu_channels=[1])
+        assert rep.gpu_batches == pytest.approx(12.0)
+
+    def test_zero_batches_infinite_joules(self):
+        t = make_trace([500.0] * 4, tputs=[0.0] * 4)
+        rep = efficiency_report(t, gpu_channels=[1])
+        assert rep.joules_per_batch == float("inf")
+
+    def test_cpu_events_counted(self):
+        t = make_trace([500.0] * 4, cpu_tputs=[100.0] * 4)
+        rep = efficiency_report(t, gpu_channels=[1])
+        assert rep.cpu_events == pytest.approx(1600.0)
+
+    def test_on_real_run(self):
+        """CapGPU turns more of the same energy into batches than GPU-Only."""
+        from repro.experiments.common import make_capgpu, make_gpu_only
+        from repro.sim import paper_scenario
+
+        reports = {}
+        for label, factory in (
+            ("capgpu", lambda s: make_capgpu(s, 0)),
+            ("gpu-only", lambda s: make_gpu_only(s, 0)),
+        ):
+            sim = paper_scenario(seed=0, set_point_w=900.0)
+            trace = sim.run(factory(sim), 40)
+            reports[label] = efficiency_report(
+                trace, sim.gpu_channels, start_period=10
+            )
+        assert (
+            reports["capgpu"].batches_per_kj
+            > reports["gpu-only"].batches_per_kj
+        )
+        assert isinstance(reports["capgpu"], EfficiencyReport)

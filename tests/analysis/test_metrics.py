@@ -1,0 +1,109 @@
+"""Control-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    mean_over_steady,
+    overshoot_w,
+    rmse_to_set_point,
+    settling_time_periods,
+    slo_miss_rate,
+    steady_state_stats,
+    violation_stats,
+)
+from repro.errors import ConfigurationError
+from repro.telemetry import Trace
+
+
+def make_trace(power, set_point=900.0, peaks=None, misses=None):
+    chans = ["power_w", "set_point_w", "power_max_w", "slo_miss_g0", "other"]
+    t = Trace(chans)
+    peaks = peaks if peaks is not None else [p + 5.0 for p in power]
+    misses = misses if misses is not None else [float("nan")] * len(power)
+    for p, pk, m in zip(power, peaks, misses):
+        t.append(power_w=p, set_point_w=set_point, power_max_w=pk,
+                 slo_miss_g0=m, other=p * 2)
+    return t
+
+
+class TestSteadyStateStats:
+    def test_mean_std_over_window(self):
+        t = make_trace([800.0] * 20 + [900.0] * 80)
+        mean, std = steady_state_stats(t, steady_last=80)
+        assert mean == 900.0
+        assert std == 0.0
+
+    def test_window_larger_than_trace_uses_all(self):
+        t = make_trace([850.0, 950.0])
+        mean, _ = steady_state_stats(t, steady_last=100)
+        assert mean == 900.0
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ConfigurationError):
+            steady_state_stats(make_trace([]), 10)
+
+    def test_mean_over_steady_skips_nan(self):
+        t = Trace(["x"])
+        t.append(x=float("nan"))
+        t.append(x=2.0)
+        assert mean_over_steady(t, "x", 10) == 2.0
+
+
+class TestSettlingTime:
+    def test_settles_at_first_sustained_entry(self):
+        power = [700.0, 800.0, 890.0, 895.0, 900.0, 901.0, 899.0, 900.0, 900.0]
+        t = make_trace(power)
+        assert settling_time_periods(t, tolerance_w=15.0, hold_periods=3) == 2.0
+
+    def test_never_settles(self):
+        t = make_trace([700.0] * 20)
+        assert np.isinf(settling_time_periods(t, tolerance_w=15.0))
+
+    def test_relative_to_start_period(self):
+        power = [900.0] * 10 + [1000.0] * 3 + [900.0] * 10
+        t = make_trace(power)
+        assert settling_time_periods(t, start_period=10, hold_periods=3) == 3.0
+
+    def test_brief_excursion_not_settled(self):
+        power = [700.0, 900.0, 700.0, 700.0, 900.0, 900.0, 900.0, 900.0, 900.0]
+        t = make_trace(power)
+        assert settling_time_periods(t, hold_periods=4) == 4.0
+
+
+class TestViolationAndOvershoot:
+    def test_overshoot(self):
+        t = make_trace([880.0] * 5, peaks=[890.0, 930.0, 895.0, 885.0, 880.0])
+        assert overshoot_w(t) == pytest.approx(30.0)
+
+    def test_violation_counting_with_margin(self):
+        t = make_trace([880.0] * 6,
+                       peaks=[905.0, 915.0, 899.0, 930.0, 880.0, 911.0])
+        v = violation_stats(t, margin_w=10.0)
+        assert v.n_violations == 3  # 915, 930, 911
+        assert v.worst_excess_w == pytest.approx(20.0)
+        assert v.violation_rate == pytest.approx(0.5)
+
+    def test_no_violations(self):
+        t = make_trace([880.0] * 4, peaks=[885.0] * 4)
+        v = violation_stats(t)
+        assert v.n_violations == 0
+        assert v.mean_excess_w == 0.0
+
+    def test_start_period_skips_transient(self):
+        t = make_trace([880.0] * 6, peaks=[990.0, 990.0, 885.0, 885.0, 885.0, 885.0])
+        assert violation_stats(t, start_period=2).n_violations == 0
+
+
+class TestRmseAndSlo:
+    def test_rmse(self):
+        t = make_trace([910.0, 890.0, 910.0, 890.0])
+        assert rmse_to_set_point(t, steady_last=4) == pytest.approx(10.0)
+
+    def test_slo_miss_rate_skips_nan(self):
+        t = make_trace([900.0] * 4, misses=[float("nan"), 0.0, 0.5, 1.0])
+        assert slo_miss_rate(t, 0) == pytest.approx(0.5)
+
+    def test_slo_miss_rate_all_nan(self):
+        t = make_trace([900.0] * 3)
+        assert np.isnan(slo_miss_rate(t, 0))

@@ -1,0 +1,45 @@
+"""Table/series rendering."""
+
+import pytest
+
+from repro.analysis import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["Name", "Value"], [["a", 1.5], ["long-name", 2.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("Name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "long-name" in lines[3]
+        # Columns aligned: every row same display width.
+        assert len(set(len(line) for line in lines[1:])) <= 2
+
+    def test_title(self):
+        out = format_table(["A"], [[1.0]], title="My title")
+        assert out.splitlines()[0] == "My title"
+
+    def test_float_format(self):
+        out = format_table(["A"], [[1.23456]], float_fmt="{:.1f}")
+        assert "1.2" in out and "1.23" not in out
+
+    def test_non_float_cells_stringified(self):
+        out = format_table(["A", "B"], [["inf", 7]])
+        assert "inf" in out and "7" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["A", "B"], [[1.0]])
+
+    def test_bool_cell(self):
+        assert "True" in format_table(["A"], [[True]])
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        out = format_series("s", [0, 1], [10.0, 20.0])
+        assert out == "s: (0.0, 10.0) (1.0, 20.0)"
+
+    def test_custom_format(self):
+        out = format_series("s", [0.123], [0.456], float_fmt="{:.2f}")
+        assert out == "s: (0.12, 0.46)"

@@ -1,0 +1,114 @@
+"""Rack budget allocators."""
+
+import pytest
+
+from repro.cluster import (
+    FairShareAllocator,
+    PriorityAllocator,
+    ProportionalDemandAllocator,
+    ServerPowerState,
+)
+from repro.errors import ConfigurationError, InfeasibleSetPointError
+
+
+def state(name, p_min=700.0, p_max=1300.0, demand=1.0, priority=0, power=900.0):
+    return ServerPowerState(
+        name=name, power_w=power, p_min_w=p_min, p_max_w=p_max,
+        demand=demand, priority=priority,
+    )
+
+
+class TestServerPowerState:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            state("a", p_min=1000.0, p_max=900.0)
+        with pytest.raises(ConfigurationError):
+            state("a", demand=-0.1)
+
+
+class TestCommonInvariants:
+    @pytest.mark.parametrize(
+        "allocator",
+        [FairShareAllocator(), ProportionalDemandAllocator(), PriorityAllocator()],
+    )
+    def test_allocations_within_envelopes_and_budget(self, allocator):
+        states = [
+            state("a", demand=0.9, priority=2),
+            state("b", demand=0.1, priority=1),
+            state("c", demand=0.5, priority=0),
+        ]
+        budget = 3000.0
+        alloc = allocator.allocate(budget, states)
+        assert len(alloc) == 3
+        for a, s in zip(alloc, states):
+            assert s.p_min_w - 1e-6 <= a <= s.p_max_w + 1e-6
+        assert sum(alloc) <= budget + 1e-6
+
+    @pytest.mark.parametrize(
+        "allocator",
+        [FairShareAllocator(), ProportionalDemandAllocator(), PriorityAllocator()],
+    )
+    def test_budget_below_floor_raises(self, allocator):
+        with pytest.raises(InfeasibleSetPointError):
+            allocator.allocate(1000.0, [state("a"), state("b")])
+
+    @pytest.mark.parametrize(
+        "allocator",
+        [FairShareAllocator(), ProportionalDemandAllocator(), PriorityAllocator()],
+    )
+    def test_abundant_budget_fully_satisfies(self, allocator):
+        states = [state("a"), state("b")]
+        alloc = allocator.allocate(10_000.0, states)
+        assert alloc == pytest.approx([1300.0, 1300.0])
+
+    @pytest.mark.parametrize(
+        "allocator",
+        [FairShareAllocator(), ProportionalDemandAllocator(), PriorityAllocator()],
+    )
+    def test_empty_states_rejected(self, allocator):
+        with pytest.raises(ConfigurationError):
+            allocator.allocate(1000.0, [])
+
+
+class TestFairShare:
+    def test_equal_surplus(self):
+        alloc = FairShareAllocator().allocate(2000.0, [state("a"), state("b")])
+        assert alloc[0] == pytest.approx(alloc[1])
+        assert sum(alloc) == pytest.approx(2000.0)
+
+    def test_saturation_redistributes(self):
+        states = [state("a", p_max=800.0), state("b")]
+        alloc = FairShareAllocator().allocate(2000.0, states)
+        assert alloc[0] == pytest.approx(800.0)
+        assert alloc[1] == pytest.approx(1200.0)
+
+
+class TestProportionalDemand:
+    def test_higher_demand_gets_more(self):
+        states = [state("hot", demand=0.9), state("cold", demand=0.1)]
+        alloc = ProportionalDemandAllocator().allocate(2000.0, states)
+        assert alloc[0] > alloc[1]
+        assert sum(alloc) == pytest.approx(2000.0)
+
+    def test_demand_floor_protects_idle_server(self):
+        states = [state("hot", demand=1.0), state("idle", demand=0.0)]
+        alloc = ProportionalDemandAllocator(demand_floor=0.05).allocate(2000.0, states)
+        assert alloc[1] > 700.0  # above its bare minimum
+
+    def test_floor_validated(self):
+        with pytest.raises(ConfigurationError):
+            ProportionalDemandAllocator(demand_floor=-0.1)
+
+
+class TestPriority:
+    def test_high_priority_satisfied_first(self):
+        states = [state("hi", priority=1), state("lo", priority=0)]
+        # Enough to max one server plus the other's floor + 100 W.
+        alloc = PriorityAllocator().allocate(1300.0 + 700.0 + 100.0, states)
+        assert alloc[0] == pytest.approx(1300.0)
+        assert alloc[1] == pytest.approx(800.0)
+
+    def test_within_tier_even_split(self):
+        states = [state("a", priority=1), state("b", priority=1)]
+        alloc = PriorityAllocator().allocate(2000.0, states)
+        assert alloc[0] == pytest.approx(alloc[1])

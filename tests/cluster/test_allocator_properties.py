@@ -1,0 +1,85 @@
+"""Property-based invariants of the water-filling budget allocators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    FairShareAllocator,
+    PriorityAllocator,
+    ProportionalDemandAllocator,
+    ServerPowerState,
+)
+
+server_strategy = st.builds(
+    lambda pmin, span, demand, prio: (pmin, pmin + span, demand, prio),
+    st.floats(min_value=300.0, max_value=900.0),
+    st.floats(min_value=10.0, max_value=800.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=3),
+)
+
+
+def make_states(raw):
+    return [
+        ServerPowerState(
+            name=f"s{i}", power_w=pmin, p_min_w=pmin, p_max_w=pmax,
+            demand=demand, priority=prio,
+        )
+        for i, (pmin, pmax, demand, prio) in enumerate(raw)
+    ]
+
+
+@st.composite
+def rack_case(draw):
+    raw = draw(st.lists(server_strategy, min_size=1, max_size=6))
+    states = make_states(raw)
+    floor = sum(s.p_min_w for s in states)
+    ceiling = sum(s.p_max_w for s in states)
+    budget = draw(st.floats(min_value=floor, max_value=ceiling * 1.5))
+    return states, budget
+
+
+ALLOCATORS = [
+    FairShareAllocator(),
+    ProportionalDemandAllocator(),
+    PriorityAllocator(),
+]
+
+
+@given(rack_case())
+@settings(max_examples=60, deadline=None)
+def test_property_envelope_and_budget_respected(case):
+    states, budget = case
+    for allocator in ALLOCATORS:
+        alloc = allocator.allocate(budget, states)
+        assert len(alloc) == len(states)
+        for a, s in zip(alloc, states):
+            assert s.p_min_w - 1e-6 <= a <= s.p_max_w + 1e-6
+        assert sum(alloc) <= budget + 1e-6
+
+
+@given(rack_case())
+@settings(max_examples=60, deadline=None)
+def test_property_no_stranded_budget(case):
+    """If a server could absorb more, the budget must not be left unused."""
+    states, budget = case
+    for allocator in ALLOCATORS:
+        alloc = allocator.allocate(budget, states)
+        leftover = budget - sum(alloc)
+        headroom = sum(s.p_max_w - a for a, s in zip(alloc, states))
+        # Either (nearly) everything allocated, or every server saturated.
+        assert leftover <= 1e-6 or headroom <= 1e-6
+
+
+@given(rack_case())
+@settings(max_examples=40, deadline=None)
+def test_property_fair_share_order_preserving(case):
+    """Fair share: servers with larger envelopes never get less surplus."""
+    states, budget = case
+    alloc = FairShareAllocator().allocate(budget, states)
+    surplus = [a - s.p_min_w for a, s in zip(alloc, states)]
+    caps = [s.p_max_w - s.p_min_w for s in states]
+    order = np.argsort(caps)
+    for i, j in zip(order, order[1:]):
+        assert surplus[i] <= surplus[j] + 1e-6

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import v100_server
+from repro.sim import paper_scenario
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for test-local randomness."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def quiet_server():
+    """A 3x V100 server with all stochastic terms disabled (seed=None)."""
+    return v100_server(seed=None)
+
+
+@pytest.fixture
+def noisy_server():
+    """A 3x V100 server with the default disturbance model."""
+    return v100_server(seed=7)
+
+
+@pytest.fixture
+def scenario():
+    """The standard three-GPU paper scenario (short runs in tests)."""
+    return paper_scenario(seed=7, set_point_w=900.0)

@@ -1,0 +1,76 @@
+"""ControlObservation contract and controller ABC defaults."""
+
+import numpy as np
+import pytest
+
+from repro.control import ControlObservation, PowerCappingController
+from repro.errors import ConfigurationError
+
+
+def make_obs(n=4, **overrides):
+    base = dict(
+        period_index=3,
+        time_s=12.0,
+        power_w=880.0,
+        power_samples_w=np.array([878.0, 880.0, 881.0, 881.0]),
+        set_point_w=900.0,
+        f_targets_mhz=np.full(n, 1000.0),
+        f_applied_mhz=np.full(n, 1000.0),
+        f_min_mhz=np.full(n, 435.0),
+        f_max_mhz=np.full(n, 1350.0),
+        utilization=np.full(n, 0.9),
+        throughput_norm=np.full(n, 0.5),
+        throughput_raw=np.full(n, 1.0),
+        cpu_channels=(0,),
+        gpu_channels=tuple(range(1, n)),
+    )
+    base.update(overrides)
+    return ControlObservation(**base)
+
+
+class TestControlObservation:
+    def test_error_sign_convention(self):
+        obs = make_obs()
+        assert obs.error_w == pytest.approx(20.0)  # headroom available
+
+    def test_n_channels(self):
+        assert make_obs().n_channels == 4
+
+    def test_validate_accepts_consistent(self):
+        make_obs().validate()
+
+    def test_validate_rejects_shape_mismatch(self):
+        obs = make_obs(utilization=np.ones(3))
+        with pytest.raises(ConfigurationError):
+            obs.validate()
+
+    def test_validate_rejects_overlapping_partition(self):
+        obs = make_obs(cpu_channels=(0, 1), gpu_channels=(1, 2, 3))
+        with pytest.raises(ConfigurationError):
+            obs.validate()
+
+    def test_validate_rejects_incomplete_partition(self):
+        obs = make_obs(cpu_channels=(0,), gpu_channels=(1, 2))
+        with pytest.raises(ConfigurationError):
+            obs.validate()
+
+
+class TestControllerDefaults:
+    def test_initial_targets_default_to_minimum(self):
+        class Dummy(PowerCappingController):
+            def step(self, obs):
+                return obs.f_targets_mhz
+
+        d = Dummy()
+        f_min = np.array([1000.0, 435.0])
+        init = d.initial_targets(f_min, np.array([2400.0, 1350.0]))
+        assert np.array_equal(init, f_min)
+        init[0] = 0.0
+        assert f_min[0] == 1000.0  # returned a copy
+
+    def test_reset_default_noop(self):
+        class Dummy(PowerCappingController):
+            def step(self, obs):
+                return obs.f_targets_mhz
+
+        Dummy().reset()

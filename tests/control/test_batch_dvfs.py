@@ -1,0 +1,187 @@
+"""Coordinated batching + DVFS controller (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.control import BatchDvfsController
+from repro.errors import ConfigurationError
+from repro.workloads import RESNET50, SWIN_T
+from tests.control.test_base import make_obs
+
+SPECS = {0: RESNET50, 1: SWIN_T}
+
+
+def make_controller(**kw):
+    defaults = dict(gpu_group_gain_w_per_mhz=0.6, task_specs=SPECS)
+    defaults.update(kw)
+    return BatchDvfsController(**defaults)
+
+
+class TestValidation:
+    def test_batch_bounds(self):
+        with pytest.raises(ConfigurationError):
+            make_controller(batch_floor=0)
+        with pytest.raises(ConfigurationError):
+            make_controller(batch_floor=10, batch_cap=5)
+
+    def test_headroom(self):
+        with pytest.raises(ConfigurationError):
+            make_controller(headroom=0.0)
+
+
+class TestBatchCommands:
+    def _obs(self, **overrides):
+        base = dict(
+            f_max_mhz=np.array([2400.0, 1350.0, 1350.0, 1350.0]),
+            f_min_mhz=np.array([1000.0, 435.0, 435.0, 435.0]),
+        )
+        base.update(overrides)
+        return make_obs(**base)
+
+    def test_no_slo_uses_cap(self):
+        ctl = make_controller(batch_cap=48)
+        obs = self._obs(slos_s={})
+        ctl.step(obs)
+        batches = ctl.batch_commands(obs)
+        assert batches == {0: 48, 1: 48}
+
+    def test_slo_bounds_batch(self):
+        ctl = make_controller(headroom=1.0)
+        obs = self._obs(slos_s={1: 0.6})  # channel 1 = GPU 0 (resnet)
+        ctl.step(obs)
+        batches = ctl.batch_commands(obs)
+        clock = ctl._shared_f
+        expected = RESNET50.max_batch_for_slo(0.6, clock, batch_cap=64)
+        assert batches[0] == max(expected, ctl.batch_floor)
+        assert batches[1] == 64  # swin has no SLO -> cap
+
+    def test_infeasible_slo_falls_to_floor(self):
+        ctl = make_controller(headroom=1.0, batch_floor=2)
+        obs = self._obs(slos_s={1: 0.05})  # impossible even for batch 1
+        ctl.step(obs)
+        assert ctl.batch_commands(obs)[0] == 2
+
+    def test_tighter_slo_smaller_batch(self):
+        ctl = make_controller(headroom=1.0)
+        obs = self._obs(slos_s={1: 1.2})
+        ctl.step(obs)
+        loose = ctl.batch_commands(obs)[0]
+        ctl.reset()
+        obs2 = self._obs(slos_s={1: 0.7})
+        ctl.step(obs2)
+        tight = ctl.batch_commands(obs2)[0]
+        assert tight < loose
+
+    def test_before_any_step_uses_cap(self):
+        ctl = make_controller(batch_cap=32)
+        obs = self._obs(slos_s={1: 0.6})
+        assert ctl.batch_commands(obs) == {0: 32, 1: 32}
+
+    def test_reset_clears_batches(self):
+        ctl = make_controller()
+        obs = self._obs()
+        ctl.step(obs)
+        ctl.batch_commands(obs)
+        ctl.reset()
+        assert ctl.last_batches == {}
+
+
+class TestModelsBatchExtension:
+    def test_work_anchored_at_reference_batch(self):
+        assert RESNET50.work_for_batch_s(20) == pytest.approx(RESNET50.e_min_s)
+
+    def test_fixed_cost_does_not_scale(self):
+        w1 = RESNET50.work_for_batch_s(1)
+        w40 = RESNET50.work_for_batch_s(40)
+        assert w1 > RESNET50.e_min_s / 20  # more than pure per-image share
+        assert w40 < 2 * RESNET50.e_min_s  # less than pure doubling
+
+    def test_throughput_increases_with_batch(self):
+        t_small = RESNET50.throughput_img_s(8, 900.0)
+        t_big = RESNET50.throughput_img_s(32, 900.0)
+        assert t_big > t_small
+
+    def test_max_batch_for_slo_round_trip(self):
+        b = RESNET50.max_batch_for_slo(0.8, 900.0)
+        assert RESNET50.batch_latency_s(b, 900.0) <= 0.8
+        assert RESNET50.batch_latency_s(b + 1, 900.0) > 0.8
+
+    def test_max_batch_none_when_infeasible(self):
+        assert RESNET50.max_batch_for_slo(0.01, 435.0) is None
+
+    def test_max_batch_capped(self):
+        assert RESNET50.max_batch_for_slo(100.0, 1350.0, batch_cap=64) == 64
+
+
+class TestPipelineBatchMutation:
+    def test_set_batch_size_changes_assembly(self, rng):
+        from repro.workloads import InferencePipeline, PipelineConfig
+
+        pipe = InferencePipeline(
+            RESNET50, PipelineConfig(preproc_frequency="fixed"), rng
+        )
+        pipe.set_batch_size(10)
+        t = 0.0
+        for _ in range(300):
+            pipe.step(t, 0.1, 2.4, 1350.0)
+            t += 0.1
+        # Completed images are a multiple of the new batch size.
+        assert pipe.completed_images == pipe.completed_batches * 10
+
+    def test_batch_change_mid_run_keeps_accounting(self, rng):
+        from repro.workloads import InferencePipeline, PipelineConfig
+
+        pipe = InferencePipeline(
+            RESNET50, PipelineConfig(preproc_frequency="fixed"), rng
+        )
+        t = 0.0
+        for _ in range(200):
+            pipe.step(t, 0.1, 2.4, 1350.0)
+            t += 0.1
+        before = pipe.completed_images
+        pipe.set_batch_size(5)
+        for _ in range(200):
+            pipe.step(t, 0.1, 2.4, 1350.0)
+            t += 0.1
+        assert pipe.completed_images > before
+        assert pipe.batch_size == 5
+
+    def test_smaller_batches_lower_latency(self, rng):
+        from repro.workloads import InferencePipeline, PipelineConfig
+
+        def run(batch, seed):
+            pipe = InferencePipeline(
+                RESNET50, PipelineConfig(preproc_frequency="fixed"),
+                np.random.default_rng(seed),
+            )
+            pipe.set_batch_size(batch)
+            t = 0.0
+            for _ in range(600):
+                pipe.step(t, 0.1, 2.4, 900.0)
+                t += 0.1
+            return pipe.mean_batch_latency_s()
+
+        assert run(5, 0) < run(40, 1)
+
+    def test_batch_validation(self, rng):
+        from repro.workloads import InferencePipeline, PipelineConfig
+
+        pipe = InferencePipeline(
+            RESNET50,
+            PipelineConfig(preproc_frequency="fixed", queue_capacity_img=50),
+            rng,
+        )
+        with pytest.raises(ConfigurationError):
+            pipe.set_batch_size(0)
+        with pytest.raises(ConfigurationError):
+            pipe.set_batch_size(51)
+
+    def test_reset_restores_reference_batch(self, rng):
+        from repro.workloads import InferencePipeline, PipelineConfig
+
+        pipe = InferencePipeline(
+            RESNET50, PipelineConfig(preproc_frequency="fixed"), rng
+        )
+        pipe.set_batch_size(7)
+        pipe.reset()
+        assert pipe.batch_size == RESNET50.batch_size

@@ -1,0 +1,79 @@
+"""CPU+GPU split-budget baseline."""
+
+import numpy as np
+import pytest
+
+from repro.control import CpuPlusGpuController
+from repro.errors import ConfigurationError
+from tests.control.test_base import make_obs
+
+
+def make_subsystem_obs(**overrides):
+    base = dict(cpu_power_w=150.0, gpu_power_w=np.array([150.0, 150.0, 150.0]))
+    base.update(overrides)
+    return make_obs(**base)
+
+
+class TestCpuPlusGpu:
+    def test_ratio_validated(self):
+        with pytest.raises(ConfigurationError):
+            CpuPlusGpuController(0.0, 0.06, 0.6)
+        with pytest.raises(ConfigurationError):
+            CpuPlusGpuController(1.0, 0.06, 0.6)
+
+    def test_requires_subsystem_power(self):
+        ctl = CpuPlusGpuController(0.5, 0.06, 0.6)
+        obs = make_obs()  # no RAPL/NVML readings
+        with pytest.raises(ConfigurationError):
+            ctl.step(obs)
+
+    def test_loops_move_toward_their_caps(self):
+        ctl = CpuPlusGpuController(0.5, 0.06, 0.6, pole=0.5)
+        # Total budget 900: cpu cap 450 (far above current 150 -> raise),
+        # gpu cap 450 (at current 450 -> hold).
+        obs = make_subsystem_obs()
+        targets = ctl.step(obs)
+        assert targets[0] > obs.f_targets_mhz[0]
+        assert targets[1] == pytest.approx(obs.f_targets_mhz[1], abs=1e-6)
+
+    def test_gpu_loop_independent_of_cpu_error(self):
+        ctl = CpuPlusGpuController(0.6, 0.06, 0.6, pole=0.5)
+        obs = make_subsystem_obs(gpu_power_w=np.array([250.0, 250.0, 250.0]))
+        # gpu cap = 540 < 750 -> decrease GPUs regardless of CPU state.
+        targets = ctl.step(obs)
+        assert targets[1] < obs.f_targets_mhz[1]
+
+    def test_shared_gpu_frequency(self):
+        ctl = CpuPlusGpuController(0.5, 0.06, 0.6)
+        targets = ctl.step(make_subsystem_obs())
+        assert targets[1] == targets[2] == targets[3]
+
+    def test_reset(self):
+        ctl = CpuPlusGpuController(0.5, 0.06, 0.6)
+        ctl.step(make_subsystem_obs())
+        ctl.reset()
+        assert ctl._f_cpu is None and ctl._f_gpu is None
+
+    def test_cpu_ratio_property(self):
+        assert CpuPlusGpuController(0.6, 0.06, 0.6).cpu_ratio == pytest.approx(0.4)
+
+
+class TestSplitBudgetFailureMode:
+    """The paper's point: fixed splits rarely land the *total* on the cap."""
+
+    @pytest.mark.parametrize("gpu_ratio,expect", [(0.5, "under"), (0.6, "over")])
+    def test_total_power_misses_cap(self, gpu_ratio, expect):
+        from repro.core import group_gains
+        from repro.sim import paper_scenario
+        from repro.sysid import identify_power_model
+
+        ident = paper_scenario(seed=33)
+        model = identify_power_model(ident, points_per_channel=5).fit
+        sim = paper_scenario(seed=33, set_point_w=900.0)
+        cg, gg = group_gains(model, sim.cpu_channels, sim.gpu_channels)
+        trace = sim.run(CpuPlusGpuController(gpu_ratio, cg, gg), 40)
+        mean = float(np.mean(trace["power_w"][-15:]))
+        if expect == "under":
+            assert mean < 885.0
+        else:
+            assert mean > 915.0

@@ -1,0 +1,139 @@
+"""Fixed-step and Safe Fixed-step heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    FixedStepController,
+    SafeFixedStepController,
+    estimate_safety_margin,
+)
+from repro.errors import ConfigurationError
+from repro.telemetry import Trace
+from tests.control.test_base import make_obs
+
+
+class TestFixedStepSelection:
+    def test_raises_highest_utilization_when_under(self):
+        ctl = FixedStepController(step_size=1)
+        obs = make_obs(
+            power_w=800.0,  # 100 W headroom
+            utilization=np.array([0.2, 0.9, 0.5, 0.4]),
+        )
+        targets = ctl.step(obs)
+        assert targets[1] == pytest.approx(1090.0)  # GPU step 90 MHz
+        assert targets[0] == 1000.0
+
+    def test_lowers_lowest_utilization_when_over(self):
+        ctl = FixedStepController(step_size=1)
+        obs = make_obs(
+            power_w=950.0,
+            utilization=np.array([0.2, 0.9, 0.5, 0.4]),
+        )
+        targets = ctl.step(obs)
+        assert targets[0] == pytest.approx(900.0)  # CPU step 100 MHz
+
+    def test_cpu_and_gpu_step_sizes_differ(self):
+        ctl = FixedStepController(step_size=5)
+        obs = make_obs(
+            power_w=800.0,
+            utilization=np.array([0.9, 0.1, 0.1, 0.1]),
+            f_max_mhz=np.array([2400.0, 1350.0, 1350.0, 1350.0]),
+        )
+        targets = ctl.step(obs)
+        assert targets[0] == pytest.approx(1500.0)  # 5 x 100 MHz
+
+    def test_round_robin_on_ties(self):
+        ctl = FixedStepController(step_size=1)
+        picks = []
+        for _ in range(6):
+            obs = make_obs(power_w=800.0, utilization=np.full(4, 0.8))
+            t = ctl.step(obs)
+            picks.append(int(np.argmax(t - obs.f_targets_mhz)))
+        # Fairness: every channel gets picked across consecutive ties.
+        assert set(picks) == {0, 1, 2, 3}
+
+    def test_skips_saturated_channels(self):
+        ctl = FixedStepController(step_size=1)
+        obs = make_obs(
+            power_w=800.0,
+            utilization=np.array([0.1, 0.9, 0.5, 0.4]),
+            f_targets_mhz=np.array([1000.0, 1350.0, 700.0, 700.0]),
+        )
+        targets = ctl.step(obs)
+        # GPU1 (highest util) is at max; next candidate moves instead.
+        assert targets[1] == 1350.0
+        assert np.sum(targets != obs.f_targets_mhz) == 1
+
+    def test_no_move_when_all_saturated(self):
+        ctl = FixedStepController(step_size=1)
+        obs = make_obs(
+            power_w=800.0,
+            f_targets_mhz=np.array([2400.0, 1350.0, 1350.0, 1350.0]),
+            f_max_mhz=np.array([2400.0, 1350.0, 1350.0, 1350.0]),
+        )
+        assert np.array_equal(ctl.step(obs), obs.f_targets_mhz)
+
+    def test_deadband(self):
+        ctl = FixedStepController(step_size=1, deadband_w=30.0)
+        obs = make_obs(power_w=880.0)  # error 20 < deadband
+        assert np.array_equal(ctl.step(obs), obs.f_targets_mhz)
+
+    def test_clamps_at_bounds(self):
+        ctl = FixedStepController(step_size=5)
+        obs = make_obs(
+            power_w=800.0,
+            utilization=np.array([0.1, 0.9, 0.1, 0.1]),
+            f_targets_mhz=np.array([1000.0, 1300.0, 700.0, 700.0]),
+        )
+        targets = ctl.step(obs)
+        assert targets[1] == 1350.0  # 1300 + 450 clamped
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedStepController(step_size=0)
+        with pytest.raises(ConfigurationError):
+            FixedStepController(deadband_w=-1.0)
+
+
+class TestSafeFixedStep:
+    def test_tracks_reduced_set_point(self):
+        safe = SafeFixedStepController(safety_margin_w=50.0, step_size=1)
+        plain = FixedStepController(step_size=1)
+        # Power exactly at P_s - margin: safe controller sees zero error
+        # direction flip relative to the plain one.
+        obs = make_obs(power_w=880.0, utilization=np.array([0.2, 0.9, 0.5, 0.4]))
+        t_safe = safe.step(obs)
+        t_plain = plain.step(obs)
+        # plain raises (error +20); safe lowers (error -30 vs 850).
+        assert np.any(t_safe < obs.f_targets_mhz)
+        assert np.any(t_plain > obs.f_targets_mhz)
+
+    def test_margin_validated(self):
+        with pytest.raises(ConfigurationError):
+            SafeFixedStepController(safety_margin_w=0.0)
+
+
+class TestEstimateSafetyMargin:
+    def _trace_with_peaks(self, peaks):
+        t = Trace(["power_max_w", "power_w", "set_point_w"])
+        for p in peaks:
+            t.append(power_max_w=p, power_w=p - 5.0, set_point_w=900.0)
+        return t
+
+    def test_margin_from_positive_excursions(self):
+        peaks = [880.0] * 30 + [905.0, 910.0, 920.0, 915.0] + [890.0] * 30
+        margin = estimate_safety_margin(self._trace_with_peaks(peaks), 900.0,
+                                        steady_after=5)
+        assert 5.0 <= margin <= 20.0
+
+    def test_margin_when_never_violating(self):
+        peaks = list(np.linspace(860.0, 895.0, 50))
+        margin = estimate_safety_margin(self._trace_with_peaks(peaks), 900.0,
+                                        steady_after=5)
+        assert margin >= 1.0
+
+    def test_requires_enough_periods(self):
+        with pytest.raises(ConfigurationError):
+            estimate_safety_margin(self._trace_with_peaks([900.0] * 5), 900.0,
+                                   steady_after=10)

@@ -1,0 +1,90 @@
+"""PID and oracle comparator controllers."""
+
+import numpy as np
+import pytest
+
+from repro.control import OracleController, PidController
+from repro.errors import ConfigurationError
+from repro.sim import paper_scenario
+from tests.control.test_base import make_obs
+
+
+class TestPidMechanics:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PidController(span_w=0.0)
+        with pytest.raises(ConfigurationError):
+            PidController(span_w=100.0, kp_frac_per_w=-1.0)
+
+    def test_command_maps_fraction_of_range(self):
+        ctl = PidController(span_w=100.0, kp_frac_per_w=0.01, ki_frac_per_w=0.0)
+        obs = make_obs(
+            power_w=850.0,  # error +50 -> u = 0.5
+            f_min_mhz=np.array([1000.0, 435.0, 435.0, 435.0]),
+            f_max_mhz=np.array([2400.0, 1350.0, 1350.0, 1350.0]),
+        )
+        targets = ctl.step(obs)
+        assert targets[0] == pytest.approx(1000.0 + 0.5 * 1400.0)
+        assert targets[1] == pytest.approx(435.0 + 0.5 * 915.0)
+
+    def test_command_saturates(self):
+        ctl = PidController(span_w=100.0, kp_frac_per_w=1.0, ki_frac_per_w=0.0)
+        obs = make_obs(power_w=100.0)  # enormous headroom
+        targets = ctl.step(obs)
+        assert np.array_equal(targets, obs.f_max_mhz)
+
+    def test_integral_accumulates(self):
+        ctl = PidController(span_w=100.0, kp_frac_per_w=0.0, ki_frac_per_w=0.001)
+        obs = make_obs(power_w=890.0)  # constant +10 error
+        u_values = []
+        for _ in range(5):
+            t = ctl.step(obs)
+            u_values.append(t[0])
+        assert all(b > a for a, b in zip(u_values, u_values[1:]))
+
+    def test_anti_windup_releases_quickly(self):
+        ctl = PidController(span_w=100.0, kp_frac_per_w=0.0, ki_frac_per_w=0.01)
+        # Long saturation stretch...
+        for _ in range(50):
+            ctl.step(make_obs(power_w=100.0))
+        # ...then the sign flips: command must leave the rail immediately-ish.
+        for _ in range(3):
+            t = ctl.step(make_obs(power_w=1500.0))
+        assert t[0] < make_obs().f_max_mhz[0]
+
+    def test_reset(self):
+        ctl = PidController(span_w=100.0)
+        ctl.step(make_obs(power_w=890.0))
+        ctl.reset()
+        assert ctl._integral == 0.0 and ctl._u == 0.0
+
+
+class TestClosedLoop:
+    def test_pid_removes_steady_state_bias(self):
+        sim = paper_scenario(seed=42, set_point_w=950.0)
+        ctl = PidController(span_w=620.0)
+        trace = sim.run(ctl, 60)
+        assert np.mean(trace["power_w"][-25:]) == pytest.approx(950.0, abs=4.0)
+
+    def test_oracle_is_the_accuracy_floor(self):
+        """No identified-model controller should beat the oracle's variance
+        by more than noise; the oracle itself tracks tightly."""
+        sim = paper_scenario(seed=42, set_point_w=900.0)
+        ctl = OracleController(sim.server)
+        trace = sim.run(ctl, 60)
+        tail = trace["power_w"][-30:]
+        assert np.mean(tail) == pytest.approx(900.0, abs=4.0)
+        assert np.std(tail) < 5.0
+
+    def test_oracle_saturates_gracefully_when_infeasible(self):
+        sim = paper_scenario(seed=42, set_point_w=2000.0)
+        ctl = OracleController(sim.server)
+        trace = sim.run(ctl, 10)
+        # Pinned at max; power far below the impossible target.
+        assert trace["power_w"][-1] < 1400.0
+        assert trace["f_tgt_1"][-1] == pytest.approx(1350.0)
+
+    def test_oracle_validation(self):
+        sim = paper_scenario(seed=42)
+        with pytest.raises(ConfigurationError):
+            OracleController(sim.server, tol_w=0.0)

@@ -1,0 +1,50 @@
+"""Pole-placement helpers."""
+
+import math
+
+import pytest
+
+from repro.control import closed_loop_pole, proportional_gain, settling_periods
+from repro.errors import ConfigurationError
+
+
+class TestProportionalGain:
+    def test_deadbeat_pole_zero(self):
+        kp = proportional_gain(0.5, pole=0.0)
+        assert kp == pytest.approx(2.0)
+
+    def test_round_trip_with_closed_loop_pole(self):
+        g = 0.61
+        for pole in (0.0, 0.3, 0.5, 0.9):
+            kp = proportional_gain(g, pole)
+            assert closed_loop_pole(g, kp) == pytest.approx(pole)
+
+    def test_rejects_unstable_pole(self):
+        with pytest.raises(ConfigurationError):
+            proportional_gain(0.5, pole=1.0)
+        with pytest.raises(ConfigurationError):
+            proportional_gain(0.5, pole=-0.1)
+
+    def test_rejects_non_positive_gain(self):
+        with pytest.raises(ConfigurationError):
+            proportional_gain(0.0)
+
+
+class TestSettlingPeriods:
+    def test_deadbeat_settles_in_one(self):
+        assert settling_periods(0.0) == 1.0
+
+    def test_slower_pole_settles_slower(self):
+        assert settling_periods(0.8) > settling_periods(0.5)
+
+    def test_marginal_pole_never_settles(self):
+        assert math.isinf(settling_periods(1.0))
+        assert math.isinf(settling_periods(-1.2))
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ConfigurationError):
+            settling_periods(0.5, tolerance=0.0)
+
+    def test_known_value(self):
+        # 0.5^k = 0.02 -> k = log(0.02)/log(0.5) ~ 5.64
+        assert settling_periods(0.5, 0.02) == pytest.approx(5.64, abs=0.01)

@@ -1,0 +1,97 @@
+"""GPU-Only / CPU-Only proportional baselines."""
+
+import numpy as np
+import pytest
+
+from repro.control import CpuOnlyController, GpuOnlyController
+from repro.errors import ConfigurationError
+from tests.control.test_base import make_obs
+
+
+class TestGpuOnly:
+    def test_pins_cpu_at_max(self):
+        ctl = GpuOnlyController(0.6)
+        obs = make_obs(f_max_mhz=np.array([2400.0, 1350.0, 1350.0, 1350.0]),
+                       f_min_mhz=np.array([1000.0, 435.0, 435.0, 435.0]))
+        targets = ctl.step(obs)
+        assert targets[0] == 2400.0
+
+    def test_shared_gpu_command(self):
+        ctl = GpuOnlyController(0.6)
+        obs = make_obs(f_targets_mhz=np.array([2400.0, 700.0, 800.0, 900.0]))
+        targets = ctl.step(obs)
+        assert targets[1] == targets[2] == targets[3]
+
+    def test_moves_proportionally_to_error(self):
+        ctl = GpuOnlyController(0.6, pole=0.5)
+        obs = make_obs()  # error +20 W
+        t1 = ctl.step(obs)
+        f1 = t1[1]
+        # Kp = (1-0.5)/0.6; shared command starts at the mean target (1000).
+        assert f1 == pytest.approx(1000.0 + 0.5 / 0.6 * 20.0)
+
+    def test_clamps_to_group_band(self):
+        ctl = GpuOnlyController(0.6)
+        obs = make_obs(power_w=2000.0)  # error -1100 W -> huge decrease
+        targets = ctl.step(obs)
+        assert targets[1] == 435.0
+
+    def test_reset_clears_shared_state(self):
+        ctl = GpuOnlyController(0.6)
+        obs = make_obs()
+        ctl.step(obs)
+        ctl.reset()
+        t = ctl.step(obs)
+        assert t[1] == pytest.approx(1000.0 + 0.5 / 0.6 * 20.0)
+
+    def test_initial_targets_all_min(self):
+        ctl = GpuOnlyController(0.6)
+        f_min = np.array([1000.0, 435.0, 435.0, 435.0])
+        assert np.array_equal(ctl.initial_targets(f_min, f_min + 100), f_min)
+
+
+class TestCpuOnly:
+    def test_pins_gpus_at_max(self):
+        ctl = CpuOnlyController(0.06)
+        obs = make_obs(f_max_mhz=np.array([2400.0, 1350.0, 1350.0, 1350.0]))
+        targets = ctl.step(obs)
+        assert np.array_equal(targets[1:], [1350.0, 1350.0, 1350.0])
+
+    def test_actuates_cpu_only(self):
+        ctl = CpuOnlyController(0.06, pole=0.5)
+        obs = make_obs()
+        targets = ctl.step(obs)
+        assert targets[0] == pytest.approx(1000.0 + 0.5 / 0.06 * 20.0, abs=1e-6)
+
+    def test_empty_group_raises(self):
+        ctl = CpuOnlyController(0.06)
+        obs = make_obs(cpu_channels=(), gpu_channels=(0, 1, 2, 3))
+        with pytest.raises(ConfigurationError):
+            ctl.step(obs)
+
+
+class TestClosedLoopBehaviour:
+    def test_gpu_only_converges_on_plant(self):
+        from repro.core import group_gains
+        from repro.sim import paper_scenario
+        from repro.sysid import identify_power_model
+
+        ident = paper_scenario(seed=31)
+        model = identify_power_model(ident, points_per_channel=5).fit
+        sim = paper_scenario(seed=31, set_point_w=900.0)
+        _, gg = group_gains(model, sim.cpu_channels, sim.gpu_channels)
+        trace = sim.run(GpuOnlyController(gg), 30)
+        assert np.mean(trace["power_w"][-10:]) == pytest.approx(900.0, abs=10.0)
+
+    def test_cpu_only_cannot_reach_cap(self):
+        """The paper's headline failure: CPU range is far too small."""
+        from repro.core import group_gains
+        from repro.sim import paper_scenario
+        from repro.sysid import identify_power_model
+
+        ident = paper_scenario(seed=32)
+        model = identify_power_model(ident, points_per_channel=5).fit
+        sim = paper_scenario(seed=32, set_point_w=900.0)
+        cg, _ = group_gains(model, sim.cpu_channels, sim.gpu_channels)
+        trace = sim.run(CpuOnlyController(cg), 30)
+        assert np.mean(trace["power_w"][-10:]) > 1150.0

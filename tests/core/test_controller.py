@@ -1,0 +1,148 @@
+"""CapGpuController: step mechanics, SLO integration, online adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.core import CapGpuController, MpcConfig, SloManager, TaskLatencyModel, WeightAssigner
+from repro.errors import ConfigurationError
+from repro.sysid import PowerModelFit
+from repro.workloads import RESNET50
+from tests.control.test_base import make_obs
+
+MODEL = PowerModelFit(
+    a_w_per_mhz=np.array([0.06, 0.2, 0.2, 0.2]),
+    c_w=350.0, r2=0.99, rmse_w=2.0, n_samples=24,
+)
+
+
+def obs_for_controller(**overrides):
+    base = dict(
+        f_min_mhz=np.array([1000.0, 435.0, 435.0, 435.0]),
+        f_max_mhz=np.array([2400.0, 1350.0, 1350.0, 1350.0]),
+        f_targets_mhz=np.array([1600.0, 900.0, 900.0, 900.0]),
+        f_applied_mhz=np.array([1600.0, 900.0, 900.0, 900.0]),
+    )
+    base.update(overrides)
+    return make_obs(**base)
+
+
+class TestStep:
+    def test_raises_toward_set_point_when_under(self):
+        ctl = CapGpuController(MODEL)
+        obs = obs_for_controller(power_w=850.0)
+        targets = ctl.step(obs)
+        gained = float(MODEL.a_w_per_mhz @ (targets - obs.f_targets_mhz))
+        assert gained > 0
+
+    def test_channel_count_checked(self):
+        ctl = CapGpuController(MODEL)
+        obs = make_obs(n=3, cpu_channels=(0,), gpu_channels=(1, 2))
+        with pytest.raises(ConfigurationError):
+            ctl.step(obs)
+
+    def test_targets_within_bounds(self):
+        ctl = CapGpuController(MODEL)
+        obs = obs_for_controller(power_w=2000.0)
+        targets = ctl.step(obs)
+        assert np.all(targets >= obs.f_min_mhz - 1e-6)
+        assert np.all(targets <= obs.f_max_mhz + 1e-6)
+
+    def test_records_solution_and_weights(self):
+        ctl = CapGpuController(MODEL)
+        ctl.step(obs_for_controller())
+        assert ctl.last_solution is not None
+        assert ctl.last_penalty_weights is not None
+        assert ctl.last_floors_mhz is not None
+
+    def test_weight_assignment_shapes_allocation(self):
+        """Busier GPU receives the larger share of a frequency increase."""
+        ctl = CapGpuController(MODEL, weights=WeightAssigner(eps=0.05))
+        obs = obs_for_controller(
+            power_w=800.0,
+            throughput_norm=np.array([0.5, 1.0, 0.1, 0.1]),
+        )
+        targets = ctl.step(obs)
+        delta = targets - obs.f_targets_mhz
+        assert delta[1] > delta[2]
+        assert delta[1] > delta[3]
+
+
+class TestSloIntegration:
+    def _controller_with_slo(self):
+        mgr = SloManager({1: TaskLatencyModel.from_spec(RESNET50)}, headroom=1.0)
+        return CapGpuController(MODEL, slo_manager=mgr)
+
+    def test_slo_floor_respected_even_over_budget(self):
+        ctl = self._controller_with_slo()
+        slo = 0.7
+        floor = RESNET50.min_frequency_mhz(slo)
+        obs = obs_for_controller(power_w=1200.0, slos_s={1: slo})
+        targets = ctl.step(obs)
+        assert targets[1] >= floor - 1e-6
+
+    def test_no_slo_behaves_like_plain(self):
+        with_mgr = self._controller_with_slo()
+        without = CapGpuController(MODEL)
+        obs = obs_for_controller(power_w=850.0, slos_s={})
+        t1 = with_mgr.step(obs)
+        t2 = without.step(obs)
+        assert t1 == pytest.approx(t2, abs=1e-6)
+
+
+class TestOnlineAdaptation:
+    def test_rls_refreshes_gains(self):
+        ctl = CapGpuController(MODEL, online_adaptation=True)
+        rng = np.random.default_rng(0)
+        true_a = np.array([0.03, 0.1, 0.1, 0.1])  # plant gains halved
+        f = np.array([1600.0, 900.0, 900.0, 900.0])
+        for _ in range(60):
+            f_obs = f + rng.uniform(-200, 200, 4)
+            obs = obs_for_controller(
+                f_applied_mhz=f_obs,
+                power_w=float(f_obs @ true_a + 350.0),
+            )
+            ctl.step(obs)
+        assert ctl.current_gains() == pytest.approx(true_a, abs=0.01)
+
+    def test_without_adaptation_gains_fixed(self):
+        ctl = CapGpuController(MODEL, online_adaptation=False)
+        ctl.step(obs_for_controller())
+        assert np.array_equal(ctl.current_gains(), MODEL.a_w_per_mhz)
+
+    def test_reset_restores_initial_model(self):
+        ctl = CapGpuController(MODEL, online_adaptation=True)
+        for _ in range(10):
+            ctl.step(obs_for_controller(power_w=850.0))
+        ctl.reset()
+        assert ctl.last_solution is None
+        assert np.array_equal(ctl.current_gains(), MODEL.a_w_per_mhz)
+
+
+class TestBuildCapgpu:
+    def test_requires_model_or_ident_sim(self, scenario):
+        from repro.core import build_capgpu
+
+        with pytest.raises(ConfigurationError):
+            build_capgpu(scenario)
+
+    def test_model_channel_count_checked(self, scenario):
+        from repro.core import build_capgpu
+
+        bad = PowerModelFit(np.array([0.1, 0.2]), 100.0, 1.0, 0.0, 10)
+        with pytest.raises(ConfigurationError):
+            build_capgpu(scenario, model=bad)
+
+    def test_builds_with_slo_from_specs(self, scenario):
+        from repro.core import build_capgpu
+
+        ctl = build_capgpu(scenario, model=MODEL)
+        assert ctl.slo_manager is not None
+        # One latency model per GPU channel.
+        assert set(ctl.slo_manager.task_models) == set(scenario.gpu_channels)
+
+    def test_group_gains(self):
+        from repro.core import group_gains
+
+        cpu_g, gpu_g = group_gains(MODEL, (0,), (1, 2, 3))
+        assert cpu_g == pytest.approx(0.06)
+        assert gpu_g == pytest.approx(0.6)

@@ -1,0 +1,97 @@
+"""Set-point feasibility checks (Section 4.4 assumption)."""
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import check_set_point, predicted_power_range
+from repro.errors import ConfigurationError, InfeasibleSetPointError
+from repro.sysid import PowerModelFit
+
+MODEL = PowerModelFit(
+    a_w_per_mhz=np.array([0.06, 0.2]), c_w=300.0, r2=1.0, rmse_w=0.0, n_samples=10,
+)
+F_MIN = np.array([1000.0, 435.0])
+F_MAX = np.array([2400.0, 1350.0])
+
+
+class TestPredictedRange:
+    def test_corners(self):
+        lo, hi = predicted_power_range(MODEL, F_MIN, F_MAX)
+        assert lo == pytest.approx(300.0 + 60.0 + 87.0)
+        assert hi == pytest.approx(300.0 + 144.0 + 270.0)
+
+    def test_negative_gain_handled(self):
+        model = PowerModelFit(np.array([-0.06, 0.2]), 300.0, 1.0, 0.0, 10)
+        lo, hi = predicted_power_range(model, F_MIN, F_MAX)
+        # Minimizing corner uses f_max for the negative-gain channel.
+        assert lo == pytest.approx(300.0 - 0.06 * 2400 + 0.2 * 435)
+        assert hi == pytest.approx(300.0 - 0.06 * 1000 + 0.2 * 1350)
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            predicted_power_range(MODEL, F_MIN, np.array([2400.0]))
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            predicted_power_range(MODEL, F_MAX, F_MIN)
+
+
+class TestCheckSetPoint:
+    def test_feasible_interior(self):
+        rep = check_set_point(MODEL, F_MIN, F_MAX, 600.0)
+        assert rep.feasible
+        assert rep.headroom_w > 0
+
+    def test_infeasible_above(self):
+        rep = check_set_point(MODEL, F_MIN, F_MAX, 800.0)
+        assert not rep.feasible
+        assert rep.headroom_w < 0
+
+    def test_infeasible_below(self):
+        rep = check_set_point(MODEL, F_MIN, F_MAX, 400.0)
+        assert not rep.feasible
+
+    def test_margin_shrinks_envelope(self):
+        lo, _ = predicted_power_range(MODEL, F_MIN, F_MAX)
+        assert check_set_point(MODEL, F_MIN, F_MAX, lo + 5.0).feasible
+        assert not check_set_point(MODEL, F_MIN, F_MAX, lo + 5.0, margin_w=10.0).feasible
+
+    def test_raise_on_infeasible(self):
+        with pytest.raises(InfeasibleSetPointError) as exc:
+            check_set_point(MODEL, F_MIN, F_MAX, 2000.0, raise_on_infeasible=True)
+        assert exc.value.set_point_w == 2000.0
+
+    def test_margin_validated(self):
+        with pytest.raises(ConfigurationError):
+            check_set_point(MODEL, F_MIN, F_MAX, 600.0, margin_w=-1.0)
+
+
+class TestControllerIntegration:
+    def test_controller_flags_infeasible_set_point(self):
+        """CapGPU records infeasibility instead of pretending to converge."""
+        from repro.core import CapGpuController
+        from tests.core.test_controller import MODEL as CTL_MODEL, obs_for_controller
+
+        ctl = CapGpuController(CTL_MODEL)
+        ctl.step(obs_for_controller(power_w=900.0))
+        assert ctl.last_feasibility is not None
+        assert ctl.last_feasibility.feasible
+
+        obs = obs_for_controller(power_w=900.0)
+        obs.set_point_w = 5000.0
+        ctl.step(obs)
+        assert not ctl.last_feasibility.feasible
+
+    def test_slo_floors_can_make_set_point_infeasible(self):
+        """Tight SLOs raise the floor power above a low cap — detected."""
+        from repro.core import CapGpuController, SloManager, TaskLatencyModel
+        from repro.workloads import RESNET50
+        from tests.core.test_controller import MODEL as CTL_MODEL, obs_for_controller
+
+        mgr = SloManager({1: TaskLatencyModel.from_spec(RESNET50)}, headroom=1.0)
+        ctl = CapGpuController(CTL_MODEL, slo_manager=mgr)
+        # SLO forces GPU1 near f_max; set point below the resulting floor.
+        obs = obs_for_controller(power_w=900.0, slos_s={1: 0.52})
+        obs.set_point_w = 700.0
+        ctl.step(obs)
+        assert not ctl.last_feasibility.feasible

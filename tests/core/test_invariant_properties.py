@@ -1,0 +1,81 @@
+"""Cross-module property tests on the core guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.actuators import DeltaSigmaModulator
+from repro.core import SloManager, TaskLatencyModel
+from repro.hardware import TESLA_V100_16GB
+from repro.workloads import RESNET50, SWIN_T, VGG16
+from tests.control.test_base import make_obs
+
+
+class TestSloFloorGuarantee:
+    @given(
+        slo=st.floats(min_value=0.55, max_value=3.0),
+        spec_idx=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=60)
+    def test_floor_frequency_meets_slo_by_model(self, slo, spec_idx):
+        """Running at (or above) the computed floor can never violate the
+        SLO under the latency model — the Eq. 10b-c guarantee."""
+        spec = (RESNET50, SWIN_T, VGG16)[spec_idx]
+        model = TaskLatencyModel.from_spec(spec)
+        mgr = SloManager({1: model}, headroom=1.0)
+        obs = make_obs(
+            slos_s={1: slo},
+            f_min_mhz=np.array([1000.0, 435.0, 435.0, 435.0]),
+            f_max_mhz=np.array([2400.0, 1350.0, 1350.0, 1350.0]),
+        )
+        floors = mgr.frequency_floors(obs)
+        if 1 in mgr.infeasible_channels:
+            assert floors[1] == obs.f_max_mhz[1]
+        else:
+            assert model.latency_s(floors[1]) <= slo + 1e-9
+
+    @given(headroom=st.floats(min_value=0.5, max_value=1.0))
+    @settings(max_examples=30)
+    def test_headroom_monotone(self, headroom):
+        """Smaller headroom factor -> higher (more conservative) floor."""
+        model = TaskLatencyModel.from_spec(RESNET50)
+        slack = SloManager({1: model}, headroom=1.0)
+        tight = SloManager({1: model}, headroom=headroom)
+        obs = make_obs(
+            slos_s={1: 1.0},
+            f_min_mhz=np.array([1000.0, 435.0, 435.0, 435.0]),
+            f_max_mhz=np.array([2400.0, 1350.0, 1350.0, 1350.0]),
+        )
+        assert tight.frequency_floors(obs)[1] >= slack.frequency_floors(obs)[1] - 1e-9
+
+
+class TestDeltaSigmaErrorBound:
+    @given(
+        target=st.floats(min_value=435.0, max_value=1350.0),
+        n=st.integers(min_value=10, max_value=500),
+    )
+    @settings(max_examples=50)
+    def test_cumulative_error_bounded_by_one_pitch(self, target, n):
+        """First-order delta-sigma: the *cumulative* deviation of applied
+        levels from the target stays within one grid pitch at every prefix,
+        for any horizon — not just asymptotically."""
+        domain = TESLA_V100_16GB.domain()
+        pitch = 15.0
+        mod = DeltaSigmaModulator(domain)
+        cum_err = 0.0
+        for _ in range(n):
+            level = mod.next_level(target)
+            cum_err += level - target
+            assert abs(cum_err) <= pitch + 1e-9
+
+
+class TestObservationErrorConvention:
+    @given(
+        power=st.floats(min_value=500.0, max_value=1500.0),
+        set_point=st.floats(min_value=500.0, max_value=1500.0),
+    )
+    @settings(max_examples=30)
+    def test_error_sign(self, power, set_point):
+        obs = make_obs(power_w=power, set_point_w=set_point)
+        assert obs.error_w == pytest.approx(set_point - power)

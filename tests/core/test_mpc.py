@@ -1,0 +1,163 @@
+"""MIMO MPC: quadratic-form correctness, constraints, solver agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MimoPowerMpc, MpcConfig, unconstrained_gains
+from repro.errors import ConfigurationError
+
+A = np.array([0.06, 0.2, 0.2, 0.2])
+R = np.full(4, 5e-5)
+F_MIN = np.array([1000.0, 435.0, 435.0, 435.0])
+F_MAX = np.array([2400.0, 1350.0, 1350.0, 1350.0])
+
+
+def solve(error_w, f_now, solver="slsqp", floors=None, config=None, r=None):
+    cfg = config or MpcConfig(solver=solver)
+    if config is None and solver != cfg.solver:
+        cfg = MpcConfig(solver=solver)
+    mpc = MimoPowerMpc(4, cfg)
+    return mpc.solve(
+        error_w=error_w,
+        f_now_mhz=np.asarray(f_now, dtype=float),
+        a_w_per_mhz=A,
+        r_weights=R if r is None else r,
+        floors_mhz=F_MIN if floors is None else floors,
+        f_max_mhz=F_MAX,
+    )
+
+
+class TestConfigValidation:
+    def test_horizon_ordering(self):
+        with pytest.raises(ConfigurationError):
+            MpcConfig(prediction_horizon=1, control_horizon=2)
+
+    def test_control_horizon_positive(self):
+        with pytest.raises(ConfigurationError):
+            MpcConfig(control_horizon=0)
+
+    def test_reference_lambda_range(self):
+        with pytest.raises(ConfigurationError):
+            MpcConfig(reference_lambda=1.0)
+
+    def test_solver_name(self):
+        with pytest.raises(ConfigurationError):
+            MpcConfig(solver="ipopt")
+
+    def test_paper_defaults(self):
+        cfg = MpcConfig()
+        assert cfg.prediction_horizon == 8
+        assert cfg.control_horizon == 2
+
+
+class TestDirectionAndMagnitude:
+    def test_over_budget_reduces_frequencies(self):
+        sol = solve(error_w=+50.0, f_now=[1600.0, 900.0, 900.0, 900.0])
+        assert float(A @ sol.d0_mhz) < 0
+
+    def test_under_budget_raises_frequencies(self):
+        sol = solve(error_w=-50.0, f_now=[1600.0, 900.0, 900.0, 900.0])
+        assert float(A @ sol.d0_mhz) > 0
+
+    def test_predicted_correction_matches_reference_pole(self):
+        """First move cancels (1 - lambda) of the error under the model."""
+        cfg = MpcConfig(reference_lambda=0.5, solver="analytic")
+        sol = solve(-40.0, [1600.0, 900.0, 900.0, 900.0], config=cfg)
+        corrected = float(A @ sol.d0_mhz)
+        assert corrected == pytest.approx(20.0, rel=0.05)
+
+    def test_zero_error_mid_range_nearly_still(self):
+        sol = solve(0.0, [1600.0, 900.0, 900.0, 900.0])
+        assert float(abs(A @ sol.d0_mhz)) < 1.0
+
+
+class TestConstraints:
+    def test_bounds_respected_at_floor(self):
+        sol = solve(+500.0, list(F_MIN))  # wants to cut but already at floor
+        assert np.all(F_MIN + sol.d0_mhz >= F_MIN - 1e-6)
+        assert np.allclose(sol.d0_mhz, 0.0, atol=1e-6)
+
+    def test_bounds_respected_at_ceiling(self):
+        sol = solve(-500.0, list(F_MAX))
+        assert np.all(F_MAX + sol.d0_mhz <= F_MAX + 1e-6)
+
+    def test_slo_floor_enforced(self):
+        floors = np.array([1000.0, 1100.0, 435.0, 435.0])
+        sol = solve(+500.0, [1000.0, 1100.0, 900.0, 900.0], floors=floors)
+        f_next = np.array([1000.0, 1100.0, 900.0, 900.0]) + sol.d0_mhz
+        assert f_next[1] >= 1100.0 - 1e-6
+
+    def test_infeasible_box_rejected(self):
+        floors = F_MAX + 100.0
+        with pytest.raises(ConfigurationError):
+            solve(0.0, list(F_MIN), floors=floors)
+
+    def test_max_step_bounds_move(self):
+        cfg = MpcConfig(max_step_mhz=50.0)
+        sol = solve(-500.0, [1600.0, 900.0, 900.0, 900.0], config=cfg)
+        assert np.all(np.abs(sol.d0_mhz) <= 50.0 + 1e-6)
+
+    @given(
+        st.floats(min_value=-300.0, max_value=300.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_trajectory_always_in_box(self, err, frac):
+        f_now = F_MIN + frac * (F_MAX - F_MIN)
+        mpc = MimoPowerMpc(4, MpcConfig(solver="slsqp"))
+        sol = mpc.solve(err, f_now, A, R, F_MIN, F_MAX)
+        cum = np.cumsum(sol.trajectory_mhz, axis=0)
+        for step in cum:
+            assert np.all(f_now + step >= F_MIN - 1e-6)
+            assert np.all(f_now + step <= F_MAX + 1e-6)
+
+
+class TestSolverAgreement:
+    def test_analytic_matches_slsqp_in_interior(self):
+        f_now = [1600.0, 900.0, 900.0, 900.0]
+        s1 = solve(-30.0, f_now, solver="slsqp")
+        s2 = solve(-30.0, f_now, solver="analytic")
+        assert s1.d0_mhz == pytest.approx(s2.d0_mhz, abs=1.0)
+
+    def test_slsqp_cost_not_worse_than_clipped_analytic(self):
+        """At an active constraint, the true QP solve must be at least as good."""
+        f_now = np.array([1010.0, 445.0, 445.0, 445.0])
+        s_slsqp = solve(+200.0, f_now, solver="slsqp")
+        s_clip = solve(+200.0, f_now, solver="analytic")
+        assert s_slsqp.cost <= s_clip.cost + 1e-6
+
+    def test_solution_metadata(self):
+        sol = solve(-30.0, [1600.0, 900.0, 900.0, 900.0])
+        assert sol.solver == "slsqp"
+        assert sol.trajectory_mhz.shape == (2, 4)
+        assert sol.converged
+
+
+class TestWeightShaping:
+    def test_low_penalty_channel_gets_more_frequency(self):
+        """The weight-assignment mechanism: busy (cheap) channels rise more."""
+        r = np.array([5e-5, 1e-6, 1e-4, 1e-4])  # GPU0 cheap, GPU1/2 expensive
+        sol = solve(-80.0, [1600.0, 800.0, 800.0, 800.0], r=r)
+        assert sol.d0_mhz[1] > sol.d0_mhz[2]
+        assert sol.d0_mhz[1] > sol.d0_mhz[3]
+
+
+class TestUnconstrainedGains:
+    def test_shapes(self):
+        k_e, k_f = unconstrained_gains(A, R)
+        assert k_e.shape == (4,)
+        assert k_f.shape == (4, 4)
+
+    def test_law_matches_solver_in_interior(self):
+        k_e, k_f = unconstrained_gains(A, R)
+        f_now = np.array([1600.0, 900.0, 900.0, 900.0])
+        err = -25.0
+        d_law = -k_e * err - k_f @ (f_now - F_MIN)
+        sol = solve(err, f_now, solver="analytic")
+        assert sol.d0_mhz == pytest.approx(d_law, abs=1.0)
+
+    def test_gain_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            unconstrained_gains(A, np.ones(3))

@@ -1,0 +1,108 @@
+"""SLO manager: Eq. 10b-c as frequency floors."""
+
+import numpy as np
+import pytest
+
+from repro.core import SloManager, TaskLatencyModel
+from repro.errors import ConfigurationError, SloInfeasibleError
+from repro.workloads import RESNET50, SWIN_T
+from tests.control.test_base import make_obs
+
+
+def managers(headroom=1.0, strict=False):
+    models = {
+        1: TaskLatencyModel.from_spec(RESNET50),
+        2: TaskLatencyModel.from_spec(SWIN_T),
+    }
+    return SloManager(models, strict=strict, headroom=headroom)
+
+
+class TestTaskLatencyModel:
+    def test_from_spec_round_trip(self):
+        m = TaskLatencyModel.from_spec(RESNET50)
+        assert m.latency_s(1350.0) == pytest.approx(RESNET50.e_min_s)
+
+    def test_floor_inverts_latency(self):
+        m = TaskLatencyModel.from_spec(RESNET50)
+        floor = m.floor_mhz(0.8)
+        assert m.latency_s(floor) == pytest.approx(0.8)
+
+    def test_from_fit(self):
+        from repro.sysid.latency_fit import LatencyModelFit
+
+        fit = LatencyModelFit(e_min_s=0.5, gamma=0.9, f_max_mhz=1350.0, r2=0.95,
+                              n_samples=50)
+        m = TaskLatencyModel.from_fit(fit)
+        assert m.gamma == 0.9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TaskLatencyModel(0.0, 0.9, 1350.0)
+
+
+class TestFrequencyFloors:
+    def test_no_slo_keeps_domain_minimum(self):
+        mgr = managers()
+        obs = make_obs(slos_s={})
+        floors = mgr.frequency_floors(obs)
+        assert np.array_equal(floors, obs.f_min_mhz)
+
+    def test_slo_raises_floor(self):
+        mgr = managers()
+        slo = 0.8  # achievable for resnet (e_min 0.5)
+        obs = make_obs(slos_s={1: slo})
+        floors = mgr.frequency_floors(obs)
+        model = mgr.task_models[1]
+        assert floors[1] == pytest.approx(model.floor_mhz(slo))
+        assert floors[2] == obs.f_min_mhz[2]
+
+    def test_headroom_tightens_floor(self):
+        loose = managers(headroom=1.0)
+        tight = managers(headroom=0.9)
+        obs = make_obs(slos_s={1: 0.8})
+        assert tight.frequency_floors(obs)[1] > loose.frequency_floors(obs)[1]
+
+    def test_floor_never_below_domain_minimum(self):
+        mgr = managers()
+        obs = make_obs(slos_s={1: 100.0})  # absurdly loose SLO
+        floors = mgr.frequency_floors(obs)
+        assert floors[1] == obs.f_min_mhz[1]
+
+    def test_infeasible_slo_clamps_and_records(self):
+        mgr = managers(strict=False)
+        obs = make_obs(slos_s={1: 0.1})  # below e_min at f_max
+        floors = mgr.frequency_floors(obs)
+        assert floors[1] == obs.f_max_mhz[1]
+        assert 1 in mgr.infeasible_channels
+
+    def test_infeasible_slo_strict_raises(self):
+        mgr = managers(strict=True)
+        obs = make_obs(slos_s={1: 0.1})
+        with pytest.raises(SloInfeasibleError):
+            mgr.frequency_floors(obs)
+
+    def test_infeasible_set_cleared_between_calls(self):
+        mgr = managers(strict=False)
+        obs_bad = make_obs(slos_s={1: 0.1})
+        mgr.frequency_floors(obs_bad)
+        obs_ok = make_obs(slos_s={1: 2.0})
+        mgr.frequency_floors(obs_ok)
+        assert not mgr.infeasible_channels
+
+    def test_unknown_channel_slo_raises(self):
+        mgr = managers()
+        obs = make_obs(slos_s={3: 0.8})
+        with pytest.raises(ConfigurationError):
+            mgr.frequency_floors(obs)
+
+    def test_predicted_latency(self):
+        mgr = managers()
+        assert mgr.predicted_latency_s(1, 1350.0) == pytest.approx(RESNET50.e_min_s)
+        with pytest.raises(ConfigurationError):
+            mgr.predicted_latency_s(3, 1350.0)
+
+    def test_headroom_validated(self):
+        with pytest.raises(ConfigurationError):
+            managers(headroom=0.0)
+        with pytest.raises(ConfigurationError):
+            managers(headroom=1.1)

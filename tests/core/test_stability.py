@@ -1,0 +1,130 @@
+"""Section 4.4 stability analysis under gain mismatch."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MpcConfig,
+    closed_loop_matrix,
+    error_mode_pole,
+    is_stable,
+    non_structural_radius,
+    stable_gain_range,
+    unconstrained_gains,
+)
+from repro.errors import ConfigurationError
+
+A = np.array([0.06, 0.2, 0.2, 0.2])
+R = np.full(4, 5e-5)
+
+
+class TestClosedLoopMatrix:
+    def test_shape(self):
+        k_e, k_f = unconstrained_gains(A, R)
+        m = closed_loop_matrix(A, k_e, k_f)
+        assert m.shape == (5, 5)
+
+    def test_structural_unit_eigenvalue_always_present(self):
+        """The zero-move equilibrium manifold appears as an eigenvalue 1."""
+        k_e, k_f = unconstrained_gains(A, R)
+        for g in (0.5, 1.0, 2.0):
+            m = closed_loop_matrix(A * g, k_e, k_f)
+            mags = np.abs(np.linalg.eigvals(m))
+            assert np.min(np.abs(mags - 1.0)) < 1e-6
+
+    def test_shape_validation(self):
+        k_e, k_f = unconstrained_gains(A, R)
+        with pytest.raises(ConfigurationError):
+            closed_loop_matrix(A[:3], k_e, k_f)
+
+
+class TestErrorModePole:
+    def test_nominal_pole_matches_reference_lambda(self):
+        cfg = MpcConfig(reference_lambda=0.5)
+        pole = error_mode_pole(A, np.ones(4), R, cfg)
+        assert pole == pytest.approx(0.5, abs=0.01)
+
+    def test_pole_matches_exact_eigenvalue(self):
+        cfg = MpcConfig(reference_lambda=0.5)
+        k_e, k_f = unconstrained_gains(A, R, cfg)
+        for g in (0.5, 1.0, 1.5):
+            approx = error_mode_pole(A, np.full(4, g), R, cfg)
+            exact = non_structural_radius(closed_loop_matrix(A * g, k_e, k_f))
+            assert abs(approx) == pytest.approx(exact, abs=0.02)
+
+    def test_gain_overestimate_moves_pole_negative(self):
+        cfg = MpcConfig(reference_lambda=0.5)
+        pole_nom = error_mode_pole(A, np.ones(4), R, cfg)
+        pole_double = error_mode_pole(A, np.full(4, 2.0), R, cfg)
+        assert pole_double < pole_nom
+
+
+class TestIsStable:
+    def test_nominal_stable(self):
+        assert is_stable(A, np.ones(4), R)
+
+    def test_large_uniform_overestimate_unstable(self):
+        # pole = 1 - g*(1 - lambda); with lambda=0.5 instability at g > 4.
+        assert not is_stable(A, np.full(4, 5.0), R)
+
+    def test_underestimate_stays_stable(self):
+        assert is_stable(A, np.full(4, 0.2), R)
+
+    def test_per_channel_mismatch(self):
+        g = np.array([0.5, 1.5, 0.8, 1.2])
+        assert is_stable(A, g, R)
+
+    def test_gain_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            is_stable(A, np.ones(3), R)
+
+
+class TestStableGainRange:
+    def test_interval_contains_nominal(self):
+        sweep = stable_gain_range(A, R)
+        lo, hi = sweep.stable_interval()
+        assert lo <= 1.0 <= hi
+
+    def test_interval_matches_analytic_bound(self):
+        """With reference lambda=0.5, instability at g = 2/(1-lambda) = 4."""
+        sweep = stable_gain_range(A, R, MpcConfig(reference_lambda=0.5))
+        _, hi = sweep.stable_interval()
+        assert hi == pytest.approx(4.0, abs=0.15)
+
+    def test_radii_increase_beyond_bound(self):
+        sweep = stable_gain_range(A, R, g_min=3.0, g_max=6.0, n_points=30)
+        assert sweep.radii[-1] > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            stable_gain_range(A, R, g_min=0.0)
+        with pytest.raises(ConfigurationError):
+            stable_gain_range(A, R, g_min=2.0, g_max=1.0)
+
+
+class TestEmpiricalStability:
+    """Closed-loop simulation confirms the analytical mismatch bound."""
+
+    def _run_with_model_scale(self, scale, seed=41):
+        from repro.core import CapGpuController
+        from repro.sim import paper_scenario
+        from repro.sysid import identify_power_model
+
+        ident = paper_scenario(seed=seed)
+        fit = identify_power_model(ident, points_per_channel=5).fit
+        # Controller believes gains are A/scale while the plant has A:
+        # equivalent to true gains being scale * nominal.
+        wrong = fit.with_gains(np.full(fit.n_channels, 1.0 / scale))
+        sim = paper_scenario(seed=seed, set_point_w=900.0)
+        ctl = CapGpuController(model=wrong)
+        trace = sim.run(ctl, 40)
+        return trace
+
+    def test_moderate_mismatch_still_converges(self):
+        trace = self._run_with_model_scale(2.0)
+        assert np.mean(trace["power_w"][-10:]) == pytest.approx(900.0, abs=15.0)
+
+    def test_severe_mismatch_oscillates(self):
+        trace = self._run_with_model_scale(6.0)
+        tail = trace["power_w"][-20:]
+        assert np.std(tail) > 30.0  # sustained oscillation

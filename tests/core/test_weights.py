@@ -1,0 +1,53 @@
+"""Throughput-to-penalty weight assignment."""
+
+import numpy as np
+import pytest
+
+from repro.core import WeightAssigner
+from repro.errors import ConfigurationError
+from tests.control.test_base import make_obs
+
+
+class TestWeightAssigner:
+    def test_busy_device_gets_smaller_penalty(self):
+        wa = WeightAssigner()
+        obs = make_obs(throughput_norm=np.array([0.9, 0.2, 0.5, 0.5]))
+        r = wa.penalty_weights(obs)
+        assert r[0] < r[1]  # busiest channel cheapest to keep fast
+        assert r[1] > r[2]
+
+    def test_mean_penalty_equals_r_scale(self):
+        wa = WeightAssigner(r_scale=1e-4)
+        obs = make_obs(throughput_norm=np.array([0.9, 0.2, 0.5, 0.5]))
+        assert np.mean(wa.penalty_weights(obs)) == pytest.approx(1e-4)
+
+    def test_uniform_mode_ignores_throughput(self):
+        wa = WeightAssigner(r_scale=1e-4, mode="uniform")
+        obs = make_obs(throughput_norm=np.array([0.9, 0.2, 0.5, 0.5]))
+        assert np.allclose(wa.penalty_weights(obs), 1e-4)
+
+    def test_eps_bounds_penalty_ratio(self):
+        wa = WeightAssigner(eps=0.1)
+        obs = make_obs(throughput_norm=np.array([1.0, 0.0, 0.0, 0.0]))
+        r = wa.penalty_weights(obs)
+        assert r.max() / r.min() == pytest.approx(1.1 / 0.1)
+
+    def test_priorities_clip_to_unit_interval(self):
+        wa = WeightAssigner()
+        obs = make_obs(throughput_norm=np.array([1.4, -0.2, 0.5, 0.5]))
+        w = wa.priorities(obs)
+        assert w.min() >= 0.0 and w.max() <= 1.0
+
+    def test_all_idle_gives_uniform_weights(self):
+        wa = WeightAssigner()
+        obs = make_obs(throughput_norm=np.zeros(4))
+        r = wa.penalty_weights(obs)
+        assert np.allclose(r, r[0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WeightAssigner(r_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            WeightAssigner(eps=0.0)
+        with pytest.raises(ConfigurationError):
+            WeightAssigner(mode="linear")

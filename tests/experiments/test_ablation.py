@@ -1,0 +1,43 @@
+"""Ablation experiment runners."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    ABLATIONS,
+    run_ablation_modulator,
+    run_ablation_solver,
+    run_ablation_weights,
+)
+
+
+class TestAblationRegistry:
+    def test_all_named(self):
+        assert set(ABLATIONS) == {"weights", "modulator", "solver", "horizon"}
+
+
+class TestWeightsAblation:
+    def test_inverse_throttles_idle_gpu(self):
+        res = run_ablation_weights(seed=0, n_periods=50)
+        inv, uni = res.data["inverse"], res.data["uniform"]
+        assert inv["idle_gpu_f_mhz"] < uni["idle_gpu_f_mhz"]
+        assert inv["busy_gpu_f_mhz"] > uni["busy_gpu_f_mhz"]
+
+    def test_both_arms_track_the_cap(self):
+        res = run_ablation_weights(seed=0, n_periods=50)
+        for arm in ("inverse", "uniform"):
+            assert res.data[arm]["mean_w"] == pytest.approx(900.0, abs=8.0)
+
+
+class TestModulatorAblation:
+    def test_delta_sigma_no_worse(self):
+        res = run_ablation_modulator(seed=0, n_periods=50)
+        ds, nl = res.data["delta-sigma"], res.data["nearest-level"]
+        assert ds["std_w"] <= nl["std_w"] + 0.2
+
+
+class TestSolverAblation:
+    def test_identical_quality_faster_fast_path(self):
+        res = run_ablation_solver(seed=0, n_periods=40)
+        slsqp, fast = res.data["slsqp"], res.data["analytic"]
+        assert abs(slsqp["mean_w"] - fast["mean_w"]) < 3.0
+        assert fast["ctl_ms"] < slsqp["ctl_ms"]

@@ -1,0 +1,134 @@
+"""Integration tests asserting the paper's headline qualitative claims.
+
+Each test pins one sentence of the paper's evaluation (Section 6) to a
+measurable property of the reproduction. These run the real closed loop and
+take a few seconds each.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import settling_time_periods, slo_miss_rate, steady_state_stats
+from repro.experiments import run_fig3, run_fig7, run_fig9, run_fig10
+from repro.experiments.fig8_slo_baselines import run_slo_strategy
+from repro.experiments.common import make_gpu_only
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_fig3(seed=0, n_periods=60)
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return run_fig7(seed=0, n_periods=60)
+
+
+class TestFig3Claims:
+    def test_cpu_only_control_range_minimal(self, fig3):
+        """'the control range of CPU-Only is very minimal' — power stays
+        hundreds of watts above a 900 W cap."""
+        assert fig3.data["summary"]["CPU-Only"]["mean_w"] > 1150.0
+
+    def test_gpu_only_converges_precisely(self, fig3):
+        s = fig3.data["summary"]["GPU-Only"]
+        assert s["mean_w"] == pytest.approx(900.0, abs=8.0)
+
+    def test_cpu_plus_gpu_misses_cap_both_splits(self, fig3):
+        under = fig3.data["summary"]["CPU+GPU 50/50"]["mean_w"]
+        over = fig3.data["summary"]["CPU+GPU 60/40"]["mean_w"]
+        assert under < 885.0
+        assert over > 915.0
+
+    def test_fixed_step_oscillates_more_than_controllers(self, fig3):
+        s = fig3.data["summary"]
+        assert s["Fixed-step"]["std_w"] > 2.0 * s["CapGPU"]["std_w"]
+
+    def test_capgpu_converges_to_set_point(self, fig3):
+        s = fig3.data["summary"]["CapGPU"]
+        assert s["mean_w"] == pytest.approx(900.0, abs=5.0)
+        assert s["std_w"] < 6.0
+
+
+class TestFig7Claims:
+    def test_capgpu_highest_gpu_throughput(self, fig7):
+        """Fig 7(a): CapGPU delivers the highest inference throughput —
+        strictly per GPU against GPU-Only, and in aggregate against all."""
+        panels = fig7.data["panels"]
+        for g in range(3):
+            assert (
+                panels["CapGPU"]["gpu_tput_batch_s"][g]
+                > panels["GPU-Only"]["gpu_tput_batch_s"][g]
+            )
+        totals = {k: sum(v["gpu_tput_batch_s"]) for k, v in panels.items()}
+        assert totals["CapGPU"] == max(totals.values())
+
+    def test_capgpu_lowest_gpu_latency(self, fig7):
+        """Fig 7(c): CapGPU has the lowest batch latency — strictly per GPU
+        against GPU-Only, and on average against all."""
+        panels = fig7.data["panels"]
+        for g in range(3):
+            assert (
+                panels["CapGPU"]["gpu_latency_s"][g]
+                < panels["GPU-Only"]["gpu_latency_s"][g]
+            )
+        means = {
+            k: sum(v["gpu_latency_s"]) / 3 for k, v in panels.items()
+        }
+        assert means["CapGPU"] == min(means.values())
+
+    def test_gpu_only_best_cpu_latency(self, fig7):
+        """Fig 7(d): CapGPU's CPU latency is higher than GPU-Only's —
+        acceptable because preprocessing has no SLO."""
+        panels = fig7.data["panels"]
+        assert panels["GPU-Only"]["cpu_latency_s"] < panels["CapGPU"]["cpu_latency_s"]
+
+
+class TestSloClaims:
+    def test_capgpu_meets_all_slos(self):
+        """Fig 9: CapGPU meets every (changing) SLO on every GPU."""
+        res = run_fig9(seed=0, n_periods=45)
+        for _, _, miss in res.data["miss_rows"]:
+            assert miss < 0.02
+
+    def test_gpu_only_misses_tightened_slo(self):
+        """Fig 8: a single shared clock cannot serve a per-device SLO mix."""
+        trace, sim = run_slo_strategy(
+            "GPU-Only", lambda s: make_gpu_only(s, 0), seed=0, n_periods=45
+        )
+        assert slo_miss_rate(trace, 0, start_period=16) > 0.05
+
+
+class TestFig10Claims:
+    def test_all_adapt_capgpu_smoothest(self):
+        res = run_fig10(seed=0, n_periods=120)
+        rows = {r[0]: r for r in res.data["summary_rows"]}
+        # CapGPU: finite settling after both changes, least fluctuation.
+        assert rows["CapGPU"][1] != "inf" and rows["CapGPU"][2] != "inf"
+        assert rows["CapGPU"][3] <= rows["GPU-Only"][3] + 0.5
+        assert rows["CapGPU"][3] < rows["Safe Fixed-step"][3]
+
+    def test_traces_follow_budget_schedule(self):
+        res = run_fig10(seed=0, n_periods=120)
+        trace = res.data["CapGPU"]
+        assert steady_state_stats(trace, 10)[0] == pytest.approx(800.0, abs=10.0)
+        mid = trace["power_w"][60:78]
+        assert np.mean(mid) == pytest.approx(900.0, abs=10.0)
+        assert settling_time_periods(trace, start_period=40) < 8
+
+
+class TestSeedRobustness:
+    """The headline convergence result is not a seed artifact."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_capgpu_converges_across_seeds(self, seed):
+        from repro.sim import paper_scenario
+        from repro.core import build_capgpu
+
+        ident = paper_scenario(seed=seed)
+        sim = paper_scenario(seed=seed, set_point_w=900.0)
+        ctl = build_capgpu(sim, ident_sim=ident)
+        trace = sim.run(ctl, 30)
+        mean, std = steady_state_stats(trace, 15)
+        assert mean == pytest.approx(900.0, abs=6.0)
+        assert std < 8.0

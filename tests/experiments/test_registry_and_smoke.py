@@ -1,0 +1,94 @@
+"""Experiment registry and fast smoke runs of every experiment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    EXPERIMENTS,
+    experiment_ids,
+    run_experiment,
+    run_fig2,
+    run_fig4,
+    run_fig5,
+    run_table1,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = experiment_ids()
+        assert ids[:10] == [
+            "table1", "fig2", "fig3", "fig4", "fig5",
+            "fig6", "fig7", "fig8", "fig9", "fig10",
+        ]
+        # Extension studies ride along under their own ids.
+        assert {"robustness", "batching", "ablation-weights",
+                "ablation-modulator", "ablation-solver",
+                "ablation-horizon"} <= set(ids)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ExperimentError, match="available"):
+            run_experiment("fig99")
+
+    def test_runner_callables(self):
+        assert all(callable(f) for f in EXPERIMENTS.values())
+
+
+class TestTable1:
+    def test_rows_and_render(self):
+        res = run_table1(seed=0, n_periods=15, warmup_periods=4)
+        assert set(res.data["rows"]) == {"CPU-only", "GPU-only", "CapGPU"}
+        text = res.render()
+        assert "Tput img/s" in text
+        assert "CapGPU" in text
+
+    def test_balanced_config_wins_throughput(self):
+        """Table 1's headline: coordinated throttling beats one-sided."""
+        res = run_table1(seed=0, n_periods=25, warmup_periods=5)
+        rows = res.data["rows"]
+        assert rows["CapGPU"]["throughput_img_s"] > rows["GPU-only"]["throughput_img_s"]
+        assert rows["GPU-only"]["throughput_img_s"] > rows["CPU-only"]["throughput_img_s"]
+
+    def test_gpu_latency_follows_eq8_calibration(self):
+        res = run_table1(seed=0, n_periods=25, warmup_periods=5)
+        rows = res.data["rows"]
+        assert rows["CPU-only"]["gpu_latency_s"] == pytest.approx(1.3, abs=0.2)
+        assert rows["GPU-only"]["gpu_latency_s"] == pytest.approx(2.0, abs=0.2)
+        assert rows["CapGPU"]["gpu_latency_s"] == pytest.approx(1.6, abs=0.2)
+
+    def test_power_roughly_comparable(self):
+        res = run_table1(seed=0, n_periods=25, warmup_periods=5)
+        powers = [r["power_w"] for r in res.data["rows"].values()]
+        assert max(powers) / min(powers) < 1.2
+
+
+class TestFig2:
+    def test_power_fit_quality(self):
+        res = run_fig2(seed=0, points_per_channel=6)
+        fit = res.data["power_fit"]
+        assert fit.r2 > 0.97  # paper: 0.96
+        assert fit.n_channels == 2  # one CPU + one GPU, as in the paper
+
+    def test_latency_fit_quality(self):
+        res = run_fig2(seed=0, points_per_channel=6)
+        lat = res.data["latency_fit"]
+        assert 0.8 <= lat.gamma <= 1.0  # paper: 0.91
+        assert lat.r2 > 0.8  # paper: ~0.91
+
+    def test_render_mentions_r2(self):
+        res = run_fig2(seed=0, points_per_channel=5)
+        assert "R^2" in res.render()
+
+
+class TestFig4Fig5:
+    def test_fig4_larger_steps_oscillate_more(self):
+        res = run_fig4(seed=0, n_periods=40)
+        t1, t5 = res.data["traces"][1], res.data["traces"][5]
+        assert np.std(t5["power_w"][-20:]) > np.std(t1["power_w"][-20:])
+
+    def test_fig5_safe_stays_below_cap(self):
+        res = run_fig5(seed=0, n_periods=40)
+        for trace in res.data["traces"].values():
+            steady = trace["power_w"][-20:]
+            assert np.mean(steady) < 900.0

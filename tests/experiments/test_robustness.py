@@ -1,0 +1,26 @@
+"""Gain-mismatch robustness experiment."""
+
+import pytest
+
+from repro.experiments.robustness import run_robustness
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_robustness(
+            seed=0, gains=(0.5, 1.0, 3.8, 5.0), n_periods=45
+        ).data["sweep"]
+
+    def test_stable_inside_bound(self, sweep):
+        for g in (0.5, 1.0, 3.8):
+            assert sweep[g]["stable_predicted"]
+            assert sweep[g]["ss_std_w"] < 20.0
+
+    def test_unstable_outside_bound(self, sweep):
+        assert not sweep[5.0]["stable_predicted"]
+        assert sweep[5.0]["ss_std_w"] > 40.0
+
+    def test_pole_moves_monotonically_with_gain(self, sweep):
+        poles = [sweep[g]["pole"] for g in (0.5, 1.0, 3.8, 5.0)]
+        assert all(b < a for a, b in zip(poles, poles[1:]))

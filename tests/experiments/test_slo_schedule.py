@@ -1,0 +1,65 @@
+"""SLO level computation and the Section 6.4 schedule."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.slo_schedule import (
+    SLO_CHANGE_PERIOD,
+    SLO_REFERENCE_CLOCK_MHZ,
+    initial_slos,
+    section64_slo_events,
+    slo_level_s,
+)
+from repro.sim import paper_scenario
+from repro.workloads import RESNET50
+
+
+class TestSloLevels:
+    def test_levels_ordered_by_quantile(self):
+        l30 = slo_level_s(RESNET50, 0.3)
+        l50 = slo_level_s(RESNET50, 0.5)
+        l80 = slo_level_s(RESNET50, 0.8)
+        assert l30 < l50 < l80
+
+    def test_median_level_matches_eq8(self):
+        assert slo_level_s(RESNET50, 0.5) == pytest.approx(
+            RESNET50.latency_s(SLO_REFERENCE_CLOCK_MHZ)
+        )
+
+    def test_quantile_validated(self):
+        with pytest.raises(ConfigurationError):
+            slo_level_s(RESNET50, 1.5)
+
+
+class TestSchedule:
+    def test_initial_slos_per_gpu(self):
+        sim = paper_scenario(seed=80)
+        slos = initial_slos(sim)
+        assert len(slos) == 3
+        for g, pipe in enumerate(sim.pipelines):
+            assert slos[g] == pytest.approx(slo_level_s(pipe.spec, 0.5))
+
+    def test_initial_slos_require_pipelines(self):
+        sim = paper_scenario(seed=80)
+        sim.pipelines[0] = None
+        with pytest.raises(ConfigurationError):
+            initial_slos(sim)
+
+    def test_section64_events_tighten_gpu0_relax_others(self):
+        sim = paper_scenario(seed=80)
+        for g, slo in enumerate(initial_slos(sim)):
+            sim.set_slo(g, slo)
+        before = dict(sim.slos)
+        events = section64_slo_events(sim)
+        events.fire(SLO_CHANGE_PERIOD, sim)
+        after = sim.slos
+        chan0 = sim.gpu_channels[0]
+        assert after[chan0] < before[chan0]  # tightened
+        for g in (1, 2):
+            chan = sim.gpu_channels[g]
+            assert after[chan] > before[chan]  # relaxed
+
+    def test_events_fire_at_period_14(self):
+        sim = paper_scenario(seed=80)
+        events = section64_slo_events(sim)
+        assert all(e.period == SLO_CHANGE_PERIOD for e in events._events)

@@ -1,0 +1,110 @@
+"""Circuit-breaker trip model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import CircuitBreaker, evaluate_trace
+from repro.telemetry import Trace
+
+
+class TestCircuitBreaker:
+    def test_no_trip_at_or_below_rating(self):
+        b = CircuitBreaker(1000.0)
+        for _ in range(10_000):
+            assert not b.step(1000.0, 1.0)
+        assert b.state == 0.0
+
+    def test_inverse_time_curve(self):
+        """Larger overloads trip faster (I^2t behaviour)."""
+        b = CircuitBreaker(1000.0, trip_threshold_s=20.0)
+        t_small = b.time_to_trip_s(1100.0)
+        t_big = b.time_to_trip_s(1500.0)
+        assert t_big < t_small
+        assert np.isinf(b.time_to_trip_s(999.0))
+
+    def test_sustained_overload_trips_at_predicted_time(self):
+        b = CircuitBreaker(1000.0, trip_threshold_s=20.0)
+        predicted = b.time_to_trip_s(1200.0)
+        elapsed = 0.0
+        while not b.step(1200.0, 1.0):
+            elapsed += 1.0
+        assert elapsed + 1.0 == pytest.approx(predicted, abs=1.5)
+
+    def test_brief_spike_tolerated(self):
+        b = CircuitBreaker(1000.0, trip_threshold_s=20.0)
+        b.step(1400.0, 2.0)  # 2 s at 40% over
+        assert not b.tripped
+        # Cooling below rating drains the accumulator.
+        for _ in range(10):
+            b.step(900.0, 1.0)
+        assert b.state < 0.1
+
+    def test_tripped_is_latched(self):
+        b = CircuitBreaker(100.0, trip_threshold_s=1.0)
+        b.step(300.0, 1.0)
+        assert b.tripped
+        assert b.step(50.0, 1.0)  # stays tripped
+
+    def test_reset(self):
+        b = CircuitBreaker(100.0, trip_threshold_s=1.0)
+        b.step(300.0, 1.0)
+        b.reset()
+        assert not b.tripped and b.state == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(0.0)
+        b = CircuitBreaker(100.0)
+        with pytest.raises(ConfigurationError):
+            b.step(100.0, 0.0)
+
+
+class TestEvaluateTrace:
+    def _trace(self, peaks, period_s=4.0):
+        t = Trace(["time_s", "power_max_w"])
+        for k, p in enumerate(peaks):
+            t.append(time_s=(k + 1) * period_s, power_max_w=p)
+        return t
+
+    def test_safe_trace(self):
+        t = self._trace([880.0] * 30)
+        verdict = evaluate_trace(t, CircuitBreaker(900.0))
+        assert verdict.safe
+        assert verdict.trip_period is None
+        assert verdict.margin == 0.0
+
+    def test_sustained_violation_trips(self):
+        t = self._trace([880.0] * 5 + [1050.0] * 40)
+        verdict = evaluate_trace(t, CircuitBreaker(900.0, trip_threshold_s=20.0))
+        assert verdict.tripped
+        assert verdict.trip_period is not None
+
+    def test_margin_reported_for_near_miss(self):
+        t = self._trace([880.0] * 5 + [960.0, 950.0] + [870.0] * 20)
+        verdict = evaluate_trace(t, CircuitBreaker(900.0, trip_threshold_s=20.0))
+        assert verdict.safe
+        assert 0.0 < verdict.margin < 1.0
+
+    def test_controller_comparison(self):
+        """Fixed-step's big-step oscillation stresses the breaker far more
+        than CapGPU at the same set point."""
+        from repro.control import FixedStepController
+        from repro.experiments.common import make_capgpu
+        from repro.sim import paper_scenario
+
+        rating = 935.0  # 35 W above the 900 W cap
+        margins = {}
+        for label, factory in (
+            ("fixed-step-5", lambda s: FixedStepController(step_size=5)),
+            ("capgpu", lambda s: make_capgpu(s, 0)),
+        ):
+            sim = paper_scenario(seed=0, set_point_w=900.0)
+            trace = sim.run(factory(sim), 60)
+            verdict = evaluate_trace(
+                trace, CircuitBreaker(rating, trip_threshold_s=20.0),
+                start_period=10,
+            )
+            margins[label] = verdict.margin
+        assert margins["fixed-step-5"] > margins["capgpu"]
+        assert margins["capgpu"] < 0.2

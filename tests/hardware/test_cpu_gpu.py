@@ -1,0 +1,106 @@
+"""CPU package and GPU board models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import (
+    RTX_3090,
+    TESLA_V100_16GB,
+    XEON_GOLD_5215,
+    CpuModel,
+    CpuSpec,
+    GpuModel,
+    GpuSpec,
+)
+
+
+class TestCpuSpec:
+    def test_xeon_dvfs_range(self):
+        d = XEON_GOLD_5215.domain()
+        assert d.f_min == 1000.0
+        assert d.f_max == 2400.0
+        assert d.n_levels == 15
+
+    def test_controllable_span_is_small(self):
+        """The paper's premise: CPU DVFS can move only ~85 W."""
+        m = XEON_GOLD_5215.power_model()
+        span = m.span_w(1000.0, 2400.0, utilization=1.0)
+        assert 60.0 < span < 110.0
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            CpuSpec("x", 0, (1000.0, 1100.0), 40.0, 0.06)
+
+
+class TestCpuModel:
+    def test_frequency_ghz_accessor(self):
+        cpu = CpuModel(XEON_GOLD_5215)
+        cpu.apply_frequency(1600.0)
+        assert cpu.frequency_ghz == pytest.approx(1.6)
+
+    def test_core_utilization_aggregates_to_package(self):
+        cpu = CpuModel(XEON_GOLD_5215)
+        cpu.set_core_utilizations(np.zeros(40))
+        cpu.set_core_utilization(0, 1.0)
+        assert cpu.utilization == pytest.approx(1.0 / 40.0)
+
+    def test_core_index_validated(self):
+        cpu = CpuModel(XEON_GOLD_5215)
+        with pytest.raises(ConfigurationError):
+            cpu.set_core_utilization(40, 0.5)
+
+    def test_set_core_utilizations_shape_checked(self):
+        cpu = CpuModel(XEON_GOLD_5215)
+        with pytest.raises(ConfigurationError):
+            cpu.set_core_utilizations(np.zeros(8))
+
+    def test_core_utils_clipped(self):
+        cpu = CpuModel(XEON_GOLD_5215)
+        cpu.set_core_utilizations(np.full(40, 2.0))
+        assert cpu.utilization == pytest.approx(1.0)
+
+    def test_core_utilizations_copy(self):
+        cpu = CpuModel(XEON_GOLD_5215)
+        arr = cpu.core_utilizations
+        arr[:] = 9.0
+        assert cpu.core_utilizations.max() <= 1.0
+
+
+class TestGpuSpec:
+    def test_v100_application_clock_grid(self):
+        d = TESLA_V100_16GB.domain()
+        assert d.f_min == 435.0
+        assert d.f_max == 1350.0
+        assert d.contains(900.0)
+
+    def test_v100_power_near_tdp_at_max(self):
+        m = TESLA_V100_16GB.power_model()
+        p = m.power_w(1350.0, 1.0)
+        assert 260.0 < p < TESLA_V100_16GB.tdp_w + 5.0
+
+    def test_gpu_span_dwarfs_cpu_span(self):
+        """Why CPU-only capping is hopeless on GPU servers (Section 1)."""
+        gpu_span = TESLA_V100_16GB.power_model().span_w(435.0, 1350.0, 1.0)
+        cpu_span = XEON_GOLD_5215.power_model().span_w(1000.0, 2400.0, 1.0)
+        assert gpu_span > 1.7 * cpu_span
+
+    def test_rtx3090_range(self):
+        d = RTX_3090.domain()
+        assert d.f_min == 495.0
+        assert d.f_max == 1695.0
+
+    def test_rejects_empty_levels(self):
+        with pytest.raises(ConfigurationError):
+            GpuSpec("x", (), 877.0, 40.0, 0.2)
+
+
+class TestGpuModel:
+    def test_memory_clock_fixed(self):
+        gpu = GpuModel(TESLA_V100_16GB)
+        assert gpu.memory_clock_mhz == 877.0
+
+    def test_core_clock_alias(self):
+        gpu = GpuModel(TESLA_V100_16GB)
+        gpu.apply_frequency(735.0)
+        assert gpu.core_clock_mhz == 735.0

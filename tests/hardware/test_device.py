@@ -1,0 +1,155 @@
+"""FrequencyDomain and Device invariants (including property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ActuationError, ConfigurationError
+from repro.hardware import DevicePowerModel, FrequencyDomain
+from repro.hardware.device import Device
+
+V100_DOMAIN = FrequencyDomain.from_range(435.0, 1350.0, 15.0)
+
+
+def make_device(domain=None, **kwargs):
+    return Device(
+        name="dev",
+        kind="gpu",
+        domain=domain or V100_DOMAIN,
+        power_model=DevicePowerModel(idle_w=40.0, dyn_w_per_mhz=0.2),
+        **kwargs,
+    )
+
+
+class TestFrequencyDomainConstruction:
+    def test_from_range_inclusive_endpoints(self):
+        d = FrequencyDomain.from_range(1000.0, 2400.0, 100.0)
+        assert d.f_min == 1000.0
+        assert d.f_max == 2400.0
+        assert d.n_levels == 15
+
+    def test_from_range_rejects_misaligned(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyDomain.from_range(1000.0, 2450.0, 100.0)
+
+    def test_from_range_rejects_bad_step(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyDomain.from_range(1000.0, 2400.0, 0.0)
+
+    def test_rejects_non_increasing_levels(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyDomain([100.0, 100.0])
+
+    def test_levels_returns_copy(self):
+        d = FrequencyDomain([100.0, 200.0])
+        d.levels[0] = -1
+        assert d.f_min == 100.0
+
+    def test_span(self):
+        assert V100_DOMAIN.span == pytest.approx(915.0)
+
+
+class TestFrequencyDomainOperations:
+    def test_clamp_inside_is_identity(self):
+        assert V100_DOMAIN.clamp(777.7) == 777.7
+
+    def test_clamp_outside(self):
+        assert V100_DOMAIN.clamp(100.0) == 435.0
+        assert V100_DOMAIN.clamp(2000.0) == 1350.0
+
+    def test_nearest_snaps_to_grid(self):
+        assert V100_DOMAIN.nearest(441.0) == 435.0
+        assert V100_DOMAIN.nearest(444.0) == 450.0
+
+    def test_nearest_tie_resolves_downward(self):
+        # 442.5 is exactly between 435 and 450.
+        assert V100_DOMAIN.nearest(442.5) == 435.0
+
+    def test_floor_and_ceil(self):
+        assert V100_DOMAIN.floor(449.9) == 435.0
+        assert V100_DOMAIN.ceil(435.1) == 450.0
+        assert V100_DOMAIN.floor(100.0) == 435.0
+        assert V100_DOMAIN.ceil(9999.0) == 1350.0
+
+    def test_step_saturates(self):
+        assert V100_DOMAIN.step(435.0, -5) == 435.0
+        assert V100_DOMAIN.step(1350.0, 3) == 1350.0
+
+    def test_step_moves_levels(self):
+        assert V100_DOMAIN.step(435.0, 2) == 465.0
+
+    def test_step_by_mhz_guarantees_movement(self):
+        # A 5 MHz request on a 15 MHz grid still moves one level.
+        assert V100_DOMAIN.step_by_mhz(435.0, 5.0) == 450.0
+        assert V100_DOMAIN.step_by_mhz(450.0, -5.0) == 435.0
+
+    def test_step_by_mhz_zero_is_nearest(self):
+        assert V100_DOMAIN.step_by_mhz(441.0, 0.0) == 435.0
+
+    def test_contains(self):
+        assert V100_DOMAIN.contains(435.0)
+        assert not V100_DOMAIN.contains(436.0)
+
+    @given(st.floats(min_value=0.0, max_value=3000.0, allow_nan=False))
+    @settings(max_examples=80)
+    def test_nearest_is_on_grid_and_minimal(self, f):
+        snapped = V100_DOMAIN.nearest(f)
+        levels = V100_DOMAIN.levels
+        assert V100_DOMAIN.contains(snapped)
+        assert abs(snapped - f) <= np.min(np.abs(levels - f)) + 1e-9
+
+    @given(st.floats(min_value=-1e5, max_value=1e5, allow_nan=False))
+    @settings(max_examples=60)
+    def test_clamp_idempotent_and_bounded(self, f):
+        c = V100_DOMAIN.clamp(f)
+        assert V100_DOMAIN.f_min <= c <= V100_DOMAIN.f_max
+        assert V100_DOMAIN.clamp(c) == c
+
+    @given(
+        st.floats(min_value=400.0, max_value=1400.0, allow_nan=False),
+        st.integers(min_value=-70, max_value=70),
+    )
+    @settings(max_examples=60)
+    def test_step_lands_on_grid(self, f, n):
+        assert V100_DOMAIN.contains(V100_DOMAIN.step(f, n))
+
+
+class TestDevice:
+    def test_initial_frequency_defaults_to_min(self):
+        assert make_device().frequency_mhz == 435.0
+
+    def test_initial_frequency_must_be_on_grid(self):
+        with pytest.raises(ConfigurationError):
+            make_device(initial_frequency_mhz=436.0)
+
+    def test_apply_frequency_rejects_off_grid(self):
+        dev = make_device()
+        with pytest.raises(ActuationError):
+            dev.apply_frequency(440.0)
+
+    def test_apply_frequency_on_grid(self):
+        dev = make_device()
+        dev.apply_frequency(900.0)
+        assert dev.frequency_mhz == 900.0
+
+    def test_kind_validated(self):
+        with pytest.raises(ConfigurationError):
+            Device("x", "tpu", V100_DOMAIN, DevicePowerModel(10.0, 0.1))
+
+    def test_utilization_clamped_to_one(self):
+        dev = make_device()
+        dev.set_utilization(1.7)
+        assert dev.utilization == 1.0
+
+    def test_utilization_rejects_negative(self):
+        dev = make_device()
+        with pytest.raises(ConfigurationError):
+            dev.set_utilization(-0.1)
+
+    def test_power_tracks_frequency(self):
+        dev = make_device()
+        dev.set_utilization(1.0)
+        p_low = dev.power_w()
+        dev.apply_frequency(1350.0)
+        assert dev.power_w() > p_low

@@ -1,0 +1,99 @@
+"""Device power models and the AR(1) disturbance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hardware import Ar1Noise, DevicePowerModel
+
+
+class TestDevicePowerModel:
+    def test_idle_power_at_zero_everything(self):
+        m = DevicePowerModel(idle_w=40.0, dyn_w_per_mhz=0.0, util_floor=0.0)
+        assert m.power_w(1000.0, 0.0) == pytest.approx(40.0)
+
+    def test_linear_in_frequency_at_fixed_util(self):
+        m = DevicePowerModel(idle_w=40.0, dyn_w_per_mhz=0.2, util_floor=0.25)
+        p1 = m.power_w(500.0, 1.0)
+        p2 = m.power_w(1000.0, 1.0)
+        p3 = m.power_w(1500.0, 1.0)
+        assert p3 - p2 == pytest.approx(p2 - p1)
+
+    def test_util_floor_keeps_clock_tree_power(self):
+        m = DevicePowerModel(idle_w=0.0, dyn_w_per_mhz=0.2, util_floor=0.25)
+        assert m.power_w(1000.0, 0.0) == pytest.approx(0.25 * 0.2 * 1000.0)
+
+    def test_utilization_scales_dynamic_power(self):
+        m = DevicePowerModel(idle_w=0.0, dyn_w_per_mhz=0.2, util_floor=0.0)
+        assert m.power_w(1000.0, 0.5) == pytest.approx(100.0)
+
+    def test_quadratic_term_adds_superlinear_power(self):
+        lin = DevicePowerModel(idle_w=40.0, dyn_w_per_mhz=0.2)
+        quad = DevicePowerModel(
+            idle_w=40.0, dyn_w_per_mhz=0.2, quad_w_per_mhz2=1e-5, f_ref_mhz=435.0
+        )
+        assert quad.power_w(1350.0, 1.0) > lin.power_w(1350.0, 1.0)
+        assert quad.power_w(435.0, 1.0) == pytest.approx(lin.power_w(435.0, 1.0))
+
+    def test_gain_matches_span(self):
+        m = DevicePowerModel(idle_w=40.0, dyn_w_per_mhz=0.2, util_floor=0.25)
+        span = m.span_w(435.0, 1350.0, utilization=1.0)
+        assert span == pytest.approx(m.gain_w_per_mhz(1.0) * 915.0)
+
+    def test_rejects_util_floor_outside_unit(self):
+        with pytest.raises(ConfigurationError):
+            DevicePowerModel(idle_w=1.0, dyn_w_per_mhz=0.1, util_floor=1.5)
+
+    @given(
+        st.floats(min_value=435.0, max_value=1350.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_power_positive_and_monotone_in_util(self, f, u):
+        m = DevicePowerModel(idle_w=40.0, dyn_w_per_mhz=0.2, util_floor=0.25,
+                             quad_w_per_mhz2=1.6e-5, f_ref_mhz=435.0)
+        p = m.power_w(f, u)
+        assert p >= 40.0
+        assert m.power_w(f, min(u + 0.1, 1.0)) >= p - 1e-9
+
+    def test_utilization_clipped_not_extrapolated(self):
+        m = DevicePowerModel(idle_w=0.0, dyn_w_per_mhz=0.2, util_floor=0.0)
+        assert m.power_w(1000.0, 2.0) == pytest.approx(m.power_w(1000.0, 1.0))
+
+
+class TestAr1Noise:
+    def test_zero_sigma_is_silent(self, rng):
+        n = Ar1Noise(0.0, 0.5, rng)
+        assert all(n.sample() == 0.0 for _ in range(10))
+
+    def test_stationary_std_formula(self, rng):
+        n = Ar1Noise(3.0, 0.8, rng)
+        assert n.stationary_std == pytest.approx(3.0 / np.sqrt(1 - 0.64))
+
+    def test_empirical_std_matches_stationary(self, rng):
+        n = Ar1Noise(3.0, 0.8, rng)
+        samples = np.array([n.sample() for _ in range(20000)])
+        assert np.std(samples[1000:]) == pytest.approx(n.stationary_std, rel=0.1)
+
+    def test_autocorrelation_positive(self, rng):
+        n = Ar1Noise(3.0, 0.9, rng)
+        s = np.array([n.sample() for _ in range(5000)])
+        corr = np.corrcoef(s[:-1], s[1:])[0, 1]
+        assert corr > 0.8
+
+    def test_reset_returns_to_zero_state(self, rng):
+        n = Ar1Noise(3.0, 0.9, rng)
+        for _ in range(10):
+            n.sample()
+        n.reset()
+        # After reset, the state is zero; next sample is a fresh innovation.
+        s = n.sample()
+        assert abs(s) < 20.0  # not carrying accumulated drift
+
+    def test_rejects_rho_out_of_range(self, rng):
+        with pytest.raises(ConfigurationError):
+            Ar1Noise(1.0, 1.0, rng)
+        with pytest.raises(ConfigurationError):
+            Ar1Noise(1.0, -0.1, rng)

@@ -1,0 +1,242 @@
+"""Simulation engine: loop cadence, observations, trace layout, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.control import PowerCappingController
+from repro.errors import ConfigurationError
+from repro.sim import ServerSimulation, SimConfig, paper_scenario
+from repro.workloads import FeatureSelectionWorkload
+
+
+class RecordingController(PowerCappingController):
+    """Holds frequencies fixed while capturing every observation."""
+
+    def __init__(self, targets):
+        self.targets = np.asarray(targets, dtype=float)
+        self.observations = []
+
+    def initial_targets(self, f_min, f_max):
+        return self.targets.copy()
+
+    def step(self, obs):
+        self.observations.append(obs)
+        return self.targets.copy()
+
+
+class TestSimConfig:
+    def test_paper_defaults(self):
+        cfg = SimConfig()
+        assert cfg.samples_per_period == 4
+        assert cfg.ticks_per_period == 40
+
+    def test_meter_interval_must_divide_period(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(meter_interval_s=3.0, control_period_s=4.0)
+
+    def test_dt_must_divide_meter_interval(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(dt_s=0.3, meter_interval_s=1.0)
+
+
+class TestConstruction:
+    def test_pipeline_count_must_match_gpus(self, quiet_server):
+        with pytest.raises(ConfigurationError):
+            ServerSimulation(quiet_server, pipelines=[None], set_point_w=900.0)
+
+    def test_slos_alignment_checked(self, quiet_server):
+        with pytest.raises(ConfigurationError):
+            ServerSimulation(
+                quiet_server, pipelines=[None, None, None], slos_s=[0.5],
+            )
+
+    def test_initial_slos_applied(self):
+        sim = paper_scenario(seed=51, slos_s=[0.9, None, 1.2])
+        assert sim.slos == {sim.gpu_channels[0]: 0.9, sim.gpu_channels[2]: 1.2}
+
+
+class TestObservations:
+    def test_observation_contents(self):
+        sim = paper_scenario(seed=51, set_point_w=900.0)
+        ctl = RecordingController([1600.0, 900.0, 900.0, 900.0])
+        sim.run(ctl, 3)
+        obs = ctl.observations[-1]
+        obs.validate()
+        assert obs.power_samples_w.shape == (4,)
+        assert obs.set_point_w == 900.0
+        assert obs.cpu_channels == (0,)
+        assert obs.gpu_channels == (1, 2, 3)
+        assert np.isfinite(obs.cpu_power_w)
+        assert obs.gpu_power_w.shape == (3,)
+        # Applied average reflects the held targets.
+        assert obs.f_applied_mhz == pytest.approx(ctl.targets, abs=8.0)
+
+    def test_throughput_normalization_in_unit_interval(self):
+        sim = paper_scenario(seed=51)
+        ctl = RecordingController(sim.server.f_max_vector())
+        sim.run(ctl, 4)
+        obs = ctl.observations[-1]
+        assert np.all(obs.throughput_norm >= 0.0)
+        assert np.all(obs.throughput_norm <= 1.0)
+        # Devices at max clock run near their peak rates.
+        assert np.all(obs.throughput_norm[1:] > 0.6)
+
+    def test_rapl_power_plausible(self):
+        sim = paper_scenario(seed=51)
+        ctl = RecordingController(sim.server.f_max_vector())
+        sim.run(ctl, 3)
+        obs = ctl.observations[-1]
+        assert obs.cpu_power_w == pytest.approx(sim.server.cpu_power_w(), rel=0.1)
+
+
+class TestTraceLayout:
+    def test_one_row_per_period(self):
+        sim = paper_scenario(seed=52)
+        trace = sim.run(None, 5)
+        assert len(trace) == 5
+
+    def test_expected_channels_present(self):
+        sim = paper_scenario(seed=52)
+        trace = sim.run(None, 2)
+        for name in ("time_s", "power_w", "power_max_w", "set_point_w",
+                     "f_tgt_0", "f_app_3", "util_2", "tput_1", "tput_norm_1",
+                     "lat_mean_g0", "lat_p95_g2", "slo_g1", "slo_miss_g0",
+                     "cpu_lat_s", "cpu_tput", "ctl_ms"):
+            assert name in trace
+
+    def test_time_advances_by_control_period(self):
+        sim = paper_scenario(seed=52)
+        trace = sim.run(None, 3)
+        t = trace["time_s"]
+        assert np.diff(t) == pytest.approx([4.0, 4.0])
+
+    def test_power_max_at_least_mean(self):
+        sim = paper_scenario(seed=52)
+        trace = sim.run(None, 5)
+        assert np.all(trace["power_max_w"] >= trace["power_w"] - 1e-9)
+        assert np.all(trace["power_min_w"] <= trace["power_w"] + 1e-9)
+
+    def test_runs_accumulate_on_same_trace(self):
+        sim = paper_scenario(seed=52)
+        sim.run(None, 2)
+        trace = sim.run(None, 3)
+        assert len(trace) == 5
+
+    def test_nan_latency_when_gpu_idle(self):
+        sim = paper_scenario(seed=52)
+        sim.pipelines[1] = None
+        trace = sim.run(None, 3)
+        assert np.isnan(trace["lat_mean_g1"]).all()
+        assert trace["util_2"][-1] == 0.0
+
+
+class TestWorkloadAccounting:
+    def test_fs_throughput_scales_with_cpu_clock(self):
+        sim = paper_scenario(seed=53)
+        lo = sim.run_open_loop(sim.server.f_min_vector(), 2)["cpu_tput"][-1]
+        hi_targets = sim.server.f_min_vector()
+        hi_targets[0] = 2400.0
+        hi = sim.run_open_loop(hi_targets, 2)["cpu_tput"][-1]
+        assert hi == pytest.approx(2.4 * lo, rel=0.05)
+
+    def test_no_fs_workload_zero_cpu_throughput(self, quiet_server):
+        sim = ServerSimulation(
+            quiet_server, pipelines=[None, None, None], fs_workload=None,
+        )
+        trace = sim.run(None, 2)
+        assert trace["cpu_tput"][-1] == 0.0
+
+    def test_gpu_util_reflects_starvation(self):
+        from repro.workloads import InferencePipeline, PipelineConfig, RESNET50, SteadyArrivals
+        from repro.rng import spawn
+
+        sim = paper_scenario(seed=54)
+        # Replace GPU0's pipeline with a trickle-fed one.
+        sim.pipelines[0] = InferencePipeline(
+            RESNET50,
+            PipelineConfig(preproc_frequency="fixed"),
+            spawn(54, "starved"),
+            arrivals=SteadyArrivals(4.0),  # 10% of capacity
+        )
+        trace = sim.run_open_loop(sim.server.f_max_vector(), 5)
+        assert trace["util_1"][-1] < 0.5
+        assert trace["util_2"][-1] > 0.8
+
+
+class TestDeterminism:
+    def test_same_seed_bitwise_identical(self):
+        a = paper_scenario(seed=55, set_point_w=900.0)
+        b = paper_scenario(seed=55, set_point_w=900.0)
+        ta = a.run(None, 5)
+        tb = b.run(None, 5)
+        assert np.array_equal(ta.as_array(), tb.as_array(), equal_nan=True)
+
+    def test_different_seed_differs(self):
+        ta = paper_scenario(seed=55).run(None, 3)
+        tb = paper_scenario(seed=56).run(None, 3)
+        assert not np.array_equal(ta["power_w"], tb["power_w"])
+
+
+class TestMeasurePower:
+    def test_measure_power_matches_open_loop_mean(self):
+        sim = paper_scenario(seed=57)
+        targets = sim.server.f_max_vector()
+        p = sim.measure_power_w(targets, settle_periods=1, measure_periods=2)
+        assert 1250.0 < p < 1380.0
+
+    def test_set_slo_validates_index(self):
+        sim = paper_scenario(seed=57)
+        with pytest.raises(ConfigurationError):
+            sim.set_slo(5, 1.0)
+
+
+class TestMultiPackageServer:
+    def test_two_cpu_packages_controlled_independently(self):
+        """Channel layout and actuation generalize beyond one CPU package;
+        workload accounting is hosted on the first package."""
+        from repro.hardware import custom_server
+        from repro.rng import spawn
+        from repro.workloads import InferencePipeline, PipelineConfig, RESNET50
+
+        server = custom_server(n_cpus=2, n_gpus=2, seed=None)
+        pipes = [
+            InferencePipeline(
+                RESNET50, PipelineConfig(preproc_frequency="fixed"),
+                spawn(0, f"p{g}"),
+            )
+            for g in range(2)
+        ]
+        sim = ServerSimulation(server, pipes, set_point_w=1200.0, seed=0)
+        targets = server.f_min_vector()
+        targets[1] = 2400.0  # raise only the second CPU package
+        trace = sim.run_open_loop(targets, 3)
+        assert trace["f_app_1"][-1] == pytest.approx(2400.0, abs=1.0)
+        assert trace["f_app_0"][-1] == pytest.approx(1000.0, abs=1.0)
+        # Workload throughput follows package 0 (still at minimum clock).
+        assert trace["cpu_tput"][-1] == pytest.approx(
+            sim.fs.rate_subsets_s(1.0) if sim.fs else 0.0, rel=0.05
+        ) or sim.fs is None
+
+
+class TestPhysicalInvariants:
+    @pytest.mark.parametrize("seed", [60, 61, 62])
+    def test_power_stays_inside_envelope(self, seed):
+        """No controller action can push measured power outside the plant's
+        physical envelope (plus sensor/disturbance margin)."""
+        from repro.experiments.common import make_capgpu
+
+        sim = paper_scenario(seed=seed, set_point_w=1000.0)
+        # Lower bound at zero utilization (start-up has idle devices),
+        # upper bound at full utilization.
+        lo, _ = sim.server.power_envelope_w(utilization=0.0)
+        _, hi = sim.server.power_envelope_w(utilization=1.0)
+        trace = sim.run(make_capgpu(sim, seed), 25)
+        margin = 6.0 * 3.5 / (1 - 0.8**2) ** 0.5  # ~6 sigma of wall noise
+        assert np.all(trace["power_min_w"] > lo - margin - 5.0)
+        assert np.all(trace["power_max_w"] < hi + margin + 5.0)
+
+    def test_applied_frequencies_always_on_grid(self):
+        sim = paper_scenario(seed=63)
+        sim.run(None, 2)
+        for dev in sim.server.devices:
+            assert dev.domain.contains(dev.frequency_mhz)

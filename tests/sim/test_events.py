@@ -1,0 +1,96 @@
+"""Scheduled events and the schedule driver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import (
+    ArrivalRateChange,
+    CallbackEvent,
+    EventSchedule,
+    SetPointChange,
+    SloChange,
+    paper_scenario,
+)
+from repro.workloads import SteadyArrivals
+
+
+class TestEventTypes:
+    def test_set_point_change(self):
+        sim = paper_scenario(seed=50, set_point_w=800.0)
+        SetPointChange(0, 900.0).apply(sim)
+        assert sim.set_point_w == 900.0
+
+    def test_set_point_validated(self):
+        with pytest.raises(ConfigurationError):
+            SetPointChange(0, -5.0)
+        with pytest.raises(ConfigurationError):
+            SetPointChange(-1, 900.0)
+
+    def test_slo_change_sets_and_clears(self):
+        sim = paper_scenario(seed=50)
+        SloChange(0, 1, 0.9).apply(sim)
+        assert sim.slos[sim.gpu_channels[1]] == 0.9
+        SloChange(0, 1, None).apply(sim)
+        assert sim.gpu_channels[1] not in sim.slos
+
+    def test_arrival_rate_change(self):
+        sim = paper_scenario(seed=50)
+        new = SteadyArrivals(5.0)
+        ArrivalRateChange(0, 0, new).apply(sim)
+        assert sim.pipelines[0].arrivals is new
+
+    def test_arrival_change_requires_pipeline(self):
+        sim = paper_scenario(seed=50)
+        sim.pipelines[2] = None
+        with pytest.raises(ConfigurationError):
+            ArrivalRateChange(0, 2, SteadyArrivals(1.0)).apply(sim)
+
+    def test_callback_event(self):
+        sim = paper_scenario(seed=50)
+        hits = []
+        CallbackEvent(0, lambda s: hits.append(s)).apply(sim)
+        assert hits == [sim]
+
+    def test_callback_requires_callable(self):
+        with pytest.raises(ConfigurationError):
+            CallbackEvent(0, "not-callable")
+
+
+class TestEventSchedule:
+    def test_fires_once_at_period(self):
+        sim = paper_scenario(seed=50, set_point_w=800.0)
+        sched = EventSchedule([SetPointChange(3, 900.0)])
+        assert sched.fire(2, sim) == []
+        assert len(sched.fire(3, sim)) == 1
+        assert sim.set_point_w == 900.0
+        assert sched.fire(3, sim) == []  # not re-fired
+
+    def test_fires_missed_events(self):
+        """Jumping past an event's period still applies it exactly once."""
+        sim = paper_scenario(seed=50, set_point_w=800.0)
+        sched = EventSchedule([SetPointChange(3, 900.0)])
+        fired = sched.fire(10, sim)
+        assert len(fired) == 1
+
+    def test_ordering_by_period(self):
+        sim = paper_scenario(seed=50, set_point_w=800.0)
+        sched = EventSchedule(
+            [SetPointChange(5, 1000.0), SetPointChange(2, 900.0)]
+        )
+        sched.fire(10, sim)
+        # Later-period event applied last.
+        assert sim.set_point_w == 1000.0
+
+    def test_add_and_len(self):
+        sched = EventSchedule()
+        sched.add(SetPointChange(1, 900.0))
+        assert len(sched) == 1
+
+    def test_reset_allows_refire(self):
+        sim = paper_scenario(seed=50, set_point_w=800.0)
+        sched = EventSchedule([SetPointChange(0, 900.0)])
+        sched.fire(0, sim)
+        sim.set_point_w = 800.0
+        sched.reset()
+        sched.fire(0, sim)
+        assert sim.set_point_w == 900.0

@@ -1,0 +1,89 @@
+"""Canonical scenario builders."""
+
+import pytest
+
+from repro.sim import motivation_scenario, paper_scenario
+from repro.sim.scenarios import PAPER_TASKS
+
+
+class TestPaperScenario:
+    def test_task_assignment_matches_paper(self):
+        """t1=ResNet50 -> GPU0, t2=Swin -> GPU1, t3=VGG16 -> GPU2."""
+        sim = paper_scenario(seed=0)
+        names = [p.spec.name for p in sim.pipelines]
+        assert names == ["resnet50", "swin-t", "vgg16"]
+
+    def test_preproc_cores_exempt_from_dvfs(self):
+        """Section 6.2: data-preparation cores are not throttled."""
+        sim = paper_scenario(seed=0)
+        for pipe in sim.pipelines:
+            assert pipe.config.preproc_frequency == "fixed"
+            assert pipe.config.n_workers == 1
+
+    def test_fs_uses_remaining_cores(self):
+        sim = paper_scenario(seed=0)
+        # 40 cores - 3 preprocessing - 1 controller = 36.
+        assert sim.fs.n_cores == 36
+
+    def test_custom_task_subset(self):
+        sim = paper_scenario(seed=0, tasks=PAPER_TASKS[:2])
+        assert sim.server.n_gpus == 2
+        assert len(sim.pipelines) == 2
+
+    def test_set_point_propagates(self):
+        assert paper_scenario(seed=0, set_point_w=1100.0).set_point_w == 1100.0
+
+
+class TestMotivationScenario:
+    def test_single_gpu_googlenet(self):
+        sim = motivation_scenario(seed=0)
+        assert sim.server.n_gpus == 1
+        assert sim.pipelines[0].spec.name == "googlenet"
+
+    def test_ten_workers_closed_loop(self):
+        """Ten request streams, preprocessing follows the CPU clock."""
+        pipe = motivation_scenario(seed=0).pipelines[0]
+        assert pipe.config.n_workers == 10
+        assert pipe.config.preproc_frequency == "cpu"
+        assert pipe.config.inflight_limit_img == 40
+
+    def test_no_cpu_side_fs_workload(self):
+        assert motivation_scenario(seed=0).fs is None
+
+
+class TestLlmScenario:
+    def test_default_build(self):
+        from repro.sim import llm_scenario
+
+        sim = llm_scenario(seed=0)
+        assert sim.server.n_gpus == 3
+        assert sim.fs is None
+        assert all(p.spec.name == "llama-7b" for p in sim.pipelines)
+
+    def test_custom_arrivals_factory_called_per_gpu(self):
+        from repro.sim import llm_scenario
+        from repro.workloads import SteadyArrivals
+
+        made = []
+
+        def factory():
+            proc = SteadyArrivals(1.0)
+            made.append(proc)
+            return proc
+
+        sim = llm_scenario(seed=0, arrivals_factory=factory, n_gpus=2)
+        assert len(made) == 2
+        assert sim.pipelines[0].arrivals is made[0]
+        assert sim.pipelines[1].arrivals is made[1]
+
+    def test_runs_under_alternate_timing(self):
+        """Non-default SimConfig (0.2 s tick, 2 s period) stays consistent."""
+        from repro.sim import SimConfig, llm_scenario
+
+        cfg = SimConfig(dt_s=0.2, meter_interval_s=1.0, control_period_s=2.0)
+        sim = llm_scenario(seed=0, sim_config=cfg)
+        trace = sim.run(None, 4)
+        assert len(trace) == 4
+        import numpy as np
+
+        assert np.diff(trace["time_s"]) == pytest.approx([2.0, 2.0, 2.0])

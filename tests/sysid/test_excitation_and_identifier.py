@@ -1,0 +1,91 @@
+"""Excitation plans and end-to-end identification on the simulated plant."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IdentificationError
+from repro.sim import paper_scenario
+from repro.sysid import (
+    identify_latency_model,
+    identify_power_model,
+    one_knob_at_a_time,
+    random_levels_plan,
+)
+
+
+class TestExcitationPlans:
+    def test_one_knob_shape(self, quiet_server):
+        plan = one_knob_at_a_time(quiet_server, points_per_channel=6)
+        assert plan.shape == (4 * 6, 4)
+
+    def test_points_on_grid(self, quiet_server):
+        plan = one_knob_at_a_time(quiet_server, points_per_channel=6)
+        for point in plan:
+            for j, dev in enumerate(quiet_server.devices):
+                assert dev.domain.contains(point[j])
+
+    def test_one_channel_varies_per_block(self, quiet_server):
+        plan = one_knob_at_a_time(quiet_server, points_per_channel=5)
+        block = plan[:5]  # CPU sweep
+        assert np.ptp(block[:, 0]) > 0
+        assert np.all(np.ptp(block[:, 1:], axis=0) == 0)
+
+    def test_sweep_covers_full_range(self, quiet_server):
+        plan = one_knob_at_a_time(quiet_server, points_per_channel=4)
+        gpu0 = plan[4:8, 1]
+        assert gpu0.min() == 435.0
+        assert gpu0.max() == 1350.0
+
+    def test_validation(self, quiet_server):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            one_knob_at_a_time(quiet_server, points_per_channel=1)
+        with pytest.raises(ConfigurationError):
+            one_knob_at_a_time(quiet_server, base_fraction=1.5)
+
+    def test_random_plan_on_grid(self, quiet_server, rng):
+        plan = random_levels_plan(quiet_server, 20, rng)
+        assert plan.shape == (20, 4)
+        for point in plan:
+            for j, dev in enumerate(quiet_server.devices):
+                assert dev.domain.contains(point[j])
+
+
+class TestIdentifyPowerModel:
+    def test_recovers_plant_gains(self):
+        sim = paper_scenario(seed=21)
+        ds = identify_power_model(sim, points_per_channel=6)
+        a = ds.fit.a_w_per_mhz
+        # CPU gain ~0.06 W/MHz, GPU gains ~0.2 W/MHz (the calibrated plant).
+        assert 0.04 < a[0] < 0.08
+        for g in a[1:]:
+            assert 0.17 < g < 0.24
+        assert ds.fit.r2 > 0.98
+
+    def test_plan_shape_validated(self):
+        sim = paper_scenario(seed=21)
+        with pytest.raises(IdentificationError):
+            identify_power_model(sim, plan=np.ones((5, 3)))
+
+    def test_dataset_predictions_align(self):
+        sim = paper_scenario(seed=22)
+        ds = identify_power_model(sim, points_per_channel=5)
+        assert ds.predicted_w().shape == ds.power_w.shape
+
+
+class TestIdentifyLatencyModel:
+    def test_recovers_task_parameters(self):
+        sim = paper_scenario(seed=23)
+        fit, f, e = identify_latency_model(sim, 0, n_points=8)
+        spec = sim.pipelines[0].spec
+        assert fit.gamma == pytest.approx(spec.gamma, abs=0.1)
+        assert fit.e_min_s == pytest.approx(spec.e_min_s, rel=0.1)
+        assert fit.r2 > 0.85
+        assert len(f) == len(e) >= 3
+
+    def test_requires_pipeline(self):
+        sim = paper_scenario(seed=24)
+        sim.pipelines[1] = None
+        with pytest.raises(IdentificationError):
+            identify_latency_model(sim, 1)

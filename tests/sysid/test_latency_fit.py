@@ -1,0 +1,58 @@
+"""Eq. 8 latency-model fitting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IdentificationError
+from repro.sysid import fit_latency_model
+
+
+def synth_samples(rng, e_min=0.5, gamma=0.91, f_max=1350.0, sigma=0.0, n=60):
+    f = rng.uniform(435, 1350, n)
+    e = e_min * (f_max / f) ** gamma
+    if sigma > 0:
+        e = e * rng.lognormal(0.0, sigma, n)
+    return f, e
+
+
+class TestFitLatencyModel:
+    def test_exact_recovery(self, rng):
+        f, e = synth_samples(rng)
+        fit = fit_latency_model(f, e, f_max_mhz=1350.0)
+        assert fit.gamma == pytest.approx(0.91, abs=1e-9)
+        assert fit.e_min_s == pytest.approx(0.5, abs=1e-9)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_noisy_recovery(self, rng):
+        f, e = synth_samples(rng, sigma=0.06, n=400)
+        fit = fit_latency_model(f, e, f_max_mhz=1350.0)
+        assert fit.gamma == pytest.approx(0.91, abs=0.05)
+        assert fit.e_min_s == pytest.approx(0.5, rel=0.05)
+        assert 0.8 < fit.r2 < 1.0
+
+    def test_predict_and_floor_round_trip(self, rng):
+        f, e = synth_samples(rng)
+        fit = fit_latency_model(f, e, f_max_mhz=1350.0)
+        slo = 0.8
+        floor = fit.min_frequency_mhz(slo)
+        assert fit.predict(floor) == pytest.approx(slo)
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(IdentificationError):
+            fit_latency_model(np.array([500.0, 600.0]), np.array([1.0, 0.9]), 1350.0)
+
+    def test_rejects_single_clock(self):
+        f = np.full(10, 900.0)
+        e = np.full(10, 0.7)
+        with pytest.raises(IdentificationError, match="distinct"):
+            fit_latency_model(f, e, 1350.0)
+
+    def test_rejects_non_positive_values(self):
+        with pytest.raises(IdentificationError):
+            fit_latency_model(np.array([500.0, 0.0, 700.0]), np.ones(3), 1350.0)
+
+    def test_rejects_bad_slo(self, rng):
+        f, e = synth_samples(rng)
+        fit = fit_latency_model(f, e, 1350.0)
+        with pytest.raises(IdentificationError):
+            fit.min_frequency_mhz(0.0)

@@ -1,0 +1,95 @@
+"""Least-squares power-model fitting (Eq. 3-5) and diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IdentificationError
+from repro.sysid import PowerModelFit, fit_power_model, r_squared
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+
+    def test_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, 2.0)
+        assert r_squared(y, pred) == pytest.approx(0.0)
+
+    def test_constant_target(self):
+        y = np.full(4, 5.0)
+        assert r_squared(y, y) == 1.0
+        assert r_squared(y, y + 1) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(IdentificationError):
+            r_squared(np.zeros(3), np.zeros(4))
+
+
+class TestFitPowerModel:
+    def test_exact_recovery_noise_free(self, rng):
+        a_true = np.array([0.06, 0.2, 0.19, 0.21])
+        c_true = 350.0
+        F = rng.uniform(435, 2400, size=(40, 4))
+        p = F @ a_true + c_true
+        fit = fit_power_model(F, p)
+        assert fit.a_w_per_mhz == pytest.approx(a_true, abs=1e-9)
+        assert fit.c_w == pytest.approx(c_true, abs=1e-6)
+        assert fit.r2 == pytest.approx(1.0)
+        assert fit.rmse_w < 1e-8
+
+    def test_noisy_recovery_within_tolerance(self, rng):
+        a_true = np.array([0.06, 0.2])
+        F = rng.uniform(400, 2400, size=(200, 2))
+        p = F @ a_true + 300.0 + rng.normal(0, 5.0, 200)
+        fit = fit_power_model(F, p)
+        assert fit.a_w_per_mhz == pytest.approx(a_true, rel=0.1)
+        assert 0.9 < fit.r2 <= 1.0
+
+    def test_too_few_samples(self):
+        with pytest.raises(IdentificationError):
+            fit_power_model(np.ones((3, 4)), np.ones(3))
+
+    def test_rank_deficiency_detected(self, rng):
+        """A channel never varied independently must be flagged."""
+        F = np.column_stack([rng.uniform(0, 1, 30), np.full(30, 900.0)])
+        p = F[:, 0] * 0.1 + 400.0
+        with pytest.raises(IdentificationError, match="rank"):
+            fit_power_model(F, p)
+
+    def test_shape_validation(self):
+        with pytest.raises(IdentificationError):
+            fit_power_model(np.ones(10), np.ones(10))
+
+    def test_predict_matrix_and_vector(self, rng):
+        fit = PowerModelFit(np.array([0.1, 0.2]), 100.0, 1.0, 0.0, 10)
+        assert fit.predict(np.array([10.0, 20.0])) == pytest.approx(105.0)
+        batch = fit.predict(np.array([[10.0, 20.0], [0.0, 0.0]]))
+        assert batch == pytest.approx([105.0, 100.0])
+
+    def test_predict_delta(self):
+        fit = PowerModelFit(np.array([0.1, 0.2]), 100.0, 1.0, 0.0, 10)
+        assert fit.predict_delta(np.array([100.0, -50.0])) == pytest.approx(0.0)
+
+    def test_with_gains(self):
+        fit = PowerModelFit(np.array([0.1, 0.2]), 100.0, 1.0, 0.0, 10)
+        scaled = fit.with_gains(np.array([2.0, 0.5]))
+        assert scaled.a_w_per_mhz == pytest.approx([0.2, 0.1])
+        assert scaled.c_w == 100.0
+        with pytest.raises(IdentificationError):
+            fit.with_gains(np.ones(3))
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25)
+    def test_property_recovery_any_seed(self, seed):
+        rng = np.random.default_rng(seed)
+        n_chan = int(rng.integers(1, 5))
+        a_true = rng.uniform(0.01, 0.5, n_chan)
+        c_true = float(rng.uniform(0, 500))
+        F = rng.uniform(100, 2500, size=(n_chan * 10 + 5, n_chan))
+        p = F @ a_true + c_true
+        fit = fit_power_model(F, p)
+        assert fit.a_w_per_mhz == pytest.approx(a_true, rel=1e-6, abs=1e-9)

@@ -1,0 +1,65 @@
+"""Recursive least squares (online re-identification extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, IdentificationError
+from repro.sysid import RecursiveLeastSquares
+
+
+class TestRls:
+    def test_converges_to_true_parameters(self, rng):
+        a_true = np.array([0.06, 0.2, 0.21])
+        rls = RecursiveLeastSquares(3, forgetting=1.0)
+        for _ in range(200):
+            f = rng.uniform(400, 2400, 3)
+            rls.update(f, float(f @ a_true + 300.0))
+        est = rls.estimate()
+        assert est.a_w_per_mhz == pytest.approx(a_true, abs=1e-6)
+        assert est.c_w == pytest.approx(300.0, abs=1e-3)
+
+    def test_forgetting_tracks_gain_change(self, rng):
+        """After a plant change, the forgetting factor lets estimates move."""
+        rls = RecursiveLeastSquares(2, forgetting=0.9)
+        a1 = np.array([0.1, 0.2])
+        a2 = np.array([0.2, 0.1])
+        for _ in range(150):
+            f = rng.uniform(400, 2400, 2)
+            rls.update(f, float(f @ a1 + 100.0))
+        for _ in range(150):
+            f = rng.uniform(400, 2400, 2)
+            rls.update(f, float(f @ a2 + 100.0))
+        assert rls.estimate().a_w_per_mhz == pytest.approx(a2, abs=0.01)
+
+    def test_warm_start_from_prior(self, rng):
+        theta0 = np.array([0.06, 0.2, 350.0])
+        rls = RecursiveLeastSquares(2, theta0=theta0, p0=0.001)
+        # Tight prior: a single noisy update barely moves the estimate.
+        rls.update(np.array([1000.0, 900.0]), 600.0)
+        est = rls.estimate()
+        assert est.a_w_per_mhz == pytest.approx(theta0[:2], abs=0.05)
+
+    def test_estimate_before_update_raises(self):
+        with pytest.raises(IdentificationError):
+            RecursiveLeastSquares(2).estimate()
+
+    def test_update_shape_checked(self):
+        rls = RecursiveLeastSquares(2)
+        with pytest.raises(IdentificationError):
+            rls.update(np.ones(3), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RecursiveLeastSquares(0)
+        with pytest.raises(ConfigurationError):
+            RecursiveLeastSquares(2, forgetting=0.0)
+        with pytest.raises(ConfigurationError):
+            RecursiveLeastSquares(2, p0=-1.0)
+        with pytest.raises(ConfigurationError):
+            RecursiveLeastSquares(2, theta0=np.ones(5))
+
+    def test_n_updates_counts(self, rng):
+        rls = RecursiveLeastSquares(2)
+        for i in range(5):
+            rls.update(rng.uniform(0, 1, 2), 1.0)
+        assert rls.n_updates == 5

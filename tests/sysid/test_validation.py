@@ -1,0 +1,89 @@
+"""Model-validation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IdentificationError
+from repro.sysid import (
+    cross_validate_power_model,
+    fit_power_model,
+    holdout_validation,
+    residual_summary,
+)
+
+
+def linear_dataset(rng, n=80, noise=0.0):
+    a = np.array([0.06, 0.2, 0.2])
+    F = rng.uniform(400, 2400, size=(n, 3))
+    p = F @ a + 300.0 + rng.normal(0, noise, n)
+    return F, p
+
+
+class TestHoldout:
+    def test_perfect_model_generalizes(self, rng):
+        F, p = linear_dataset(rng)
+        fit, r2 = holdout_validation(F, p)
+        assert r2 == pytest.approx(1.0)
+
+    def test_noisy_model_generalizes_reasonably(self, rng):
+        F, p = linear_dataset(rng, n=200, noise=5.0)
+        _, r2 = holdout_validation(F, p, rng=rng)
+        assert 0.9 < r2 <= 1.0
+
+    def test_fraction_validated(self, rng):
+        F, p = linear_dataset(rng)
+        with pytest.raises(IdentificationError):
+            holdout_validation(F, p, train_fraction=1.0)
+
+    def test_deterministic_without_rng(self, rng):
+        F, p = linear_dataset(rng, noise=2.0)
+        _, r2a = holdout_validation(F, p)
+        _, r2b = holdout_validation(F, p)
+        assert r2a == r2b
+
+
+class TestCrossValidation:
+    def test_scores_high_for_linear_plant(self, rng):
+        F, p = linear_dataset(rng, n=100, noise=3.0)
+        scores = cross_validate_power_model(F, p, k_folds=5)
+        assert len(scores) == 5
+        assert min(scores) > 0.9
+
+    def test_k_folds_validated(self, rng):
+        F, p = linear_dataset(rng, n=20)
+        with pytest.raises(IdentificationError):
+            cross_validate_power_model(F, p, k_folds=1)
+        with pytest.raises(IdentificationError):
+            cross_validate_power_model(F, p, k_folds=11)
+
+    def test_on_real_identification_data(self):
+        from repro.sim import paper_scenario
+        from repro.sysid import identify_power_model
+
+        sim = paper_scenario(seed=44)
+        ds = identify_power_model(sim, points_per_channel=8)
+        scores = cross_validate_power_model(ds.f_mhz, ds.power_w, k_folds=4)
+        assert min(scores) > 0.9
+
+
+class TestResidualSummary:
+    def test_white_residuals_flagged_white(self, rng):
+        F, p = linear_dataset(rng, n=200, noise=3.0)
+        fit = fit_power_model(F, p)
+        summary = residual_summary(fit, F, p)
+        assert summary.looks_white
+        assert summary.std_w == pytest.approx(3.0, rel=0.3)
+
+    def test_curvature_detected(self, rng):
+        """A strongly quadratic plant leaves frequency-correlated residuals."""
+        F = np.sort(rng.uniform(400, 2400, size=(300, 1)), axis=0)
+        p = 0.1 * F[:, 0] + 2e-5 * (F[:, 0] - 400) ** 2 + 300.0
+        fit = fit_power_model(F, p)
+        summary = residual_summary(fit, F, p)
+        assert abs(summary.lag1_autocorr) > 0.6 or not summary.looks_white
+
+    def test_needs_samples(self, rng):
+        F, p = linear_dataset(rng, n=10)
+        fit = fit_power_model(F, p)
+        with pytest.raises(IdentificationError):
+            residual_summary(fit, F[:2], p[:2])

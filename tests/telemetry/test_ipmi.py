@@ -1,0 +1,76 @@
+"""Simulated IPMI/BMC telemetry."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.hardware import v100_server
+from repro.telemetry import SimulatedIpmi
+
+
+class TestSensors:
+    def test_psu_load_fraction(self, quiet_server):
+        ipmi = SimulatedIpmi(quiet_server, psu_rating_w=1600.0)
+        assert ipmi.psu_load_fraction() == pytest.approx(
+            quiet_server.total_power_w() / 1600.0
+        )
+
+    def test_fan_sensors(self, quiet_server):
+        ipmi = SimulatedIpmi(quiet_server)
+        assert ipmi.fan_speed_fraction() == pytest.approx(0.7)
+        assert ipmi.fan_power_w() == pytest.approx(quiet_server.fan.power_w())
+
+    def test_temperatures_require_thermal(self, quiet_server):
+        ipmi = SimulatedIpmi(quiet_server)
+        with pytest.raises(TelemetryError):
+            ipmi.inlet_temp_c()
+        with pytest.raises(TelemetryError):
+            ipmi.device_temps_c()
+
+    def test_temperatures_with_thermal(self):
+        server = v100_server(seed=None, thermal=True)
+        for d in server.devices:
+            d.apply_frequency(d.domain.f_max)
+        for _ in range(50):
+            server.advance(1.0)
+        ipmi = SimulatedIpmi(server)
+        temps = ipmi.device_temps_c()
+        assert len(temps) == server.n_channels
+        assert ipmi.hottest_device_c() == max(temps)
+        assert ipmi.hottest_device_c() > ipmi.inlet_temp_c()
+
+    def test_rating_validated(self, quiet_server):
+        with pytest.raises(TelemetryError):
+            SimulatedIpmi(quiet_server, psu_rating_w=0.0)
+
+
+class TestSensorDump:
+    def test_records_without_thermal(self, quiet_server):
+        records = SimulatedIpmi(quiet_server).sensor_records()
+        names = [r.name for r in records]
+        assert "Sys Power" in names and "PSU Load" in names
+        assert not any("Temp" in n for n in names)
+
+    def test_records_with_thermal(self):
+        server = v100_server(seed=None, thermal=True)
+        records = SimulatedIpmi(server).sensor_records()
+        names = [r.name for r in records]
+        assert "Inlet Temp" in names
+        assert sum("Temp" in n for n in names) == 1 + server.n_channels
+
+    def test_render_format(self, quiet_server):
+        text = SimulatedIpmi(quiet_server).render()
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert all("|" in line for line in lines)
+        assert "Watts" in lines[0]
+
+
+class TestCliIdentify:
+    def test_identify_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["identify", "--points", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "identified model" in out
+        assert "CV R^2" in out
+        assert "looks white" in out

@@ -1,0 +1,103 @@
+"""Throughput and utilization monitors."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TelemetryError
+from repro.telemetry import ThroughputMonitor, UtilizationMonitor
+
+
+class TestThroughputMonitor:
+    def test_windowed_rate(self):
+        m = ThroughputMonitor("gpu0")
+        m.record(3, 1.0)
+        m.record(5, 1.0)
+        assert m.read_and_reset() == pytest.approx(4.0)
+
+    def test_window_resets(self):
+        m = ThroughputMonitor("gpu0")
+        m.record(4, 2.0)
+        m.read_and_reset()
+        m.record(10, 2.0)
+        assert m.read_and_reset() == pytest.approx(5.0)
+
+    def test_empty_window_raises(self):
+        with pytest.raises(TelemetryError):
+            ThroughputMonitor("x").read_and_reset()
+
+    def test_normalized_with_hint(self):
+        m = ThroughputMonitor("gpu0", max_rate_hint=10.0)
+        m.record(5, 1.0)
+        m.read_and_reset()
+        assert m.normalized() == pytest.approx(0.5)
+
+    def test_normalized_cold_device_is_zero(self):
+        m = ThroughputMonitor("gpu0", max_rate_hint=10.0)
+        assert m.normalized() == 0.0
+
+    def test_normalizer_adapts_upward_beyond_hint(self):
+        m = ThroughputMonitor("gpu0", max_rate_hint=2.0)
+        m.record(8, 1.0)
+        m.read_and_reset()
+        assert m.max_rate == pytest.approx(8.0)
+        assert m.normalized() == pytest.approx(1.0)
+
+    def test_normalized_reflects_latest_window(self):
+        m = ThroughputMonitor("gpu0", max_rate_hint=100.0)
+        m.record(50, 1.0)
+        m.read_and_reset()
+        m.record(25, 1.0)
+        m.read_and_reset()
+        assert m.normalized() == pytest.approx(0.25)
+
+    def test_running_max_from_observations_without_hint(self):
+        m = ThroughputMonitor("gpu0")
+        m.record(4, 1.0)
+        m.read_and_reset()
+        m.record(2, 1.0)
+        m.read_and_reset()
+        assert m.normalized() == pytest.approx(0.5)
+
+    def test_rejects_negative_events(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputMonitor("x").record(-1, 1.0)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputMonitor("x").record(1, 0.0)
+
+    def test_reset_keeps_normalizer(self):
+        m = ThroughputMonitor("x", max_rate_hint=10.0)
+        m.record(10, 1.0)
+        m.read_and_reset()
+        m.reset()
+        assert m.max_rate == pytest.approx(10.0)
+        assert m.last_rate == 0.0
+
+
+class TestUtilizationMonitor:
+    def test_busy_fraction(self):
+        m = UtilizationMonitor("gpu0")
+        m.record(0.05, 0.1)
+        m.record(0.1, 0.1)
+        assert m.read_and_reset() == pytest.approx(0.75)
+
+    def test_rejects_busy_exceeding_dt(self):
+        with pytest.raises(ConfigurationError):
+            UtilizationMonitor("x").record(0.2, 0.1)
+
+    def test_rejects_negative_busy(self):
+        with pytest.raises(ConfigurationError):
+            UtilizationMonitor("x").record(-0.01, 0.1)
+
+    def test_empty_window_raises(self):
+        with pytest.raises(TelemetryError):
+            UtilizationMonitor("x").read_and_reset()
+
+    def test_last_utilization_defaults_zero(self):
+        assert UtilizationMonitor("x").last_utilization == 0.0
+
+    def test_last_utilization_after_read(self):
+        m = UtilizationMonitor("x")
+        m.record(0.1, 0.1)
+        m.read_and_reset()
+        assert m.last_utilization == pytest.approx(1.0)

@@ -1,0 +1,129 @@
+"""Simulated NVML and RAPL interfaces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TelemetryError
+from repro.telemetry import RaplWindowReader, SimulatedNvml, SimulatedRapl
+
+
+@pytest.fixture
+def nvml(quiet_server, rng):
+    return SimulatedNvml(quiet_server, rng=rng, power_noise_sigma_w=0.0)
+
+
+class TestNvmlDiscovery:
+    def test_device_count(self, nvml, quiet_server):
+        assert nvml.device_count() == quiet_server.n_gpus
+
+    def test_handle_by_index(self, nvml):
+        h = nvml.device_handle_by_index(2)
+        assert h.index == 2
+
+    def test_handle_out_of_range(self, nvml):
+        with pytest.raises(TelemetryError):
+            nvml.device_handle_by_index(3)
+
+    def test_device_name(self, nvml):
+        assert "v100" in nvml.device_name(nvml.device_handle_by_index(0))
+
+
+class TestNvmlSensors:
+    def test_power_in_milliwatts(self, nvml, quiet_server):
+        h = nvml.device_handle_by_index(0)
+        expected_w = quiet_server.gpus[0].power_w()
+        assert nvml.power_usage_mw(h) == pytest.approx(expected_w * 1000.0)
+
+    def test_power_noise(self, quiet_server, rng):
+        nv = SimulatedNvml(quiet_server, rng=rng, power_noise_sigma_w=1.0)
+        h = nv.device_handle_by_index(0)
+        vals = [nv.power_usage_mw(h) for _ in range(50)]
+        assert np.std(vals) > 100.0  # ~1 W in mW
+
+    def test_noise_requires_rng(self, quiet_server):
+        with pytest.raises(ConfigurationError):
+            SimulatedNvml(quiet_server, rng=None, power_noise_sigma_w=1.0)
+
+    def test_total_gpu_power(self, nvml, quiet_server):
+        assert nvml.total_gpu_power_w() == pytest.approx(quiet_server.gpu_power_w())
+
+    def test_utilization_and_clock(self, nvml, quiet_server):
+        h = nvml.device_handle_by_index(1)
+        quiet_server.gpus[1].set_utilization(0.4)
+        assert nvml.utilization_rates(h) == pytest.approx(0.4)
+        assert nvml.clock_info_mhz(h) == quiet_server.gpus[1].core_clock_mhz
+
+    def test_supported_clocks(self, nvml):
+        clocks = nvml.supported_graphics_clocks(nvml.device_handle_by_index(0))
+        assert clocks[0] == 435.0 and clocks[-1] == 1350.0
+
+
+class TestNvmlActuation:
+    def test_set_clocks_staged_not_applied(self, nvml, quiet_server):
+        h = nvml.device_handle_by_index(0)
+        accepted = nvml.set_applications_clocks(h, 877.0, 900.0)
+        assert accepted == 900.0
+        assert quiet_server.gpus[0].core_clock_mhz == 435.0  # not yet applied
+        assert nvml.pop_pending_clock(0) == 900.0
+        assert nvml.pop_pending_clock(0) is None
+
+    def test_rejects_wrong_memory_clock(self, nvml):
+        with pytest.raises(ConfigurationError):
+            nvml.set_applications_clocks(nvml.device_handle_by_index(0), 800.0, 900.0)
+
+    def test_rejects_off_grid_core_clock(self, nvml):
+        with pytest.raises(ConfigurationError):
+            nvml.set_applications_clocks(nvml.device_handle_by_index(0), 877.0, 901.0)
+
+
+class TestRapl:
+    def test_counter_monotone_and_scaled(self, quiet_server):
+        rapl = SimulatedRapl(quiet_server)
+        p = quiet_server.cpu_power_w()
+        rapl.accumulate(1.0)
+        assert rapl.read_energy_uj() == pytest.approx(p * 1e6, rel=1e-6)
+        rapl.accumulate(1.0)
+        assert rapl.read_energy_uj() == pytest.approx(2 * p * 1e6, rel=1e-6)
+
+    def test_wraps_at_max_range(self, quiet_server):
+        rapl = SimulatedRapl(quiet_server, max_energy_range_uj=10_000_000)
+        for _ in range(200):
+            rapl.accumulate(1.0)
+        assert 0 <= rapl.read_energy_uj() < 10_000_000
+
+    def test_window_reader_power(self, quiet_server):
+        rapl = SimulatedRapl(quiet_server)
+        reader = RaplWindowReader(rapl)
+        reader.start(0.0)
+        for _ in range(40):
+            rapl.accumulate(0.1)
+        power = reader.read_power_w(4.0)
+        assert power == pytest.approx(quiet_server.cpu_power_w(), rel=1e-6)
+
+    def test_window_reader_handles_wrap(self, quiet_server):
+        p = quiet_server.cpu_power_w()
+        # Wrap point just above one second of energy.
+        rapl = SimulatedRapl(quiet_server, max_energy_range_uj=int(p * 1e6 * 1.5))
+        reader = RaplWindowReader(rapl)
+        reader.start(0.0)
+        rapl.accumulate(1.0)
+        assert reader.read_power_w(1.0) == pytest.approx(p, rel=1e-5)
+        rapl.accumulate(1.0)  # wraps here
+        assert reader.read_power_w(2.0) == pytest.approx(p, rel=1e-5)
+
+    def test_reader_requires_start(self, quiet_server):
+        reader = RaplWindowReader(SimulatedRapl(quiet_server))
+        with pytest.raises(TelemetryError):
+            reader.read_power_w(1.0)
+
+    def test_reader_rejects_zero_window(self, quiet_server):
+        reader = RaplWindowReader(SimulatedRapl(quiet_server))
+        reader.start(1.0)
+        with pytest.raises(TelemetryError):
+            reader.read_power_w(1.0)
+
+    def test_reset(self, quiet_server):
+        rapl = SimulatedRapl(quiet_server)
+        rapl.accumulate(1.0)
+        rapl.reset()
+        assert rapl.read_energy_uj() == 0

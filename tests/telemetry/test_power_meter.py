@@ -1,0 +1,121 @@
+"""ACPI power meter: integration, sampling cadence, quantization, buffering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TelemetryError
+from repro.telemetry import AcpiPowerMeter
+
+
+def quiet_meter(**kw):
+    defaults = dict(sample_interval_s=1.0, noise_sigma_w=0.0, resolution_w=0.1)
+    defaults.update(kw)
+    return AcpiPowerMeter(**defaults)
+
+
+class TestSampling:
+    def test_emits_every_interval(self):
+        m = quiet_meter()
+        emitted = [m.accumulate(500.0, 0.1) for _ in range(25)]
+        samples = [s for s in emitted if s is not None]
+        assert len(samples) == 2
+        assert m.n_samples == 2
+
+    def test_sample_is_interval_average(self):
+        m = quiet_meter()
+        # 5 ticks at 400 W then 5 at 600 W -> 500 W average.
+        for _ in range(5):
+            m.accumulate(400.0, 0.1)
+        out = None
+        for _ in range(5):
+            out = m.accumulate(600.0, 0.1) or out
+        assert out is not None
+        assert out.power_w == pytest.approx(500.0)
+
+    def test_quantization(self):
+        m = quiet_meter(resolution_w=1.0)
+        for _ in range(9):
+            m.accumulate(500.4, 0.1)
+        s = m.accumulate(500.4, 0.1)
+        assert s.power_w == pytest.approx(500.0)
+
+    def test_sequence_numbers_increase(self):
+        m = quiet_meter()
+        for _ in range(30):
+            m.accumulate(100.0, 0.1)
+        seqs = [s.seq for s in m.last_n(3)]
+        assert seqs == [0, 1, 2]
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            AcpiPowerMeter(noise_sigma_w=1.0, rng=None)
+
+    def test_noise_perturbs_samples(self, rng):
+        m = AcpiPowerMeter(noise_sigma_w=2.0, rng=rng, resolution_w=0.001)
+        for _ in range(100):
+            m.accumulate(500.0, 0.1)
+        vals = [s.power_w for s in m.last_n(10)]
+        assert np.std(vals) > 0.1
+
+    def test_rejects_non_positive_dt(self):
+        with pytest.raises(ConfigurationError):
+            quiet_meter().accumulate(500.0, 0.0)
+
+
+class TestBuffer:
+    def test_latest_raises_when_empty(self):
+        with pytest.raises(TelemetryError):
+            quiet_meter().latest()
+
+    def test_average_over_last(self):
+        m = quiet_meter()
+        for w in (100.0, 200.0, 300.0):
+            for _ in range(10):
+                m.accumulate(w, 0.1)
+        assert m.average_over_last(2) == pytest.approx(250.0)
+        assert m.average_over_last(3) == pytest.approx(200.0)
+
+    def test_average_over_last_fewer_available(self):
+        m = quiet_meter()
+        for _ in range(10):
+            m.accumulate(100.0, 0.1)
+        assert m.average_over_last(99) == pytest.approx(100.0)
+
+    def test_average_on_empty_raises(self):
+        with pytest.raises(TelemetryError):
+            quiet_meter().average_over_last(4)
+
+    def test_ring_buffer_drops_old(self):
+        m = quiet_meter(buffer_len=5)
+        for _ in range(100):
+            m.accumulate(100.0, 1.0)
+        assert m.n_samples == 5
+        assert m.total_emitted == 100
+        assert m.last_n(99)[0].seq == 95
+
+    def test_samples_since(self):
+        m = quiet_meter()
+        for _ in range(5):
+            m.accumulate(100.0, 1.0)
+        assert [s.seq for s in m.samples_since(2)] == [3, 4]
+
+    def test_reset(self):
+        m = quiet_meter()
+        m.accumulate(100.0, 1.0)
+        m.reset()
+        assert m.n_samples == 0
+        assert m.total_emitted == 0
+
+    def test_render_file_format(self):
+        m = quiet_meter()
+        for _ in range(2):
+            m.accumulate(512.34, 1.0)
+        text = m.render_file()
+        assert text.splitlines() == ["power1_average: 512.3", "power1_average: 512.3"]
+
+    def test_time_stamps_advance(self):
+        m = quiet_meter()
+        for _ in range(20):
+            m.accumulate(100.0, 0.1)
+        a, b = m.last_n(2)
+        assert b.time_s - a.time_s == pytest.approx(1.0)

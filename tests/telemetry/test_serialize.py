@@ -1,0 +1,80 @@
+"""Trace CSV/NPZ round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    Trace,
+    load_trace_npz,
+    save_trace_npz,
+    trace_from_csv,
+    trace_to_csv,
+)
+
+
+def sample_trace():
+    t = Trace(["time_s", "power_w", "lat"])
+    t.append(time_s=4.0, power_w=899.123456789, lat=0.5)
+    t.append(time_s=8.0, power_w=901.0, lat=float("nan"))
+    t.append(time_s=12.0, power_w=900.5)
+    return t
+
+
+class TestCsv:
+    def test_round_trip_exact(self):
+        original = sample_trace()
+        restored = trace_from_csv(trace_to_csv(original))
+        assert restored.channels == original.channels
+        for name in original.channels:
+            assert np.array_equal(restored[name], original[name], equal_nan=True)
+
+    def test_header_row(self):
+        text = trace_to_csv(sample_trace())
+        assert text.splitlines()[0] == "time_s,power_w,lat"
+
+    def test_full_float_precision(self):
+        text = trace_to_csv(sample_trace())
+        restored = trace_from_csv(text)
+        assert restored["power_w"][0] == 899.123456789  # repr round trip
+
+    def test_empty_csv_rejected(self):
+        with pytest.raises(ConfigurationError):
+            trace_from_csv("")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ConfigurationError, match="line 3"):
+            trace_from_csv("a,b\n1.0,2.0\n3.0\n")
+
+    def test_blank_lines_skipped(self):
+        restored = trace_from_csv("a\n1.0\n\n2.0\n")
+        assert len(restored) == 2
+
+
+class TestNpz:
+    def test_round_trip_exact(self, tmp_path):
+        original = sample_trace()
+        path = tmp_path / "trace.npz"
+        save_trace_npz(original, path)
+        restored = load_trace_npz(path)
+        assert restored.channels == original.channels
+        for name in original.channels:
+            assert np.array_equal(restored[name], original[name], equal_nan=True)
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(ConfigurationError):
+            load_trace_npz(path)
+
+    def test_engine_trace_round_trip(self, tmp_path):
+        from repro.sim import paper_scenario
+
+        sim = paper_scenario(seed=90)
+        trace = sim.run(None, 3)
+        path = tmp_path / "run.npz"
+        save_trace_npz(trace, path)
+        restored = load_trace_npz(path)
+        assert np.array_equal(
+            restored.as_array(), trace.as_array(), equal_nan=True
+        )

@@ -1,0 +1,61 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig3"])
+        assert args.experiment == "fig3"
+        assert args.seed == 0
+
+    def test_run_seed(self):
+        args = build_parser().parse_args(["run", "fig3", "--seed", "7"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out[:10] == ["table1", "fig2", "fig3", "fig4", "fig5",
+                            "fig6", "fig7", "fig8", "fig9", "fig10"]
+        assert "robustness" in out and "batching" in out
+        assert "ablation-weights" in out
+
+    def test_run_unknown_experiment(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["run", "fig99"])
+
+    def test_run_fig2(self, capsys):
+        assert main(["run", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "R^2" in out
+
+    def test_run_with_save_dir(self, capsys, tmp_path):
+        from repro.telemetry import load_trace_npz
+
+        assert main(["run", "fig4", "--save-dir", str(tmp_path)]) == 0
+        saved = sorted(tmp_path.glob("fig4_*.npz"))
+        assert len(saved) == 2
+        trace = load_trace_npz(saved[0])
+        assert "power_w" in trace
+
+    def test_stability(self, capsys):
+        assert main(["stability"]) == 0
+        out = capsys.readouterr().out
+        assert "stable for uniform gain variation" in out

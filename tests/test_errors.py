@@ -1,0 +1,52 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    ActuationError,
+    ConfigurationError,
+    ExperimentError,
+    IdentificationError,
+    InfeasibleSetPointError,
+    ReproError,
+    SloInfeasibleError,
+    SolverError,
+    TelemetryError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc_type",
+    [
+        ConfigurationError,
+        ActuationError,
+        TelemetryError,
+        IdentificationError,
+        SolverError,
+        ExperimentError,
+    ],
+)
+def test_all_derive_from_repro_error(exc_type):
+    assert issubclass(exc_type, ReproError)
+
+
+def test_configuration_error_is_value_error():
+    # Allows callers to catch config mistakes with plain ValueError handling.
+    assert issubclass(ConfigurationError, ValueError)
+
+
+def test_infeasible_set_point_carries_envelope():
+    err = InfeasibleSetPointError(2000.0, 700.0, 1300.0)
+    assert err.set_point_w == 2000.0
+    assert err.p_min_w == 700.0
+    assert err.p_max_w == 1300.0
+    assert "2000.0" in str(err)
+    assert issubclass(InfeasibleSetPointError, ReproError)
+
+
+def test_slo_infeasible_carries_task_details():
+    err = SloInfeasibleError("resnet50", slo_s=0.1, e_min_s=0.5)
+    assert err.task == "resnet50"
+    assert err.slo_s == 0.1
+    assert err.e_min_s == 0.5
+    assert "resnet50" in str(err)

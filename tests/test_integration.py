@@ -1,0 +1,124 @@
+"""End-to-end integration: full pipeline, determinism, public API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import build_capgpu
+from repro.sim import paper_scenario
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_snippet(self):
+        """The module-docstring quickstart must actually work."""
+        ident = paper_scenario(seed=0)
+        sim = paper_scenario(seed=0, set_point_w=900.0)
+        controller = build_capgpu(sim, ident_sim=ident)
+        trace = sim.run(controller, n_periods=20)
+        assert np.mean(trace["power_w"][-5:]) == pytest.approx(900.0, abs=12.0)
+
+
+class TestEndToEndDeterminism:
+    def _run(self, seed=9):
+        ident = paper_scenario(seed=seed)
+        sim = paper_scenario(seed=seed, set_point_w=950.0)
+        ctl = build_capgpu(sim, ident_sim=ident)
+        return sim.run(ctl, 25)
+
+    def test_identical_runs_bitwise_equal(self):
+        a = self._run()
+        b = self._run()
+        # Every channel must match except ctl_ms, which records wall-clock
+        # solver time and legitimately varies between runs.
+        for name in a.channels:
+            if name == "ctl_ms":
+                continue
+            assert np.array_equal(a[name], b[name], equal_nan=True), name
+
+    def test_seed_changes_trajectory(self):
+        a = self._run(seed=9)
+        b = self._run(seed=10)
+        assert not np.array_equal(a["power_w"], b["power_w"])
+
+
+class TestFullStackBehaviour:
+    def test_capgpu_with_fitted_latency_models(self):
+        """latency_from='fit' exercises the full Fig. 2(b) path in assembly."""
+        ident = paper_scenario(seed=12)
+        sim = paper_scenario(seed=12, set_point_w=1000.0)
+        ctl = build_capgpu(sim, ident_sim=ident, latency_from="fit")
+        for chan, model in ctl.slo_manager.task_models.items():
+            g = list(sim.gpu_channels).index(chan)
+            spec = sim.pipelines[g].spec
+            assert model.gamma == pytest.approx(spec.gamma, abs=0.12)
+        trace = sim.run(ctl, 15)
+        assert np.mean(trace["power_w"][-5:]) == pytest.approx(1000.0, abs=12.0)
+
+    def test_online_adaptation_closed_loop(self):
+        """RLS-refreshed gains keep tracking after a deliberate model error."""
+        ident = paper_scenario(seed=13)
+        from repro.sysid import identify_power_model
+
+        fit = identify_power_model(ident, points_per_channel=5).fit
+        wrong = fit.with_gains(np.full(fit.n_channels, 0.5))  # 2x plant gain
+        sim = paper_scenario(seed=13, set_point_w=900.0)
+        ctl = build_capgpu(sim, model=wrong, online_adaptation=True)
+        trace = sim.run(ctl, 40)
+        assert np.mean(trace["power_w"][-10:]) == pytest.approx(900.0, abs=10.0)
+        # The gains converged toward the truth.
+        assert ctl.current_gains() == pytest.approx(fit.a_w_per_mhz, abs=0.05)
+
+    def test_infeasible_cap_reported_not_hidden(self):
+        ident = paper_scenario(seed=14)
+        sim = paper_scenario(seed=14, set_point_w=2000.0)  # above envelope
+        ctl = build_capgpu(sim, ident_sim=ident)
+        trace = sim.run(ctl, 10)
+        assert not ctl.last_feasibility.feasible
+        # Controller saturates everything at max but cannot reach 2 kW.
+        assert trace["power_w"][-1] < 1400.0
+
+    def test_eight_gpu_server_scales(self):
+        """The class of server the paper targets (up to 8 GPUs) works."""
+        from repro.hardware import custom_server
+        from repro.rng import spawn
+        from repro.sim import ServerSimulation
+        from repro.sim.scenarios import PAPER_TASKS
+        from repro.workloads import InferencePipeline, PipelineConfig
+
+        server = custom_server(n_gpus=8, seed=15)
+        pipes = [
+            InferencePipeline(
+                PAPER_TASKS[g % 3],
+                PipelineConfig(preproc_frequency="fixed"),
+                spawn(15, f"p{g}"),
+            )
+            for g in range(8)
+        ]
+        sim = ServerSimulation(server, pipes, set_point_w=2300.0, seed=15)
+        from repro.sysid import identify_power_model
+
+        ident_sim = ServerSimulation(
+            custom_server(n_gpus=8, seed=15),
+            [
+                InferencePipeline(
+                    PAPER_TASKS[g % 3],
+                    PipelineConfig(preproc_frequency="fixed"),
+                    spawn(16, f"p{g}"),
+                )
+                for g in range(8)
+            ],
+            set_point_w=2300.0,
+            seed=16,
+        )
+        model = identify_power_model(ident_sim, points_per_channel=4).fit
+        ctl = build_capgpu(sim, model=model)
+        trace = sim.run(ctl, 20)
+        assert np.mean(trace["power_w"][-6:]) == pytest.approx(2300.0, abs=20.0)
+        assert np.mean(trace["ctl_ms"][1:]) < 25.0  # the "few ms" claim

@@ -1,0 +1,47 @@
+"""Markdown report generation."""
+
+import pytest
+
+from repro.report import generate_report, write_report
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(seed=0, ids=["fig4", "fig5"])
+
+    def test_header(self, report):
+        assert report.startswith("# CapGPU reproduction report")
+        assert "seed: `0`" in report
+
+    def test_sections_present(self, report):
+        assert "## fig4:" in report
+        assert "## fig5:" in report
+
+    def test_tables_included_series_excluded(self, report):
+        assert "Figure 4 summary" in report
+        assert "power_W[" not in report  # raw series suppressed
+
+    def test_sparklines_for_traces(self, report):
+        assert "Power traces" in report
+        assert "▇" in report or "█" in report
+
+    def test_single_experiment_selection(self):
+        report = generate_report(seed=0, ids=["table1"])
+        assert "## table1:" in report
+        assert "## fig4:" not in report
+
+    def test_write_report(self, tmp_path):
+        out = write_report(tmp_path / "r.md", seed=0, ids=["fig4"])
+        assert out.exists()
+        assert "## fig4:" in out.read_text()
+
+
+class TestCliReport:
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["report", "-o", str(tmp_path / "out.md"), "--ids", "fig4"])
+        assert rc == 0
+        assert (tmp_path / "out.md").exists()
+        assert "wrote" in capsys.readouterr().out

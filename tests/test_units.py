@@ -1,0 +1,74 @@
+"""Unit-conversion and validation helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    ghz_to_mhz,
+    joules_to_microjoules,
+    mhz_to_ghz,
+    microjoules_to_joules,
+    milliwatts_to_watts,
+    require_in_range,
+    require_monotonic,
+    require_non_negative,
+    require_positive,
+    watts_to_milliwatts,
+)
+
+
+class TestConversions:
+    def test_ghz_mhz_round_trip(self):
+        assert mhz_to_ghz(ghz_to_mhz(2.4)) == pytest.approx(2.4)
+
+    def test_ghz_to_mhz_value(self):
+        assert ghz_to_mhz(1.35) == pytest.approx(1350.0)
+
+    def test_watt_milliwatt_round_trip(self):
+        assert milliwatts_to_watts(watts_to_milliwatts(287.5)) == pytest.approx(287.5)
+
+    def test_joule_microjoule_round_trip(self):
+        assert microjoules_to_joules(joules_to_microjoules(1.25)) == pytest.approx(1.25)
+
+    def test_nvml_milliwatts_magnitude(self):
+        assert watts_to_milliwatts(250.0) == pytest.approx(250_000.0)
+
+
+class TestValidators:
+    def test_require_positive_accepts(self):
+        assert require_positive(0.5, "x") == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.nan, math.inf])
+    def test_require_positive_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            require_positive(bad, "x")
+
+    def test_require_non_negative_accepts_zero(self):
+        assert require_non_negative(0.0, "x") == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.001, math.nan])
+    def test_require_non_negative_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            require_non_negative(bad, "x")
+
+    def test_require_in_range_bounds_inclusive(self):
+        assert require_in_range(0.0, 0.0, 1.0, "x") == 0.0
+        assert require_in_range(1.0, 0.0, 1.0, "x") == 1.0
+
+    def test_require_in_range_rejects_outside(self):
+        with pytest.raises(ConfigurationError):
+            require_in_range(1.01, 0.0, 1.0, "x")
+
+    def test_require_monotonic_accepts_increasing(self):
+        assert require_monotonic([1.0, 2.0, 3.0], "x") == [1.0, 2.0, 3.0]
+
+    @pytest.mark.parametrize("bad", [[], [1.0, 1.0], [2.0, 1.0]])
+    def test_require_monotonic_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            require_monotonic(bad, "x")
+
+    def test_error_message_includes_name(self):
+        with pytest.raises(ConfigurationError, match="my_param"):
+            require_positive(-1, "my_param")

@@ -1,0 +1,126 @@
+"""Exhaustive feature selection: the real algorithm and the rate model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    FeatureSelectionWorkload,
+    cross_val_mse,
+    exhaustive_feature_selection,
+    generate_pai_trace,
+)
+
+
+class TestCrossValMse:
+    def test_perfect_linear_data_near_zero(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = X @ np.array([1.0, -2.0, 0.5]) + 3.0
+        assert cross_val_mse(X, y, k_folds=5) < 1e-20
+
+    def test_noise_floor(self, rng):
+        X = rng.normal(size=(500, 2))
+        y = X[:, 0] + rng.normal(0, 0.5, 500)
+        mse = cross_val_mse(X, y, k_folds=5)
+        assert mse == pytest.approx(0.25, rel=0.25)
+
+    def test_irrelevant_feature_worse_than_relevant(self, rng):
+        X = rng.normal(size=(400, 2))
+        y = 2.0 * X[:, 0] + rng.normal(0, 0.1, 400)
+        assert cross_val_mse(X[:, :1], y) < cross_val_mse(X[:, 1:], y)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            cross_val_mse(np.zeros((10, 2)), np.zeros(5))
+
+    def test_k_folds_validated(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ConfigurationError):
+            cross_val_mse(X, np.zeros(10), k_folds=1)
+        with pytest.raises(ConfigurationError):
+            cross_val_mse(X, np.zeros(10), k_folds=11)
+
+
+class TestExhaustiveSearch:
+    def test_recovers_true_support(self, rng):
+        X = rng.normal(size=(300, 5))
+        y = 1.5 * X[:, 1] - 2.0 * X[:, 3] + rng.normal(0, 0.05, 300)
+        res = exhaustive_feature_selection(X, y, k_folds=4)
+        assert set(res.best_subset) >= {1, 3}
+        assert res.n_subsets_evaluated == 2**5 - 1
+
+    def test_max_subset_size_caps_search(self, rng):
+        X = rng.normal(size=(100, 5))
+        y = rng.normal(size=100)
+        res = exhaustive_feature_selection(X, y, max_subset_size=2)
+        assert res.n_subsets_evaluated == 5 + 10
+        assert len(res.best_subset) <= 2
+
+    def test_keep_scores(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = rng.normal(size=50)
+        res = exhaustive_feature_selection(X, y, keep_scores=True)
+        assert len(res.mse_by_subset) == 7
+        assert res.mse_by_subset[res.best_subset] == pytest.approx(res.best_mse)
+
+    def test_refuses_combinatorial_explosion(self, rng):
+        X = rng.normal(size=(30, 21))
+        with pytest.raises(ConfigurationError):
+            exhaustive_feature_selection(X, np.zeros(30))
+
+    def test_on_synthetic_pai_trace_finds_informative_subset(self):
+        """End-to-end: the selector beats the all-features model on PAI data."""
+        trace = generate_pai_trace(400, seed=3)
+        X, y = trace.X[:, :8], trace.y
+        res = exhaustive_feature_selection(X, y, k_folds=4)
+        full = cross_val_mse(X, y, k_folds=4)
+        assert res.best_mse <= full + 1e-12
+
+
+class TestRateModel:
+    def test_rate_linear_in_clock(self, rng):
+        w = FeatureSelectionWorkload(n_cores=36, cost_core_ghz_s=0.8, rng=rng)
+        assert w.rate_subsets_s(2.0) == pytest.approx(2 * w.rate_subsets_s(1.0))
+
+    def test_latency_inverse_in_clock(self, rng):
+        w = FeatureSelectionWorkload(n_cores=4, rng=rng)
+        assert w.latency_s(1.0) == pytest.approx(2 * w.latency_s(2.0))
+
+    def test_completions_accumulate_without_loss(self, rng):
+        """Fractional carry: tiny ticks lose no work."""
+        w = FeatureSelectionWorkload(n_cores=1, cost_core_ghz_s=1.0, jitter_sigma=0.0)
+        for _ in range(1000):
+            w.step(0.01, 1.0)  # rate 1/s, total 10 s
+        assert w.completed_subsets == 10
+
+    def test_step_returns_latencies(self, rng):
+        w = FeatureSelectionWorkload(n_cores=36, cost_core_ghz_s=0.8, rng=rng)
+        done, lats = w.step(1.0, 2.4)
+        assert done == len(lats)
+        assert done == int(36 * 2.4 / 0.8)
+
+    def test_mean_latency_tracks_clock(self, rng):
+        w = FeatureSelectionWorkload(n_cores=8, cost_core_ghz_s=0.8, rng=rng)
+        for _ in range(100):
+            w.step(0.1, 1.6)
+        assert w.mean_latency_s() == pytest.approx(0.5, rel=0.1)
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            FeatureSelectionWorkload(n_cores=1, jitter_sigma=0.1, rng=None)
+
+    def test_reset(self, rng):
+        w = FeatureSelectionWorkload(n_cores=4, rng=rng)
+        w.step(1.0, 2.0)
+        w.reset()
+        assert w.completed_subsets == 0
+        assert np.isnan(w.mean_latency_s())
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            FeatureSelectionWorkload(n_cores=0, rng=rng)
+        w = FeatureSelectionWorkload(n_cores=1, jitter_sigma=0.0)
+        with pytest.raises(ConfigurationError):
+            w.step(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            w.rate_subsets_s(0.0)

@@ -1,0 +1,152 @@
+"""LLM serving workload (prefill/decode phases, continuous batching)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import LLAMA_7B_V100, LlmPipeline, LlmSpec, SteadyArrivals
+
+
+def run(pipe, seconds, gpu_mhz=1350.0, dt=0.1):
+    t = 0.0
+    ticks = []
+    for _ in range(int(seconds / dt)):
+        ticks.append(pipe.step(t, dt, 2.4, gpu_mhz))
+        t += dt
+    return ticks
+
+
+def make_pipe(rate=1.0, seed=0, **kw):
+    return LlmPipeline(
+        LLAMA_7B_V100,
+        np.random.default_rng(seed),
+        arrivals=SteadyArrivals(rate),
+        **kw,
+    )
+
+
+class TestSpec:
+    def test_rate_scaling_exponents(self):
+        s = LLAMA_7B_V100
+        # Prefill is strongly clock-sensitive, decode much less.
+        prefill_ratio = s.prefill_rate(1350.0) / s.prefill_rate(675.0)
+        decode_ratio = s.decode_rate(1350.0) / s.decode_rate(675.0)
+        assert prefill_ratio > 1.7
+        assert decode_ratio < 1.35
+
+    def test_max_batch_rate_bound_by_decode(self):
+        s = LLAMA_7B_V100
+        assert s.max_batch_rate_s() == pytest.approx(220.0 / 128.0)
+
+    def test_mean_latency_model(self):
+        s = LLAMA_7B_V100
+        lat = s.mean_request_latency_s(1350.0, concurrency=1.0)
+        assert lat == pytest.approx(512 / 2400 + 128 / 220, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LlmSpec("x", 0.0, 100.0, 0.9, 0.3, 1350.0)
+        with pytest.raises(ConfigurationError):
+            LlmSpec("x", 100.0, 100.0, 0.9, 0.3, 1350.0, decode_intensity=0.0)
+
+
+class TestDynamics:
+    def test_delivers_offered_load_when_underloaded(self):
+        pipe = make_pipe(rate=1.0)
+        run(pipe, 120.0)
+        assert pipe.completed_requests / 120.0 == pytest.approx(1.0, rel=0.1)
+        assert pipe.dropped_requests == 0
+
+    def test_throughput_capped_by_decode_rate(self):
+        pipe = make_pipe(rate=10.0, queue_capacity=64)
+        run(pipe, 120.0)
+        cap = LLAMA_7B_V100.max_batch_rate_s()
+        assert pipe.completed_requests / 120.0 <= cap * 1.1
+
+    def test_overload_drops_requests(self):
+        pipe = make_pipe(rate=10.0, queue_capacity=16)
+        run(pipe, 60.0)
+        assert pipe.dropped_requests > 0
+
+    def test_ttft_grows_under_load(self):
+        light = make_pipe(rate=0.5, seed=1)
+        heavy = make_pipe(rate=1.6, seed=2)
+        run(light, 90.0)
+        run(heavy, 90.0)
+        assert heavy.mean_ttft_s() > light.mean_ttft_s()
+
+    def test_lower_clock_slower_everything(self):
+        fast = make_pipe(rate=1.0, seed=3)
+        slow = make_pipe(rate=1.0, seed=4)
+        run(fast, 90.0, gpu_mhz=1350.0)
+        run(slow, 90.0, gpu_mhz=600.0)
+        assert slow.mean_batch_latency_s() > fast.mean_batch_latency_s()
+        assert slow.mean_ttft_s() > fast.mean_ttft_s()
+
+    def test_concurrency_cap_respected(self):
+        pipe = make_pipe(rate=8.0, max_concurrency=3, queue_capacity=128)
+        run(pipe, 30.0)
+        assert len(pipe._decoding) <= 3
+
+    def test_set_batch_size_maps_to_concurrency(self):
+        pipe = make_pipe()
+        pipe.set_batch_size(5)
+        assert pipe.max_concurrency == 5
+        with pytest.raises(ConfigurationError):
+            pipe.set_batch_size(0)
+
+    def test_decode_heavy_mix_has_lower_intensity(self):
+        """The phase-dependent busy signal: decode weighs less than prefill."""
+        spec = LlmSpec(
+            "decode-only", prefill_tok_s=1e9, decode_tok_s=220.0,
+            gamma=0.9, gamma_decode=0.35, f_gmax_mhz=1350.0,
+            decode_intensity=0.5, mean_prompt_tokens=1.0,
+            mean_output_tokens=256.0,
+        )
+        pipe = LlmPipeline(spec, np.random.default_rng(5),
+                           arrivals=SteadyArrivals(5.0), length_jitter=0.0)
+        ticks = run(pipe, 30.0)
+        busy = np.mean([t.gpu_busy_s for t in ticks[100:]]) / 0.1
+        assert busy < 0.7  # saturated decode, but intensity-discounted
+
+    def test_latency_stats(self):
+        pipe = make_pipe(rate=1.0)
+        run(pipe, 90.0)
+        assert pipe.latency_percentile_s(0.9) >= pipe.latency_percentile_s(0.5)
+        assert pipe.mean_batch_latency_s() > 0
+
+    def test_reset(self):
+        pipe = make_pipe(rate=1.0)
+        run(pipe, 30.0)
+        pipe.reset()
+        assert pipe.completed_requests == 0
+        assert pipe.inflight_img == 0
+        assert np.isnan(pipe.mean_batch_latency_s())
+
+
+class TestEngineIntegration:
+    def test_capgpu_caps_llm_server(self):
+        """CapGPU holds the cap while serving LLM traffic end-to-end."""
+        from repro.core import build_capgpu
+        from repro.hardware import v100_server
+        from repro.rng import spawn
+        from repro.sim import ServerSimulation
+        from repro.sysid import identify_power_model
+
+        def build(seed):
+            server = v100_server(seed=seed)
+            pipes = [
+                LlmPipeline(
+                    LLAMA_7B_V100, spawn(seed, f"llm{g}"),
+                    arrivals=SteadyArrivals(1.2),
+                )
+                for g in range(3)
+            ]
+            return ServerSimulation(server, pipes, set_point_w=900.0, seed=seed)
+
+        model = identify_power_model(build(101), points_per_channel=5).fit
+        sim = build(102)
+        ctl = build_capgpu(sim, model=model, with_slo=False)
+        trace = sim.run(ctl, 30)
+        assert np.mean(trace["power_w"][-10:]) == pytest.approx(900.0, abs=12.0)
+        assert all(p.completed_requests > 10 for p in sim.pipelines)

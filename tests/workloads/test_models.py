@@ -1,0 +1,120 @@
+"""Model zoo and the Eq. 8 latency model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    GOOGLENET_3090,
+    MODEL_ZOO,
+    RESNET50,
+    SWIN_T,
+    VGG16,
+    InferenceModelSpec,
+    latency_at,
+    min_frequency_for_latency,
+    tail_latency,
+)
+from repro.workloads.models import sample_batch_work
+
+
+class TestEq8:
+    def test_latency_at_fmax_is_emin(self):
+        assert RESNET50.latency_s(1350.0) == pytest.approx(RESNET50.e_min_s)
+
+    def test_latency_increases_as_clock_drops(self):
+        assert RESNET50.latency_s(675.0) > RESNET50.latency_s(1350.0)
+
+    def test_halving_clock_scales_by_two_to_gamma(self):
+        e_half = RESNET50.latency_s(675.0)
+        assert e_half == pytest.approx(RESNET50.e_min_s * 2**RESNET50.gamma)
+
+    def test_inverse_round_trip(self):
+        slo = 0.9
+        f = RESNET50.min_frequency_mhz(slo)
+        assert RESNET50.latency_s(f) == pytest.approx(slo)
+
+    def test_tight_slo_exceeds_fmax(self):
+        f = RESNET50.min_frequency_mhz(RESNET50.e_min_s * 0.5)
+        assert f > RESNET50.f_gmax_mhz
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ConfigurationError):
+            latency_at(0.5, 0.9, 1350.0, 0.0)
+
+    def test_rejects_non_positive_slo(self):
+        with pytest.raises(ConfigurationError):
+            min_frequency_for_latency(0.5, 0.9, 1350.0, 0.0)
+
+    @given(st.floats(min_value=435.0, max_value=1350.0))
+    @settings(max_examples=50)
+    def test_property_inverse_consistency(self, f):
+        e = RESNET50.latency_s(f)
+        f_back = RESNET50.min_frequency_mhz(e)
+        assert f_back == pytest.approx(f, rel=1e-9)
+
+
+class TestTailLatency:
+    def test_median_at_half(self):
+        assert tail_latency(1.0, 0.1, 0.5) == pytest.approx(1.0)
+
+    def test_monotone_in_quantile(self):
+        q30 = tail_latency(1.0, 0.1, 0.3)
+        q80 = tail_latency(1.0, 0.1, 0.8)
+        assert q30 < 1.0 < q80
+
+    def test_zero_sigma_degenerates_to_median(self):
+        assert tail_latency(1.3, 0.0, 0.99) == pytest.approx(1.3)
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ConfigurationError):
+            tail_latency(1.0, 0.1, 1.0)
+
+    def test_empirical_quantile_matches(self, rng):
+        """The analytic tail matches the distribution the pipeline samples."""
+        draws = np.array([sample_batch_work(SWIN_T, rng) for _ in range(20000)])
+        emp = np.quantile(draws, 0.8)
+        ana = tail_latency(SWIN_T.e_min_s, SWIN_T.jitter_sigma, 0.8)
+        assert emp == pytest.approx(ana, rel=0.02)
+
+
+class TestZooCalibration:
+    def test_all_models_batch_20(self):
+        """The paper runs every workload with batch size 20."""
+        for spec in MODEL_ZOO.values():
+            assert spec.batch_size == 20
+
+    def test_googlenet_matches_paper_table1_latencies(self):
+        """Table 1's GPU batch latencies: 1.3 / 2.0 / 1.6 s at 810/495/660 MHz."""
+        assert GOOGLENET_3090.latency_s(810.0) == pytest.approx(1.3, abs=0.1)
+        assert GOOGLENET_3090.latency_s(495.0) == pytest.approx(2.0, abs=0.1)
+        assert GOOGLENET_3090.latency_s(660.0) == pytest.approx(1.6, abs=0.1)
+
+    def test_v100_tasks_gamma_near_paper(self):
+        for spec in (RESNET50, SWIN_T, VGG16):
+            assert 0.85 <= spec.gamma <= 1.0
+
+    def test_throughput_accessors(self):
+        assert RESNET50.max_throughput_img_s() == pytest.approx(40.0)
+        assert RESNET50.max_batch_rate_s() == pytest.approx(2.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            InferenceModelSpec("x", 0, 0.5, 0.9, 1350.0)
+        with pytest.raises(ConfigurationError):
+            InferenceModelSpec("x", 20, -0.5, 0.9, 1350.0)
+        with pytest.raises(ConfigurationError):
+            InferenceModelSpec("x", 20, 0.5, 0.9, 1350.0, jitter_sigma=-0.1)
+
+
+class TestSampleBatchWork:
+    def test_zero_jitter_deterministic(self, rng):
+        spec = InferenceModelSpec("x", 20, 0.5, 0.9, 1350.0, jitter_sigma=0.0)
+        assert sample_batch_work(spec, rng) == 0.5
+
+    def test_jitter_centered_on_emin(self, rng):
+        draws = [sample_batch_work(RESNET50, rng) for _ in range(5000)]
+        # Log-normal median = e_min.
+        assert np.median(draws) == pytest.approx(RESNET50.e_min_s, rel=0.02)

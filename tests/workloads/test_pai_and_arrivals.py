@@ -1,0 +1,155 @@
+"""Synthetic PAI trace generator and arrival processes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    PAI_FEATURE_NAMES,
+    TRUE_SUPPORT,
+    BurstArrivals,
+    PoissonArrivals,
+    SaturatedArrivals,
+    SteadyArrivals,
+    generate_pai_trace,
+)
+
+
+class TestPaiTrace:
+    def test_shape_and_schema(self):
+        t = generate_pai_trace(500, seed=1)
+        assert t.X.shape == (500, len(PAI_FEATURE_NAMES))
+        assert t.y.shape == (500,)
+        assert t.n_jobs == 500
+        assert t.n_features == 10
+
+    def test_reproducible(self):
+        a = generate_pai_trace(200, seed=5)
+        b = generate_pai_trace(200, seed=5)
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.y, b.y)
+
+    def test_seeds_differ(self):
+        a = generate_pai_trace(200, seed=5)
+        b = generate_pai_trace(200, seed=6)
+        assert not np.array_equal(a.X, b.X)
+
+    def test_target_in_unit_interval(self):
+        t = generate_pai_trace(1000, seed=2)
+        assert t.y.min() >= 0.0 and t.y.max() <= 1.0
+
+    def test_true_support_features_are_informative(self):
+        """Features in TRUE_SUPPORT correlate with the target more than noise ones."""
+        t = generate_pai_trace(4000, seed=3)
+        corr = [abs(np.corrcoef(t.X[:, j], t.y)[0, 1]) for j in range(t.n_features)]
+        informative = np.mean([corr[j] for j in TRUE_SUPPORT])
+        noise_cols = [j for j in range(t.n_features) if j not in TRUE_SUPPORT]
+        uninformative = np.mean([corr[j] for j in (6, 8)])  # duration, hour
+        assert informative > 3 * uninformative
+        del noise_cols
+
+    def test_inference_jobs_smaller(self):
+        t = generate_pai_trace(3000, seed=4)
+        is_inf = t.X[:, 9] > 0
+        assert t.X[is_inf, 2].mean() < t.X[~is_inf, 2].mean()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_pai_trace(5)
+        with pytest.raises(ConfigurationError):
+            generate_pai_trace(100, noise_sigma=-0.1)
+
+
+class TestArrivals:
+    def test_saturated_is_infinite(self):
+        assert math.isinf(SaturatedArrivals().arrivals(0.0, 0.1))
+
+    def test_steady_rate(self):
+        a = SteadyArrivals(10.0)
+        assert a.arrivals(5.0, 0.1) == pytest.approx(1.0)
+
+    def test_steady_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            SteadyArrivals(-1.0)
+
+    def test_poisson_mean(self, rng):
+        a = PoissonArrivals(20.0, rng)
+        total = sum(a.arrivals(0.0, 0.1) for _ in range(5000))
+        assert total / 500.0 == pytest.approx(20.0, rel=0.1)
+
+    def test_burst_window(self):
+        a = BurstArrivals(5.0, 50.0, burst_start_s=10.0, burst_end_s=20.0)
+        assert a.arrivals(5.0, 1.0) == pytest.approx(5.0)
+        assert a.arrivals(10.0, 1.0) == pytest.approx(50.0)
+        assert a.arrivals(19.9, 1.0) == pytest.approx(50.0)
+        assert a.arrivals(20.0, 1.0) == pytest.approx(5.0)
+
+    def test_burst_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstArrivals(5.0, 50.0, burst_start_s=20.0, burst_end_s=10.0)
+
+
+class TestTraceArrivals:
+    def test_step_function_semantics(self):
+        from repro.workloads import TraceArrivals
+
+        a = TraceArrivals([0.0, 10.0, 20.0], [1.0, 5.0, 2.0])
+        assert a.rate_at(0.0) == 1.0
+        assert a.rate_at(9.99) == 1.0
+        assert a.rate_at(10.0) == 5.0
+        assert a.rate_at(25.0) == 2.0  # holds last rate without loop
+
+    def test_zero_before_first_breakpoint(self):
+        from repro.workloads import TraceArrivals
+
+        a = TraceArrivals([5.0, 10.0], [3.0, 1.0])
+        assert a.rate_at(0.0) == 0.0
+
+    def test_loop_wraps(self):
+        from repro.workloads import TraceArrivals
+
+        a = TraceArrivals([0.0, 10.0, 20.0], [1.0, 5.0, 2.0], loop=True)
+        assert a.rate_at(25.0) == 1.0   # 25 % 20 = 5
+        assert a.rate_at(35.0) == 5.0   # 15
+
+    def test_arrivals_scale_with_dt(self):
+        from repro.workloads import TraceArrivals
+
+        a = TraceArrivals([0.0], [4.0])
+        assert a.arrivals(1.0, 0.5) == pytest.approx(2.0)
+
+    def test_validation(self):
+        from repro.workloads import TraceArrivals
+
+        with pytest.raises(ConfigurationError):
+            TraceArrivals([0.0, 0.0], [1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            TraceArrivals([0.0], [-1.0])
+        with pytest.raises(ConfigurationError):
+            TraceArrivals([], [])
+
+    def test_drives_pipeline(self, rng):
+        from repro.workloads import (
+            RESNET50,
+            InferencePipeline,
+            PipelineConfig,
+            TraceArrivals,
+        )
+
+        pipe = InferencePipeline(
+            RESNET50,
+            PipelineConfig(preproc_frequency="fixed"),
+            rng,
+            arrivals=TraceArrivals([0.0, 30.0], [30.0, 5.0]),
+        )
+        t = 0.0
+        first_half = 0
+        for i in range(600):
+            tick = pipe.step(t, 0.1, 2.4, 1350.0)
+            if i == 299:
+                first_half = pipe.completed_images
+            t += 0.1
+        second_half = pipe.completed_images - first_half
+        assert first_half > 2 * second_half

@@ -1,0 +1,197 @@
+"""Inference pipeline dynamics: supply, queueing, batching, latency accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    RESNET50,
+    InferencePipeline,
+    PipelineConfig,
+    SteadyArrivals,
+)
+
+
+def run_pipeline(pipe, seconds, cpu_ghz=2.4, gpu_mhz=1350.0, dt=0.1):
+    t = 0.0
+    ticks = []
+    for _ in range(int(round(seconds / dt))):
+        ticks.append(pipe.step(t, dt, cpu_ghz, gpu_mhz))
+        t += dt
+    return ticks
+
+
+def make_pipe(rng, **cfg_kwargs):
+    cfg = PipelineConfig(**cfg_kwargs)
+    return InferencePipeline(RESNET50, cfg, rng)
+
+
+class TestConstruction:
+    def test_queue_must_hold_a_batch(self, rng):
+        with pytest.raises(ConfigurationError):
+            InferencePipeline(RESNET50, PipelineConfig(queue_capacity_img=10), rng)
+
+    def test_inflight_must_admit_a_batch(self, rng):
+        with pytest.raises(ConfigurationError):
+            InferencePipeline(
+                RESNET50, PipelineConfig(inflight_limit_img=10), rng
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(n_workers=0)
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(preproc_frequency="gpu")
+
+
+class TestRates:
+    def test_preproc_rate_scales_with_cpu_clock(self, rng):
+        pipe = make_pipe(rng, preproc_frequency="cpu")
+        assert pipe.preproc_rate_img_s(2.0) == pytest.approx(
+            2 * pipe.preproc_rate_img_s(1.0)
+        )
+
+    def test_fixed_preproc_ignores_cpu_clock(self, rng):
+        pipe = make_pipe(rng, preproc_frequency="fixed", fixed_preproc_ghz=2.4)
+        assert pipe.preproc_rate_img_s(1.0) == pipe.preproc_rate_img_s(2.4)
+
+    def test_preproc_latency_inverse_of_rate(self, rng):
+        pipe = make_pipe(rng, preproc_frequency="cpu", n_workers=1)
+        assert pipe.preproc_latency_s(2.0) == pytest.approx(
+            1.0 / pipe.preproc_rate_img_s(2.0)
+        )
+
+
+class TestThroughput:
+    def test_gpu_bound_throughput_near_capacity(self, rng):
+        """With abundant supply, throughput approaches batch/e_min."""
+        pipe = make_pipe(rng, preproc_frequency="fixed")
+        run_pipeline(pipe, 120.0)
+        tput = pipe.completed_images / 120.0
+        cap = RESNET50.max_throughput_img_s()
+        assert tput == pytest.approx(cap, rel=0.08)
+
+    def test_cpu_bound_throughput_limited_by_supply(self, rng):
+        pipe = make_pipe(rng, preproc_frequency="cpu")
+        run_pipeline(pipe, 120.0, cpu_ghz=0.5)  # supply ~10.4 img/s
+        tput = pipe.completed_images / 120.0
+        assert tput == pytest.approx(pipe.preproc_rate_img_s(0.5), rel=0.1)
+        assert tput < 0.5 * RESNET50.max_throughput_img_s()
+
+    def test_lower_gpu_clock_lowers_throughput(self, rng):
+        fast = make_pipe(rng, preproc_frequency="fixed")
+        slow = make_pipe(np.random.default_rng(1), preproc_frequency="fixed")
+        run_pipeline(fast, 60.0, gpu_mhz=1350.0)
+        run_pipeline(slow, 60.0, gpu_mhz=675.0)
+        assert slow.completed_images < fast.completed_images
+
+
+class TestLatencyAccuracy:
+    def test_batch_latency_matches_eq8_at_constant_clock(self):
+        """Sub-tick completion keeps measured latency within jitter of Eq. 8."""
+        spec = RESNET50
+        pipe = InferencePipeline(
+            spec.__class__(**{**spec.__dict__, "jitter_sigma": 0.0}),
+            PipelineConfig(preproc_frequency="fixed"),
+            np.random.default_rng(0),
+        )
+        run_pipeline(pipe, 80.0, gpu_mhz=900.0)
+        expected = spec.latency_s(900.0)
+        measured = pipe.mean_batch_latency_s()
+        assert measured == pytest.approx(expected, abs=0.02)
+
+    def test_latency_reflects_time_averaged_clock(self):
+        """Dithering between two clocks yields the blended progress rate."""
+        spec = RESNET50.__class__(**{**RESNET50.__dict__, "jitter_sigma": 0.0})
+        pipe = InferencePipeline(
+            spec, PipelineConfig(preproc_frequency="fixed"), np.random.default_rng(0)
+        )
+        t = 0.0
+        clocks = [750.0, 765.0]
+        for i in range(1200):
+            pipe.step(t, 0.1, 2.4, clocks[i % 2])
+            t += 0.1
+        rate = np.mean([(c / spec.f_gmax_mhz) ** spec.gamma for c in clocks])
+        expected = spec.e_min_s / rate
+        assert pipe.mean_batch_latency_s() == pytest.approx(expected, rel=0.02)
+
+    def test_percentile_accessor(self, rng):
+        pipe = make_pipe(rng, preproc_frequency="fixed")
+        run_pipeline(pipe, 60.0)
+        p95 = pipe.latency_percentile_s(0.95)
+        p50 = pipe.latency_percentile_s(0.5)
+        assert p95 >= p50 > 0
+
+    def test_stats_nan_before_first_batch(self, rng):
+        pipe = make_pipe(rng)
+        assert np.isnan(pipe.mean_batch_latency_s())
+        assert np.isnan(pipe.mean_queue_wait_s())
+        assert np.isnan(pipe.latency_percentile_s(0.5))
+
+
+class TestQueueAndBackpressure:
+    def test_queue_bounded_by_capacity(self, rng):
+        pipe = make_pipe(rng, preproc_frequency="fixed", queue_capacity_img=40)
+        run_pipeline(pipe, 30.0, gpu_mhz=435.0)  # slow GPU, fast supply
+        assert pipe.queue_len_img <= 40.0 + 1e-9
+
+    def test_inflight_limit_enforced(self, rng):
+        pipe = make_pipe(rng, preproc_frequency="fixed", inflight_limit_img=40)
+        ticks = run_pipeline(pipe, 30.0, gpu_mhz=435.0)
+        assert max(t.queue_len_img for t in ticks) + RESNET50.batch_size <= 40 + 1e-9
+
+    def test_queue_wait_grows_when_gpu_slow(self, rng):
+        fast = make_pipe(rng, preproc_frequency="fixed")
+        slow = make_pipe(np.random.default_rng(2), preproc_frequency="fixed")
+        run_pipeline(fast, 60.0, gpu_mhz=1350.0)
+        run_pipeline(slow, 60.0, gpu_mhz=600.0)
+        assert slow.mean_queue_wait_s() > fast.mean_queue_wait_s()
+
+    def test_open_loop_arrivals_limit_supply(self, rng):
+        pipe = InferencePipeline(
+            RESNET50,
+            PipelineConfig(preproc_frequency="fixed"),
+            rng,
+            arrivals=SteadyArrivals(10.0),
+        )
+        run_pipeline(pipe, 100.0)
+        tput = pipe.completed_images / 100.0
+        assert tput == pytest.approx(10.0, rel=0.15)
+
+    def test_gpu_idle_when_no_arrivals(self, rng):
+        pipe = InferencePipeline(
+            RESNET50,
+            PipelineConfig(preproc_frequency="fixed"),
+            rng,
+            arrivals=SteadyArrivals(0.0),
+        )
+        ticks = run_pipeline(pipe, 10.0)
+        assert pipe.completed_batches == 0
+        assert all(t.gpu_busy_s == 0.0 for t in ticks)
+
+
+class TestUtilizationSignals:
+    def test_gpu_busy_fraction_high_when_saturated(self, rng):
+        pipe = make_pipe(rng, preproc_frequency="fixed")
+        ticks = run_pipeline(pipe, 60.0)
+        busy = sum(t.gpu_busy_s for t in ticks) / 60.0
+        assert busy > 0.9
+
+    def test_preproc_busy_reflects_backpressure(self, rng):
+        pipe = make_pipe(rng, preproc_frequency="fixed", queue_capacity_img=20)
+        ticks = run_pipeline(pipe, 30.0, gpu_mhz=435.0)
+        # Queue bounded, GPU slow: producers must stall part of the time.
+        late = ticks[len(ticks) // 2:]
+        assert np.mean([t.preproc_busy_frac for t in late]) < 0.9
+
+
+class TestReset:
+    def test_reset_clears_everything(self, rng):
+        pipe = make_pipe(rng, preproc_frequency="fixed")
+        run_pipeline(pipe, 30.0)
+        pipe.reset()
+        assert pipe.completed_batches == 0
+        assert pipe.completed_images == 0
+        assert pipe.queue_len_img == 0.0
+        assert not pipe.gpu_busy
+        assert np.isnan(pipe.mean_batch_latency_s())

@@ -1,0 +1,81 @@
+"""Property-based conservation and monotonicity laws of the pipeline."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    RESNET50,
+    InferencePipeline,
+    PipelineConfig,
+    SteadyArrivals,
+)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    rate=st.floats(min_value=0.0, max_value=80.0),
+    cpu_ghz=st.floats(min_value=1.0, max_value=2.4),
+    gpu_mhz=st.floats(min_value=435.0, max_value=1350.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_image_conservation(seed, rate, cpu_ghz, gpu_mhz):
+    """Completed + queued + in-batch images never exceed offered images."""
+    pipe = InferencePipeline(
+        RESNET50,
+        PipelineConfig(preproc_frequency="cpu"),
+        np.random.default_rng(seed),
+        arrivals=SteadyArrivals(rate),
+    )
+    t, dt, total_offered = 0.0, 0.1, 0.0
+    for _ in range(300):
+        pipe.step(t, dt, cpu_ghz, gpu_mhz)
+        total_offered += rate * dt
+        t += dt
+    in_system = pipe.completed_images + pipe.inflight_img
+    assert in_system <= total_offered + 1e-6
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    gpu_mhz=st.floats(min_value=435.0, max_value=1350.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_throughput_bounded_by_gpu_capacity(seed, gpu_mhz):
+    """Delivered rate can never exceed the Eq. 8 service capacity."""
+    pipe = InferencePipeline(
+        RESNET50,
+        PipelineConfig(preproc_frequency="fixed"),
+        np.random.default_rng(seed),
+    )
+    t, dt = 0.0, 0.1
+    horizon = 80.0
+    for _ in range(int(horizon / dt)):
+        pipe.step(t, dt, 2.4, gpu_mhz)
+        t += dt
+    capacity = RESNET50.batch_size / RESNET50.latency_s(gpu_mhz)
+    tput = pipe.completed_images / horizon
+    # Allow jitter (sigma 0.06 -> a lucky run can beat the median capacity
+    # slightly) but never by a large factor.
+    assert tput <= capacity * 1.15
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_property_latency_positive_and_finite(seed):
+    pipe = InferencePipeline(
+        RESNET50,
+        PipelineConfig(preproc_frequency="fixed"),
+        np.random.default_rng(seed),
+    )
+    t, dt = 0.0, 0.1
+    for _ in range(400):
+        pipe.step(t, dt, 2.4, 900.0)
+        t += dt
+    assert pipe.completed_batches > 0
+    lats = np.asarray(pipe.recent_latencies_s)
+    assert np.all(lats > 0)
+    assert np.all(np.isfinite(lats))
+    # Latency is at least the deterministic minimum at this clock, give or
+    # take the log-normal jitter's lower tail.
+    assert lats.min() > 0.5 * RESNET50.latency_s(900.0)
