@@ -1,0 +1,67 @@
+"""Fault-layer overhead benches.
+
+The fault wrappers promise that an installed-but-idle fault layer (built
+with ``faults=FaultPlan()``) costs essentially nothing: every override
+reduces to one list-emptiness check before falling through to the parent.
+These benches hold that promise to within 5% of the unwrapped engine, and
+time the engine with faults actively firing for scale.
+"""
+
+import time
+
+import numpy as np
+
+from repro.faults import FaultPlan, FaultWindow, MeterDropout, MeterSpike
+from repro.sim import paper_scenario
+
+
+def _min_period_cost_s(sim, repeats=30, periods_per_rep=3):
+    """Best-of-N cost of one control period (min filters scheduler noise)."""
+    sim.run(None, 1)  # warm-up: caches, first-period allocations
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        sim.run(None, periods_per_rep)
+        best = min(best, (time.perf_counter() - t0) / periods_per_rep)
+    return best
+
+
+def test_idle_fault_layer_overhead_within_5_percent():
+    """Engine with empty-plan wrappers vs the plain engine, min-of-N."""
+    plain = _min_period_cost_s(paper_scenario(seed=0, set_point_w=900.0))
+    wrapped = _min_period_cost_s(
+        paper_scenario(seed=0, set_point_w=900.0, faults=FaultPlan())
+    )
+    assert wrapped <= plain * 1.05, (
+        f"idle fault layer costs {wrapped / plain - 1:+.1%} per period "
+        f"(wrapped {wrapped * 1e3:.2f} ms vs plain {plain * 1e3:.2f} ms)"
+    )
+
+
+def test_bench_wrapped_engine_period(benchmark):
+    """One control period with the fault layer installed but idle."""
+    sim = paper_scenario(seed=0, set_point_w=900.0, faults=FaultPlan())
+
+    def one_period():
+        sim.run(None, 1)
+
+    benchmark(one_period)
+    # Same real-time ceiling as the unwrapped engine bench.
+    assert benchmark.stats["mean"] < 0.2
+
+
+def test_bench_engine_period_faults_firing(benchmark):
+    """One control period while meter faults actively fire every sample."""
+    plan = FaultPlan((
+        MeterDropout(window=FaultWindow(0, None), probability=0.3),
+        MeterSpike(window=FaultWindow(0, None), magnitude_w=200.0),
+    ))
+    sim = paper_scenario(seed=0, set_point_w=900.0, faults=plan)
+
+    def one_period():
+        sim.run(None, 1)
+
+    benchmark(one_period)
+    trace_power = sim.trace["true_power_w"]
+    assert np.isfinite(trace_power).all()
+    assert benchmark.stats["mean"] < 0.2

@@ -27,6 +27,7 @@ Package map:
 ``repro.actuators``  Delta-sigma frequency modulation, cpupower/nvidia-smi
 ``repro.workloads``  Inference pipelines, model zoo, feature selection, PAI
 ``repro.sysid``      System identification (power + latency models)
+``repro.faults``     Deterministic fault injection for telemetry + actuation
 ``repro.sim``        Discrete-time engine, events, canonical scenarios
 ``repro.experiments``One module per paper table/figure
 ``repro.analysis``   Metrics and report rendering
@@ -42,7 +43,10 @@ from .control import (
     GpuOnlyController,
     PowerCappingController,
     SafeFixedStepController,
+    SafeModeWatchdog,
+    WatchdogConfig,
 )
+from .faults import FaultPlan
 from .core import (
     CapGpuController,
     MimoPowerMpc,
@@ -81,6 +85,10 @@ __all__ = [
     "GpuOnlyController",
     "CpuOnlyController",
     "CpuPlusGpuController",
+    "SafeModeWatchdog",
+    "WatchdogConfig",
+    # faults
+    "FaultPlan",
     # hardware / sim
     "GpuServer",
     "v100_server",

@@ -6,6 +6,7 @@ Usage::
     capgpu run fig3 --seed 1        # run one experiment
     capgpu run all                  # run everything (slow)
     capgpu stability                # print the Section 4.4 gain bound
+    capgpu faults                   # fault-injection / degradation study
 
 Also runnable as ``python -m repro``.
 """
@@ -51,6 +52,46 @@ def build_parser() -> argparse.ArgumentParser:
     ident_p.add_argument("--seed", type=int, default=0)
     ident_p.add_argument("--points", type=int, default=8,
                          help="excitation points per channel")
+
+    faults_p = sub.add_parser(
+        "faults",
+        help="run the fault-injection study (settling time and cap-violation "
+             "rate per fault class; see docs/robustness.md)",
+    )
+    faults_p.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+    faults_p.add_argument(
+        "--set-point", type=float, default=900.0, dest="set_point_w",
+        help="power budget in watts (default 900)",
+    )
+    faults_p.add_argument(
+        "--n-periods", type=int, default=60,
+        help="control periods per run (default 60)",
+    )
+    faults_p.add_argument(
+        "--fault-start", type=int, default=30,
+        help="control period at which the fault window opens (default 30)",
+    )
+    faults_p.add_argument(
+        "--fault-periods", type=int, default=10,
+        help="length of the fault window in periods (default 10)",
+    )
+    faults_p.add_argument(
+        "--classes", nargs="*", default=None, metavar="FAULT",
+        help="fault classes to run (default: the whole catalog; "
+             "see 'capgpu faults --list-classes')",
+    )
+    faults_p.add_argument(
+        "--list-classes", action="store_true",
+        help="print the fault-class catalog and exit",
+    )
+    faults_p.add_argument(
+        "--no-watchdog", action="store_true",
+        help="disable the safe-mode watchdog (shows the unguarded failure modes)",
+    )
+    faults_p.add_argument(
+        "--save-dir", default=None,
+        help="directory to write each run's trace as fault-tolerance_<class>.npz",
+    )
 
     rep_p = sub.add_parser(
         "report", help="run experiments and write a markdown reproduction report"
@@ -134,6 +175,28 @@ def _cmd_identify(seed: int, points: int) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from .experiments.fault_tolerance import fault_catalog, run_fault_tolerance
+
+    if args.list_classes:
+        for name in fault_catalog(args.fault_start, args.fault_periods):
+            print(name)
+        return 0
+    result = run_fault_tolerance(
+        seed=args.seed,
+        set_point_w=args.set_point_w,
+        n_periods=args.n_periods,
+        fault_start=args.fault_start,
+        fault_periods=args.fault_periods,
+        classes=tuple(args.classes) if args.classes is not None else None,
+        watchdog=not args.no_watchdog,
+    )
+    print(result.render())
+    if args.save_dir is not None:
+        _save_traces(result, args.save_dir)
+    return 0
+
+
 def _cmd_stability(seed: int) -> int:
     from .core import stable_gain_range
     from .experiments import identified_model
@@ -158,6 +221,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args.experiment, args.seed, args.save_dir)
     if args.command == "stability":
         return _cmd_stability(args.seed)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "identify":
         return _cmd_identify(args.seed, args.points)
     if args.command == "report":

@@ -20,6 +20,7 @@ from .proportional import (
     GpuOnlyController,
     GroupProportionalController,
 )
+from .watchdog import SafeModeWatchdog, WatchdogConfig
 
 __all__ = [
     "ControlObservation",
@@ -37,4 +38,6 @@ __all__ = [
     "proportional_gain",
     "closed_loop_pole",
     "settling_periods",
+    "SafeModeWatchdog",
+    "WatchdogConfig",
 ]

@@ -34,6 +34,21 @@ class ControlObservation:
     seconds (absent key = no SLO). ``cpu_power_w``/``gpu_power_w`` carry the
     per-subsystem measurements (RAPL / NVML) that the split-budget baseline
     needs; server-level controllers ignore them.
+
+    Telemetry-health fields (the graceful-degradation ladder, see
+    ``docs/robustness.md``): ``power_source`` says which rung produced
+    ``power_w`` — ``"acpi"`` (fresh meter samples), ``"nvml+rapl"`` (the
+    independent side-channel estimate while the meter is down or frozen),
+    ``"holdover"`` (last good value; nothing measurable this period) or
+    ``"none"`` (cold start with no telemetry at all, ``power_w`` is NaN).
+    ``power_alt_w`` always carries the side-channel estimate so defensive
+    layers (the safe-mode watchdog) can cross-check a lying meter.
+    ``fresh_samples`` counts meter samples that arrived this period and
+    survived plausibility filtering; ``stale_periods`` counts consecutive
+    periods without a usable meter reading. ``actuation_error_mhz`` is the
+    read-back residual ``f_applied - f_commanded`` of the *previous*
+    command (NaN before any command): large entries reveal stuck or clamped
+    actuators.
     """
 
     period_index: int
@@ -53,10 +68,20 @@ class ControlObservation:
     slos_s: dict[int, float] = field(default_factory=dict)
     cpu_power_w: float = float("nan")
     gpu_power_w: np.ndarray | None = None
+    power_source: str = "acpi"
+    power_alt_w: float = float("nan")
+    fresh_samples: int = 0
+    stale_periods: int = 0
+    actuation_error_mhz: np.ndarray | None = None
 
     @property
     def n_channels(self) -> int:
         return int(self.f_targets_mhz.shape[0])
+
+    @property
+    def meter_ok(self) -> bool:
+        """True when ``power_w`` came from fresh, plausible meter samples."""
+        return self.power_source == "acpi"
 
     @property
     def error_w(self) -> float:

@@ -1,0 +1,148 @@
+"""Safe-mode watchdog: last-line-of-defence wrapper around any controller.
+
+Power capping exists to keep branch breakers from tripping
+(:mod:`repro.hardware.breaker`); a controller that is fed bad telemetry or
+whose actuators misbehave can sit above the cap long enough to trip one.
+The watchdog wraps any :class:`PowerCappingController` and enforces a
+breaker-shaped guarantee independent of the inner strategy:
+
+* every period it evaluates the *worst* credible power reading — the
+  primary measurement and, by default, the independent NVML + RAPL
+  side-channel estimate the engine always computes (so a frozen or biased
+  wall meter cannot blind it);
+* after ``trip_periods`` consecutive over-cap periods it enters **safe
+  mode**: all channels are commanded to their minimum frequency and the
+  inner controller is bypassed (a single spike never trips it — breakers
+  tolerate short excursions, and reacting to one sample would fight the
+  inner controller's own transient response);
+* it stays there until the loop re-converges (``release_periods``
+  consecutive in-cap periods), then resets the inner controller and hands
+  control back, restarting cleanly from the safe floor exactly like the
+  paper's safe cold start.
+
+The engine records the watchdog's state in the trace's ``safe_mode``
+channel via the ``in_safe_mode`` property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import ControlObservation, PowerCappingController
+
+__all__ = ["WatchdogConfig", "SafeModeWatchdog"]
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Trip/release policy of the safe-mode watchdog.
+
+    ``trip_periods`` consecutive periods with power above
+    ``set_point * (1 + overcap_tolerance)`` enter safe mode;
+    ``release_periods`` consecutive periods back at or under
+    ``set_point * (1 + release_tolerance)`` leave it. ``cross_check``
+    includes the observation's independent ``power_alt_w`` estimate in the
+    over-cap test, guarding against a meter that under-reports.
+    """
+
+    trip_periods: int = 3
+    overcap_tolerance: float = 0.02
+    release_periods: int = 2
+    release_tolerance: float = 0.02
+    cross_check: bool = True
+
+    def __post_init__(self):
+        if self.trip_periods < 1:
+            raise ConfigurationError("trip_periods must be >= 1")
+        if self.release_periods < 1:
+            raise ConfigurationError("release_periods must be >= 1")
+        if self.overcap_tolerance < 0 or self.release_tolerance < 0:
+            raise ConfigurationError("tolerances must be >= 0")
+
+
+class SafeModeWatchdog(PowerCappingController):
+    """Wraps ``inner`` with the safe-mode trip/release state machine."""
+
+    def __init__(
+        self,
+        inner: PowerCappingController,
+        config: WatchdogConfig = WatchdogConfig(),
+    ):
+        self.inner = inner
+        self.config = config
+        self.name = f"watchdog({inner.name})"
+        self._over_count = 0
+        self._calm_count = 0
+        self._safe = False
+        #: Periods spent in safe mode and distinct entries, for reports.
+        self.safe_periods = 0
+        self.safe_entries = 0
+
+    # -- state inspection ---------------------------------------------------------
+
+    @property
+    def in_safe_mode(self) -> bool:
+        return self._safe
+
+    def _worst_power_w(self, obs: ControlObservation) -> float:
+        """Most pessimistic credible reading (NaN-safe; NaN = no evidence)."""
+        candidates = [obs.power_w]
+        if self.config.cross_check:
+            candidates.append(obs.power_alt_w)
+        finite = [p for p in candidates if np.isfinite(p)]
+        return max(finite) if finite else float("nan")
+
+    # -- controller contract ------------------------------------------------------
+
+    def initial_targets(self, f_min_mhz, f_max_mhz) -> np.ndarray:
+        return self.inner.initial_targets(f_min_mhz, f_max_mhz)
+
+    def step(self, obs: ControlObservation) -> np.ndarray:
+        cfg = self.config
+        worst = self._worst_power_w(obs)
+        over = (
+            np.isfinite(worst)
+            and worst > obs.set_point_w * (1.0 + cfg.overcap_tolerance)
+        )
+        if not self._safe:
+            self._over_count = self._over_count + 1 if over else 0
+            if self._over_count >= cfg.trip_periods:
+                self._safe = True
+                self.safe_entries += 1
+                self._over_count = 0
+                self._calm_count = 0
+                self.safe_periods += 1
+                return np.asarray(obs.f_min_mhz, dtype=np.float64).copy()
+            return self.inner.step(obs)
+
+        # Safe mode: hold the floor until the loop re-converges, then hand
+        # control back with the inner controller restarted from clean state.
+        calm = np.isfinite(worst) and worst <= obs.set_point_w * (
+            1.0 + cfg.release_tolerance
+        )
+        self._calm_count = self._calm_count + 1 if calm else 0
+        if self._calm_count >= cfg.release_periods:
+            self._safe = False
+            self._calm_count = 0
+            self.inner.reset()
+            return self.inner.step(obs)
+        self.safe_periods += 1
+        return np.asarray(obs.f_min_mhz, dtype=np.float64).copy()
+
+    def batch_commands(self, obs: ControlObservation) -> dict[int, int] | None:
+        # While the floor is held the inner strategy must not keep steering
+        # the second knob.
+        if self._safe:
+            return None
+        return self.inner.batch_commands(obs)
+
+    def reset(self) -> None:
+        self._over_count = 0
+        self._calm_count = 0
+        self._safe = False
+        self.safe_periods = 0
+        self.safe_entries = 0
+        self.inner.reset()

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..control.watchdog import SafeModeWatchdog, WatchdogConfig
 from ..errors import ConfigurationError
 from ..sim.engine import ServerSimulation
 from ..sysid.identifier import identify_latency_model, identify_power_model
@@ -84,7 +85,8 @@ def build_capgpu(
     latency_from: str = "spec",
     online_adaptation: bool = False,
     points_per_channel: int = 6,
-) -> CapGpuController:
+    watchdog: WatchdogConfig | bool | None = None,
+):
     """Assemble a CapGPU controller for scenario ``sim``.
 
     Parameters
@@ -107,6 +109,12 @@ def build_capgpu(
         ``"spec"`` or ``"fit"`` (see :func:`slo_manager_from_sim`).
     points_per_channel:
         Excitation points per channel for identification.
+    watchdog:
+        ``True`` (default policy) or a :class:`WatchdogConfig` wraps the
+        controller in a :class:`SafeModeWatchdog` — the graceful-degradation
+        backstop that steps to minimum frequencies after sustained cap
+        violations and hands control back once the loop re-converges. The
+        CapGPU strategy is then reachable as ``controller.inner``.
     """
     if model is None:
         if ident_sim is None:
@@ -125,10 +133,14 @@ def build_capgpu(
         if with_slo
         else None
     )
-    return CapGpuController(
+    controller = CapGpuController(
         model=model,
         mpc_config=mpc_config,
         weights=weights,
         slo_manager=slo_mgr,
         online_adaptation=online_adaptation,
     )
+    if watchdog:
+        cfg = watchdog if isinstance(watchdog, WatchdogConfig) else WatchdogConfig()
+        return SafeModeWatchdog(controller, cfg)
+    return controller

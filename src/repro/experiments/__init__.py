@@ -4,6 +4,7 @@ plus the ablation/robustness/batching extension studies."""
 from .ablation import ABLATIONS
 from .batching import run_batching_comparison
 from .common import ExperimentResult, identified_model
+from .fault_tolerance import run_fault_tolerance
 from .fig2_sysid import run_fig2
 from .fig3_baselines import run_fig3
 from .fig4_fixed_step import run_fig4
@@ -22,6 +23,7 @@ __all__ = [
     "ExperimentResult",
     "identified_model",
     "run_table1",
+    "run_fault_tolerance",
     "run_fig2",
     "run_fig3",
     "run_fig4",

@@ -9,6 +9,7 @@ from .ablation import ABLATIONS
 from .batching import run_batching_comparison
 from .common import ExperimentResult
 from .comparators import run_comparators
+from .fault_tolerance import run_fault_tolerance
 from .fig2_sysid import run_fig2
 from .fig3_baselines import run_fig3
 from .fig4_fixed_step import run_fig4
@@ -37,6 +38,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig10": run_fig10,
     # Extensions beyond the paper (DESIGN.md's ablation/extension index).
     "robustness": run_robustness,
+    "fault-tolerance": run_fault_tolerance,
     "batching": run_batching_comparison,
     "llm": run_llm_serving,
     "comparators": run_comparators,

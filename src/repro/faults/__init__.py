@@ -1,0 +1,54 @@
+"""Deterministic fault injection for telemetry and actuation.
+
+The layer the north star's "handles every scenario" demand calls for: a
+:class:`FaultPlan` declares which operational failures to inject (meter
+dropout/freeze/spike/bias, NVML and RAPL stale reads, stuck/clamped/delayed
+frequency writes), a :class:`FaultInjector` arms them with private,
+``repro.rng.spawn``-derived random streams, and the ``Faulty*`` wrappers
+apply them at the exact boundary a real failure would hit. The graceful-
+degradation counterpart lives in the engine's observation ladder
+(:mod:`repro.sim.engine`) and the safe-mode watchdog
+(:mod:`repro.control.watchdog`); see ``docs/robustness.md``.
+"""
+
+from .injector import ArmedFault, FaultInjector
+from .models import (
+    ActuatorClamp,
+    ActuatorDelay,
+    ActuatorFault,
+    ActuatorStuck,
+    FaultModel,
+    FaultPlan,
+    FaultWindow,
+    MeterBias,
+    MeterDropout,
+    MeterFault,
+    MeterFreeze,
+    MeterSpike,
+    NvmlStale,
+    RaplStale,
+)
+from .wrappers import FaultyNvml, FaultyPowerMeter, FaultyRapl, FaultyServerActuator
+
+__all__ = [
+    "FaultWindow",
+    "FaultModel",
+    "FaultPlan",
+    "MeterFault",
+    "MeterDropout",
+    "MeterFreeze",
+    "MeterSpike",
+    "MeterBias",
+    "NvmlStale",
+    "RaplStale",
+    "ActuatorFault",
+    "ActuatorStuck",
+    "ActuatorClamp",
+    "ActuatorDelay",
+    "FaultInjector",
+    "ArmedFault",
+    "FaultyPowerMeter",
+    "FaultyNvml",
+    "FaultyRapl",
+    "FaultyServerActuator",
+]

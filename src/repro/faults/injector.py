@@ -1,0 +1,128 @@
+"""The fault injector: arms fault models and owns their random streams.
+
+One injector is shared by all fault-capable wrappers of a simulation. It
+tracks the current control period (the engine advances it at each period
+boundary, right after scheduled events fire, so an event can arm a fault for
+the very period it fires in) and hands each wrapper the subset of armed
+faults relevant to its subsystem, paired with that fault's private RNG.
+
+Streams are derived with :func:`repro.rng.spawn` keyed on the arming order
+and the fault's ``kind`` — bit-for-bit reproducible across runs with the
+same seed and plan, and adding a fault never perturbs the streams of
+existing ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng import spawn
+from .models import (
+    ActuatorFault,
+    FaultModel,
+    FaultPlan,
+    MeterFault,
+    NvmlStale,
+    RaplStale,
+)
+
+__all__ = ["FaultInjector", "ArmedFault"]
+
+
+class ArmedFault:
+    """One armed fault: the immutable spec plus its private random stream."""
+
+    __slots__ = ("fault", "rng")
+
+    def __init__(self, fault: FaultModel, rng: np.random.Generator):
+        self.fault = fault
+        self.rng = rng
+
+    def fires(self, period: int) -> bool:
+        """Decision-point draw (see :meth:`FaultModel.fires`)."""
+        return self.fault.fires(period, self.rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ArmedFault({self.fault!r})"
+
+
+class FaultInjector:
+    """Runtime registry of armed faults, advanced once per control period."""
+
+    def __init__(self, plan: FaultPlan | None = None, seed=0):
+        self._seed = seed
+        self._armed: list[ArmedFault] = []
+        self._meter: list[ArmedFault] = []
+        self._nvml: list[ArmedFault] = []
+        self._rapl: list[ArmedFault] = []
+        self._actuator: list[ArmedFault] = []
+        self.period = 0
+        if plan is not None:
+            for fault in plan.faults:
+                self.arm(fault)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def arm(self, fault: FaultModel) -> ArmedFault:
+        """Register a fault and derive its stream; returns the armed record.
+
+        The stream name folds in the arming index, so two faults of the same
+        kind get decorrelated streams.
+        """
+        name = f"fault-{len(self._armed)}-{fault.kind}"
+        armed = ArmedFault(fault, spawn(self._seed, name))
+        self._armed.append(armed)
+        if isinstance(fault, MeterFault):
+            self._meter.append(armed)
+        elif isinstance(fault, NvmlStale):
+            self._nvml.append(armed)
+        elif isinstance(fault, RaplStale):
+            self._rapl.append(armed)
+        elif isinstance(fault, ActuatorFault):
+            self._actuator.append(armed)
+        return armed
+
+    def begin_period(self, period: int) -> None:
+        """Engine hook: the control period all activity windows are tested
+        against until the next call."""
+        self.period = int(period)
+
+    # -- wrapper queries ---------------------------------------------------------
+
+    @property
+    def armed(self) -> tuple[ArmedFault, ...]:
+        """All armed faults in arming order."""
+        return tuple(self._armed)
+
+    @property
+    def meter_faults(self) -> list[ArmedFault]:
+        return self._meter
+
+    @property
+    def nvml_faults(self) -> list[ArmedFault]:
+        return self._nvml
+
+    @property
+    def rapl_faults(self) -> list[ArmedFault]:
+        return self._rapl
+
+    @property
+    def actuator_faults(self) -> list[ArmedFault]:
+        return self._actuator
+
+    def any_active(self) -> bool:
+        """Is any armed fault's window open this period? (cheap hot-path gate)"""
+        return any(a.fault.in_window(self.period) for a in self._armed)
+
+    def describe(self) -> list[str]:
+        """Human-readable one-liners, for experiment reports and the CLI."""
+        out = []
+        for a in self._armed:
+            f = a.fault
+            win = "always"
+            if f.window is not None:
+                end = f.window.end_period
+                win = f"periods [{f.window.start_period}, {'inf' if end is None else end})"
+            prob = "" if f.probability is None else f" p={f.probability:g}"
+            out.append(f"{f.kind} {win}{prob}")
+        return out

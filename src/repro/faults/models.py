@@ -1,0 +1,272 @@
+"""Fault model taxonomy for the simulated telemetry and actuation paths.
+
+Each class describes *one* failure mode observed on real GPU servers under
+power capping (meter glitches on the lm-sensors/ACPI path, NVML query
+stalls, RAPL counter freezes, `nvidia-smi -ac` writes that stick, clamp or
+land late) as a frozen, declarative spec. Runtime state (frozen values,
+delay queues, per-fault random streams) lives in the
+:class:`~repro.faults.injector.FaultInjector` and the wrapper classes, so a
+:class:`FaultPlan` can be reused across runs and seeds.
+
+Activation is either *windowed* (``window=FaultWindow(start, n_periods)``,
+deterministic in control-period indices), *stochastic* (``probability`` per
+decision point, drawn from a stream derived via :func:`repro.rng.spawn`), or
+both — a probabilistic fault inside a window fires stochastically only while
+the window is open. A fault with neither a window nor a probability is
+active for the whole run from the moment it is armed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "FaultWindow",
+    "FaultModel",
+    "MeterFault",
+    "MeterDropout",
+    "MeterFreeze",
+    "MeterSpike",
+    "MeterBias",
+    "NvmlStale",
+    "RaplStale",
+    "ActuatorFault",
+    "ActuatorStuck",
+    "ActuatorClamp",
+    "ActuatorDelay",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """Half-open activity window in control-period indices.
+
+    ``n_periods=None`` means the fault stays active forever once
+    ``start_period`` is reached.
+    """
+
+    start_period: int = 0
+    n_periods: int | None = None
+
+    def __post_init__(self):
+        if self.start_period < 0:
+            raise ConfigurationError("start_period must be >= 0")
+        if self.n_periods is not None and self.n_periods < 1:
+            raise ConfigurationError("n_periods must be >= 1 (or None)")
+
+    def contains(self, period: int) -> bool:
+        if period < self.start_period:
+            return False
+        if self.n_periods is None:
+            return True
+        return period < self.start_period + self.n_periods
+
+    @property
+    def end_period(self) -> int | None:
+        """First period *after* the window (``None`` = never ends)."""
+        if self.n_periods is None:
+            return None
+        return self.start_period + self.n_periods
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Base spec: an activity window plus an optional firing probability.
+
+    ``probability`` is evaluated once per *decision point* — per emitted
+    meter sample for meter faults, per telemetry read for stale faults, per
+    actuation command for actuator faults. ``probability=None`` means the
+    fault fires deterministically whenever its window is open; note that
+    ``probability=0.0`` is an explicit "never fires" (the identity-wrapper
+    property the tests pin down).
+    """
+
+    window: FaultWindow | None = None
+    probability: float | None = None
+
+    #: Short machine name, also used to derive the fault's RNG stream.
+    kind: str = field(default="fault", init=False)
+
+    def __post_init__(self):
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError("probability must lie in [0, 1]")
+
+    def in_window(self, period: int) -> bool:
+        """Is the activity window open at ``period``?"""
+        return self.window is None or self.window.contains(period)
+
+    def fires(self, period: int, rng) -> bool:
+        """One decision-point draw: window open, and the coin (if any) hits.
+
+        The draw is consumed *only* while the window is open, so faults that
+        never open never perturb their stream — and a closed-window plan is
+        bit-identical to no plan at all.
+        """
+        if not self.in_window(period):
+            return False
+        if self.probability is None:
+            return True
+        if self.probability <= 0.0:
+            return False
+        return bool(rng.random() < self.probability)
+
+
+# -- power-meter faults ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MeterFault(FaultModel):
+    """Marker base for faults on the ACPI wall-power meter path."""
+
+
+@dataclass(frozen=True)
+class MeterDropout(MeterFault):
+    """The meter emits nothing: samples are dropped before they reach the
+    controller's file, and the sequence number stalls — the signature of a
+    hung lm-sensors reader or a rotated-away log."""
+
+    kind = "meter-dropout"
+
+
+@dataclass(frozen=True)
+class MeterFreeze(MeterFault):
+    """The meter keeps emitting but the value is stuck at the last pre-fault
+    reading (sensor hang with a live transport): sequence numbers advance,
+    the payload never changes."""
+
+    kind = "meter-freeze"
+
+
+@dataclass(frozen=True)
+class MeterSpike(MeterFault):
+    """Additive glitches: affected samples are offset by a random magnitude
+    up to ``magnitude_w`` (bipolar), modelling EMI hits and ADC glitches."""
+
+    magnitude_w: float = 400.0
+
+    kind = "meter-spike"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.magnitude_w <= 0:
+            raise ConfigurationError("magnitude_w must be positive")
+
+
+@dataclass(frozen=True)
+class MeterBias(MeterFault):
+    """Systematic offset: every affected sample reads ``offset_w`` high (or
+    low, if negative). Unlike spikes the values stay plausible and keep their
+    natural jitter — the miscalibration case detectable only by an
+    independent estimate."""
+
+    offset_w: float = -150.0
+
+    kind = "meter-bias"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.offset_w == 0:
+            raise ConfigurationError("offset_w must be nonzero")
+
+
+# -- side-channel telemetry faults ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class NvmlStale(FaultModel):
+    """NVML power queries return the last completed reading (a stalled
+    management daemon): values are finite and plausible but frozen."""
+
+    kind = "nvml-stale"
+
+
+@dataclass(frozen=True)
+class RaplStale(FaultModel):
+    """The RAPL ``energy_uj`` counter stops advancing, so window differencing
+    yields zero energy — the canonical frozen-MSR failure."""
+
+    kind = "rapl-stale"
+
+
+# -- actuator faults -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ActuatorFault(FaultModel):
+    """Marker base for faults on the frequency-write path.
+
+    ``channels=None`` affects every channel; otherwise only the listed
+    channel indices (CPUs first, then GPUs, as everywhere else).
+    """
+
+    channels: tuple[int, ...] | None = None
+
+
+@dataclass(frozen=True)
+class ActuatorStuck(ActuatorFault):
+    """Writes are silently ignored: the device holds whatever target was
+    active when the fault opened (a wedged governor / driver)."""
+
+    kind = "actuator-stuck"
+
+
+@dataclass(frozen=True)
+class ActuatorClamp(ActuatorFault):
+    """Writes succeed but are clamped to at most ``max_fraction`` of the
+    channel's [f_min, f_max] span (thermal or driver-imposed clock caps).
+    ``max_mhz`` overrides the fraction with an absolute ceiling."""
+
+    max_fraction: float = 0.5
+    max_mhz: float | None = None
+
+    kind = "actuator-clamp"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not 0.0 <= self.max_fraction <= 1.0:
+            raise ConfigurationError("max_fraction must lie in [0, 1]")
+        if self.max_mhz is not None and self.max_mhz <= 0:
+            raise ConfigurationError("max_mhz must be positive")
+
+
+@dataclass(frozen=True)
+class ActuatorDelay(ActuatorFault):
+    """Commands land ``delay_periods`` control periods late (a congested
+    BMC / slow sysfs round trip): the device keeps executing the stale
+    command stream in order."""
+
+    delay_periods: int = 1
+
+    kind = "actuator-delay"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.delay_periods < 1:
+            raise ConfigurationError("delay_periods must be >= 1")
+
+
+# -- the plan --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative set of faults to arm at simulation start.
+
+    An empty plan installs the fault-capable wrappers but injects nothing;
+    the wrappers then behave as exact identities over the unwrapped stack
+    (property-tested). More faults can be armed at run time through
+    :class:`repro.sim.events.FaultEvent`.
+    """
+
+    faults: tuple[FaultModel, ...] = ()
+
+    def __post_init__(self):
+        for f in self.faults:
+            if not isinstance(f, FaultModel):
+                raise ConfigurationError(f"not a FaultModel: {f!r}")
+
+    def __len__(self) -> int:
+        return len(self.faults)

@@ -1,0 +1,202 @@
+"""Fault-capable drop-in replacements for telemetry and actuation.
+
+Each wrapper subclasses the pristine component and perturbs only the
+*emitted* readings / *accepted* commands, never the ground-truth plant — a
+meter dropout hides power from the controller, it does not change the power
+drawn. With no armed faults (or all windows closed) every override reduces
+to one list-emptiness check on top of the parent behaviour, so the wrapped
+stack is an exact identity over the unwrapped one and the hot loop pays
+essentially nothing (see ``benchmarks/test_bench_faults.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..actuators import ServerActuator
+from ..errors import ConfigurationError
+from ..telemetry import AcpiPowerMeter, NvmlDeviceHandle, SimulatedNvml, SimulatedRapl
+from .injector import ArmedFault, FaultInjector
+from .models import (
+    ActuatorClamp,
+    ActuatorDelay,
+    ActuatorStuck,
+    MeterBias,
+    MeterDropout,
+    MeterFreeze,
+    MeterSpike,
+)
+
+__all__ = [
+    "FaultyPowerMeter",
+    "FaultyNvml",
+    "FaultyRapl",
+    "FaultyServerActuator",
+]
+
+
+class FaultyPowerMeter(AcpiPowerMeter):
+    """ACPI meter whose emitted samples pass through the armed meter faults.
+
+    Integration, quantization and sensor noise are untouched (the parent
+    does them); faults act on the finished sample exactly where a real
+    glitch would — between the sensor and the file the controller reads.
+    """
+
+    def __init__(self, injector: FaultInjector, **kwargs):
+        super().__init__(**kwargs)
+        self._injector = injector
+        # Last value the "file" actually shows, for freeze semantics.
+        self._frozen_w: dict[ArmedFault, float] = {}
+
+    def accumulate(self, instantaneous_power_w: float, dt_s: float):
+        sample = super().accumulate(instantaneous_power_w, dt_s)
+        if sample is None or not self._injector.meter_faults:
+            return sample
+        period = self._injector.period
+        prev_w = self._buffer[-2].power_w if len(self._buffer) >= 2 else sample.power_w
+        for armed in self._injector.meter_faults:
+            fault = armed.fault
+            if isinstance(fault, MeterFreeze):
+                # Freeze latches the last pre-fault emitted value for the
+                # whole window, then re-arms once the window closes.
+                if not fault.in_window(period):
+                    self._frozen_w.pop(armed, None)
+                elif armed.fires(period):
+                    sample.power_w = self._frozen_w.setdefault(armed, prev_w)
+            elif not armed.fires(period):
+                continue
+            elif isinstance(fault, MeterDropout):
+                # The reading never reaches the file: remove it and stall
+                # the sequence counter, like a hung reader process.
+                self._buffer.pop()
+                self._seq -= 1
+                return None
+            elif isinstance(fault, MeterSpike):
+                sample.power_w += float(
+                    armed.rng.uniform(-fault.magnitude_w, fault.magnitude_w)
+                )
+            elif isinstance(fault, MeterBias):
+                sample.power_w += fault.offset_w
+        return sample
+
+
+class FaultyNvml(SimulatedNvml):
+    """NVML whose power queries can return stale (last-completed) readings."""
+
+    def __init__(self, server, injector: FaultInjector, **kwargs):
+        super().__init__(server, **kwargs)
+        self._injector = injector
+        self._stale_mw: dict[int, float] = {}
+
+    def power_usage_mw(self, handle: NvmlDeviceHandle) -> float:
+        if self._injector.nvml_faults:
+            period = self._injector.period
+            for armed in self._injector.nvml_faults:
+                if armed.fires(period):
+                    cached = self._stale_mw.get(handle.index)
+                    if cached is not None:
+                        return cached
+                    break  # first faulted read: serve and latch the live value
+        value = super().power_usage_mw(handle)
+        self._stale_mw[handle.index] = value
+        return value
+
+
+class FaultyRapl(SimulatedRapl):
+    """RAPL whose ``energy_uj`` counter can stop advancing.
+
+    The underlying counter keeps integrating (energy *was* consumed); only
+    the reported value freezes, so window differencing over the fault yields
+    zero — exactly the signal the engine's degradation ladder keys on.
+    """
+
+    def __init__(self, server, injector: FaultInjector, **kwargs):
+        super().__init__(server, **kwargs)
+        self._injector = injector
+        self._stale_uj: int | None = None
+
+    def read_energy_uj(self) -> int:
+        if self._injector.rapl_faults:
+            period = self._injector.period
+            for armed in self._injector.rapl_faults:
+                if armed.fires(period):
+                    if self._stale_uj is None:
+                        self._stale_uj = super().read_energy_uj()
+                    return self._stale_uj
+        self._stale_uj = None
+        return super().read_energy_uj()
+
+
+class FaultyServerActuator(ServerActuator):
+    """Server actuator whose staged commands can stick, clamp, or arrive late.
+
+    Faults transform the *commanded* vector before it reaches the modulator
+    stack; the engine's read-back verification (commanded vs tick-averaged
+    applied frequency) is what surfaces the discrepancy to controllers.
+    """
+
+    def __init__(self, server, injector: FaultInjector, modulator_factory=None):
+        super().__init__(server, modulator_factory)
+        self._injector = injector
+        self._delay_q: deque[np.ndarray] = deque()
+
+    def _fault_channels(self, fault) -> list[int]:
+        if fault.channels is None:
+            return list(range(self.n_channels))
+        for c in fault.channels:
+            if not 0 <= c < self.n_channels:
+                raise ConfigurationError(
+                    f"fault channel {c} out of range (server has "
+                    f"{self.n_channels} channels)"
+                )
+        return list(fault.channels)
+
+    def _clamp_ceiling_mhz(self, fault: ActuatorClamp) -> np.ndarray:
+        ceil = np.full(self.n_channels, np.inf)
+        for c in self._fault_channels(fault):
+            dom = self.server.devices[c].domain
+            if fault.max_mhz is not None:
+                ceil[c] = fault.max_mhz
+            else:
+                ceil[c] = dom.f_min + fault.max_fraction * (dom.f_max - dom.f_min)
+        return ceil
+
+    def set_targets(self, f_mhz) -> None:
+        if not self._injector.actuator_faults:
+            super().set_targets(f_mhz)
+            return
+        arr = np.array(f_mhz, dtype=np.float64, copy=True)
+        if arr.shape != (self.n_channels,):
+            super().set_targets(arr)  # let the parent raise its usual error
+            return
+        period = self._injector.period
+        for armed in self._injector.actuator_faults:
+            fault = armed.fault
+            if isinstance(fault, ActuatorDelay):
+                # Deterministically windowed: commands queue in order and pop
+                # delay_periods later; commands still in flight when the
+                # window closes are lost (the BMC dropped them).
+                if fault.in_window(period):
+                    self._delay_q.append(arr.copy())
+                    if len(self._delay_q) > fault.delay_periods:
+                        arr = self._delay_q.popleft()
+                    else:
+                        arr = self.targets()
+                elif self._delay_q:
+                    self._delay_q.clear()
+            elif not armed.fires(period):
+                continue
+            elif isinstance(fault, ActuatorStuck):
+                held = self.targets()
+                for c in self._fault_channels(fault):
+                    arr[c] = held[c]
+            elif isinstance(fault, ActuatorClamp):
+                arr = np.minimum(arr, self._clamp_ceiling_mhz(fault))
+        super().set_targets(arr)
+
+    def reset(self) -> None:
+        super().reset()
+        self._delay_q.clear()

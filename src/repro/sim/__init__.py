@@ -1,10 +1,11 @@
 """Discrete-time simulation engine, scheduled events and canonical scenarios."""
 
-from .engine import PeriodRecord, ServerSimulation, SimConfig
+from .engine import POWER_SOURCES, PeriodRecord, ServerSimulation, SimConfig
 from .events import (
     ArrivalRateChange,
     CallbackEvent,
     EventSchedule,
+    FaultEvent,
     ScheduledEvent,
     SetPointChange,
     SloChange,
@@ -15,12 +16,14 @@ __all__ = [
     "ServerSimulation",
     "SimConfig",
     "PeriodRecord",
+    "POWER_SOURCES",
     "EventSchedule",
     "ScheduledEvent",
     "SetPointChange",
     "SloChange",
     "ArrivalRateChange",
     "CallbackEvent",
+    "FaultEvent",
     "paper_scenario",
     "motivation_scenario",
     "llm_scenario",

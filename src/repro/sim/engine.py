@@ -27,6 +27,15 @@ import numpy as np
 from ..actuators import ServerActuator
 from ..control.base import ControlObservation, PowerCappingController
 from ..errors import ConfigurationError
+from ..faults import (
+    FaultInjector,
+    FaultModel,
+    FaultPlan,
+    FaultyNvml,
+    FaultyPowerMeter,
+    FaultyRapl,
+    FaultyServerActuator,
+)
 from ..hardware.server import GpuServer
 from ..rng import spawn
 from ..telemetry import (
@@ -42,11 +51,21 @@ from ..workloads.feature_selection import FeatureSelectionWorkload
 from ..workloads.pipeline import InferencePipeline
 from .events import EventSchedule
 
-__all__ = ["SimConfig", "ServerSimulation", "PeriodRecord"]
+__all__ = ["SimConfig", "ServerSimulation", "PeriodRecord", "POWER_SOURCES"]
 
 #: Fraction of one core consumed by the controller process (Section 5 pins
 #: one core for the controller; it is mostly idle between invocations).
 _CONTROLLER_CORE_UTIL = 0.3
+
+#: Degradation-ladder rungs, in preference order; the trace stores the
+#: numeric code in the ``power_src`` channel.
+POWER_SOURCES = ("acpi", "nvml+rapl", "holdover", "none")
+_POWER_SOURCE_CODE = {name: float(i) for i, name in enumerate(POWER_SOURCES)}
+
+#: Consecutive bit-identical meter samples before the value is declared
+#: frozen (only while sensor noise is configured — a noiseless meter
+#: legitimately repeats itself). Two control periods' worth by default.
+_FREEZE_DETECT_SAMPLES = 8
 
 
 @dataclass(frozen=True)
@@ -113,6 +132,12 @@ class ServerSimulation:
         entries mean no SLO).
     modulator_factory:
         Override the per-channel modulator (ablations use nearest-level).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`. When given, the meter,
+        NVML, RAPL and actuator are replaced by their fault-capable
+        wrappers sharing one :class:`~repro.faults.FaultInjector` (an empty
+        plan is a property-tested exact identity); when ``None`` the plain
+        components are used and the hot loop pays nothing.
     """
 
     def __init__(
@@ -125,6 +150,7 @@ class ServerSimulation:
         seed: int = 0,
         slos_s: list[float | None] | None = None,
         modulator_factory=None,
+        faults: FaultPlan | None = None,
     ):
         if len(pipelines) != server.n_gpus:
             raise ConfigurationError(
@@ -135,17 +161,56 @@ class ServerSimulation:
         self.fs = fs_workload
         self.set_point_w = require_positive(set_point_w, "set_point_w")
         self.config = config
-        self.actuator = ServerActuator(server, modulator_factory)
-        self.meter = AcpiPowerMeter(
+        meter_kwargs = dict(
             sample_interval_s=config.meter_interval_s,
             resolution_w=config.meter_resolution_w,
             noise_sigma_w=config.meter_noise_sigma_w,
             rng=spawn(seed, "acpi-meter-noise"),
         )
-        self.nvml = SimulatedNvml(server, rng=spawn(seed, "nvml-noise"))
-        self.rapl = SimulatedRapl(server)
+        if faults is not None:
+            self.fault_injector: FaultInjector | None = FaultInjector(
+                faults, seed=seed
+            )
+            self.actuator: ServerActuator = FaultyServerActuator(
+                server, self.fault_injector, modulator_factory
+            )
+            self.meter: AcpiPowerMeter = FaultyPowerMeter(
+                self.fault_injector, **meter_kwargs
+            )
+            self.nvml: SimulatedNvml = FaultyNvml(
+                server, self.fault_injector, rng=spawn(seed, "nvml-noise")
+            )
+            self.rapl: SimulatedRapl = FaultyRapl(server, self.fault_injector)
+        else:
+            self.fault_injector = None
+            self.actuator = ServerActuator(server, modulator_factory)
+            self.meter = AcpiPowerMeter(**meter_kwargs)
+            self.nvml = SimulatedNvml(server, rng=spawn(seed, "nvml-noise"))
+            self.rapl = SimulatedRapl(server)
         self._rapl_energy_anchor = 0
         self._rapl_time_anchor = 0.0
+
+        # Graceful-degradation state (see _build_observation): freshness
+        # tracking for the meter, last-good holdover values, and the
+        # plausibility envelope used to reject glitched samples.
+        self._last_meter_seq = -1
+        self._last_good_power_w: float | None = None
+        self._last_cpu_power_w: float | None = None
+        self._stale_periods = 0
+        self._freeze_run = 0
+        self._last_sample_w: float | None = None
+        env_lo, env_hi = server.power_envelope_w()
+        self._plausible_lo_w = 0.25 * env_lo
+        self._plausible_hi_w = 1.5 * env_hi
+        # One-time calibration constant a real deployment would measure at
+        # commissioning: wall power not covered by RAPL + NVML (PSU losses,
+        # fans, boards). Lets the side-channel estimate approximate wall
+        # power without peeking at the live plant.
+        self._platform_overhead_w = server.static_power_w + server.fan.power_w()
+        self._true_power_sum = 0.0
+        self._true_power_ticks = 0
+        self._last_commanded_mhz: np.ndarray | None = None
+        self._safe_mode_flag = 0.0
 
         n = server.n_channels
         self.cpu_channels = tuple(server.cpu_channel_indices())
@@ -194,6 +259,7 @@ class ServerSimulation:
         chans = [
             "time_s", "period", "set_point_w", "power_w",
             "power_max_w", "power_min_w", "ctl_ms",
+            "true_power_w", "power_src", "fresh_samples", "safe_mode",
         ]
         for i in range(self.server.n_channels):
             chans += [f"f_tgt_{i}", f"f_app_{i}", f"util_{i}", f"tput_{i}", f"tput_norm_{i}"]
@@ -218,6 +284,22 @@ class ServerSimulation:
     def slos(self) -> dict[int, float]:
         """Current SLOs keyed by *channel* index."""
         return dict(self._slos)
+
+    # -- fault injection ---------------------------------------------------------
+
+    def inject_fault(self, fault: FaultModel):
+        """Arm a fault at run time (fires from :class:`FaultEvent` too).
+
+        Requires the simulation to have been built with ``faults=`` (an
+        empty :class:`FaultPlan` suffices) so the fault-capable wrappers are
+        installed.
+        """
+        if self.fault_injector is None:
+            raise ConfigurationError(
+                "simulation was built without fault wrappers; pass "
+                "faults=FaultPlan() to enable run-time fault injection"
+            )
+        return self.fault_injector.arm(fault)
 
     # -- one tick -----------------------------------------------------------------
 
@@ -274,19 +356,58 @@ class ServerSimulation:
             )
 
         self.server.advance(cfg.dt_s)
-        self.meter.accumulate(self.server.total_power_w(), cfg.dt_s)
+        p_true = self.server.total_power_w()
+        self.meter.accumulate(p_true, cfg.dt_s)
         self.rapl.accumulate(cfg.dt_s)
+        self._true_power_sum += p_true
+        self._true_power_ticks += 1
         self.time_s += cfg.dt_s
 
     # -- observation assembly --------------------------------------------------------
 
+    def _fresh_meter_samples(self) -> tuple[np.ndarray, int]:
+        """Meter samples that arrived this period and survived filtering.
+
+        Three defences run here (the top rung of the degradation ladder):
+
+        * *staleness* — only samples with sequence numbers newer than the
+          previous observation count, so a stalled meter yields an empty
+          window instead of silently re-reading old data;
+        * *plausibility* — readings outside a generous multiple of the
+          server's achievable power envelope are discarded as glitches;
+        * *freeze detection* — a run of bit-identical readings (with sensor
+          noise configured, which makes exact repeats astronomically
+          unlikely) marks the value stream frozen and the window unusable.
+
+        Returns ``(filtered sample values, number that arrived)``.
+        """
+        new = self.meter.samples_since(self._last_meter_seq)
+        if new:
+            self._last_meter_seq = new[-1].seq
+        arrived = len(new)
+        values = []
+        for s in new:
+            w = s.power_w
+            if w == self._last_sample_w:
+                self._freeze_run += 1
+            else:
+                self._freeze_run = 0
+            self._last_sample_w = w
+            if not np.isfinite(w) or not (
+                self._plausible_lo_w <= w <= self._plausible_hi_w
+            ):
+                continue  # glitch: reject the sample, keep the window
+            values.append(w)
+        if (
+            self.config.meter_noise_sigma_w > 0
+            and self._freeze_run >= _FREEZE_DETECT_SAMPLES
+        ):
+            values = []  # frozen value stream: nothing here is trustworthy
+        return np.array(values, dtype=np.float64), arrived
+
     def _build_observation(self) -> ControlObservation:
         cfg = self.config
-        samples = np.array(
-            [s.power_w for s in self.meter.last_n(cfg.samples_per_period)],
-            dtype=np.float64,
-        )
-        power = float(samples.mean()) if samples.size else float("nan")
+        samples, _ = self._fresh_meter_samples()
 
         tput_raw = np.empty(self.server.n_channels)
         tput_norm = np.empty(self.server.n_channels)
@@ -302,15 +423,60 @@ class ServerSimulation:
                 for g in range(self.server.n_gpus)
             ]
         )
-        # RAPL window power since the previous observation.
+        # RAPL window power since the previous observation. A zero energy
+        # delta over a nonzero window means the counter is frozen (package
+        # idle power is never zero): hold the last good CPU reading.
         now_uj = self.rapl.read_energy_uj()
         d_uj = now_uj - self._rapl_energy_anchor
         if d_uj < 0:
             d_uj += self.rapl.max_energy_range_uj
         dt = self.time_s - self._rapl_time_anchor
-        cpu_power = (d_uj / 1e6) / dt if dt > 0 else float("nan")
+        if dt > 0 and d_uj == 0 and self._last_cpu_power_w is not None:
+            cpu_power = self._last_cpu_power_w
+        elif dt > 0:
+            cpu_power = (d_uj / 1e6) / dt
+            self._last_cpu_power_w = cpu_power
+        else:
+            cpu_power = float("nan")
         self._rapl_energy_anchor = now_uj
         self._rapl_time_anchor = self.time_s
+
+        # Independent side-channel estimate of wall power: NVML board sum +
+        # RAPL package power + the commissioning-time platform overhead.
+        gpu_sum = float(gpu_power.sum())
+        if np.isfinite(cpu_power) and np.isfinite(gpu_sum):
+            power_alt = cpu_power + gpu_sum + self._platform_overhead_w
+        else:
+            power_alt = float("nan")
+
+        # The degradation ladder: fresh meter samples, else the side-channel
+        # estimate, else last-good holdover, else admit blindness.
+        if samples.size:
+            power = float(samples.mean())
+            source = "acpi"
+            self._stale_periods = 0
+            self._last_good_power_w = power
+        elif np.isfinite(power_alt):
+            power = power_alt
+            source = "nvml+rapl"
+            self._stale_periods += 1
+        elif self._last_good_power_w is not None:
+            power = self._last_good_power_w
+            source = "holdover"
+            self._stale_periods += 1
+        else:
+            power = float("nan")
+            source = "none"
+            self._stale_periods += 1
+
+        # Actuator read-back verification: the tick-averaged frequency the
+        # plant actually ran at, against what the controller commanded for
+        # this period. Stuck/clamped writes show up as a large residual.
+        f_applied = self.actuator.applied_average_and_reset()
+        if self._last_commanded_mhz is not None:
+            act_err = f_applied - self._last_commanded_mhz
+        else:
+            act_err = np.full(self.server.n_channels, np.nan)
 
         obs = ControlObservation(
             period_index=self.period_index,
@@ -319,7 +485,7 @@ class ServerSimulation:
             power_samples_w=samples,
             set_point_w=self.set_point_w,
             f_targets_mhz=self.actuator.targets(),
-            f_applied_mhz=self.actuator.applied_average_and_reset(),
+            f_applied_mhz=f_applied,
             f_min_mhz=self.server.f_min_vector(),
             f_max_mhz=self.server.f_max_vector(),
             utilization=util,
@@ -330,6 +496,11 @@ class ServerSimulation:
             slos_s=dict(self._slos),
             cpu_power_w=cpu_power,
             gpu_power_w=gpu_power,
+            power_source=source,
+            power_alt_w=power_alt,
+            fresh_samples=int(samples.size),
+            stale_periods=self._stale_periods,
+            actuation_error_mhz=act_err,
         )
         return obs
 
@@ -342,7 +513,17 @@ class ServerSimulation:
             "power_max_w": float(obs.power_samples_w.max()) if obs.power_samples_w.size else float("nan"),
             "power_min_w": float(obs.power_samples_w.min()) if obs.power_samples_w.size else float("nan"),
             "ctl_ms": self.last_control_ms,
+            "true_power_w": (
+                self._true_power_sum / self._true_power_ticks
+                if self._true_power_ticks
+                else float("nan")
+            ),
+            "power_src": _POWER_SOURCE_CODE[obs.power_source],
+            "fresh_samples": float(obs.fresh_samples),
+            "safe_mode": self._safe_mode_flag,
         }
+        self._true_power_sum = 0.0
+        self._true_power_ticks = 0
         for i in range(self.server.n_channels):
             row[f"f_tgt_{i}"] = float(obs.f_targets_mhz[i])
             row[f"f_app_{i}"] = float(obs.f_applied_mhz[i])
@@ -391,6 +572,10 @@ class ServerSimulation:
         for _ in range(n_periods):
             if events is not None:
                 events.fire(self.period_index, self)
+            if self.fault_injector is not None:
+                # After events, so a FaultEvent can arm a fault for the very
+                # period it fires in.
+                self.fault_injector.begin_period(self.period_index)
             record = PeriodRecord(
                 batch_latencies=[[] for _ in range(self.server.n_gpus)],
                 batch_slo_misses=[[] for _ in range(self.server.n_gpus)],
@@ -405,6 +590,12 @@ class ServerSimulation:
                 batches = controller.batch_commands(obs)
                 self.last_control_ms = (time.perf_counter() - t0) * 1e3
                 self.actuator.set_targets(targets)
+                self._last_commanded_mhz = np.asarray(
+                    targets, dtype=np.float64
+                ).copy()
+                self._safe_mode_flag = float(
+                    bool(getattr(controller, "in_safe_mode", False))
+                )
                 if batches:
                     for g, batch in batches.items():
                         pipe = self.pipelines[g]

@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Iterable
+from dataclasses import replace
 
 from ..errors import ConfigurationError
+from ..faults.models import FaultModel, FaultWindow
 from ..units import require_positive
 
 __all__ = [
@@ -22,6 +24,7 @@ __all__ = [
     "SloChange",
     "ArrivalRateChange",
     "CallbackEvent",
+    "FaultEvent",
     "EventSchedule",
 ]
 
@@ -82,6 +85,33 @@ class ArrivalRateChange(ScheduledEvent):
         if pipeline is None:
             raise ConfigurationError(f"no pipeline on GPU {self.gpu_index}")
         pipeline.arrivals = self.arrivals
+
+
+class FaultEvent(ScheduledEvent):
+    """Arm a fault mid-run (chaos drills; a data-center incident script).
+
+    The fault's own window (if any) still applies — an event at period 10
+    arming a fault windowed at [40, 50) fires the *arming* at 10 and the
+    *fault* at 40. ``for_periods`` is sugar for the common transient case:
+    it gives a window-less fault a window starting at the event's period.
+    The target simulation must have fault wrappers installed (built with
+    ``faults=``, an empty plan is enough).
+    """
+
+    def __init__(self, period: int, fault: FaultModel, for_periods: int | None = None):
+        super().__init__(period)
+        if not isinstance(fault, FaultModel):
+            raise ConfigurationError(f"not a FaultModel: {fault!r}")
+        if for_periods is not None:
+            if fault.window is not None:
+                raise ConfigurationError(
+                    "for_periods conflicts with the fault's own window"
+                )
+            fault = replace(fault, window=FaultWindow(period, for_periods))
+        self.fault = fault
+
+    def apply(self, sim) -> None:
+        sim.inject_fault(self.fault)
 
 
 class CallbackEvent(ScheduledEvent):

@@ -12,6 +12,7 @@
 
 from __future__ import annotations
 
+from ..faults import FaultPlan
 from ..hardware.presets import rtx3090_server, v100_server
 from ..hardware.server import GpuServer
 from ..rng import spawn
@@ -40,6 +41,7 @@ def paper_scenario(
     sim_config: SimConfig = SimConfig(),
     modulator_factory=None,
     tasks: tuple[InferenceModelSpec, ...] = PAPER_TASKS,
+    faults: FaultPlan | None = None,
 ) -> ServerSimulation:
     """Build the three-GPU evaluation scenario of Section 6.
 
@@ -60,6 +62,9 @@ def paper_scenario(
         Override the actuation modulator (ablations).
     tasks:
         Inference model per GPU; length must match the server's GPU count.
+    faults:
+        Optional fault plan; installs the fault-capable telemetry/actuation
+        wrappers (see :mod:`repro.faults`).
     """
     if server is None:
         server = v100_server(seed=seed, n_gpus=len(tasks))
@@ -90,12 +95,14 @@ def paper_scenario(
         seed=seed,
         slos_s=slos_s,
         modulator_factory=modulator_factory,
+        faults=faults,
     )
 
 
 def motivation_scenario(
     seed: int = 0,
     sim_config: SimConfig = SimConfig(),
+    faults: FaultPlan | None = None,
 ) -> ServerSimulation:
     """Build the Table 1 motivation box (GoogLeNet on an RTX 3090).
 
@@ -122,6 +129,7 @@ def motivation_scenario(
         set_point_w=420.0,
         config=sim_config,
         seed=seed,
+        faults=faults,
     )
 
 
@@ -134,6 +142,7 @@ def llm_scenario(
     max_concurrency: int = 8,
     queue_capacity: int = 64,
     sim_config: SimConfig = SimConfig(),
+    faults: FaultPlan | None = None,
 ) -> ServerSimulation:
     """LLM-serving scenario (extension): ``n_gpus`` V100s each serving ``spec``.
 
@@ -165,4 +174,5 @@ def llm_scenario(
         set_point_w=set_point_w,
         config=sim_config,
         seed=seed,
+        faults=faults,
     )

@@ -1,0 +1,247 @@
+"""SafeModeWatchdog: trip/release state machine, cross-check, breaker link."""
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    ControlObservation,
+    PowerCappingController,
+    SafeModeWatchdog,
+    WatchdogConfig,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.breaker import CircuitBreaker
+
+N = 4
+F_MIN = np.full(N, 435.0)
+F_MAX = np.full(N, 1350.0)
+CAP = 900.0
+
+
+class SpyController(PowerCappingController):
+    """Inner controller that always asks for max frequency and records calls."""
+
+    name = "spy"
+
+    def __init__(self):
+        self.steps = 0
+        self.resets = 0
+        self.batch_calls = 0
+
+    def step(self, obs):
+        self.steps += 1
+        return F_MAX.copy()
+
+    def batch_commands(self, obs):
+        self.batch_calls += 1
+        return {1: 8}
+
+    def reset(self):
+        self.resets += 1
+
+
+def obs(power_w, power_alt_w=float("nan"), set_point_w=CAP, period=0):
+    return ControlObservation(
+        period_index=period,
+        time_s=period * 4.0,
+        power_w=power_w,
+        power_samples_w=np.full(4, power_w),
+        set_point_w=set_point_w,
+        f_targets_mhz=np.full(N, 1000.0),
+        f_applied_mhz=np.full(N, 1000.0),
+        f_min_mhz=F_MIN,
+        f_max_mhz=F_MAX,
+        utilization=np.full(N, 0.9),
+        throughput_norm=np.full(N, 0.5),
+        throughput_raw=np.full(N, 1.0),
+        cpu_channels=(0,),
+        gpu_channels=tuple(range(1, N)),
+        power_alt_w=power_alt_w,
+    )
+
+
+def make(trip=3, release=2, cross_check=True):
+    inner = SpyController()
+    dog = SafeModeWatchdog(
+        inner,
+        WatchdogConfig(
+            trip_periods=trip, release_periods=release, cross_check=cross_check
+        ),
+    )
+    return dog, inner
+
+
+OVER = CAP * 1.05  # comfortably beyond the 2% tolerance
+CALM = CAP * 0.98
+
+
+class TestTrip:
+    def test_trips_after_exactly_n_overcap_periods(self):
+        dog, inner = make(trip=3)
+        for k in range(2):
+            out = dog.step(obs(OVER, period=k))
+            assert np.array_equal(out, F_MAX), f"period {k}: still delegating"
+            assert not dog.in_safe_mode
+        out = dog.step(obs(OVER, period=2))  # third consecutive: trip
+        assert dog.in_safe_mode
+        assert np.array_equal(out, F_MIN)
+        assert inner.steps == 2
+        assert dog.safe_entries == 1
+
+    def test_single_spike_never_trips(self):
+        dog, inner = make(trip=3)
+        for k in range(20):
+            # Isolated spikes with calm periods between: counter keeps resetting.
+            p = OVER if k % 3 == 0 else CALM
+            dog.step(obs(p, period=k))
+        assert not dog.in_safe_mode
+        assert dog.safe_entries == 0
+        assert inner.steps == 20
+
+    def test_overcap_within_tolerance_does_not_count(self):
+        dog, _ = make(trip=1)
+        dog.step(obs(CAP * 1.01))  # inside the 2% band
+        assert not dog.in_safe_mode
+
+    def test_nan_power_is_not_overcap_evidence(self):
+        dog, inner = make(trip=1)
+        dog.step(obs(float("nan")))
+        assert not dog.in_safe_mode
+        assert inner.steps == 1
+
+
+class TestCrossCheck:
+    def test_lying_meter_caught_via_power_alt(self):
+        """Meter reads in-cap, the independent estimate says over: trip."""
+        dog, _ = make(trip=2)
+        for k in range(2):
+            dog.step(obs(CALM, power_alt_w=OVER, period=k))
+        assert dog.in_safe_mode
+
+    def test_cross_check_disabled_trusts_the_meter(self):
+        dog, _ = make(trip=2, cross_check=False)
+        for k in range(4):
+            dog.step(obs(CALM, power_alt_w=OVER, period=k))
+        assert not dog.in_safe_mode
+
+    def test_nan_alt_falls_back_to_meter(self):
+        dog, _ = make(trip=2)
+        for k in range(2):
+            dog.step(obs(OVER, power_alt_w=float("nan"), period=k))
+        assert dog.in_safe_mode
+
+
+class TestRelease:
+    def trip(self, dog):
+        for k in range(dog.config.trip_periods):
+            dog.step(obs(OVER, period=k))
+        assert dog.in_safe_mode
+
+    def test_releases_after_calm_run_and_resets_inner(self):
+        dog, inner = make(trip=3, release=2)
+        self.trip(dog)
+        out = dog.step(obs(CALM, period=10))
+        assert dog.in_safe_mode  # one calm period is not enough
+        assert np.array_equal(out, F_MIN)
+        out = dog.step(obs(CALM, period=11))
+        assert not dog.in_safe_mode
+        assert inner.resets == 1
+        assert np.array_equal(out, F_MAX)  # inner is steering again
+
+    def test_overcap_while_safe_restarts_release_count(self):
+        dog, inner = make(trip=3, release=2)
+        self.trip(dog)
+        dog.step(obs(CALM, period=10))
+        dog.step(obs(OVER, period=11))  # calm streak broken
+        dog.step(obs(CALM, period=12))
+        assert dog.in_safe_mode
+        dog.step(obs(CALM, period=13))
+        assert not dog.in_safe_mode
+        assert inner.resets == 1
+
+    def test_safe_periods_counter(self):
+        dog, _ = make(trip=2, release=2)
+        self.trip(dog)  # trip period itself counts as a safe period
+        dog.step(obs(OVER, period=10))
+        dog.step(obs(CALM, period=11))
+        assert dog.safe_periods == 3
+        dog.step(obs(CALM, period=12))  # release step: control handed back
+        assert dog.safe_periods == 3
+
+    def test_can_trip_again_after_release(self):
+        dog, _ = make(trip=2, release=1)
+        self.trip(dog)
+        dog.step(obs(CALM, period=10))
+        assert not dog.in_safe_mode
+        self.trip(dog)
+        assert dog.safe_entries == 2
+
+
+class TestContract:
+    def test_batch_commands_suppressed_in_safe_mode(self):
+        dog, inner = make(trip=1)
+        assert dog.batch_commands(obs(CALM)) == {1: 8}
+        dog.step(obs(OVER))
+        assert dog.in_safe_mode
+        assert dog.batch_commands(obs(OVER)) is None
+        assert inner.batch_calls == 1
+
+    def test_initial_targets_delegates(self):
+        dog, _ = make()
+        assert np.array_equal(dog.initial_targets(F_MIN, F_MAX), F_MIN)
+
+    def test_reset_clears_everything(self):
+        dog, inner = make(trip=1)
+        dog.step(obs(OVER))
+        dog.reset()
+        assert not dog.in_safe_mode
+        assert dog.safe_periods == 0 and dog.safe_entries == 0
+        assert inner.resets == 1
+
+    def test_name_wraps_inner(self):
+        dog, _ = make()
+        assert dog.name == "watchdog(spy)"
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            WatchdogConfig(trip_periods=0)
+        with pytest.raises(ConfigurationError):
+            WatchdogConfig(release_periods=0)
+        with pytest.raises(ConfigurationError):
+            WatchdogConfig(overcap_tolerance=-0.1)
+
+
+class TestBreakerInteraction:
+    """The watchdog's trip must beat the breaker's inverse-time curve.
+
+    With the paper-style period of 4 s, a sustained overload big enough to
+    matter gives the breaker ``20 / (r^2 - 1)`` seconds to live.  The
+    watchdog reacts in ``trip_periods * 4`` seconds; for the default config
+    (12 s) that outruns the breaker for any overload up to ~60% above
+    rating — far beyond what a wedged inference controller can produce.
+    """
+
+    PERIOD_S = 4.0
+
+    def test_watchdog_reacts_before_breaker_trips(self):
+        breaker = CircuitBreaker(rating_w=CAP)
+        dog, _ = make(trip=3)
+        p = CAP * 1.10  # sustained 10% overload: breaker trips in ~95 s
+        k = 0
+        while not dog.in_safe_mode:
+            dog.step(obs(p, period=k))
+            breaker.step(p, self.PERIOD_S)
+            k += 1
+            assert k < 100, "watchdog never tripped"
+        assert not breaker.tripped
+        # From here the floor command collapses power; the breaker cools.
+        for _ in range(3):
+            breaker.step(CAP * 0.5, self.PERIOD_S)
+        assert breaker.state == 0.0
+
+    def test_default_config_outruns_breaker_curve(self):
+        breaker = CircuitBreaker(rating_w=CAP)
+        cfg = WatchdogConfig()
+        react_s = cfg.trip_periods * self.PERIOD_S
+        for ratio in (1.05, 1.1, 1.25, 1.5):
+            assert react_s < breaker.time_to_trip_s(CAP * ratio)

@@ -1,0 +1,261 @@
+"""Unit tests for the fault injector and the fault-capable wrappers.
+
+These pin the *mechanics* at component level — what each wrapper does to one
+sample or one command — independent of the closed loop (which
+``tests/test_chaos.py`` covers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    ActuatorClamp,
+    ActuatorDelay,
+    ActuatorStuck,
+    FaultInjector,
+    FaultPlan,
+    FaultWindow,
+    FaultyNvml,
+    FaultyPowerMeter,
+    FaultyRapl,
+    FaultyServerActuator,
+    MeterBias,
+    MeterDropout,
+    MeterFreeze,
+    MeterSpike,
+    NvmlStale,
+    RaplStale,
+)
+from repro.hardware import rtx3090_server
+from repro.sim import FaultEvent, paper_scenario
+from repro.sim.events import SetPointChange
+
+
+def make_injector(*faults, period=0):
+    inj = FaultInjector(FaultPlan(tuple(faults)), seed=0)
+    inj.begin_period(period)
+    return inj
+
+
+def make_meter(inj):
+    # Noiseless meter: assertions compare exact values.
+    return FaultyPowerMeter(inj, sample_interval_s=1.0, noise_sigma_w=0.0)
+
+
+def feed(meter, power_w, seconds):
+    """Feed constant power for whole seconds; return the emitted samples."""
+    out = []
+    for _ in range(int(seconds) * 10):
+        s = meter.accumulate(power_w, 0.1)
+        if s is not None:
+            out.append(s)
+    return out
+
+
+class TestMeterWrapper:
+    def test_dropout_stalls_sequence(self):
+        inj = make_injector(MeterDropout())
+        meter = make_meter(inj)
+        assert feed(meter, 500.0, 3) == []
+        assert meter.total_emitted == 0
+        assert meter.n_samples == 0
+
+    def test_dropout_window_close_resumes(self):
+        inj = make_injector(MeterDropout(window=FaultWindow(0, 1)))
+        meter = make_meter(inj)
+        assert feed(meter, 500.0, 2) == []
+        inj.begin_period(1)
+        samples = feed(meter, 500.0, 2)
+        assert len(samples) == 2
+        # seq continues from where the stalled counter left off: 0, 1.
+        assert [s.seq for s in samples] == [0, 1]
+
+    def test_freeze_repeats_pre_fault_value(self):
+        inj = make_injector(MeterFreeze(window=FaultWindow(1, 2)))
+        meter = make_meter(inj)
+        feed(meter, 500.0, 2)  # pre-fault: emits 500 W samples
+        inj.begin_period(1)
+        frozen = feed(meter, 800.0, 2)
+        assert [s.power_w for s in frozen] == [500.0, 500.0]
+        inj.begin_period(3)  # window closed: live readings resume
+        live = feed(meter, 800.0, 1)
+        assert live[0].power_w == pytest.approx(800.0)
+
+    def test_spike_bounded_by_magnitude(self):
+        inj = make_injector(MeterSpike(magnitude_w=100.0))
+        meter = make_meter(inj)
+        samples = feed(meter, 500.0, 20)
+        dev = np.array([s.power_w for s in samples]) - 500.0
+        assert np.all(np.abs(dev) <= 100.0)
+        assert np.abs(dev).max() > 0.0
+
+    def test_bias_shifts_every_sample(self):
+        inj = make_injector(MeterBias(offset_w=-150.0))
+        meter = make_meter(inj)
+        samples = feed(meter, 500.0, 3)
+        assert [s.power_w for s in samples] == [350.0] * 3
+
+    def test_no_armed_faults_is_identity(self):
+        meter = make_meter(make_injector())
+        samples = feed(meter, 500.0, 3)
+        assert [s.power_w for s in samples] == [500.0] * 3
+        assert [s.seq for s in samples] == [0, 1, 2]
+
+
+class TestSideChannelWrappers:
+    def test_nvml_stale_serves_cached_reading(self):
+        server = rtx3090_server()
+        inj = make_injector(NvmlStale(window=FaultWindow(1, 2)))
+        nvml = FaultyNvml(server, inj, power_noise_sigma_w=0.0)
+        h = nvml.device_handle_by_index(0)
+        before = nvml.power_usage_mw(h)
+        gpu = server.gpus[0]
+        gpu.apply_frequency(gpu.domain.f_max)  # plant power moves...
+        inj.begin_period(1)
+        assert nvml.power_usage_mw(h) == before  # ...the reading does not
+        inj.begin_period(3)
+        assert nvml.power_usage_mw(h) != before
+
+    def test_nvml_stale_without_prior_read_latches_first(self):
+        server = rtx3090_server()
+        inj = make_injector(NvmlStale(), period=0)
+        nvml = FaultyNvml(server, inj, power_noise_sigma_w=0.0)
+        h = nvml.device_handle_by_index(0)
+        first = nvml.power_usage_mw(h)  # served live, then latched
+        gpu = server.gpus[0]
+        gpu.apply_frequency(gpu.domain.f_max)
+        assert nvml.power_usage_mw(h) == first
+
+    def test_rapl_stale_freezes_counter(self):
+        server = rtx3090_server()
+        inj = make_injector(RaplStale(window=FaultWindow(1, 2)))
+        rapl = FaultyRapl(server, inj)
+        rapl.accumulate(1.0)
+        inj.begin_period(1)
+        frozen = rapl.read_energy_uj()
+        rapl.accumulate(1.0)  # energy IS consumed, the report freezes
+        assert rapl.read_energy_uj() == frozen
+        inj.begin_period(3)
+        assert rapl.read_energy_uj() > frozen
+
+
+class TestActuatorWrapper:
+    def setup_method(self):
+        self.server = rtx3090_server()
+        self.n = self.server.n_channels
+        self.f_max = np.array([d.domain.f_max for d in self.server.devices])
+        self.f_min = np.array([d.domain.f_min for d in self.server.devices])
+
+    def make(self, *faults, period=0):
+        inj = make_injector(*faults, period=period)
+        return FaultyServerActuator(self.server, inj), inj
+
+    @staticmethod
+    def command(act, f_mhz):
+        """Stage a target vector and tick once so it becomes active."""
+        act.set_targets(f_mhz)
+        act.tick()
+        return act.targets()
+
+    def test_stuck_holds_previous_targets(self):
+        act, inj = self.make(ActuatorStuck(window=FaultWindow(1, 2)))
+        self.command(act, self.f_max)
+        inj.begin_period(1)
+        assert np.array_equal(self.command(act, self.f_min), self.f_max)
+        inj.begin_period(3)
+        assert np.array_equal(self.command(act, self.f_min), self.f_min)
+
+    def test_stuck_respects_channel_subset(self):
+        act, inj = self.make(ActuatorStuck(channels=(0,), window=FaultWindow(1, 1)))
+        self.command(act, self.f_max)
+        inj.begin_period(1)
+        got = self.command(act, self.f_min)
+        assert got[0] == self.f_max[0]
+        assert np.array_equal(got[1:], self.f_min[1:])
+
+    def test_clamp_caps_at_fraction_of_span(self):
+        act, inj = self.make(ActuatorClamp(max_fraction=0.5))
+        ceiling = self.f_min + 0.5 * (self.f_max - self.f_min)
+        assert np.allclose(self.command(act, self.f_max), ceiling)
+        # Commands below the ceiling pass through untouched.
+        assert np.array_equal(self.command(act, self.f_min), self.f_min)
+
+    def test_clamp_absolute_mhz_ceiling(self):
+        act, _ = self.make(ActuatorClamp(max_mhz=1000.0))
+        assert np.all(self.command(act, self.f_max) <= 1000.0)
+
+    def test_delay_shifts_commands_by_n_periods(self):
+        act, inj = self.make(ActuatorDelay(delay_periods=1))
+        start = act.targets().copy()
+        first = self.f_min + 1.0
+        # Queued; the old targets remain in force for one period.
+        assert np.array_equal(self.command(act, first), start)
+        inj.begin_period(1)
+        # The next command pops the first one out of the queue.
+        assert np.array_equal(self.command(act, self.f_min + 2.0), first)
+
+    def test_delay_drops_in_flight_commands_when_window_closes(self):
+        act, inj = self.make(ActuatorDelay(window=FaultWindow(0, 1), delay_periods=3))
+        self.command(act, self.f_min + 1.0)  # queued, never delivered
+        inj.begin_period(1)
+        assert np.array_equal(self.command(act, self.f_min + 2.0), self.f_min + 2.0)
+        assert len(act._delay_q) == 0
+
+    def test_bad_channel_index_raises(self):
+        act, _ = self.make(ActuatorStuck(channels=(99,)))
+        with pytest.raises(ConfigurationError):
+            act.set_targets(self.f_min)
+
+
+class TestInjector:
+    def test_describe_lists_window_and_probability(self):
+        inj = make_injector(
+            MeterDropout(window=FaultWindow(5, 10), probability=0.5),
+            ActuatorStuck(),
+        )
+        lines = inj.describe()
+        assert "meter-dropout" in lines[0] and "[5, 15)" in lines[0]
+        assert "p=0.5" in lines[0]
+        assert "always" in lines[1]
+
+    def test_any_active_tracks_windows(self):
+        inj = make_injector(MeterDropout(window=FaultWindow(5, 2)))
+        assert not inj.any_active()
+        inj.begin_period(5)
+        assert inj.any_active()
+        inj.begin_period(7)
+        assert not inj.any_active()
+
+    def test_same_kind_faults_get_decorrelated_streams(self):
+        inj = make_injector(MeterSpike(), MeterSpike())
+        a, b = inj.meter_faults
+        assert a.rng.uniform(size=8).tolist() != b.rng.uniform(size=8).tolist()
+
+
+class TestEngineIntegration:
+    def test_inject_fault_without_wrappers_raises(self):
+        sim = paper_scenario(seed=0)
+        with pytest.raises(ConfigurationError):
+            sim.inject_fault(MeterDropout())
+
+    def test_fault_event_arms_mid_run(self):
+        from repro.control import FixedStepController
+        from repro.sim.events import EventSchedule
+
+        sim = paper_scenario(seed=0, set_point_w=900.0, faults=FaultPlan())
+        sched = EventSchedule()
+        sched.add(FaultEvent(2, MeterDropout(), for_periods=2))
+        trace = sim.run(FixedStepController(step_size=2), 6, events=sched)
+        src = trace["power_src"]
+        assert np.all(src[:2] == 0.0)       # pristine before the event
+        assert np.all(src[2:4] != 0.0)      # degraded while armed
+        assert np.all(src[4:] == 0.0)       # recovers when the window closes
+
+    def test_fault_event_rejects_conflicting_window(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(2, MeterDropout(window=FaultWindow(5, 5)), for_periods=2)
+
+    def test_fault_event_rejects_non_fault(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(2, SetPointChange(0, 900.0))
