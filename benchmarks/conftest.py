@@ -11,11 +11,39 @@ comparison. Run with::
 
 Microbenchmarks (controller solve latency, engine tick rate, modulators,
 fitting) use normal multi-round timing.
+
+Regression tracking: pass ``--bench-json-dir DIR`` (or set the
+``BENCH_JSON_DIR`` environment variable) and the session writes
+``DIR/BENCH_<sha>.json`` — per bench test, the wall time of the test call
+plus every ``extra_info`` headline metric, in the schema owned by
+:mod:`repro.benchcompare`. Diff two such files with::
+
+    repro bench-compare benchmarks/BASELINE.json DIR
+
+which exits nonzero past the configured wall-time/metric thresholds.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+from repro.benchcompare import git_sha, write_bench_json
+
+#: nodeid -> call duration in seconds (pytest's own call-phase timing).
+_DURATIONS: dict[str, float] = {}
+#: nodeid -> extra_info metrics filed by the bench body.
+_METRICS: dict[str, dict] = {}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json-dir",
+        default=os.environ.get("BENCH_JSON_DIR"),
+        help="directory to write BENCH_<sha>.json (wall time + headline "
+             "metrics per bench) for `repro bench-compare`",
+    )
 
 
 @pytest.fixture
@@ -26,3 +54,50 @@ def regen(benchmark):
         return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
 
     return _run
+
+
+@pytest.fixture(autouse=True)
+def _bench_metrics_recorder(request):
+    """Harvest ``benchmark.extra_info`` after each bench test.
+
+    The fixture object is grabbed at setup (teardown runs after the
+    benchmark plugin has withdrawn the fixture value), and its
+    ``extra_info`` dict is read back once the test body has filled it in.
+    """
+    bench = None
+    if "benchmark" in request.fixturenames:
+        try:
+            bench = request.getfixturevalue("benchmark")
+        except Exception:  # pragma: no cover - benchmark plugin disabled
+            bench = None
+    yield
+    if bench is not None:
+        _METRICS[request.node.nodeid] = dict(bench.extra_info)
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call" and report.passed:
+        _DURATIONS[report.nodeid] = float(report.duration)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    out_dir = session.config.getoption("--bench-json-dir")
+    if not out_dir:
+        return
+    entries = {
+        nodeid: {"wall_s": _DURATIONS[nodeid], "metrics": metrics}
+        for nodeid, metrics in _METRICS.items()
+        if nodeid in _DURATIONS
+    }
+    if not entries:
+        return
+    sha = os.environ.get("BENCH_SHA") or git_sha()
+    path = write_bench_json(out_dir, sha, entries)
+    tr = session.config.pluginmanager.get_plugin("terminalreporter")
+    if tr is not None:
+        tr.write_line(f"wrote bench json: {path} ({len(entries)} benches)")
+
+
+def pytest_sessionstart(session):
+    _DURATIONS.clear()
+    _METRICS.clear()

@@ -1,0 +1,240 @@
+"""Benchmark regression harness: emit, load, and diff bench JSON files.
+
+The bench suite (``pytest benchmarks/ --benchmark-only``) regenerates every
+paper artifact; with ``--bench-json-dir`` its conftest writes one
+``BENCH_<sha>.json`` per session recording, per bench test, the wall time and
+the headline accuracy metrics filed in ``benchmark.extra_info``. This module
+owns that file's schema and the comparison logic behind
+``repro bench-compare``: diff a candidate file against a committed baseline
+and exit nonzero when a wall-time or metric drift crosses the configured
+thresholds.
+
+Wall times are hardware-dependent — CI passes a loose ``--wall-threshold``
+when comparing across machines — while metrics are seeded and deterministic,
+so tight metric thresholds are meaningful everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .errors import ExperimentError
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "bench_payload",
+    "write_bench_json",
+    "load_bench",
+    "resolve_bench_path",
+    "ComparisonRow",
+    "BenchComparison",
+    "compare_bench",
+    "git_sha",
+]
+
+BENCH_SCHEMA = 1
+
+
+def git_sha(repo_root: str | Path | None = None, default: str = "nosha") -> str:
+    """Short git SHA of ``repo_root`` (cwd by default), or ``default``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(repo_root) if repo_root else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return default
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else default
+
+
+def bench_payload(sha: str, entries: dict) -> dict:
+    """Assemble the on-disk payload for a bench session.
+
+    ``entries`` maps a bench name (test id) to
+    ``{"wall_s": float, "metrics": {name: number}}``.
+    """
+    return {
+        "schema": BENCH_SCHEMA,
+        "sha": sha,
+        "created_unix": time.time(),
+        "entries": {
+            name: {
+                "wall_s": float(rec["wall_s"]),
+                "metrics": dict(rec.get("metrics", {})),
+            }
+            for name, rec in sorted(entries.items())
+        },
+    }
+
+
+def write_bench_json(directory: str | Path, sha: str, entries: dict) -> Path:
+    """Write ``BENCH_<sha>.json`` into ``directory`` and return its path."""
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{sha}.json"
+    path.write_text(
+        json.dumps(bench_payload(sha, entries), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+    return path
+
+
+def resolve_bench_path(path: str | Path) -> Path:
+    """Accept a bench file or a directory holding ``BENCH_*.json`` files.
+
+    Given a directory (the shape of a CI artifact download), picks the most
+    recently modified ``BENCH_*.json`` inside it.
+    """
+    p = Path(path)
+    if p.is_dir():
+        candidates = sorted(p.glob("BENCH_*.json"), key=lambda f: f.stat().st_mtime)
+        if not candidates:
+            raise ExperimentError(f"no BENCH_*.json files in directory {p}")
+        return candidates[-1]
+    return p
+
+
+def load_bench(path: str | Path) -> dict:
+    """Load and validate one bench JSON file."""
+    resolved = resolve_bench_path(path)
+    try:
+        payload = json.loads(resolved.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ExperimentError(f"bench file not found: {resolved}") from None
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"bench file {resolved} is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA:
+        raise ExperimentError(
+            f"bench file {resolved} has unsupported schema "
+            f"{payload.get('schema')!r} (expected {BENCH_SCHEMA})"
+        )
+    if not isinstance(payload.get("entries"), dict):
+        raise ExperimentError(f"bench file {resolved} has no 'entries' mapping")
+    return payload
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One compared quantity: a bench's wall time or one of its metrics."""
+
+    bench: str
+    quantity: str  # "wall_s" or "metric:<name>"
+    baseline: float
+    candidate: float
+    rel_change: float
+    regressed: bool
+
+
+@dataclass
+class BenchComparison:
+    """Result of diffing a candidate bench file against a baseline."""
+
+    rows: list[ComparisonRow] = field(default_factory=list)
+    missing_in_candidate: list[str] = field(default_factory=list)
+    missing_in_baseline: list[str] = field(default_factory=list)
+    wall_threshold: float = 0.0
+    metric_threshold: float = 0.0
+
+    @property
+    def regressions(self) -> list[ComparisonRow]:
+        return [r for r in self.rows if r.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"bench-compare: {len(self.rows)} quantities, "
+            f"wall threshold +{self.wall_threshold:.0%}, "
+            f"metric threshold ±{self.metric_threshold:.0%}",
+        ]
+        for row in self.rows:
+            if not row.regressed and abs(row.rel_change) < 1e-12:
+                continue
+            marker = "REGRESSION" if row.regressed else "ok"
+            lines.append(
+                f"  [{marker:>10s}] {row.bench} {row.quantity}: "
+                f"{row.baseline:.6g} -> {row.candidate:.6g} "
+                f"({row.rel_change:+.1%})"
+            )
+        if self.missing_in_candidate:
+            lines.append(
+                f"  missing in candidate: {', '.join(self.missing_in_candidate)}"
+            )
+        if self.missing_in_baseline:
+            lines.append(
+                f"  new benches (not in baseline): "
+                f"{', '.join(self.missing_in_baseline)}"
+            )
+        n = len(self.regressions)
+        lines.append("PASS: no regressions" if not n else f"FAIL: {n} regression(s)")
+        return "\n".join(lines)
+
+
+def _rel_change(baseline: float, candidate: float) -> float:
+    if baseline == 0.0:
+        return 0.0 if candidate == 0.0 else float("inf")
+    return (candidate - baseline) / abs(baseline)
+
+
+def compare_bench(
+    baseline: dict,
+    candidate: dict,
+    wall_threshold: float = 0.20,
+    metric_threshold: float = 0.05,
+) -> BenchComparison:
+    """Diff two bench payloads.
+
+    A *wall-time* regression is a candidate slower than
+    ``baseline * (1 + wall_threshold)`` — getting faster never fails. A
+    *metric* regression is a relative drift beyond ``metric_threshold`` in
+    either direction: the benches record accuracy-style headline numbers
+    whose direction of "better" varies, and any unexplained drift in a
+    seeded, deterministic pipeline is a change worth failing on.
+    """
+    if wall_threshold < 0 or metric_threshold < 0:
+        raise ExperimentError("thresholds must be >= 0")
+    cmp = BenchComparison(
+        wall_threshold=wall_threshold, metric_threshold=metric_threshold
+    )
+    base_entries = baseline["entries"]
+    cand_entries = candidate["entries"]
+    cmp.missing_in_candidate = sorted(set(base_entries) - set(cand_entries))
+    cmp.missing_in_baseline = sorted(set(cand_entries) - set(base_entries))
+    for name in sorted(set(base_entries) & set(cand_entries)):
+        base, cand = base_entries[name], cand_entries[name]
+        wall_rel = _rel_change(base["wall_s"], cand["wall_s"])
+        cmp.rows.append(ComparisonRow(
+            bench=name,
+            quantity="wall_s",
+            baseline=float(base["wall_s"]),
+            candidate=float(cand["wall_s"]),
+            rel_change=wall_rel,
+            regressed=wall_rel > wall_threshold,
+        ))
+        base_metrics = base.get("metrics", {})
+        cand_metrics = cand.get("metrics", {})
+        for metric in sorted(set(base_metrics) & set(cand_metrics)):
+            b, c = base_metrics[metric], cand_metrics[metric]
+            if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+                continue
+            rel = _rel_change(float(b), float(c))
+            cmp.rows.append(ComparisonRow(
+                bench=name,
+                quantity=f"metric:{metric}",
+                baseline=float(b),
+                candidate=float(c),
+                rel_change=rel,
+                regressed=abs(rel) > metric_threshold,
+            ))
+    return cmp

@@ -2,13 +2,17 @@
 
 Usage::
 
-    capgpu list                     # show available experiment ids
-    capgpu run fig3 --seed 1        # run one experiment
-    capgpu run all                  # run everything (slow)
-    capgpu stability                # print the Section 4.4 gain bound
-    capgpu faults                   # fault-injection / degradation study
+    repro list                      # show available experiment ids
+    repro run fig3 --seed 1         # run one experiment
+    repro run all                   # run everything (slow)
+    repro sweep all --jobs 4        # run everything in parallel workers
+    repro sweep table1 fig3 fig7 --set-points 850 900 1000
+    repro bench-compare benchmarks/BASELINE.json bench-out/
+    repro stability                 # print the Section 4.4 gain bound
+    repro faults                    # fault-injection / degradation study
 
-Also runnable as ``python -m repro``.
+Installed both as ``repro`` and (for backwards compatibility) ``capgpu``;
+also runnable as ``python -m repro``.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="capgpu",
+        prog="repro",
         description="CapGPU reproduction — run paper experiments on the simulated testbed",
     )
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
@@ -39,6 +43,64 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--save-dir", default=None,
         help="directory to write every result trace as <experiment>_<name>.npz",
+    )
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run many experiments in parallel worker processes "
+             "(bit-for-bit identical to sequential execution)",
+    )
+    sweep_p.add_argument(
+        "experiments", nargs="+",
+        help="experiment ids, 'all', or 'ablation' (expands to ablation-*)",
+    )
+    sweep_p.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+    sweep_p.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes (default 0 = one per CPU core; 1 = run inline)",
+    )
+    sweep_p.add_argument(
+        "--replicates", type=int, default=1, metavar="R",
+        help="repetitions per experiment; replicate seeds derive from --seed "
+             "via repro.rng.spawn (default 1)",
+    )
+    sweep_p.add_argument(
+        "--set-points", type=float, nargs="*", default=None, metavar="W",
+        help="power caps to sweep (applied to experiments that accept "
+             "set_point_w; others run once)",
+    )
+    sweep_p.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the full sweep report (renders + data + timings) as JSON",
+    )
+    sweep_p.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="append structured per-job events as JSON lines",
+    )
+    sweep_p.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-job rendered reports (summary table only)",
+    )
+
+    bench_p = sub.add_parser(
+        "bench-compare",
+        help="diff two BENCH_*.json files and fail past regression thresholds",
+    )
+    bench_p.add_argument("baseline", help="baseline BENCH_*.json file (or directory)")
+    bench_p.add_argument("candidate", help="candidate BENCH_*.json file (or directory)")
+    bench_p.add_argument(
+        "--wall-threshold", type=float, default=0.20, metavar="FRAC",
+        help="fail if a bench is slower than baseline by more than this "
+             "fraction (default 0.20; loosen across machines)",
+    )
+    bench_p.add_argument(
+        "--metric-threshold", type=float, default=0.05, metavar="FRAC",
+        help="fail if a headline metric drifts by more than this fraction "
+             "in either direction (default 0.05)",
+    )
+    bench_p.add_argument(
+        "--fail-on-missing", action="store_true",
+        help="also fail when a baseline bench is missing from the candidate",
     )
 
     stab_p = sub.add_parser(
@@ -149,6 +211,83 @@ def _save_traces(result, save_dir: str) -> None:
     walk(result.data, "")
 
 
+def _expand_sweep_ids(tokens: list[str]) -> list[str]:
+    """Expand 'all' / 'ablation' meta-ids into concrete experiment ids."""
+    from .experiments import experiment_ids
+
+    ids: list[str] = []
+    for token in tokens:
+        if token == "all":
+            ids.extend(experiment_ids())
+        elif token == "ablation":
+            ids.extend(e for e in experiment_ids() if e.startswith("ablation-"))
+        else:
+            ids.append(token)
+    seen: set[str] = set()
+    return [e for e in ids if not (e in seen or seen.add(e))]
+
+
+def _cmd_sweep(args) -> int:
+    import os
+
+    from .runner import build_jobs, run_sweep
+
+    jobs = build_jobs(
+        _expand_sweep_ids(args.experiments),
+        seed=args.seed,
+        replicates=args.replicates,
+        set_points_w=args.set_points,
+    )
+    n_jobs = args.jobs if args.jobs >= 1 else (os.cpu_count() or 1)
+
+    events_fh = open(args.events, "a", encoding="utf-8") if args.events else None
+
+    def on_event(event):
+        line = f"[sweep] {event.kind} {event.job_key} (attempt {event.attempt}"
+        if event.wall_s is not None:
+            line += f", {event.wall_s:.2f} s"
+        if event.error:
+            line += f", {event.error}"
+        print(line + ")", file=sys.stderr)
+        if events_fh is not None:
+            import json
+
+            events_fh.write(json.dumps(event.to_dict()) + "\n")
+            events_fh.flush()
+
+    try:
+        report = run_sweep(jobs, n_jobs=n_jobs, on_event=on_event)
+    finally:
+        if events_fh is not None:
+            events_fh.close()
+    if not args.quiet:
+        for rec in report.records:
+            if rec.render:
+                print(rec.render)
+                print()
+    print(report.render_summary())
+    if args.out:
+        path = report.write_json(args.out)
+        print(f"wrote {path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_bench_compare(args) -> int:
+    from .benchcompare import compare_bench, load_bench
+
+    comparison = compare_bench(
+        load_bench(args.baseline),
+        load_bench(args.candidate),
+        wall_threshold=args.wall_threshold,
+        metric_threshold=args.metric_threshold,
+    )
+    print(comparison.render())
+    if args.fail_on_missing and comparison.missing_in_candidate:
+        print("FAIL: baseline benches missing from candidate")
+        return 1
+    return 0 if comparison.ok else 1
+
+
 def _cmd_identify(seed: int, points: int) -> int:
     from .sim import paper_scenario
     from .sysid import (
@@ -219,6 +358,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args.experiment, args.seed, args.save_dir)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "bench-compare":
+        return _cmd_bench_compare(args)
     if args.command == "stability":
         return _cmd_stability(args.seed)
     if args.command == "faults":

@@ -3,7 +3,7 @@ plus the ablation/robustness/batching extension studies."""
 
 from .ablation import ABLATIONS
 from .batching import run_batching_comparison
-from .common import ExperimentResult, identified_model
+from .common import ExperimentResult, identified_model, run_timed_cases
 from .fault_tolerance import run_fault_tolerance
 from .fig2_sysid import run_fig2
 from .fig3_baselines import run_fig3
@@ -22,6 +22,7 @@ from .table1 import run_table1
 __all__ = [
     "ExperimentResult",
     "identified_model",
+    "run_timed_cases",
     "run_table1",
     "run_fault_tolerance",
     "run_fig2",

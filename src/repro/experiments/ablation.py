@@ -27,7 +27,7 @@ from ..core import MpcConfig, WeightAssigner
 from ..rng import spawn
 from ..sim import paper_scenario
 from ..workloads import RESNET50, InferencePipeline, PipelineConfig, SteadyArrivals
-from .common import ExperimentResult, make_capgpu, steady_window
+from .common import ExperimentResult, make_capgpu, run_timed_cases, steady_window
 
 __all__ = [
     "run_ablation_weights",
@@ -57,9 +57,7 @@ def run_ablation_weights(
     result = ExperimentResult(
         "ablation-weights", "Throughput-driven weights vs uniform penalties"
     )
-    rows = []
-    data = {}
-    for mode in ("inverse", "uniform"):
+    def _case(mode, _):
         sim = _skewed_scenario(seed, set_point_w)
         ctl = make_capgpu(sim, seed, weights=WeightAssigner(mode=mode))
         trace = sim.run(ctl, n_periods)
@@ -70,6 +68,12 @@ def run_ablation_weights(
         idle_f = float(np.mean(trace["f_tgt_1"][-steady:]))
         busy_f = float(np.mean(trace["f_tgt_2"][-steady:]))
         mean, std = steady_state_stats(trace, steady)
+        return mean, std, busy_tput, idle_f, busy_f
+
+    rows = []
+    data = {}
+    cases = run_timed_cases(result, [("inverse", None), ("uniform", None)], _case)
+    for mode, (mean, std, busy_tput, idle_f, busy_f) in cases.items():
         rows.append([mode, mean, std, busy_tput, idle_f, busy_f])
         data[mode] = {
             "busy_tput_batch_s": busy_tput,
@@ -96,18 +100,20 @@ def run_ablation_modulator(
     result = ExperimentResult(
         "ablation-modulator", "Delta-sigma vs nearest-level actuation"
     )
-    rows = []
-    data = {}
-    for name, factory in (
-        ("delta-sigma", DeltaSigmaModulator),
-        ("nearest-level", NearestLevelModulator),
-    ):
+    def _case(name, factory):
         sim = paper_scenario(seed=seed, set_point_w=set_point_w, modulator_factory=factory)
         ctl = make_capgpu(sim, seed)
         trace = sim.run(ctl, n_periods)
-        steady = steady_window(n_periods)
-        mean, std = steady_state_stats(trace, steady)
-        err = abs(mean - set_point_w)
+        mean, std = steady_state_stats(trace, steady_window(n_periods))
+        return mean, std, abs(mean - set_point_w)
+
+    rows = []
+    data = {}
+    cases = run_timed_cases(result, [
+        ("delta-sigma", DeltaSigmaModulator),
+        ("nearest-level", NearestLevelModulator),
+    ], _case)
+    for name, (mean, std, err) in cases.items():
         rows.append([name, mean, std, err])
         data[name] = {"mean_w": mean, "std_w": std, "abs_err_w": err}
     result.add(
@@ -126,15 +132,17 @@ def run_ablation_solver(
 ) -> ExperimentResult:
     """SLSQP vs the analytic clipped QP fast path."""
     result = ExperimentResult("ablation-solver", "SLSQP vs analytic MPC solver")
-    rows = []
-    data = {}
-    for solver in ("slsqp", "analytic"):
+    def _case(solver, _):
         sim = paper_scenario(seed=seed, set_point_w=set_point_w)
         ctl = make_capgpu(sim, seed, mpc_config=MpcConfig(solver=solver))
         trace = sim.run(ctl, n_periods)
-        steady = steady_window(n_periods)
-        mean, std = steady_state_stats(trace, steady)
-        ctl_ms = float(np.mean(trace["ctl_ms"][1:]))
+        mean, std = steady_state_stats(trace, steady_window(n_periods))
+        return mean, std, float(np.mean(trace["ctl_ms"][1:]))
+
+    rows = []
+    data = {}
+    cases = run_timed_cases(result, [("slsqp", None), ("analytic", None)], _case)
+    for solver, (mean, std, ctl_ms) in cases.items():
         rows.append([solver, mean, std, ctl_ms])
         data[solver] = {"mean_w": mean, "std_w": std, "ctl_ms": ctl_ms}
     result.add(
@@ -157,15 +165,20 @@ def run_ablation_horizon(
 ) -> ExperimentResult:
     """Prediction-horizon sweep at fixed control horizon M=2."""
     result = ExperimentResult("ablation-horizon", "Prediction-horizon sweep")
-    rows = []
-    data = {}
-    for p_h in horizons:
+    def _case(_label, p_h):
         sim = paper_scenario(seed=seed, set_point_w=set_point_w)
         cfg = MpcConfig(prediction_horizon=p_h, control_horizon=min(2, p_h))
         ctl = make_capgpu(sim, seed, mpc_config=cfg)
         trace = sim.run(ctl, n_periods)
-        steady = steady_window(n_periods)
-        mean, std = steady_state_stats(trace, steady)
+        mean, std = steady_state_stats(trace, steady_window(n_periods))
+        return p_h, mean, std
+
+    rows = []
+    data = {}
+    cases = run_timed_cases(
+        result, [(f"P{p_h}", p_h) for p_h in horizons], _case
+    )
+    for p_h, mean, std in cases.values():
         rows.append([p_h, mean, std, abs(mean - set_point_w)])
         data[p_h] = {"mean_w": mean, "std_w": std}
     result.add(

@@ -25,11 +25,13 @@ from ..control import (
     estimate_safety_margin,
 )
 from ..core import CapGpuController, MpcConfig, WeightAssigner, build_capgpu, group_gains
+from ..runner import map_cases
 from ..sim import paper_scenario
 from ..sysid import PowerModelFit, identify_power_model
 
 __all__ = [
     "ExperimentResult",
+    "run_timed_cases",
     "identified_model",
     "make_capgpu",
     "make_gpu_only",
@@ -73,12 +75,19 @@ def modulator_for(label: str):
 
 @dataclass
 class ExperimentResult:
-    """Outcome of one experiment: rendered report + raw data."""
+    """Outcome of one experiment: rendered report + raw data.
+
+    ``timings`` holds measured per-case wall times (populated by
+    :func:`run_timed_cases`). They are observability, not results: the sweep
+    runner's canonical serialization excludes them, so they never perturb
+    the bit-for-bit reproducibility digest.
+    """
 
     experiment_id: str
     title: str
     sections: list[str] = field(default_factory=list)
     data: dict = field(default_factory=dict)
+    timings: dict = field(default_factory=dict)
 
     def add(self, text: str) -> None:
         self.sections.append(text)
@@ -86,6 +95,19 @@ class ExperimentResult:
     def render(self) -> str:
         header = f"=== {self.experiment_id}: {self.title} ==="
         return "\n\n".join([header, *self.sections])
+
+
+def run_timed_cases(result: ExperimentResult, cases, fn) -> dict:
+    """Run an experiment's labelled cases through the sweep runner's mapper.
+
+    The single code path for "run each (strategy, set point, …) case and
+    time it" — replaces the ad-hoc ``for`` loops the experiment modules used
+    to carry. Case order is preserved, results come back keyed by label, and
+    per-case wall times land in ``result.timings``.
+    """
+    results, timings = map_cases(cases, fn)
+    result.timings.update(timings)
+    return results
 
 
 @lru_cache(maxsize=16)

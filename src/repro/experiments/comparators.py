@@ -24,6 +24,7 @@ from .common import (
     identified_model,
     make_capgpu,
     make_gpu_only,
+    run_timed_cases,
     steady_window,
 )
 
@@ -52,14 +53,25 @@ def run_comparators(
         ("GPU-Only", lambda sim: make_gpu_only(sim, seed)),
         ("CapGPU", lambda sim: make_capgpu(sim, seed)),
     ]
+    def _track(label, case):
+        sp, factory = case
+        sim = paper_scenario(seed=seed, set_point_w=sp)
+        trace = sim.run(factory(sim), n_periods)
+        mean, std = steady_state_stats(trace, steady_window(n_periods))
+        return abs(mean - sp), std
+
+    cases = [
+        (f"{name}@{sp:.0f}W", (sp, factory))
+        for sp in set_points_w
+        for name, factory in strategies
+    ]
+    tracked = run_timed_cases(result, cases, _track)
     errors: dict[str, list[float]] = {name: [] for name, _ in strategies}
     stds: dict[str, list[float]] = {name: [] for name, _ in strategies}
     for sp in set_points_w:
-        for name, factory in strategies:
-            sim = paper_scenario(seed=seed, set_point_w=sp)
-            trace = sim.run(factory(sim), n_periods)
-            mean, std = steady_state_stats(trace, steady_window(n_periods))
-            errors[name].append(abs(mean - sp))
+        for name, _ in strategies:
+            err, std = tracked[f"{name}@{sp:.0f}W"]
+            errors[name].append(err)
             stds[name].append(std)
     oracle_err = float(np.mean(errors["Oracle"]))
     oracle_std = float(np.mean(stds["Oracle"]))

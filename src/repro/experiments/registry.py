@@ -52,11 +52,26 @@ def experiment_ids() -> list[str]:
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run one experiment by id; raises :class:`ExperimentError` for unknown ids."""
+    """Run one experiment by id.
+
+    Unknown ids raise :class:`ExperimentError` carrying the full list of
+    valid ids (``.valid_ids``) and, when one is close enough, a
+    did-you-mean suggestion — so callers (CLI, sweep runner, CI scripts)
+    can print something actionable instead of a bare ``KeyError``.
+    """
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
-        raise ExperimentError(
-            f"unknown experiment {experiment_id!r}; available: {experiment_ids()}"
-        ) from None
+        import difflib
+
+        valid = experiment_ids()
+        close = difflib.get_close_matches(str(experiment_id), valid, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        err = ExperimentError(
+            f"unknown experiment {experiment_id!r}{hint}; available: {valid}"
+        )
+        err.experiment_id = experiment_id
+        err.valid_ids = valid
+        err.suggestion = close[0] if close else None
+        raise err from None
     return runner(**kwargs)

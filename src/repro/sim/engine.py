@@ -212,7 +212,6 @@ class ServerSimulation:
         self._last_commanded_mhz: np.ndarray | None = None
         self._safe_mode_flag = 0.0
 
-        n = server.n_channels
         self.cpu_channels = tuple(server.cpu_channel_indices())
         self.gpu_channels = tuple(server.gpu_channel_indices())
         self._slos: dict[int, float] = {}
@@ -305,7 +304,7 @@ class ServerSimulation:
 
     def _tick(self, record: PeriodRecord) -> None:
         cfg = self.config
-        applied = self.actuator.tick()
+        self.actuator.tick()
 
         cpu = self.server.cpus[0]
         cpu_ghz = cpu.frequency_ghz
@@ -406,7 +405,6 @@ class ServerSimulation:
         return np.array(values, dtype=np.float64), arrived
 
     def _build_observation(self) -> ControlObservation:
-        cfg = self.config
         samples, _ = self._fresh_meter_samples()
 
         tput_raw = np.empty(self.server.n_channels)

@@ -1,6 +1,5 @@
 """Energy and efficiency metrics."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import EfficiencyReport, efficiency_report, energy_j

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import CapGpuController, MpcConfig, SloManager, TaskLatencyModel, WeightAssigner
+from repro.core import CapGpuController, SloManager, TaskLatencyModel, WeightAssigner
 from repro.errors import ConfigurationError
 from repro.sysid import PowerModelFit
 from repro.workloads import RESNET50

@@ -31,6 +31,25 @@ class TestRegistry:
         with pytest.raises(ExperimentError, match="available"):
             run_experiment("fig99")
 
+    def test_unknown_id_error_carries_valid_ids(self):
+        with pytest.raises(ExperimentError) as excinfo:
+            run_experiment("not-an-experiment")
+        err = excinfo.value
+        assert err.experiment_id == "not-an-experiment"
+        assert err.valid_ids == experiment_ids()
+        assert "table1" in str(err) and "fig10" in str(err)
+
+    def test_unknown_id_error_suggests_close_match(self):
+        with pytest.raises(ExperimentError, match="did you mean 'fig3'") as excinfo:
+            run_experiment("fig33")
+        assert excinfo.value.suggestion == "fig3"
+
+    def test_unknown_id_without_close_match_has_no_suggestion(self):
+        with pytest.raises(ExperimentError) as excinfo:
+            run_experiment("zzzzzzzzzz")
+        assert excinfo.value.suggestion is None
+        assert "did you mean" not in str(excinfo.value)
+
     def test_runner_callables(self):
         assert all(callable(f) for f in EXPERIMENTS.values())
 

@@ -6,9 +6,6 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.hardware import (
     TESLA_V100_16GB,
-    XEON_GOLD_5215,
-    CpuModel,
-    GpuModel,
     GpuServer,
     custom_server,
     rtx3090_server,

@@ -6,7 +6,6 @@ import pytest
 from repro.control import PowerCappingController
 from repro.errors import ConfigurationError
 from repro.sim import ServerSimulation, SimConfig, paper_scenario
-from repro.workloads import FeatureSelectionWorkload
 
 
 class RecordingController(PowerCappingController):

@@ -1,0 +1,167 @@
+"""Bench regression harness: schema, comparison thresholds, CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.benchcompare import (
+    BENCH_SCHEMA,
+    bench_payload,
+    compare_bench,
+    load_bench,
+    resolve_bench_path,
+    write_bench_json,
+)
+from repro.cli import main
+from repro.errors import ExperimentError
+
+
+def entries(wall_s: float = 10.0, r2: float = 0.98) -> dict:
+    return {
+        "benchmarks/test_bench_fig2.py::test_bench_fig2": {
+            "wall_s": wall_s,
+            "metrics": {"power_r2": r2, "latency_gamma": 0.91},
+        },
+        "benchmarks/test_bench_table1.py::test_bench_table1": {
+            "wall_s": 4.0,
+            "metrics": {"CapGPU/tput_img_s": 6.4},
+        },
+    }
+
+
+class TestSchema:
+    def test_payload_shape(self):
+        payload = bench_payload("abc123", entries())
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["sha"] == "abc123"
+        assert set(payload["entries"]) == set(entries())
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        path = write_bench_json(tmp_path, "abc123", entries())
+        assert path.name == "BENCH_abc123.json"
+        loaded = load_bench(path)
+        assert loaded["entries"] == bench_payload("abc123", entries())["entries"]
+
+    def test_resolve_directory_picks_newest(self, tmp_path):
+        import os
+
+        old = write_bench_json(tmp_path, "old0000", entries())
+        new = write_bench_json(tmp_path, "new0000", entries())
+        past = old.stat().st_mtime - 100
+        os.utime(old, (past, past))
+        assert resolve_bench_path(tmp_path) == new
+
+    def test_resolve_empty_directory_raises(self, tmp_path):
+        with pytest.raises(ExperimentError, match="no BENCH_"):
+            resolve_bench_path(tmp_path)
+
+    def test_load_rejects_bad_schema(self, tmp_path):
+        bad = tmp_path / "BENCH_x.json"
+        bad.write_text(json.dumps({"schema": 99, "entries": {}}))
+        with pytest.raises(ExperimentError, match="unsupported schema"):
+            load_bench(bad)
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        bad = tmp_path / "BENCH_x.json"
+        bad.write_text("{nope")
+        with pytest.raises(ExperimentError, match="not valid JSON"):
+            load_bench(bad)
+
+
+class TestCompare:
+    def test_identical_payloads_pass(self):
+        base = bench_payload("a", entries())
+        cmp = compare_bench(base, bench_payload("b", entries()))
+        assert cmp.ok
+        assert "PASS" in cmp.render()
+
+    def test_wall_time_regression_past_threshold_fails(self):
+        # The acceptance case: a >20% wall-time regression must fail.
+        base = bench_payload("a", entries(wall_s=10.0))
+        cand = bench_payload("b", entries(wall_s=12.5))  # +25%
+        cmp = compare_bench(base, cand, wall_threshold=0.20)
+        assert not cmp.ok
+        (reg,) = cmp.regressions
+        assert reg.quantity == "wall_s"
+        assert reg.rel_change == pytest.approx(0.25)
+
+    def test_wall_time_within_threshold_passes(self):
+        base = bench_payload("a", entries(wall_s=10.0))
+        cand = bench_payload("b", entries(wall_s=11.5))  # +15%
+        assert compare_bench(base, cand, wall_threshold=0.20).ok
+
+    def test_getting_faster_never_fails(self):
+        base = bench_payload("a", entries(wall_s=10.0))
+        cand = bench_payload("b", entries(wall_s=2.0))
+        assert compare_bench(base, cand, wall_threshold=0.20).ok
+
+    def test_metric_drift_fails_in_both_directions(self):
+        base = bench_payload("a", entries(r2=0.98))
+        for drifted in (0.90, 1.06):  # -8% and +8%
+            cand = bench_payload("b", entries(r2=drifted))
+            cmp = compare_bench(base, cand, metric_threshold=0.05)
+            assert not cmp.ok
+            assert any(r.quantity == "metric:power_r2" for r in cmp.regressions)
+
+    def test_zero_baseline_metric(self):
+        base = bench_payload("a", {"t": {"wall_s": 1.0, "metrics": {"miss": 0.0}}})
+        same = bench_payload("b", {"t": {"wall_s": 1.0, "metrics": {"miss": 0.0}}})
+        worse = bench_payload("c", {"t": {"wall_s": 1.0, "metrics": {"miss": 0.2}}})
+        assert compare_bench(base, same).ok
+        assert not compare_bench(base, worse).ok
+
+    def test_missing_entries_reported_not_failed(self):
+        base = bench_payload("a", entries())
+        cand_entries = dict(entries())
+        cand_entries.pop("benchmarks/test_bench_table1.py::test_bench_table1")
+        cmp = compare_bench(base, bench_payload("b", cand_entries))
+        assert cmp.ok
+        assert cmp.missing_in_candidate == [
+            "benchmarks/test_bench_table1.py::test_bench_table1"
+        ]
+
+    def test_negative_threshold_rejected(self):
+        base = bench_payload("a", entries())
+        with pytest.raises(ExperimentError, match="thresholds"):
+            compare_bench(base, base, wall_threshold=-1.0)
+
+
+class TestCli:
+    def write(self, tmp_path, name, wall_s=10.0, r2=0.98):
+        path = tmp_path / name
+        path.write_text(json.dumps(bench_payload(name, entries(wall_s, r2))))
+        return str(path)
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        base = self.write(tmp_path, "BENCH_a.json")
+        cand = self.write(tmp_path, "BENCH_b.json")
+        assert main(["bench-compare", base, cand]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_injected_wall_regression(self, tmp_path, capsys):
+        base = self.write(tmp_path, "BENCH_a.json", wall_s=10.0)
+        cand = self.write(tmp_path, "BENCH_b.json", wall_s=12.5)  # +25% > 20%
+        assert main(["bench-compare", base, cand]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_threshold_flags(self, tmp_path):
+        base = self.write(tmp_path, "BENCH_a.json", wall_s=10.0)
+        cand = self.write(tmp_path, "BENCH_b.json", wall_s=12.5)
+        assert main(
+            ["bench-compare", base, cand, "--wall-threshold", "0.30"]
+        ) == 0
+
+    def test_fail_on_missing_flag(self, tmp_path):
+        base = self.write(tmp_path, "BENCH_a.json")
+        only_one = {
+            "benchmarks/test_bench_fig2.py::test_bench_fig2": {
+                "wall_s": 10.0,
+                "metrics": {"power_r2": 0.98, "latency_gamma": 0.91},
+            }
+        }
+        cand = tmp_path / "BENCH_c.json"
+        cand.write_text(json.dumps(bench_payload("c", only_one)))
+        assert main(["bench-compare", base, str(cand)]) == 0
+        assert main(["bench-compare", base, str(cand), "--fail-on-missing"]) == 1

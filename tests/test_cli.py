@@ -24,6 +24,28 @@ class TestParser:
         args = build_parser().parse_args(["run", "fig3", "--seed", "7"])
         assert args.seed == 7
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "table1", "fig3"])
+        assert args.experiments == ["table1", "fig3"]
+        assert args.jobs == 0  # auto: one worker per core
+        assert args.replicates == 1
+        assert args.set_points is None
+
+    def test_sweep_flags(self):
+        args = build_parser().parse_args([
+            "sweep", "all", "--jobs", "4", "--replicates", "2",
+            "--set-points", "850", "950", "--out", "r.json",
+        ])
+        assert args.jobs == 4
+        assert args.set_points == [850.0, 950.0]
+        assert args.out == "r.json"
+
+    def test_bench_compare_defaults(self):
+        args = build_parser().parse_args(["bench-compare", "a.json", "b.json"])
+        assert args.wall_threshold == pytest.approx(0.20)
+        assert args.metric_threshold == pytest.approx(0.05)
+        assert not args.fail_on_missing
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -59,3 +81,38 @@ class TestCommands:
         assert main(["stability"]) == 0
         out = capsys.readouterr().out
         assert "stable for uniform gain variation" in out
+
+
+class TestSweepCommand:
+    def test_sweep_runs_and_writes_report(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "sweep.json"
+        events = tmp_path / "events.jsonl"
+        code = main([
+            "sweep", "table1", "--jobs", "1", "--quiet",
+            "--out", str(out), "--events", str(events),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["records"][0]["status"] == "ok"
+        assert payload["checksum"]
+        lines = [json.loads(l) for l in events.read_text().splitlines()]
+        assert [e["kind"] for e in lines] == ["job-start", "job-done"]
+        assert "Sweep: 1 jobs" in capsys.readouterr().out
+
+    def test_sweep_ablation_meta_id(self):
+        from repro.cli import _expand_sweep_ids
+
+        ids = _expand_sweep_ids(["ablation"])
+        assert ids == [
+            "ablation-weights", "ablation-modulator",
+            "ablation-solver", "ablation-horizon",
+        ]
+        assert _expand_sweep_ids(["table1", "table1"]) == ["table1"]
+
+    def test_sweep_unknown_id_fails_before_running(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match="unknown experiment ids"):
+            main(["sweep", "fig99", "--jobs", "1"])

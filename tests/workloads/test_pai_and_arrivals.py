@@ -45,10 +45,8 @@ class TestPaiTrace:
         t = generate_pai_trace(4000, seed=3)
         corr = [abs(np.corrcoef(t.X[:, j], t.y)[0, 1]) for j in range(t.n_features)]
         informative = np.mean([corr[j] for j in TRUE_SUPPORT])
-        noise_cols = [j for j in range(t.n_features) if j not in TRUE_SUPPORT]
         uninformative = np.mean([corr[j] for j in (6, 8)])  # duration, hour
         assert informative > 3 * uninformative
-        del noise_cols
 
     def test_inference_jobs_smaller(self):
         t = generate_pai_trace(3000, seed=4)
@@ -147,7 +145,7 @@ class TestTraceArrivals:
         t = 0.0
         first_half = 0
         for i in range(600):
-            tick = pipe.step(t, 0.1, 2.4, 1350.0)
+            pipe.step(t, 0.1, 2.4, 1350.0)
             if i == 299:
                 first_half = pipe.completed_images
             t += 0.1
