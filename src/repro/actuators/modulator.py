@@ -50,17 +50,24 @@ class DeltaSigmaModulator(Modulator):
     def __init__(self, domain: FrequencyDomain):
         super().__init__(domain)
         self._err = 0.0
+        # Anti-windup bound: one mean level pitch. The grid is immutable, so
+        # this is a constant of the domain, hoisted out of next_level.
+        max_pitch = float(domain.levels[-1] - domain.levels[0])
+        self._pitch = max_pitch / max(domain.n_levels - 1, 1)
+
+    @property
+    def err_mhz(self) -> float:
+        """Accumulated quantization error fed back into the next tick."""
+        return self._err
 
     def next_level(self, target_mhz: float) -> float:
         target = self.domain.clamp(target_mhz)
         desired = target + self._err
         level = self.domain.nearest(self.domain.clamp(desired))
-        self._err = desired - level
         # Saturate the error so a long stretch at a domain boundary cannot
         # wind up an unbounded correction (anti-windup).
-        max_pitch = float(self.domain.levels[-1] - self.domain.levels[0])
-        pitch = max_pitch / max(self.domain.n_levels - 1, 1)
-        self._err = min(max(self._err, -pitch), pitch)
+        pitch = self._pitch
+        self._err = min(max(desired - level, -pitch), pitch)
         return level
 
     def reset(self) -> None:

@@ -209,10 +209,30 @@ def compare_bench(
     )
     base_entries = baseline["entries"]
     cand_entries = candidate["entries"]
-    cmp.missing_in_candidate = sorted(set(base_entries) - set(cand_entries))
-    cmp.missing_in_baseline = sorted(set(cand_entries) - set(base_entries))
-    for name in sorted(set(base_entries) & set(cand_entries)):
+    common = set(base_entries) & set(cand_entries)
+    if (base_entries or cand_entries) and not common:
+        # Disjoint key sets mean the two files benchmark different things
+        # (renamed suite, wrong artifact, stale baseline) — comparing zero
+        # quantities would vacuously PASS, so refuse instead.
+        raise ExperimentError(
+            "bench files share no bench keys — comparing them would check "
+            "nothing. Baseline keys: "
+            f"{sorted(base_entries) or '(none)'}; candidate keys: "
+            f"{sorted(cand_entries) or '(none)'}. Regenerate the baseline "
+            "with the current suite (see benchmarks/README note in README.md)."
+        )
+    cmp.missing_in_candidate = sorted(set(base_entries) - common)
+    cmp.missing_in_baseline = sorted(set(cand_entries) - common)
+    for name in sorted(common):
         base, cand = base_entries[name], cand_entries[name]
+        for role, rec in (("baseline", base), ("candidate", cand)):
+            if "wall_s" not in rec:
+                raise ExperimentError(
+                    f"{role} entry {name!r} has no 'wall_s' field — the file "
+                    "was not produced by the bench suite's conftest "
+                    "(pytest benchmarks/ --benchmark-only with "
+                    "--bench-json-dir)"
+                )
         wall_rel = _rel_change(base["wall_s"], cand["wall_s"])
         cmp.rows.append(ComparisonRow(
             bench=name,

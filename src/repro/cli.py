@@ -8,6 +8,7 @@ Usage::
     repro sweep all --jobs 4        # run everything in parallel workers
     repro sweep table1 fig3 fig7 --set-points 850 900 1000
     repro bench-compare benchmarks/BASELINE.json bench-out/
+    repro profile fig3              # cProfile one experiment, show hot spots
     repro stability                 # print the Section 4.4 gain bound
     repro faults                    # fault-injection / degradation study
 
@@ -101,6 +102,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--fail-on-missing", action="store_true",
         help="also fail when a baseline bench is missing from the candidate",
+    )
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="run one experiment under cProfile and print the hot functions "
+             "plus per-phase wall times",
+    )
+    prof_p.add_argument("experiment", help="experiment id from 'repro list'")
+    prof_p.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+    prof_p.add_argument(
+        "--sort", default="cumulative", metavar="KEY",
+        help="pstats sort key: cumulative, tottime, calls, ... "
+             "(default cumulative)",
+    )
+    prof_p.add_argument(
+        "--top", type=int, default=25, metavar="N",
+        help="number of functions to list (default 25)",
+    )
+    prof_p.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also dump the raw profile (for snakeviz / pstats)",
     )
 
     stab_p = sub.add_parser(
@@ -274,18 +296,40 @@ def _cmd_sweep(args) -> int:
 
 def _cmd_bench_compare(args) -> int:
     from .benchcompare import compare_bench, load_bench
+    from .errors import ExperimentError
 
-    comparison = compare_bench(
-        load_bench(args.baseline),
-        load_bench(args.candidate),
-        wall_threshold=args.wall_threshold,
-        metric_threshold=args.metric_threshold,
-    )
+    try:
+        comparison = compare_bench(
+            load_bench(args.baseline),
+            load_bench(args.candidate),
+            wall_threshold=args.wall_threshold,
+            metric_threshold=args.metric_threshold,
+        )
+    except ExperimentError as err:
+        # Unusable inputs (missing file, invalid JSON, disjoint bench keys)
+        # are exit code 2 so CI can tell "comparison impossible" apart from
+        # "comparison ran and found a regression" (exit 1).
+        print(f"bench-compare: {err}", file=sys.stderr)
+        return 2
     print(comparison.render())
     if args.fail_on_missing and comparison.missing_in_candidate:
         print("FAIL: baseline benches missing from candidate")
         return 1
     return 0 if comparison.ok else 1
+
+
+def _cmd_profile(args) -> int:
+    from .profiling import profile_experiment
+
+    report = profile_experiment(
+        args.experiment,
+        seed=args.seed,
+        sort=args.sort,
+        top=args.top,
+        prof_out=args.out,
+    )
+    print(report.render())
+    return 0
 
 
 def _cmd_identify(seed: int, points: int) -> int:
@@ -362,6 +406,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "bench-compare":
         return _cmd_bench_compare(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "stability":
         return _cmd_stability(args.seed)
     if args.command == "faults":

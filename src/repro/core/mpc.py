@@ -102,38 +102,32 @@ class MpcSolution:
 
 
 def _prediction_matrix(a: np.ndarray, p_horizon: int, m_horizon: int) -> np.ndarray:
-    """Stack rows ``a_i = A S_i`` into ``Ap`` of shape ``(P, N*M)``."""
+    """Stack rows ``a_i = A S_i`` into ``Ap`` of shape ``(P, N*M)``.
+
+    Move ``m`` contributes to prediction step ``i`` iff ``m < i``; the block
+    structure is a broadcast of that mask against ``a``.
+    """
     n = a.shape[0]
-    ap = np.zeros((p_horizon, n * m_horizon))
-    for i in range(1, p_horizon + 1):
-        blocks = min(i, m_horizon)
-        for m in range(blocks):
-            ap[i - 1, m * n:(m + 1) * n] = a
-    return ap
+    mask = np.arange(m_horizon)[None, :] < np.arange(1, p_horizon + 1)[:, None]
+    blocks = mask[:, :, None] * a[None, None, :]  # (P, M, N)
+    return blocks.reshape(p_horizon, n * m_horizon)
 
 
 def _penalty_hessian(r: np.ndarray, m_horizon: int) -> np.ndarray:
     """``sum_m C_m' R C_m`` — block (j, k) is ``R * (M - max(j, k))``."""
     n = r.shape[0]
-    h = np.zeros((n * m_horizon, n * m_horizon))
-    for j in range(m_horizon):
-        for k in range(m_horizon):
-            count = m_horizon - max(j, k)
-            if count > 0:
-                idx_j = slice(j * n, (j + 1) * n)
-                idx_k = slice(k * n, (k + 1) * n)
-                h[idx_j, idx_k] = np.diag(r * count)
-    return h
+    j = np.arange(m_horizon)
+    counts = m_horizon - np.maximum(j[:, None], j[None, :])  # (M, M), all >= 1
+    blocks = counts[:, None, :, None] * np.diag(r)[None, :, None, :]
+    return blocks.reshape(n * m_horizon, n * m_horizon)
 
 
 def _penalty_linear_map(r: np.ndarray, m_horizon: int) -> np.ndarray:
     """``sum_m C_m' R`` as an ``(N*M, N)`` matrix acting on ``g0``."""
     n = r.shape[0]
-    out = np.zeros((n * m_horizon, n))
-    for j in range(m_horizon):
-        count = m_horizon - j  # number of m >= j
-        out[j * n:(j + 1) * n, :] = np.diag(r * count)
-    return out
+    counts = m_horizon - np.arange(m_horizon)  # number of m >= j
+    blocks = counts[:, None, None] * np.diag(r)[None, :, :]
+    return blocks.reshape(n * m_horizon, n)
 
 
 class MimoPowerMpc:
@@ -143,29 +137,70 @@ class MimoPowerMpc:
     frequencies, penalty weights, floors) arrive through :meth:`solve`.
     """
 
+    #: Assembled-matrix cache entries kept before a full clear (an adapting
+    #: gain estimate produces a fresh key every period; bound the memory).
+    _CACHE_LIMIT = 64
+
     def __init__(self, n_channels: int, config: MpcConfig = MpcConfig()):
         if n_channels < 1:
             raise ConfigurationError("n_channels must be >= 1")
         self.n = int(n_channels)
         self.config = config
+        # Constants of the (n, config) pair, hoisted out of the solve path.
+        i_steps = np.arange(1, config.prediction_horizon + 1)
+        self._ref_scale = 1.0 - config.reference_lambda**i_steps
+        self._reg_eye = config.regularization * np.eye(
+            self.n * config.control_horizon
+        )
+        self._ineq_jac = self._constant_ineq_jacobian()
+        # (a, r) -> (H, Ap, q_row, P_map); see _assemble.
+        self._cache: dict[tuple[bytes, bytes], tuple] = {}
+
+    def _constant_ineq_jacobian(self) -> np.ndarray:
+        """Jacobian of the SLSQP box inequalities (``d cum_m / d d_j = I``
+        for ``j <= m``) — constant for a fixed (n, M), built once."""
+        n, m_hor = self.n, self.config.control_horizon
+        jac_rows = []
+        for mm in range(m_hor):
+            block = np.zeros((n, n * m_hor))
+            for j in range(mm + 1):
+                block[:, j * n:(j + 1) * n] = np.eye(n)
+            jac_rows.append(block)
+        cum_jac = np.vstack(jac_rows)  # (M*N, M*N)
+        return np.vstack([cum_jac, -cum_jac])
 
     # -- quadratic-form assembly -------------------------------------------------
 
     def _assemble(
         self, a: np.ndarray, r: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Build (H, Ap, q_row, P_map) for gains ``a`` and penalties ``r``."""
+        """Build (H, Ap, q_row, P_map) for gains ``a`` and penalties ``r``.
+
+        Results are cached per ``(a, r)`` value: horizons and weights live in
+        the frozen config, so the matrices only change when the gains or the
+        per-channel penalties do — under the default (non-adapting) gain
+        model that is once per run, not once per solve. Cached arrays are
+        marked read-only; solver code never mutates them.
+        """
+        key = (a.tobytes(), r.tobytes())
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
         cfg = self.config
         ap = _prediction_matrix(a, cfg.prediction_horizon, cfg.control_horizon)
         h = cfg.q_weight * (ap.T @ ap) + _penalty_hessian(r, cfg.control_horizon)
-        h += cfg.regularization * np.eye(h.shape[0])
+        h += self._reg_eye
         # Reference trajectory: the tracked residual at step i is
         # (1 - lambda^i) * e + a_i . D, so the error enters b scaled per row.
-        i_steps = np.arange(1, cfg.prediction_horizon + 1)
-        ref_scale = 1.0 - cfg.reference_lambda**i_steps
-        q_row = cfg.q_weight * (ref_scale @ ap)  # Ap' Q (1 - lambda^i)
+        q_row = cfg.q_weight * (self._ref_scale @ ap)  # Ap' Q (1 - lambda^i)
         p_map = _penalty_linear_map(r, cfg.control_horizon)
-        return h, ap, q_row, p_map
+        for arr in (h, ap, q_row, p_map):
+            arr.setflags(write=False)
+        if len(self._cache) >= self._CACHE_LIMIT:
+            self._cache.clear()
+        entry = (h, ap, q_row, p_map)
+        self._cache[key] = entry
+        return entry
 
     # -- public API -----------------------------------------------------------
 
@@ -272,16 +307,9 @@ class MimoPowerMpc:
                 (f_max[None, :] - f_traj).ravel(),
             ])
 
-        # Jacobian of the inequalities is constant: d cum_m / d d_j = I for
-        # j <= m. Build it once.
-        jac_rows = []
-        for mm in range(m_hor):
-            block = np.zeros((n, n * m_hor))
-            for j in range(mm + 1):
-                block[:, j * n:(j + 1) * n] = np.eye(n)
-            jac_rows.append(block)
-        cum_jac = np.vstack(jac_rows)  # (M*N, M*N)
-        ineq_jac = np.vstack([cum_jac, -cum_jac])
+        # Jacobian of the inequalities is constant for a fixed (n, M);
+        # hoisted to __init__.
+        ineq_jac = self._ineq_jac
 
         bounds = None
         if cfg.max_step_mhz is not None:

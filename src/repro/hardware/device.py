@@ -30,6 +30,26 @@ class FrequencyDomain:
     def __init__(self, levels_mhz: Iterable[float]):
         levels = require_monotonic(levels_mhz, "levels_mhz")
         self._levels = np.asarray(levels, dtype=np.float64)
+        # Hot-path scalar metadata (property calls cost real time at ~2M
+        # clamp/contains calls per simulated run).
+        self._f_min = float(self._levels[0])
+        self._f_max = float(self._levels[-1])
+        self._level_set = frozenset(self._levels.tolist())
+        # A grid is "uniform" only if every level is *exactly* f0 + i*pitch
+        # in float64 — then nearest-level arithmetic can replace the
+        # searchsorted walk with identical results (the vectorized actuator
+        # keys on this).
+        if self._levels.size > 1:
+            pitch = float(self._levels[1] - self._levels[0])
+            exact = pitch > 0 and bool(
+                np.all(
+                    self._levels
+                    == self._f_min + pitch * np.arange(self._levels.size)
+                )
+            )
+            self._uniform_pitch = pitch if exact else None
+        else:
+            self._uniform_pitch = None
 
     @classmethod
     def from_range(cls, lo_mhz: float, hi_mhz: float, step_mhz: float) -> "FrequencyDomain":
@@ -56,11 +76,16 @@ class FrequencyDomain:
 
     @property
     def f_min(self) -> float:
-        return float(self._levels[0])
+        return self._f_min
 
     @property
     def f_max(self) -> float:
-        return float(self._levels[-1])
+        return self._f_max
+
+    @property
+    def uniform_pitch_mhz(self) -> float | None:
+        """Grid pitch when levels are exactly ``f_min + i*pitch``, else None."""
+        return self._uniform_pitch
 
     @property
     def span(self) -> float:
@@ -73,6 +98,11 @@ class FrequencyDomain:
 
     def contains(self, f_mhz: float, tol: float = 1e-6) -> bool:
         """True if ``f_mhz`` is (within ``tol``) one of the discrete levels."""
+        # Exact hits (the overwhelmingly common case: modulators emit grid
+        # values verbatim) resolve through a set lookup; the tolerance scan
+        # only runs for off-grid queries.
+        if f_mhz in self._level_set:
+            return True
         return bool(np.any(np.abs(self._levels - f_mhz) <= tol))
 
     def nearest(self, f_mhz: float) -> float:
@@ -162,6 +192,22 @@ class Device:
             )
         self._frequency_mhz = float(f0)
         self._utilization = 1.0
+        # Array-valued shadow of (frequency, utilization). A standalone
+        # device owns single-slot arrays; a server re-attaches every device
+        # to one stacked pair (see GpuServer) so power evaluation and
+        # actuation can run as single vector ops. The scalar attributes
+        # above remain the fast read path — every write keeps both in sync.
+        self._bank_f = np.array([self._frequency_mhz])
+        self._bank_u = np.array([self._utilization])
+        self._bank_idx = 0
+
+    def _attach_bank(self, f_bank: np.ndarray, u_bank: np.ndarray, idx: int) -> None:
+        """Rebind this device's state slots onto shared stacked arrays."""
+        f_bank[idx] = self._frequency_mhz
+        u_bank[idx] = self._utilization
+        self._bank_f = f_bank
+        self._bank_u = u_bank
+        self._bank_idx = int(idx)
 
     @property
     def frequency_mhz(self) -> float:
@@ -180,11 +226,18 @@ class Device:
                 f"{self.name}: {f_mhz} MHz is not a supported discrete level"
             )
         self._frequency_mhz = float(f_mhz)
+        self._bank_f[self._bank_idx] = self._frequency_mhz
 
     def set_utilization(self, util: float) -> None:
         """Set the busy fraction for the current tick (clamped to [0, 1])."""
         require_non_negative(util, "utilization")
         self._utilization = float(min(util, 1.0))
+        self._bank_u[self._bank_idx] = self._utilization
+
+    def _set_utilization_in_range(self, util: float) -> None:
+        """Engine fast path: caller guarantees ``0 <= util <= 1`` already."""
+        self._utilization = util
+        self._bank_u[self._bank_idx] = util
 
     def power_w(self) -> float:
         """Ground-truth power draw at the current frequency and utilization."""

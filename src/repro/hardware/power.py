@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
+from ..perf import vectorized_enabled
+from ..rng import BlockSampler
 from ..units import require_non_negative
 
 __all__ = ["DevicePowerModel", "Ar1Noise"]
@@ -104,6 +106,15 @@ class Ar1Noise:
         self._rho = float(rho)
         self._rng = rng
         self._state = 0.0
+        # Innovations are pre-drawn in blocks: generator batch draws consume
+        # the bit stream exactly like repeated scalar draws, so samples (and
+        # every digest downstream) are unchanged — only the per-call Python
+        # overhead goes away. Fixed at construction alongside the rng.
+        self._sampler = (
+            BlockSampler(rng, "normal", (0.0, self._sigma))
+            if rng is not None and vectorized_enabled()
+            else None
+        )
 
     @property
     def stationary_std(self) -> float:
@@ -112,7 +123,11 @@ class Ar1Noise:
 
     def sample(self) -> float:
         """Advance one step and return the current noise value (watts)."""
-        self._state = self._rho * self._state + self._rng.normal(0.0, self._sigma)
+        if self._sampler is not None:
+            w = self._sampler.next()
+        else:
+            w = self._rng.normal(0.0, self._sigma)
+        self._state = self._rho * self._state + w
         return self._state
 
     def reset(self) -> None:

@@ -21,6 +21,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..perf import vectorized_enabled
 from ..rng import spawn
 from ..units import require_non_negative
 from .cpu import CpuModel
@@ -99,10 +100,46 @@ class GpuServer:
         else:
             self.noise = Ar1Noise(noise_sigma_w, noise_rho, spawn(seed, "server-wall-noise"))
         self._noise_value = 0.0
+        #: CPU package subtotal as of the last :meth:`step_all` call.
+        self.last_cpu_power_w = 0.0
         self.thermal_nodes: list[ThermalNode] | None = (
             [ThermalNode() for _ in self.devices] if thermal else None
         )
         self._channels = self._build_channels()
+        # Stacked device state: every device's (frequency, utilization) slot
+        # is re-attached onto these arrays, and the power-model coefficients
+        # are stacked alongside, so per-tick power evaluation and actuation
+        # are single vector expressions instead of per-device Python calls.
+        # The scalar Device API writes through to the bank (see Device), so
+        # the arrays are always fresh on both paths; whether the *reads*
+        # below use them is fixed at construction time.
+        devs = self.devices
+        self._device_seq = tuple(devs)  # immutable hot-path view
+        self._vectorized = vectorized_enabled()
+        self._bank_f = np.array([d.frequency_mhz for d in devs], dtype=np.float64)
+        self._bank_u = np.array([d.utilization for d in devs], dtype=np.float64)
+        for i, d in enumerate(devs):
+            d._attach_bank(self._bank_f, self._bank_u, i)
+        pm = [d.power_model for d in devs]
+        self._pm_idle = np.array([m.idle_w for m in pm])
+        self._pm_dyn = np.array([m.dyn_w_per_mhz for m in pm])
+        self._pm_floor = np.array([m.util_floor for m in pm])
+        self._pm_one_minus_floor = 1.0 - self._pm_floor
+        self._pm_quad = np.array([m.quad_w_per_mhz2 for m in pm])
+        self._pm_fref = np.array([m.f_ref_mhz for m in pm])
+        self._f_min_vec = np.array([d.domain.f_min for d in devs])
+        self._f_max_vec = np.array([d.domain.f_max for d in devs])
+        # Python-list copies of the stacked coefficients for step_all's
+        # scalar fast path (see there for the n<8 restriction).
+        self._pm_idle_l = self._pm_idle.tolist()
+        self._pm_dyn_l = self._pm_dyn.tolist()
+        self._pm_floor_l = self._pm_floor.tolist()
+        self._pm_omf_l = self._pm_one_minus_floor.tolist()
+        self._pm_quad_l = self._pm_quad.tolist()
+        self._pm_fref_l = self._pm_fref.tolist()
+        self._fast_power = (
+            self._vectorized and self.thermal_nodes is None and len(devs) < 8
+        )
 
     # -- structure ----------------------------------------------------------
 
@@ -152,24 +189,47 @@ class GpuServer:
 
     def frequency_vector(self) -> np.ndarray:
         """Current applied frequencies ``F`` in MHz, channel order."""
-        return np.array([d.frequency_mhz for d in self.devices], dtype=np.float64)
+        return self._bank_f.copy()
 
     def f_min_vector(self) -> np.ndarray:
         """Per-channel minimum frequencies."""
-        return np.array([d.domain.f_min for d in self.devices], dtype=np.float64)
+        return self._f_min_vec.copy()
 
     def f_max_vector(self) -> np.ndarray:
         """Per-channel maximum frequencies."""
-        return np.array([d.domain.f_max for d in self.devices], dtype=np.float64)
+        return self._f_max_vec.copy()
 
     def utilization_vector(self) -> np.ndarray:
         """Current per-channel busy fractions."""
-        return np.array([d.utilization for d in self.devices], dtype=np.float64)
+        return self._bank_u.copy()
+
+    def apply_frequency_levels(self, levels_mhz) -> None:
+        """Write one discrete level per device in a single vector store.
+
+        Actuation-layer fast path: the caller (the vectorized server
+        actuator) guarantees every entry is an exact grid level of the
+        matching domain, so the per-device ``contains`` validation of
+        :meth:`Device.apply_frequency` is skipped. Accepts an array or a
+        plain list of floats. Scalar mirrors are kept in sync so
+        ``device.frequency_mhz`` reads stay cheap and exact.
+        """
+        self._bank_f[:] = levels_mhz
+        if isinstance(levels_mhz, np.ndarray):
+            levels_mhz = levels_mhz.tolist()
+        for d, f in zip(self._device_seq, levels_mhz):
+            d._frequency_mhz = f
 
     # -- power ----------------------------------------------------------------
 
     def component_power_w(self) -> np.ndarray:
         """Per-channel device power (ground truth, no wall noise)."""
+        if self._vectorized:
+            # Same expression as DevicePowerModel.power_w, evaluated on the
+            # stacked state — elementwise float64 ops in the identical order,
+            # so each entry is bit-identical to the per-device scalar call.
+            activity = self._pm_floor + self._pm_one_minus_floor * self._bank_u
+            df = self._bank_f - self._pm_fref
+            return self._pm_idle + self._pm_dyn * self._bank_f * activity + self._pm_quad * df * df
         return np.array([d.power_w() for d in self.devices], dtype=np.float64)
 
     def cpu_power_w(self) -> float:
@@ -213,12 +273,65 @@ class GpuServer:
         if self.noise is not None:
             self._noise_value = self.noise.sample()
         if self.thermal_nodes is not None:
-            hottest = -np.inf
-            for node, dev in zip(self.thermal_nodes, self.devices):
-                hottest = max(hottest, node.step(dev.power_w(), dt_s))
+            if self._vectorized:
+                hottest = ThermalNode.step_many(
+                    self.thermal_nodes, self.component_power_w().tolist(), dt_s
+                )
+            else:
+                hottest = -np.inf
+                for node, dev in zip(self.thermal_nodes, self.devices):
+                    hottest = max(hottest, node.step(dev.power_w(), dt_s))
             self.fan.update(hottest)
         else:
             self.fan.update(None if self.fan.mode.value == "fixed" else self.fan.t_low_c)
+
+    def step_all(self, dt_s: float) -> float:
+        """Advance all stacked device state one tick; returns wall power.
+
+        The vectorized engine's combined per-tick plant update: one
+        :meth:`advance` over the banked device vectors followed by one
+        ground-truth power evaluation, identical in value to calling the two
+        scalar methods back to back. As a side effect the CPU package
+        subtotal is stashed in :attr:`last_cpu_power_w` (summed left to
+        right, matching :meth:`cpu_power_w`'s associativity bit for bit) so
+        the RAPL counter can integrate it without recomputing device powers.
+        """
+        self.advance(dt_s)
+        if self._fast_power:
+            # Scalar evaluation of the same per-device expression, read off
+            # the (always in-sync) scalar mirrors. Restricted to < 8 devices:
+            # numpy's pairwise reduce is strictly sequential below 8
+            # elements, so this left-to-right accumulation reproduces
+            # ``float(comp.sum())`` bit for bit — and at that size the
+            # Python loop is severalfold cheaper than the array expression.
+            idle = self._pm_idle_l
+            dyn = self._pm_dyn_l
+            flo = self._pm_floor_l
+            omf = self._pm_omf_l
+            quad = self._pm_quad_l
+            fref = self._pm_fref_l
+            n_cpu = len(self.cpus)
+            cpu_p = 0.0
+            total = 0.0
+            for i, d in enumerate(self._device_seq):
+                fi = d._frequency_mhz
+                df = fi - fref[i]
+                pw = idle[i] + dyn[i] * fi * (flo[i] + omf[i] * d._utilization) + quad[i] * df * df
+                total += pw
+                if i < n_cpu:
+                    cpu_p += pw
+            self.last_cpu_power_w = cpu_p
+            p = self.static_power_w + self.fan.power_w() + total
+        else:
+            comp = self.component_power_w()
+            cpu_p = 0.0
+            for v in comp[: len(self.cpus)].tolist():
+                cpu_p += v
+            self.last_cpu_power_w = cpu_p
+            p = self.static_power_w + self.fan.power_w() + float(comp.sum())
+        if self.noise is not None:
+            p += self._noise_value
+        return p
 
     def reset(self) -> None:
         """Reset disturbances, temperatures and frequencies to initial state."""

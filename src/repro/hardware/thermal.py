@@ -63,3 +63,23 @@ class ThermalNode:
     def reset(self) -> None:
         """Return to ambient temperature."""
         self._temp = self.t_ambient
+
+    @staticmethod
+    def step_many(nodes: "list[ThermalNode]", powers_w, dt_s: float) -> float:
+        """Advance several nodes one tick; returns the hottest temperature.
+
+        Equivalent to calling :meth:`step` per node — each node keeps its
+        own ``math.exp`` (libm, so results match the scalar path exactly)
+        while the state updates collapse into one pass. Used by the server's
+        vectorized stepping path.
+        """
+        import math
+
+        hottest = -math.inf
+        for node, p in zip(nodes, powers_w):
+            target = node.t_ambient + node.r_th * p
+            alpha = 1.0 - math.exp(-dt_s / node.tau)
+            node._temp += alpha * (target - node._temp)
+            if node._temp > hottest:
+                hottest = node._temp
+        return hottest

@@ -1,0 +1,63 @@
+"""Global switch between the vectorized hot path and the legacy scalar path.
+
+The simulation/controller hot path has two implementations that are
+bit-for-bit equivalent by construction and by test
+(``tests/sim/test_vectorized_digest.py``):
+
+* the *vectorized* path (default) — array-valued device state on the
+  server, per-period delta-sigma rollouts in the actuator, and block
+  pre-drawing of RNG samples in the workloads and telemetry noise models;
+* the *legacy scalar* path — one Python call per device per tick, one RNG
+  draw per sample, exactly as originally written.
+
+Components consult :func:`vectorized_enabled` **at construction time** (the
+hot loop itself never branches on it), so flipping the switch affects
+simulations built afterwards. The digest-equivalence tests run the same
+experiment under both paths and assert identical canonical checksums.
+
+Control knobs, highest precedence first:
+
+1. :func:`set_vectorized` / :func:`scalar_fallback` (tests, tooling);
+2. the ``REPRO_VECTORIZED`` environment variable (``0``/``false``/``no``
+   disables, anything else enables);
+3. the built-in default (enabled).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+__all__ = ["vectorized_enabled", "set_vectorized", "scalar_fallback"]
+
+_FALSE_STRINGS = ("0", "false", "no", "off")
+
+#: Programmatic override; ``None`` defers to the environment.
+_override: bool | None = None
+
+
+def vectorized_enabled() -> bool:
+    """Whether newly constructed components should use the vectorized path."""
+    if _override is not None:
+        return _override
+    env = os.environ.get("REPRO_VECTORIZED")
+    if env is not None and env.strip().lower() in _FALSE_STRINGS:
+        return False
+    return True
+
+
+def set_vectorized(flag: bool | None) -> None:
+    """Force the switch on/off, or ``None`` to defer to the environment."""
+    global _override
+    _override = None if flag is None else bool(flag)
+
+
+@contextmanager
+def scalar_fallback():
+    """Context manager: build components on the legacy scalar path."""
+    previous = _override
+    set_vectorized(False)
+    try:
+        yield
+    finally:
+        set_vectorized(previous)

@@ -1,0 +1,126 @@
+"""Profiling hook for experiments: ``repro profile <experiment>``.
+
+Runs one experiment under :mod:`cProfile` and reports where the wall time
+went — both as a per-phase table (the experiment's own case timings, which
+:func:`repro.experiments.common.run_timed_cases` collects anyway) and as the
+classic top-N function listing. The measurements are folded into
+``ExperimentResult.timings`` under the ``"profile"`` key, so a sweep report
+written from a profiled run carries them; the canonical reproducibility
+digest excludes ``timings`` entirely, so profiling never perturbs it.
+
+Usage::
+
+    repro profile fig3                  # top functions by cumulative time
+    repro profile fig6 --sort tottime   # by self time
+    repro profile fig3 --out fig3.prof  # also dump for snakeviz/pstats
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["ProfileReport", "profile_experiment"]
+
+
+@dataclass
+class ProfileReport:
+    """Outcome of one profiled experiment run."""
+
+    experiment_id: str
+    #: The profiled run's result (``result.timings["profile"]`` is populated).
+    result: object
+    #: Total wall time of the run, seconds.
+    total_s: float
+    #: ``pstats`` top-N listing, ready to print.
+    stats_text: str
+    #: Structured top functions: ``{"function", "calls", "tottime_s",
+    #: "cumtime_s"}`` dicts, sorted by the chosen key.
+    top_functions: list = field(default_factory=list)
+    #: Where the raw profile was dumped, if requested.
+    prof_path: str | None = None
+
+    def render(self) -> str:
+        lines = [
+            f"=== profile: {self.experiment_id} ({self.total_s:.2f} s) ===",
+        ]
+        phases = {
+            k: v
+            for k, v in self.result.timings.items()
+            if isinstance(v, (int, float))
+        }
+        if phases:
+            width = max(len(k) for k in phases)
+            lines.append("per-phase wall times:")
+            for label, wall in phases.items():
+                share = wall / self.total_s if self.total_s > 0 else 0.0
+                lines.append(f"  {label:<{width}}  {wall:8.3f} s  {share:5.1%}")
+        lines.append(self.stats_text.rstrip())
+        if self.prof_path:
+            lines.append(f"profile dumped to {self.prof_path}")
+        return "\n".join(lines)
+
+
+def profile_experiment(
+    experiment_id: str,
+    seed: int = 0,
+    *,
+    sort: str = "cumulative",
+    top: int = 25,
+    prof_out: str | None = None,
+) -> ProfileReport:
+    """Run ``experiment_id`` under cProfile and collect timing breakdowns.
+
+    ``sort`` is any :mod:`pstats` sort key (``cumulative``, ``tottime``,
+    ``calls``, …). ``prof_out`` additionally dumps the raw profile for
+    offline viewers. The returned report's ``result`` is a normal
+    :class:`~repro.experiments.common.ExperimentResult` — profiling is
+    observability only and does not change what the experiment computes.
+    """
+    from .experiments import run_experiment
+
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    try:
+        result = run_experiment(experiment_id, seed=seed)
+    finally:
+        profiler.disable()
+    total_s = time.perf_counter() - t0
+
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats(sort).print_stats(top)
+
+    top_functions = []
+    for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) in sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True
+    )[:top]:
+        top_functions.append(
+            {
+                "function": f"{filename}:{lineno}({funcname})",
+                "calls": nc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+
+    if prof_out is not None:
+        stats.dump_stats(prof_out)
+
+    result.timings["profile"] = {
+        "total_s": round(total_s, 6),
+        "sort": sort,
+        "top_functions": top_functions,
+    }
+    return ProfileReport(
+        experiment_id=experiment_id,
+        result=result,
+        total_s=total_s,
+        stats_text=buf.getvalue(),
+        top_functions=top_functions,
+        prof_path=prof_out,
+    )

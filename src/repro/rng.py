@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn", "SeedLike"]
+__all__ = ["make_rng", "spawn", "BlockSampler", "SeedLike"]
 
 SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
 
@@ -59,3 +59,75 @@ def spawn(seed, name: str) -> np.random.Generator:
         entropy=root.entropy, spawn_key=tuple(int(b) for b in digest)
     )
     return np.random.default_rng(child)
+
+
+class BlockSampler:
+    """Block pre-drawing of i.i.d. samples from one Generator distribution.
+
+    The hot loop draws one sample per event (``rng.normal(0, sigma)``,
+    ``rng.poisson(lam)``, ...), which pays the Generator dispatch overhead on
+    every draw. Pre-drawing a block with ``size=n`` consumes the *same*
+    underlying bit stream as ``n`` scalar draws for the distributions used
+    here (normal, lognormal, poisson — verified by
+    ``tests/sim/test_vectorized_digest.py``), so handing out cached samples
+    one at a time is bit-for-bit equivalent and an order of magnitude
+    cheaper.
+
+    One sampler serves one distribution with *fixed* parameters; that is the
+    shape of every noise stream in the simulator (each component owns a
+    dedicated spawned generator). Samples are handed out as Python floats so
+    downstream scalar arithmetic is unchanged.
+    """
+
+    __slots__ = ("_rng", "_dist", "_args", "_block", "_buf", "_i")
+
+    def __init__(self, rng: np.random.Generator, dist: str, args, block: int = 256):
+        if block < 1:
+            raise ValueError("block must be >= 1")
+        self._rng = rng
+        self._dist = str(dist)
+        self._args = tuple(args)
+        self._block = int(block)
+        self._buf: list = []
+        self._i = 0
+
+    @property
+    def params(self) -> tuple:
+        """The fixed distribution parameters this sampler was built with."""
+        return self._args
+
+    def next(self) -> float:
+        """The next sample of the stream (refilling the block as needed)."""
+        if self._i >= len(self._buf):
+            draw = getattr(self._rng, self._dist)
+            self._buf = draw(*self._args, size=self._block).tolist()
+            self._i = 0
+        value = self._buf[self._i]
+        self._i += 1
+        return value
+
+    def take(self, n: int) -> list:
+        """The next ``n`` samples of the stream, as a list of floats.
+
+        Equivalent to ``[self.next() for _ in range(n)]`` (and therefore to
+        one ``size=n`` draw on the wrapped generator), without the per-sample
+        call overhead.
+        """
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        buf, i = self._buf, self._i
+        end = i + n
+        if end <= len(buf):
+            self._i = end
+            return buf[i:end]
+        out = buf[i:]
+        need = n - len(out)
+        draw = getattr(self._rng, self._dist)
+        # Refill in block multiples so the stream position stays aligned
+        # with what repeated next() calls would have consumed.
+        block = self._block
+        fill = ((need + block - 1) // block) * block
+        self._buf = buf = draw(*self._args, size=fill).tolist()
+        out.extend(buf[:need])
+        self._i = need
+        return out

@@ -37,6 +37,7 @@ from ..faults import (
     FaultyServerActuator,
 )
 from ..hardware.server import GpuServer
+from ..perf import vectorized_enabled
 from ..rng import spawn
 from ..telemetry import (
     AcpiPowerMeter,
@@ -246,6 +247,17 @@ class ServerSimulation:
         self.trace = Trace(self._trace_channels(), capacity=1024)
         self.last_control_ms = 0.0
 
+        # Fast-path monitor feeding (fixed at construction): per-tick counts
+        # are summed into plain Python accumulators and flushed into the
+        # monitors once per control period. A monitor window built from one
+        # ``record(total, elapsed)`` call is bit-identical to one built from
+        # per-tick calls — the same float additions run in the same order,
+        # and seeding the window is ``0.0 + total == total`` exactly.
+        self._vec = vectorized_enabled()
+        self._tput_acc = [0.0] * server.n_channels
+        self._util_acc = [0.0] * server.n_channels
+        self._acc_elapsed = 0.0
+
         # Reserve cores: each pipeline's workers + one controller core; the
         # rest run feature selection. (Used only for utilization accounting.)
         self._preproc_workers = sum(
@@ -304,63 +316,89 @@ class ServerSimulation:
 
     def _tick(self, record: PeriodRecord) -> None:
         cfg = self.config
+        dt = cfg.dt_s
+        vec = self._vec
+        tput_acc = self._tput_acc
+        util_acc = self._util_acc
         self.actuator.tick()
 
         cpu = self.server.cpus[0]
         cpu_ghz = cpu.frequency_ghz
+        gpus = self.server.gpus
+        gpu_channels = self.gpu_channels
+        t_now = self.time_s
 
         preproc_busy_cores = 0.0
         for g, pipe in enumerate(self.pipelines):
-            gpu = self.server.gpus[g]
-            chan = self.gpu_channels[g]
+            gpu = gpus[g]
+            chan = gpu_channels[g]
             if pipe is None:
-                gpu.set_utilization(0.0)
-                self.tput_monitors[chan].record(0.0, cfg.dt_s)
-                self.util_monitors[chan].record(0.0, cfg.dt_s)
+                gpu._set_utilization_in_range(0.0)
+                if not vec:
+                    self.tput_monitors[chan].record(0.0, dt)
+                    self.util_monitors[chan].record(0.0, dt)
                 continue
-            tick = pipe.step(self.time_s, cfg.dt_s, cpu_ghz, gpu.frequency_mhz)
-            gpu.set_utilization(tick.gpu_busy_s / cfg.dt_s)
-            self.tput_monitors[chan].record(tick.batches_completed, cfg.dt_s)
-            self.util_monitors[chan].record(tick.gpu_busy_s, cfg.dt_s)
+            tick = pipe.step(t_now, dt, cpu_ghz, gpu._frequency_mhz)
+            # gpu_busy_s <= dt by construction, so the ratio is in [0, 1]
+            # and the validating scalar setter can be skipped.
+            gpu._set_utilization_in_range(tick.gpu_busy_s / dt)
+            if vec:
+                tput_acc[chan] += tick.batches_completed
+                util_acc[chan] += tick.gpu_busy_s
+            else:
+                self.tput_monitors[chan].record(tick.batches_completed, dt)
+                self.util_monitors[chan].record(tick.gpu_busy_s, dt)
             preproc_busy_cores += pipe.config.n_workers * tick.preproc_busy_frac
-            slo = self._slos.get(chan)
-            for lat in tick.batch_latencies_s:
-                record.batch_latencies[g].append(lat)
-                record.batch_slo_misses[g].append(
-                    False if slo is None else lat > slo
-                )
+            lats = tick.batch_latencies_s
+            if lats:
+                slo = self._slos.get(chan)
+                rec_lat = record.batch_latencies[g]
+                rec_miss = record.batch_slo_misses[g]
+                for lat in lats:
+                    rec_lat.append(lat)
+                    rec_miss.append(False if slo is None else lat > slo)
 
         fs_cores = 0
         cpu_chan = self.cpu_channels[0]
         if self.fs is not None:
             fs_cores = self.fs.n_cores
-            done, lats = self.fs.step(cfg.dt_s, cpu_ghz)
-            self.tput_monitors[cpu_chan].record(done, cfg.dt_s)
+            done, lats = self.fs.step(dt, cpu_ghz)
+            if vec:
+                tput_acc[cpu_chan] += done
+            else:
+                self.tput_monitors[cpu_chan].record(done, dt)
             record.fs_latencies.extend(lats)
-        else:
-            self.tput_monitors[cpu_chan].record(0.0, cfg.dt_s)
+        elif not vec:
+            self.tput_monitors[cpu_chan].record(0.0, dt)
 
         busy_cores = preproc_busy_cores + fs_cores + _CONTROLLER_CORE_UTIL
         cpu_util = min(busy_cores / cpu.n_cores, 1.0)
-        cpu.set_utilization(cpu_util)
-        self.util_monitors[cpu_chan].record(cpu_util * cfg.dt_s, cfg.dt_s)
+        cpu._set_utilization_in_range(cpu_util)
+        if vec:
+            util_acc[cpu_chan] += cpu_util * dt
+        else:
+            self.util_monitors[cpu_chan].record(cpu_util * dt, dt)
         # Additional CPU packages host no simulated workload: their monitors
         # still need a window entry every tick, and their package
         # utilization reflects whatever the device model currently reports.
         for extra_chan in self.cpu_channels[1:]:
             dev = self.server.device(extra_chan)
-            self.tput_monitors[extra_chan].record(0.0, cfg.dt_s)
-            self.util_monitors[extra_chan].record(
-                dev.utilization * cfg.dt_s, cfg.dt_s
-            )
+            if vec:
+                util_acc[extra_chan] += dev.utilization * dt
+            else:
+                self.tput_monitors[extra_chan].record(0.0, dt)
+                self.util_monitors[extra_chan].record(
+                    dev.utilization * dt, dt
+                )
+        if vec:
+            self._acc_elapsed += dt
 
-        self.server.advance(cfg.dt_s)
-        p_true = self.server.total_power_w()
-        self.meter.accumulate(p_true, cfg.dt_s)
-        self.rapl.accumulate(cfg.dt_s)
+        p_true = self.server.step_all(dt)
+        self.meter.accumulate(p_true, dt)
+        self.rapl.accumulate(dt, cpu_power_w=self.server.last_cpu_power_w)
         self._true_power_sum += p_true
         self._true_power_ticks += 1
-        self.time_s += cfg.dt_s
+        self.time_s += dt
 
     # -- observation assembly --------------------------------------------------------
 
@@ -405,6 +443,19 @@ class ServerSimulation:
         return np.array(values, dtype=np.float64), arrived
 
     def _build_observation(self) -> ControlObservation:
+        if self._vec and self._acc_elapsed > 0:
+            # Flush the per-period accumulators into the monitors so the
+            # read_and_reset calls below see exactly the windows the scalar
+            # per-tick path would have built.
+            elapsed = self._acc_elapsed
+            tput_acc = self._tput_acc
+            util_acc = self._util_acc
+            for i in range(self.server.n_channels):
+                self.tput_monitors[i].record(tput_acc[i], elapsed)
+                self.util_monitors[i].record(util_acc[i], elapsed)
+                tput_acc[i] = 0.0
+                util_acc[i] = 0.0
+            self._acc_elapsed = 0.0
         samples, _ = self._fresh_meter_samples()
 
         tput_raw = np.empty(self.server.n_channels)

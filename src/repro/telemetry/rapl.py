@@ -47,11 +47,18 @@ class SimulatedRapl:
         self.max_energy_range_uj = int(max_energy_range_uj)
         self._energy_uj = 0.0
 
-    def accumulate(self, dt_s: float) -> None:
-        """Integrate the current CPU package power for one tick."""
+    def accumulate(self, dt_s: float, cpu_power_w: float | None = None) -> None:
+        """Integrate the current CPU package power for one tick.
+
+        ``cpu_power_w`` lets the engine pass a package power it already
+        computed this tick (``GpuServer.step_all`` stashes one); omitted, the
+        counter reads the server itself.
+        """
         if dt_s <= 0:
             raise ConfigurationError("dt_s must be positive")
-        self._energy_uj += joules_to_microjoules(self._server.cpu_power_w() * dt_s)
+        if cpu_power_w is None:
+            cpu_power_w = self._server.cpu_power_w()
+        self._energy_uj += joules_to_microjoules(cpu_power_w * dt_s)
         self._energy_uj %= self.max_energy_range_uj
 
     def read_energy_uj(self) -> int:

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..perf import vectorized_enabled
+from ..rng import BlockSampler
 from ..units import require_positive
 
 __all__ = [
@@ -158,6 +160,17 @@ class FeatureSelectionWorkload:
         self._carry = 0.0
         self.completed_subsets = 0
         self._total_latency_s = 0.0
+        # Hot-path memoization: the clock takes few distinct values (discrete
+        # DVFS levels), so rate and base latency are cached on the exact
+        # float frequency. On the vectorized path jitter draws are pre-drawn
+        # in blocks — bit-identical to the per-tick ``size=done`` draw.
+        self._rate_cache: dict[float, float] = {}
+        self._latency_cache: dict[float, float] = {}
+        self._jitter_sampler = (
+            BlockSampler(rng, "lognormal", (0.0, self.jitter_sigma))
+            if self.jitter_sigma > 0 and vectorized_enabled()
+            else None
+        )
 
     def rate_subsets_s(self, f_ghz: float) -> float:
         """Aggregate evaluation rate at clock ``f_ghz``."""
@@ -182,15 +195,23 @@ class FeatureSelectionWorkload:
         """
         if dt_s <= 0:
             raise ConfigurationError("dt_s must be positive")
-        self._carry += self.rate_subsets_s(f_ghz) * dt_s
+        rate = self._rate_cache.get(f_ghz)
+        if rate is None:
+            rate = self._rate_cache[f_ghz] = self.rate_subsets_s(f_ghz)
+        self._carry += rate * dt_s
         done = int(self._carry)
         self._carry -= done
         latencies: list[float] = []
         if done:
-            base = self.latency_s(f_ghz)
+            base = self._latency_cache.get(f_ghz)
+            if base is None:
+                base = self._latency_cache[f_ghz] = self.latency_s(f_ghz)
             if self.jitter_sigma > 0:
-                jit = self._rng.lognormal(0.0, self.jitter_sigma, size=done)
-                latencies = list(base * jit)
+                if self._jitter_sampler is not None:
+                    latencies = [base * j for j in self._jitter_sampler.take(done)]
+                else:
+                    jit = self._rng.lognormal(0.0, self.jitter_sigma, size=done)
+                    latencies = list(base * jit)
             else:
                 latencies = [base] * done
             self.completed_subsets += done

@@ -196,16 +196,23 @@ def tail_latency(median_s: float, jitter_sigma: float, quantile: float) -> float
 
 
 def sample_batch_work(
-    spec: InferenceModelSpec, rng: np.random.Generator, batch: int | None = None
+    spec: InferenceModelSpec,
+    rng: np.random.Generator,
+    batch: int | None = None,
+    sampler=None,
 ) -> float:
     """Draw one batch's work in seconds-at-f_max (``work(batch) * jitter``).
 
     ``batch=None`` uses the spec's reference batch size, for which the work
-    equals ``e_min_s`` (times jitter).
+    equals ``e_min_s`` (times jitter). Callers on the hot path may pass a
+    pre-drawing ``sampler`` (a :class:`~repro.rng.BlockSampler` over the same
+    lognormal) whose values are bit-identical to the scalar draw.
     """
     base = spec.e_min_s if batch is None else spec.work_for_batch_s(batch)
     if spec.jitter_sigma == 0.0:
         return base
+    if sampler is not None:
+        return float(base * sampler.next())
     return float(base * rng.lognormal(mean=0.0, sigma=spec.jitter_sigma))
 
 

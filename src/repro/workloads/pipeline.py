@@ -28,11 +28,13 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..perf import vectorized_enabled
+from ..rng import BlockSampler
 from ..units import require_positive
 from .models import InferenceModelSpec, sample_batch_work
 from .request_gen import ArrivalProcess, SaturatedArrivals
@@ -80,18 +82,43 @@ class PipelineConfig:
         require_positive(self.fixed_preproc_ghz, "fixed_preproc_ghz")
 
 
-@dataclass
 class PipelineTick:
-    """Per-tick pipeline observations fed to monitors and traces."""
+    """Per-tick pipeline observations fed to monitors and traces.
 
-    images_preprocessed: float = 0.0
-    batches_completed: int = 0
-    images_completed: int = 0
-    batch_latencies_s: list = field(default_factory=list)
-    queue_waits_s: list = field(default_factory=list)
-    gpu_busy_s: float = 0.0
-    preproc_busy_frac: float = 0.0
-    queue_len_img: float = 0.0
+    A plain slots class rather than a dataclass: one is allocated per
+    pipeline per simulation tick, so construction cost matters.
+    """
+
+    __slots__ = (
+        "images_preprocessed",
+        "batches_completed",
+        "images_completed",
+        "batch_latencies_s",
+        "queue_waits_s",
+        "gpu_busy_s",
+        "preproc_busy_frac",
+        "queue_len_img",
+    )
+
+    def __init__(
+        self,
+        images_preprocessed: float = 0.0,
+        batches_completed: int = 0,
+        images_completed: int = 0,
+        batch_latencies_s: list | None = None,
+        queue_waits_s: list | None = None,
+        gpu_busy_s: float = 0.0,
+        preproc_busy_frac: float = 0.0,
+        queue_len_img: float = 0.0,
+    ):
+        self.images_preprocessed = images_preprocessed
+        self.batches_completed = batches_completed
+        self.images_completed = images_completed
+        self.batch_latencies_s = [] if batch_latencies_s is None else batch_latencies_s
+        self.queue_waits_s = [] if queue_waits_s is None else queue_waits_s
+        self.gpu_busy_s = gpu_busy_s
+        self.preproc_busy_frac = preproc_busy_frac
+        self.queue_len_img = queue_len_img
 
 
 class _RunningBatch:
@@ -132,9 +159,23 @@ class InferencePipeline:
         self.spec = spec
         self.config = config
         self._rng = rng
+        # Jitter draws pre-fetched in blocks on the fast path; batch draws
+        # consume the generator stream identically to per-batch scalar
+        # draws, so sampled work (and digests) are unchanged.
+        self._work_sampler = (
+            BlockSampler(rng, "lognormal", (0.0, spec.jitter_sigma))
+            if spec.jitter_sigma > 0 and vectorized_enabled()
+            else None
+        )
         # Current assembly size; mutable at run time (dynamic-batching
         # extension). Starts at the spec's reference batch size.
         self._batch_size = int(spec.batch_size)
+        # Hot-path caches. Clocks take few distinct values (discrete DVFS
+        # levels), so the per-tick powers/divisions are memoized on the exact
+        # float frequency — cache hits return the identical float64 the
+        # direct expression would produce.
+        self._gpu_rate_cache: dict[float, float] = {}
+        self._preproc_rate_cache: dict[float, float] = {}
         self.arrivals = arrivals if arrivals is not None else SaturatedArrivals()
         # FIFO of [image_count, mean_push_time] chunks (fluid approximation).
         self._queue: deque[list] = deque()
@@ -240,33 +281,42 @@ class InferencePipeline:
         if dt_s <= 0:
             raise ConfigurationError("dt_s must be positive")
         tick = PipelineTick()
+        pending = self._pending_img
+        queue_len = self._queue_len
 
         # 1. offered load
         new = self.arrivals.arrivals(t_s, dt_s)
         if math.isinf(new):
-            self._pending_img = math.inf
+            pending = math.inf
         else:
-            if math.isinf(self._pending_img):
+            if math.isinf(pending):
                 # The arrival process changed from saturated to metered
                 # (e.g. an ArrivalRateChange event): the infinite backlog
                 # was notional, so restart metered accounting from zero.
-                self._pending_img = 0.0
-            self._pending_img += new
+                pending = 0.0
+            pending += new
 
         # 2. preprocessing: bounded by capacity, backlog, queue space, window
-        capacity = self.preproc_rate_img_s(cpu_freq_ghz) * dt_s
-        space = self.config.queue_capacity_img - self._queue_len
+        rate = self._preproc_rate_cache.get(cpu_freq_ghz)
+        if rate is None:
+            rate = self._preproc_rate_cache[cpu_freq_ghz] = self.preproc_rate_img_s(
+                cpu_freq_ghz
+            )
+        capacity = rate * dt_s
+        space = self.config.queue_capacity_img - queue_len
         window = (
             math.inf
             if self.config.inflight_limit_img is None
             else max(self.config.inflight_limit_img - self.inflight_img, 0.0)
         )
-        produced = max(min(capacity, self._pending_img, space, window), 0.0)
+        produced = max(min(capacity, pending, space, window), 0.0)
         if produced > 0:
-            if not math.isinf(self._pending_img):
-                self._pending_img -= produced
+            if not math.isinf(pending):
+                pending -= produced
             self._queue.append([produced, t_s + 0.5 * dt_s])
-            self._queue_len += produced
+            queue_len += produced
+        self._pending_img = pending
+        self._queue_len = queue_len
         tick.images_preprocessed = produced
         tick.preproc_busy_frac = produced / capacity if capacity > 0 else 0.0
 
@@ -275,12 +325,17 @@ class InferencePipeline:
         # from the progress overshoot (otherwise every latency sample would
         # carry a +O(dt) quantization bias), and the spare tail of the tick
         # immediately serves the next batch if one can be assembled.
-        if self._batch is not None:
-            rate = (gpu_freq_mhz / self.spec.f_gmax_mhz) ** self.spec.gamma
-            self._batch.progress_s += dt_s * rate
+        batch = self._batch
+        if batch is not None:
+            rate = self._gpu_rate_cache.get(gpu_freq_mhz)
+            if rate is None:
+                rate = self._gpu_rate_cache[gpu_freq_mhz] = (
+                    gpu_freq_mhz / self.spec.f_gmax_mhz
+                ) ** self.spec.gamma
+            batch.progress_s += dt_s * rate
             tick.gpu_busy_s = dt_s
-            if self._batch.progress_s >= self._batch.work_s:
-                overshoot = self._batch.progress_s - self._batch.work_s
+            if batch.progress_s >= batch.work_s:
+                overshoot = batch.progress_s - batch.work_s
                 spare_s = overshoot / rate if rate > 0 else 0.0
                 spare_s = min(spare_s, dt_s)
                 completion_t = t_s + dt_s - spare_s
@@ -330,7 +385,9 @@ class InferencePipeline:
                 self._queue.popleft()
         self._queue_len = max(self._queue_len - taken, 0.0)
         queue_wait = weighted_age / taken if taken > 0 else 0.0
-        work = sample_batch_work(self.spec, self._rng, batch=n_images)
+        work = sample_batch_work(
+            self.spec, self._rng, batch=n_images, sampler=self._work_sampler
+        )
         self._batch = _RunningBatch(work, now_s, queue_wait, n_images)
 
     def reset(self) -> None:

@@ -161,3 +161,63 @@ class TestUnconstrainedGains:
     def test_gain_shape_validation(self):
         with pytest.raises(ConfigurationError):
             unconstrained_gains(A, np.ones(3))
+
+
+class TestMatrixCache:
+    """The assembled-matrix cache: hits on repeated (a, r), invalidation on
+    changed gains/penalties, and the bounded-size clear."""
+
+    def make(self):
+        return MimoPowerMpc(4, MpcConfig(solver="analytic"))
+
+    def kwargs(self, a=A, r=R):
+        return dict(
+            error_w=40.0,
+            f_now_mhz=np.array([1800.0, 900.0, 900.0, 900.0]),
+            a_w_per_mhz=a,
+            r_weights=r,
+            floors_mhz=F_MIN,
+            f_max_mhz=F_MAX,
+        )
+
+    def test_repeated_solve_hits_cache(self):
+        mpc = self.make()
+        mpc.solve(**self.kwargs())
+        entry = mpc._cache[(A.tobytes(), R.tobytes())]
+        mpc.solve(**self.kwargs())
+        assert len(mpc._cache) == 1
+        # Same tuple object: the second solve reused, not rebuilt.
+        assert mpc._cache[(A.tobytes(), R.tobytes())] is entry
+
+    def test_changed_gains_invalidate(self):
+        mpc = self.make()
+        stale = mpc.solve(**self.kwargs())
+        a2 = A * 1.5
+        fresh_solver = self.make()
+        expected = fresh_solver.solve(**self.kwargs(a=a2))
+        got = mpc.solve(**self.kwargs(a=a2))
+        # The warm solver must match a cold solver exactly — no stale matrices.
+        assert np.array_equal(got.d0_mhz, expected.d0_mhz)
+        assert len(mpc._cache) == 2
+        assert not np.array_equal(got.d0_mhz, stale.d0_mhz)
+
+    def test_changed_penalties_invalidate(self):
+        mpc = self.make()
+        mpc.solve(**self.kwargs())
+        r2 = R * 10.0
+        expected = self.make().solve(**self.kwargs(r=r2))
+        got = mpc.solve(**self.kwargs(r=r2))
+        assert np.array_equal(got.d0_mhz, expected.d0_mhz)
+
+    def test_cache_cleared_at_limit(self):
+        mpc = self.make()
+        for i in range(MimoPowerMpc._CACHE_LIMIT + 3):
+            mpc.solve(**self.kwargs(a=A * (1.0 + 0.01 * i)))
+        # An adapting gain estimate never grows the cache unboundedly.
+        assert len(mpc._cache) <= MimoPowerMpc._CACHE_LIMIT
+
+    def test_cached_arrays_read_only(self):
+        mpc = self.make()
+        mpc.solve(**self.kwargs())
+        for arr in mpc._cache[(A.tobytes(), R.tobytes())]:
+            assert not arr.flags.writeable

@@ -1,0 +1,129 @@
+"""Bit-for-bit equivalence of the vectorized and legacy scalar hot paths.
+
+The vectorized engine (array-valued device state, batched delta-sigma
+rollout, block-drawn RNG) must be *indistinguishable* from the original
+per-device scalar code: these tests run whole experiments under both paths
+and compare the canonical-JSON sha256 of the result data — the same digest
+the sweep runner checksums, so any divergence a user could ever observe
+fails here.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.actuators import NearestLevelModulator, ServerActuator
+from repro.experiments import run_experiment
+from repro.hardware.presets import v100_server
+from repro.perf import scalar_fallback, set_vectorized, vectorized_enabled
+from repro.rng import BlockSampler, spawn
+from repro.runner import canonical_json
+
+
+def result_digest(experiment_id: str, seed: int) -> str:
+    result = run_experiment(experiment_id, seed=seed)
+    return hashlib.sha256(canonical_json(result.data).encode()).hexdigest()
+
+
+class TestSwitch:
+    def test_default_enabled(self):
+        assert vectorized_enabled()
+
+    def test_scalar_fallback_scopes_the_override(self):
+        assert vectorized_enabled()
+        with scalar_fallback():
+            assert not vectorized_enabled()
+        assert vectorized_enabled()
+
+    def test_set_vectorized_none_defers_to_environment(self):
+        set_vectorized(False)
+        assert not vectorized_enabled()
+        set_vectorized(None)
+        assert vectorized_enabled()
+
+
+class TestExperimentDigests:
+    """Same experiment, both paths, identical canonical checksums."""
+
+    @pytest.mark.parametrize(
+        ("experiment_id", "seed"),
+        [
+            ("fig3", 0),        # delta-sigma rollout + pipeline workload
+            ("fig3", 7),
+            ("ablation-modulator", 0),   # nearest-level rollout too
+            ("ablation-solver", 3),
+        ],
+    )
+    def test_digest_matches_scalar_path(self, experiment_id, seed):
+        vec = result_digest(experiment_id, seed)
+        with scalar_fallback():
+            scalar = result_digest(experiment_id, seed)
+        assert vec == scalar
+
+    @pytest.mark.chaos
+    @pytest.mark.parametrize(
+        ("experiment_id", "seed"),
+        [("fig6", 0), ("robustness", 0), ("fault-tolerance", 1)],
+    )
+    def test_digest_matches_scalar_path_slow(self, experiment_id, seed):
+        vec = result_digest(experiment_id, seed)
+        with scalar_fallback():
+            scalar = result_digest(experiment_id, seed)
+        assert vec == scalar
+
+
+class TestActuatorRollout:
+    """The batched actuator reproduces the per-channel modulators exactly."""
+
+    def run_actuator(self, factory, targets, n_ticks=40):
+        server = v100_server(seed=None)
+        act = ServerActuator(server, factory)
+        applied = []
+        for tgt in targets:
+            act.set_targets(tgt)
+            for _ in range(n_ticks):
+                act.tick()
+                applied.append(server.frequency_vector())
+        avg = act.applied_average_and_reset()
+        return np.array(applied), avg
+
+    @pytest.mark.parametrize("factory", [None, NearestLevelModulator])
+    def test_levels_and_averages_identical(self, factory):
+        rng = spawn(11, "actuator-rollout-test")
+        n = len(v100_server(seed=None).devices)
+        targets = [
+            [float(t) for t in rng.uniform(400.0, 1500.0, size=n)]
+            for _ in range(6)
+        ]
+        vec_applied, vec_avg = self.run_actuator(factory, targets)
+        with scalar_fallback():
+            scl_applied, scl_avg = self.run_actuator(factory, targets)
+        # Exact float equality, not allclose: the rollout must be bitwise.
+        assert np.array_equal(vec_applied, scl_applied)
+        assert np.array_equal(vec_avg, scl_avg)
+
+    def test_vec_path_actually_engaged(self):
+        act = ServerActuator(v100_server(seed=None))
+        assert act._vec_mode == "delta-sigma"
+        with scalar_fallback():
+            act = ServerActuator(v100_server(seed=None))
+        assert act._vec_mode is None
+
+
+class TestBlockSampler:
+    """Pre-drawing blocks must not perturb the underlying bit stream."""
+
+    def test_chunked_take_equals_scalar_draws(self):
+        sampler = BlockSampler(spawn(3, "bs-test"), "lognormal", (0.0, 0.3))
+        reference = spawn(3, "bs-test")
+        drawn = []
+        for n in (1, 5, 0, 64, 7, 200, 1):
+            drawn.extend(sampler.take(n))
+        expected = [float(reference.lognormal(0.0, 0.3)) for _ in range(len(drawn))]
+        assert drawn == expected
+
+    def test_take_rejects_negative(self):
+        sampler = BlockSampler(spawn(3, "bs-test"), "normal", (0.0, 1.0))
+        with pytest.raises(ValueError):
+            sampler.take(-1)

@@ -165,3 +165,61 @@ class TestCli:
         cand.write_text(json.dumps(bench_payload("c", only_one)))
         assert main(["bench-compare", base, str(cand)]) == 0
         assert main(["bench-compare", base, str(cand), "--fail-on-missing"]) == 1
+
+
+class TestUnusableInputs:
+    """Inputs that make the comparison meaningless must fail loudly (and via
+    the CLI with exit code 2, distinct from a genuine regression's 1)."""
+
+    def disjoint(self):
+        base = bench_payload("a", entries())
+        cand = bench_payload(
+            "b", {"benchmarks/test_other.py::test_other": {"wall_s": 1.0, "metrics": {}}}
+        )
+        return base, cand
+
+    def test_disjoint_key_sets_raise(self):
+        base, cand = self.disjoint()
+        with pytest.raises(ExperimentError, match="no bench keys"):
+            compare_bench(base, cand)
+
+    def test_disjoint_error_names_both_key_sets(self):
+        base, cand = self.disjoint()
+        with pytest.raises(ExperimentError, match="test_bench_fig2"):
+            compare_bench(base, cand)
+
+    def test_entry_without_wall_raises(self):
+        base = bench_payload("a", entries())
+        # Hand-rolled payload (bench_payload would refuse it): an entry that
+        # lost its wall_s, e.g. a file not written by the bench conftest.
+        broken = bench_payload("b", entries())
+        del broken["entries"]["benchmarks/test_bench_fig2.py::test_bench_fig2"]["wall_s"]
+        with pytest.raises(ExperimentError, match="wall_s"):
+            compare_bench(base, broken)
+
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_cli_exit_2_on_missing_file(self, tmp_path, capsys):
+        base = self.write(tmp_path, "BENCH_a.json", bench_payload("a", entries()))
+        missing = str(tmp_path / "BENCH_nope.json")
+        assert main(["bench-compare", base, missing]) == 2
+        err = capsys.readouterr().err
+        assert "bench-compare:" in err
+
+    def test_cli_exit_2_on_disjoint_keys(self, tmp_path, capsys):
+        base_payload, cand_payload = self.disjoint()
+        base = self.write(tmp_path, "BENCH_a.json", base_payload)
+        cand = self.write(tmp_path, "BENCH_b.json", cand_payload)
+        assert main(["bench-compare", base, cand]) == 2
+        err = capsys.readouterr().err
+        assert "no bench keys" in err
+
+    def test_cli_exit_2_on_invalid_json(self, tmp_path, capsys):
+        base = self.write(tmp_path, "BENCH_a.json", bench_payload("a", entries()))
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json")
+        assert main(["bench-compare", base, str(bad)]) == 2
+        assert "bench-compare:" in capsys.readouterr().err

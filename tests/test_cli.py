@@ -68,6 +68,20 @@ class TestCommands:
         assert "fig2" in out
         assert "R^2" in out
 
+    def test_profile_fig2(self, capsys, tmp_path):
+        prof = tmp_path / "fig2.prof"
+        assert main(["profile", "fig2", "--top", "5", "--out", str(prof)]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "cumtime" in out  # the pstats listing made it into the render
+        assert prof.exists()
+
+    def test_profile_parser_defaults(self):
+        args = build_parser().parse_args(["profile", "fig3"])
+        assert args.sort == "cumulative"
+        assert args.top == 25
+        assert args.out is None
+
     def test_run_with_save_dir(self, capsys, tmp_path):
         from repro.telemetry import load_trace_npz
 
