@@ -15,6 +15,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..telemetry.trace import Trace
+from ..units import joules_to_kilojoules
 
 __all__ = ["energy_j", "EfficiencyReport", "efficiency_report"]
 
@@ -55,7 +56,7 @@ class EfficiencyReport:
     @property
     def batches_per_kj(self) -> float:
         """Inference batches completed per kilojoule."""
-        return self.gpu_batches / (self.energy_j / 1e3)
+        return self.gpu_batches / joules_to_kilojoules(self.energy_j)
 
     @property
     def joules_per_batch(self) -> float:

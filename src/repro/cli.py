@@ -9,6 +9,7 @@ Usage::
     repro sweep table1 fig3 fig7 --set-points 850 900 1000
     repro bench-compare benchmarks/BASELINE.json bench-out/
     repro profile fig3              # cProfile one experiment, show hot spots
+    repro lint src/repro            # determinism/units/API static analysis
     repro stability                 # print the Section 4.4 gain bound
     repro faults                    # fault-injection / degradation study
 
@@ -177,6 +178,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory to write each run's trace as fault-tolerance_<class>.npz",
     )
 
+    lint_p = sub.add_parser(
+        "lint",
+        help="run the determinism/units/API static-analysis rules "
+             "(REP1xx-REP4xx; see docs/static-analysis.md)",
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_p)
+
     rep_p = sub.add_parser(
         "report", help="run experiments and write a markdown reproduction report"
     )
@@ -249,7 +259,8 @@ def _expand_sweep_ids(tokens: list[str]) -> list[str]:
     return [e for e in ids if not (e in seen or seen.add(e))]
 
 
-def _cmd_sweep(args) -> int:
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import contextlib
     import os
 
     from .runner import build_jobs, run_sweep
@@ -262,26 +273,27 @@ def _cmd_sweep(args) -> int:
     )
     n_jobs = args.jobs if args.jobs >= 1 else (os.cpu_count() or 1)
 
-    events_fh = open(args.events, "a", encoding="utf-8") if args.events else None
+    with contextlib.ExitStack() as stack:
+        events_fh = (
+            stack.enter_context(open(args.events, "a", encoding="utf-8"))
+            if args.events
+            else None
+        )
 
-    def on_event(event):
-        line = f"[sweep] {event.kind} {event.job_key} (attempt {event.attempt}"
-        if event.wall_s is not None:
-            line += f", {event.wall_s:.2f} s"
-        if event.error:
-            line += f", {event.error}"
-        print(line + ")", file=sys.stderr)
-        if events_fh is not None:
-            import json
+        def on_event(event):
+            line = f"[sweep] {event.kind} {event.job_key} (attempt {event.attempt}"
+            if event.wall_s is not None:
+                line += f", {event.wall_s:.2f} s"
+            if event.error:
+                line += f", {event.error}"
+            print(line + ")", file=sys.stderr)
+            if events_fh is not None:
+                import json
 
-            events_fh.write(json.dumps(event.to_dict()) + "\n")
-            events_fh.flush()
+                events_fh.write(json.dumps(event.to_dict()) + "\n")
+                events_fh.flush()
 
-    try:
         report = run_sweep(jobs, n_jobs=n_jobs, on_event=on_event)
-    finally:
-        if events_fh is not None:
-            events_fh.close()
     if not args.quiet:
         for rec in report.records:
             if rec.render:
@@ -294,7 +306,7 @@ def _cmd_sweep(args) -> int:
     return 0 if report.ok else 1
 
 
-def _cmd_bench_compare(args) -> int:
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
     from .benchcompare import compare_bench, load_bench
     from .errors import ExperimentError
 
@@ -318,7 +330,7 @@ def _cmd_bench_compare(args) -> int:
     return 0 if comparison.ok else 1
 
 
-def _cmd_profile(args) -> int:
+def _cmd_profile(args: argparse.Namespace) -> int:
     from .profiling import profile_experiment
 
     report = profile_experiment(
@@ -358,7 +370,7 @@ def _cmd_identify(seed: int, points: int) -> int:
     return 0
 
 
-def _cmd_faults(args) -> int:
+def _cmd_faults(args: argparse.Namespace) -> int:
     from .experiments.fault_tolerance import fault_catalog, run_fault_tolerance
 
     if args.list_classes:
@@ -414,6 +426,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_faults(args)
     if args.command == "identify":
         return _cmd_identify(args.seed, args.points)
+    if args.command == "lint":
+        from .lint.cli import run_lint_cli
+
+        return run_lint_cli(args)
     if args.command == "report":
         from .report import write_report
 

@@ -41,9 +41,12 @@ def run_fig2(
     result.add(
         format_table(
             ["Channel", "Gain W/MHz"],
-            [[name, float(g)] for name, g in zip(
-                [c.name for c in sim.server.channels], ds.fit.a_w_per_mhz
-            )] + [["offset C (W)", ds.fit.c_w]],
+            [
+                *([name, float(g)] for name, g in zip(
+                    [c.name for c in sim.server.channels], ds.fit.a_w_per_mhz
+                )),
+                ["offset C (W)", ds.fit.c_w],
+            ],
             title=(
                 f"Fig 2(a): power model fit — R^2 = {ds.fit.r2:.3f}, "
                 f"RMSE = {ds.fit.rmse_w:.2f} W over {ds.fit.n_samples} points "

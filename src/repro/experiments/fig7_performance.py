@@ -71,13 +71,14 @@ def run_fig7(
             "cpu_latency_s": cpu_lat,
             "power_w": power,
         }
-    headers = (
-        ["Strategy"]
-        + [f"(a) GPU{g} tput" for g in range(n_gpus)]
-        + ["(b) CPU tput"]
-        + [f"(c) GPU{g} lat s" for g in range(n_gpus)]
-        + ["(d) CPU lat s", "Power W"]
-    )
+    headers = [
+        "Strategy",
+        *(f"(a) GPU{g} tput" for g in range(n_gpus)),
+        "(b) CPU tput",
+        *(f"(c) GPU{g} lat s" for g in range(n_gpus)),
+        "(d) CPU lat s",
+        "Power W",
+    ]
     result.add(
         format_table(
             headers, rows,

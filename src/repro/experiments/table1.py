@@ -20,6 +20,7 @@ import numpy as np
 
 from ..analysis import format_table
 from ..sim import motivation_scenario
+from ..units import mhz_to_ghz
 from .common import ExperimentResult
 
 __all__ = ["run_table1", "TABLE1_CONFIGS", "PAPER_TABLE1"]
@@ -65,10 +66,10 @@ def run_table1(
         throughput = (pipe.completed_images - img0) / elapsed
         gpu_lat = (pipe._total_latency_s - lat0) / n_batches if n_batches else float("nan")
         queue_wait = (pipe._total_queue_wait_s - wait0) / n_batches if n_batches else float("nan")
-        preproc = pipe.preproc_latency_s(cpu_mhz / 1000.0)
+        preproc = pipe.preproc_latency_s(mhz_to_ghz(cpu_mhz))
         power = float(np.mean(trace["power_w"][-n_periods:]))
         rows.append(
-            [label, cpu_mhz / 1000.0, gpu_mhz, preproc, gpu_lat, queue_wait,
+            [label, mhz_to_ghz(cpu_mhz), gpu_mhz, preproc, gpu_lat, queue_wait,
              throughput, power]
         )
         raw[label] = {

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..units import require_positive
+from ..units import mhz_to_ghz, require_positive
 from .device import Device, FrequencyDomain
 from .power import DevicePowerModel
 
@@ -93,7 +93,7 @@ class CpuModel(Device):
     @property
     def frequency_ghz(self) -> float:
         """Convenience accessor in GHz (the unit ``cpupower`` displays)."""
-        return self.frequency_mhz / 1000.0
+        return mhz_to_ghz(self.frequency_mhz)
 
     def set_core_utilization(self, core: int, util: float) -> None:
         """Set one core's busy fraction; package utilization is the mean."""

@@ -1,0 +1,138 @@
+"""Baseline files: triage pre-existing findings without ignoring them.
+
+A baseline is a committed JSON file listing findings that predate a rule (or
+were reviewed and judged acceptable), each with a human justification. The
+engine subtracts baselined findings from its failure count, so new code is
+held to the full rule set while legacy debt stays visible and enumerable.
+
+Entries match on ``(rule, path, content)`` — the stripped text of the
+offending line — not on line numbers, so unrelated edits above a violation
+do not invalidate the baseline. Entries that no longer match anything are
+*stale* and fail the run: a baseline must shrink when debt is paid, never
+rot. Regenerate with ``repro lint --write-baseline`` (existing
+justifications for surviving entries are preserved).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "load_baseline", "write_baseline"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    content: str
+    justification: str = ""
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path.replace("\\", "/"), self.content)
+
+
+class BaselineFormatError(ValueError):
+    """The baseline file exists but cannot be parsed."""
+
+
+@dataclass
+class Baseline:
+    """In-memory baseline with match bookkeeping."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split ``findings`` into (new, baselined); also return stale entries.
+
+        Each entry absorbs any number of identical-line findings (a
+        duplicated violation on two identical lines is one kind of debt),
+        but an entry that matches nothing at all is stale.
+        """
+        by_key = {e.key: e for e in self.entries}
+        matched: set[tuple[str, str, str]] = set()
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            key = (finding.rule, finding.path.replace("\\", "/"), finding.content)
+            if key in by_key:
+                matched.add(key)
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = [e for e in self.entries if e.key not in matched]
+        return new, baselined, stale
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read a baseline file; raise :class:`BaselineFormatError` when unusable."""
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineFormatError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("version") != _FORMAT_VERSION:
+        raise BaselineFormatError(
+            f"baseline {path} has unsupported format (want version {_FORMAT_VERSION})"
+        )
+    entries = []
+    for item in raw.get("entries", []):
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=str(item["rule"]),
+                    path=str(item["path"]),
+                    content=str(item["content"]),
+                    justification=str(item.get("justification", "")),
+                )
+            )
+        except (TypeError, KeyError) as exc:
+            raise BaselineFormatError(
+                f"baseline {path} has a malformed entry: {item!r}"
+            ) from exc
+    return Baseline(entries=entries)
+
+
+def write_baseline(
+    findings: list[Finding], path: str | Path, previous: Baseline | None = None
+) -> Baseline:
+    """Write a baseline covering ``findings``; keep old justifications.
+
+    Returns the baseline that was written. Entries are deduplicated by key
+    and sorted for stable diffs.
+    """
+    old = {e.key: e for e in previous.entries} if previous else {}
+    by_key: dict[tuple[str, str, str], BaselineEntry] = {}
+    for finding in findings:
+        entry = BaselineEntry(
+            rule=finding.rule,
+            path=finding.path.replace("\\", "/"),
+            content=finding.content,
+            justification="TODO: justify or fix",
+        )
+        kept = old.get(entry.key)
+        if kept is not None:
+            entry = kept
+        by_key.setdefault(entry.key, entry)
+    entries = sorted(by_key.values(), key=lambda e: e.key)
+    payload = {
+        "version": _FORMAT_VERSION,
+        "entries": [
+            {
+                "rule": e.rule,
+                "path": e.path,
+                "content": e.content,
+                "justification": e.justification,
+            }
+            for e in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return Baseline(entries=entries)

@@ -1,0 +1,156 @@
+"""``repro lint`` command implementation.
+
+Exit codes follow the ``bench-compare`` convention:
+
+* ``0`` — clean (no non-baselined findings, budgets respected);
+* ``1`` — findings (new violations, stale baseline entries, or a
+  ``# type: ignore`` count above the budget);
+* ``2`` — usage error (bad path, bad selector, unreadable baseline): the
+  check could not run, which CI must distinguish from "ran and failed".
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import Baseline, BaselineFormatError, load_baseline, write_baseline
+from .engine import LintConfig, LintUsageError, run_lint
+from .rules import ALL_RULES
+
+__all__ = ["add_lint_arguments", "run_lint_cli"]
+
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach ``repro lint``'s arguments to ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"], metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline file of triaged findings (default: {DEFAULT_BASELINE} "
+             "when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="triage: write all current findings to the baseline file "
+             "(keeps existing justifications) and exit 0",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids or prefixes to run, e.g. REP1,REP303",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--max-type-ignores", type=int, default=None, metavar="N",
+        help="fail when more than N '# type: ignore' comments exist "
+             "(the strict-typing budget; default: not checked)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _print_rule_catalogue() -> None:
+    for rule in ALL_RULES:
+        print(f"{rule.id}  {rule.title}")
+        doc = (rule.__doc__ or "").strip()
+        for line in doc.splitlines()[1:]:
+            print(f"    {line.strip()}" if line.strip() else "")
+        if rule.hint:
+            print(f"    fix: {rule.hint}")
+        print()
+
+
+def run_lint_cli(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        _print_rule_catalogue()
+        return 0
+
+    select: tuple[str, ...] = ()
+    if args.select:
+        select = tuple(s.strip() for s in args.select.split(",") if s.strip())
+    config = LintConfig(select=select)
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    baseline = Baseline()
+    use_baseline = not args.no_baseline and (
+        args.baseline is not None or baseline_path.exists()
+    )
+    try:
+        if use_baseline and baseline_path.exists():
+            baseline = load_baseline(baseline_path)
+        elif use_baseline and args.baseline is not None and not args.write_baseline:
+            raise BaselineFormatError(f"baseline file not found: {baseline_path}")
+        result = run_lint(list(args.paths), config)
+    except (LintUsageError, BaselineFormatError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        written = write_baseline(result.findings, baseline_path, previous=baseline)
+        print(
+            f"wrote {baseline_path} with {len(written.entries)} entr"
+            f"{'y' if len(written.entries) == 1 else 'ies'}"
+        )
+        return 0
+
+    new, baselined, stale = baseline.partition(result.findings)
+
+    over_budget: list[str] = []
+    if args.max_type_ignores is not None:
+        count = len(result.type_ignores)
+        if count > args.max_type_ignores:
+            listing = ", ".join(f"{p}:{ln}" for p, ln in result.type_ignores)
+            over_budget.append(
+                f"type-ignore budget exceeded: {count} > {args.max_type_ignores} "
+                f"({listing})"
+            )
+
+    if args.format == "json":
+        print(json.dumps({
+            "files_checked": result.files_checked,
+            "findings": [f.to_dict() for f in new],
+            "baselined": len(baselined),
+            "stale_baseline_entries": [
+                {"rule": e.rule, "path": e.path, "content": e.content}
+                for e in stale
+            ],
+            "type_ignores": len(result.type_ignores),
+            "budget_errors": over_budget,
+        }, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+        for entry in stale:
+            print(
+                f"stale baseline entry: {entry.rule} {entry.path} "
+                f"{entry.content!r} no longer matches — regenerate with "
+                "--write-baseline"
+            )
+        for message in over_budget:
+            print(message)
+        summary = (
+            f"checked {result.files_checked} files: {len(new)} finding"
+            f"{'' if len(new) == 1 else 's'}"
+        )
+        if baselined:
+            summary += f", {len(baselined)} baselined"
+        if stale:
+            summary += f", {len(stale)} stale baseline entries"
+        print(summary)
+
+    return 1 if (new or stale or over_budget) else 0

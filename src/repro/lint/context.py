@@ -1,0 +1,125 @@
+"""Per-module analysis context handed to every rule."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .names import resolve_name, unit_of_identifier
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from .engine import LintConfig
+    from .index import ProjectIndex
+
+__all__ = ["ModuleContext", "iter_scoped"]
+
+
+def iter_scoped(tree: ast.Module) -> "list[tuple[ast.AST, ast.AST]]":
+    """Flatten ``tree`` into ``(scope, node)`` pairs.
+
+    ``scope`` is the nearest enclosing function (or the module itself) —
+    the granularity at which local set-valued names are tracked.
+    """
+    pairs: list[tuple[ast.AST, ast.AST]] = []
+    stack: list[tuple[ast.AST, ast.AST]] = [(tree, tree)]
+    while stack:
+        scope, node = stack.pop()
+        pairs.append((scope, node))
+        child_scope = (
+            node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            else scope
+        )
+        for child in ast.iter_child_nodes(node):
+            stack.append((child_scope, child))
+    return pairs
+
+#: Builtins that pass their iterable argument through order-sensitively.
+_ORDER_PASSTHROUGH = frozenset({"enumerate", "reversed", "map", "filter", "zip"})
+
+#: Set-producing binary operators (union/intersection/difference/symdiff).
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to analyse one module."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    lines: list[str]
+    aliases: dict[str, str]
+    index: "ProjectIndex"
+    config: "LintConfig"
+    #: function-scope names statically known to hold sets (see engine).
+    set_names: dict[ast.AST, set[str]] = field(default_factory=dict)
+
+    # -- generic helpers ---------------------------------------------------
+
+    def resolve(self, node: ast.expr) -> str | None:
+        return resolve_name(node, self.aliases)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def in_modules(self, prefixes: tuple[str, ...]) -> bool:
+        """True when this module is one of ``prefixes`` or nested under one."""
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+    # -- unordered-container inference ------------------------------------
+
+    def is_unordered(self, node: ast.expr, scope: ast.AST | None = None) -> bool:
+        """True when ``node`` statically evaluates to a hash-ordered container.
+
+        Recognises set literals/comprehensions, ``set()``/``frozenset()``
+        calls, set-algebra expressions over those, order-preserving builtins
+        wrapping one (``enumerate(set(...))``), and local names the engine
+        pre-scanned as set-valued in ``scope``. ``sorted(...)`` launders the
+        order and is never unordered.
+        """
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self.is_unordered(node.left, scope) or self.is_unordered(
+                node.right, scope
+            )
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name in ("set", "frozenset"):
+                return True
+            if name in _ORDER_PASSTHROUGH:
+                return any(self.is_unordered(arg, scope) for arg in node.args)
+            return False
+        if isinstance(node, ast.Name) and scope is not None:
+            return node.id in self.set_names.get(scope, set())
+        return False
+
+    # -- unit inference ----------------------------------------------------
+
+    def unit_of(self, node: ast.expr) -> str | None:
+        """The physical unit ``node`` carries, inferred from naming.
+
+        Handles suffixed names (``power_w``), suffixed attributes
+        (``self.energy_uj``), calls to suffixed functions
+        (``power_usage_mw(...)``), and the configured known-attribute table
+        (``domain.f_max`` is MHz by package convention).
+        """
+        if isinstance(node, ast.Name):
+            unit = unit_of_identifier(node.id)
+            if unit is None:
+                unit = self.config.known_name_units.get(node.id)
+            return unit
+        if isinstance(node, ast.Attribute):
+            unit = unit_of_identifier(node.attr)
+            if unit is None:
+                unit = self.config.known_name_units.get(node.attr)
+            return unit
+        if isinstance(node, ast.Call):
+            return self.unit_of(node.func)
+        return None

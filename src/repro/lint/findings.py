@@ -1,0 +1,41 @@
+"""The :class:`Finding` record produced by every lint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``content`` is the stripped text of the offending physical line; the
+    baseline matches on ``(rule, path, content)`` rather than the line
+    number, so unrelated edits that merely shift a violation do not
+    invalidate baseline entries.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    content: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "content": self.content,
+        }

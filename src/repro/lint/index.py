@@ -1,0 +1,168 @@
+"""Project-wide symbol index for cross-file rules.
+
+REP302 (call-site unit mismatch), REP401 (controller conformance) and
+REP402 (registry conformance) need to see more than one file at a time: the
+parameter names of a function defined elsewhere, the abstract surface of a
+base class, the names a module imported. The index is built once over every
+``.py`` file under the package roots implied by the linted paths, then
+shared by all rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .names import build_aliases, dotted_name, resolve_name
+
+__all__ = ["ClassInfo", "FunctionInfo", "ProjectIndex", "module_name_for"]
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    qualname: str
+    params: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    qualname: str
+    bases: tuple[str, ...]
+    methods: frozenset[str]
+    abstract_methods: frozenset[str]
+
+
+def module_name_for(path: Path) -> tuple[str, bool]:
+    """Dotted module name for ``path`` plus whether it is a package init.
+
+    Walks up while ``__init__.py`` siblings exist, so ``src/repro/sim/engine.py``
+    maps to ``repro.sim.engine`` regardless of the checkout location.
+    """
+    path = path.resolve()
+    is_package = path.name == "__init__.py"
+    parts: list[str] = [] if is_package else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if not parts:  # a bare __init__.py outside any package
+        parts = [path.parent.name]
+    return ".".join(reversed(parts)), is_package
+
+
+@dataclass
+class ProjectIndex:
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: module name -> local alias table (for resolving re-exports).
+    module_aliases: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, roots: list[Path]) -> ProjectIndex:
+        index = cls()
+        seen: set[Path] = set()
+        for root in roots:
+            files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+            for file in files:
+                resolved = file.resolve()
+                if resolved in seen:
+                    continue
+                seen.add(resolved)
+                try:
+                    tree = ast.parse(resolved.read_text(encoding="utf-8"))
+                except (OSError, SyntaxError):
+                    continue  # the engine reports unreadable files itself
+                index._index_module(resolved, tree)
+        return index
+
+    def _index_module(self, path: Path, tree: ast.Module) -> None:
+        module, is_package = module_name_for(path)
+        aliases = build_aliases(tree, module, is_package)
+        self.module_aliases[module] = aliases
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(module, node)
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(module, aliases, node)
+
+    def _index_function(
+        self, module: str, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        args = node.args
+        params = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+        qualname = f"{module}.{node.name}"
+        self.functions[qualname] = FunctionInfo(qualname, tuple(params))
+
+    def _index_class(
+        self, module: str, aliases: dict[str, str], node: ast.ClassDef
+    ) -> None:
+        bases = []
+        for base in node.bases:
+            resolved = resolve_name(base, aliases)
+            if resolved is not None:
+                bases.append(resolved)
+        methods: set[str] = set()
+        abstract: set[str] = set()
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            methods.add(item.name)
+            for deco in item.decorator_list:
+                deco_name = dotted_name(deco)
+                if deco_name and deco_name.split(".")[-1] in (
+                    "abstractmethod", "abstractproperty",
+                ):
+                    abstract.add(item.name)
+        qualname = f"{module}.{node.name}"
+        self.classes[qualname] = ClassInfo(
+            qualname, tuple(bases), frozenset(methods), frozenset(abstract)
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def canonical_class(self, name: str, _depth: int = 0) -> str | None:
+        """Follow re-export aliases until ``name`` names an indexed class.
+
+        ``repro.control.PowerCappingController`` (imported via the package
+        ``__init__``) resolves to ``repro.control.base.PowerCappingController``.
+        """
+        if _depth > 8 or not name:
+            return None
+        if name in self.classes:
+            return name
+        module, _, attr = name.rpartition(".")
+        aliases = self.module_aliases.get(module)
+        if aliases and attr in aliases and aliases[attr] != name:
+            return self.canonical_class(aliases[attr], _depth + 1)
+        return None
+
+    def mro_chain(self, qualname: str) -> list[ClassInfo]:
+        """Project-local base-class chain of ``qualname`` (cycle-safe)."""
+        chain: list[ClassInfo] = []
+        queue = [qualname]
+        visited: set[str] = set()
+        while queue:
+            name = queue.pop(0)
+            canonical = self.canonical_class(name)
+            if canonical is None or canonical in visited:
+                continue
+            visited.add(canonical)
+            info = self.classes[canonical]
+            chain.append(info)
+            queue.extend(info.bases)
+        return chain
+
+    def resolve_function(self, name: str, _depth: int = 0) -> FunctionInfo | None:
+        """Find the :class:`FunctionInfo` for a canonical dotted name."""
+        if _depth > 8 or not name:
+            return None
+        if name in self.functions:
+            return self.functions[name]
+        module, _, attr = name.rpartition(".")
+        aliases = self.module_aliases.get(module)
+        if aliases and attr in aliases and aliases[attr] != name:
+            return self.resolve_function(aliases[attr], _depth + 1)
+        return None

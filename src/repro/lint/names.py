@@ -1,0 +1,125 @@
+"""Name resolution and unit inference shared by the rule families.
+
+Two capabilities live here:
+
+* **Import-alias resolution** — mapping local names to canonical dotted
+  paths (``np`` → ``numpy``, ``PowerCappingController`` →
+  ``repro.control.base.PowerCappingController``) so rules can recognise
+  calls regardless of how a module spelled its imports, including relative
+  imports.
+* **Unit inference from identifiers** — the repository's naming convention
+  (``power_w``, ``f_targets_mhz``, ``dt_s``, ``energy_uj``; see
+  :mod:`repro.units`) makes physical units statically visible. The REP3xx
+  rules read them back out of names here.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+__all__ = [
+    "UNIT_DIMENSION",
+    "build_aliases",
+    "dotted_name",
+    "resolve_name",
+    "unit_of_identifier",
+]
+
+#: Unit token -> physical dimension. Tokens are identifier suffixes
+#: (``power_w`` -> ``w``) per the package-wide convention in ``units.py``.
+UNIT_DIMENSION: dict[str, str] = {
+    "w": "power", "mw": "power", "kw": "power", "watts": "power",
+    "hz": "frequency", "khz": "frequency", "mhz": "frequency", "ghz": "frequency",
+    "s": "time", "ms": "time", "us": "time", "ns": "time",
+    "j": "energy", "mj": "energy", "uj": "energy", "kj": "energy",
+}
+
+#: Canonical spelling for tokens that alias a unit (``watts`` -> ``w``).
+_UNIT_CANONICAL = {"watts": "w"}
+
+#: Tokens long enough to carry a unit on their own (a bare parameter named
+#: ``mhz`` is a frequency; a bare ``s`` or ``w`` is too ambiguous to trust).
+_BARE_UNIT_TOKENS = frozenset(
+    t for t in UNIT_DIMENSION if len(t) >= 2 and t not in ("us", "ns")
+) | {"watts"}
+
+#: Identifiers that look unit-suffixed but denote *rates* (``rate_img_s`` is
+#: images per second, not seconds) or otherwise lie about their dimension.
+_NON_UNIT_NAME = re.compile(r"(^|_)(rate|rates|per)(_|$)")
+
+
+def unit_of_identifier(name: str) -> str | None:
+    """The unit carried by ``name``'s suffix, or ``None``.
+
+    ``power_w`` -> ``"w"``, ``f_max_mhz`` -> ``"mhz"``, ``mhz`` -> ``"mhz"``,
+    ``rate_img_s`` -> ``None`` (a rate), ``result`` -> ``None``.
+    """
+    ident = name.lower()
+    if _NON_UNIT_NAME.search(ident):
+        return None
+    parts = ident.split("_")
+    if len(parts) > 1 and parts[-1] in UNIT_DIMENSION:
+        return _UNIT_CANONICAL.get(parts[-1], parts[-1])
+    if ident in _BARE_UNIT_TOKENS:
+        return _UNIT_CANONICAL.get(ident, ident)
+    return None
+
+
+def build_aliases(tree: ast.Module, module: str, is_package: bool) -> dict[str, str]:
+    """Map each imported local name to its canonical dotted path.
+
+    ``module`` is the dotted name of the module being analysed (used to
+    resolve relative imports); ``is_package`` says whether the file is an
+    ``__init__.py`` (its own name is then the base package for level-1
+    relative imports).
+    """
+    package_parts = module.split(".") if is_package else module.split(".")[:-1]
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".")[0]
+                target = item.name if item.asname else item.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = package_parts[: len(package_parts) - (node.level - 1)]
+                base = ".".join(base_parts)
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            else:
+                base = node.module or ""
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                local = item.asname or item.name
+                aliases[local] = f"{base}.{item.name}" if base else item.name
+    return aliases
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """The source-level dotted name of ``node`` (``np.random.seed``), if any."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_name(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Canonical dotted path of ``node`` after import-alias substitution.
+
+    ``np.random.seed`` with ``import numpy as np`` resolves to
+    ``numpy.random.seed``; unresolvable expressions (calls, subscripts)
+    return ``None``.
+    """
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    resolved_head = aliases.get(head, head)
+    return f"{resolved_head}.{rest}" if rest else resolved_head

@@ -1,0 +1,95 @@
+"""Rule registry: every ``repro lint`` rule, grouped by family.
+
+Each rule is a singleton with an ``id`` (``REP101``), a one-line ``title``,
+a ``hint`` describing the idiomatic fix, and a ``check(ctx)`` generator
+yielding :class:`~repro.lint.findings.Finding` records for one module. The
+rule's docstring is its catalogue entry (rendered by ``repro lint
+--list-rules`` and mirrored in ``docs/static-analysis.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..context import ModuleContext
+
+__all__ = ["ALL_RULES", "Rule", "rule_by_id"]
+
+
+class Rule:
+    """Base class for lint rules (subclasses set id/title/hint)."""
+
+    id: str = "REP000"
+    title: str = ""
+    hint: str = ""
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: "ModuleContext",
+        node: ast.AST,
+        message: str,
+        hint: str | None = None,
+    ) -> Finding:
+        line = getattr(node, "lineno", 0)
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=self.hint if hint is None else hint,
+            content=ctx.line_text(line),
+        )
+
+
+from .api import ControllerConformanceRule, RegistryConformanceRule  # noqa: E402
+from .determinism import (  # noqa: E402
+    AmbientEntropyRule,
+    HashOrderMaterializationRule,
+    NumpyGlobalRngRule,
+    StdlibRandomRule,
+    UnorderedIterationRule,
+    WallClockRule,
+)
+from .floats import (  # noqa: E402
+    FloatEqualityRule,
+    UnorderedAccumulationRule,
+    UnorderedReductionRule,
+)
+from .units_rules import (  # noqa: E402
+    CallUnitMismatchRule,
+    ManualConversionRule,
+    MixedUnitArithmeticRule,
+)
+
+ALL_RULES: tuple[Rule, ...] = (
+    WallClockRule(),
+    StdlibRandomRule(),
+    NumpyGlobalRngRule(),
+    AmbientEntropyRule(),
+    UnorderedIterationRule(),
+    HashOrderMaterializationRule(),
+    FloatEqualityRule(),
+    UnorderedReductionRule(),
+    UnorderedAccumulationRule(),
+    MixedUnitArithmeticRule(),
+    CallUnitMismatchRule(),
+    ManualConversionRule(),
+    ControllerConformanceRule(),
+    RegistryConformanceRule(),
+)
+
+
+def rule_by_id(rule_id: str) -> Rule | None:
+    for rule in ALL_RULES:
+        if rule.id == rule_id:
+            return rule
+    return None

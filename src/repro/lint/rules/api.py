@@ -1,0 +1,133 @@
+"""REP4xx — API-conformance rules.
+
+The experiment surface is only as reproducible as its wiring: a controller
+that silently fails to implement part of the
+:class:`~repro.control.base.PowerCappingController` contract, or a registry
+entry pointing at a name that was never imported, surfaces at run time deep
+inside a sweep. These rules check the wiring statically.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..findings import Finding
+from . import Rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..context import ModuleContext
+
+_EXPERIMENT_ID = re.compile(r"^[a-z0-9][a-z0-9_-]*$")
+
+
+class ControllerConformanceRule(Rule):
+    """REP401: controllers implement the full base-class contract.
+
+    Every concrete class deriving (directly or transitively, including via
+    re-exports) from the configured controller ABC must provide a concrete
+    implementation of each of its abstract methods somewhere along the
+    project-local inheritance chain. Python only raises on instantiation —
+    which for an experiment controller may be minutes into a sweep;
+    intermediate classes that declare abstract methods themselves are
+    treated as abstract and skipped.
+    """
+
+    id = "REP401"
+    title = "controller misses abstract methods of the base interface"
+    hint = "implement the missing method(s) or mark the class abstract"
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        base = ctx.config.controller_base
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            qualname = f"{ctx.module}.{node.name}"
+            if qualname == base:
+                continue
+            chain = ctx.index.mro_chain(qualname)
+            if not any(info.qualname == base for info in chain[1:]):
+                continue
+            own = chain[0]
+            if own.abstract_methods:
+                continue  # an intermediate ABC, not a concrete controller
+            required: set[str] = set()
+            for info in chain[1:]:
+                required |= set(info.abstract_methods)
+            satisfied = {
+                method
+                for info in chain
+                for method in info.methods
+                if method not in info.abstract_methods
+            }
+            missing = sorted(required - satisfied)
+            if missing:
+                yield self.finding(
+                    ctx, node,
+                    f"class {node.name} does not implement {', '.join(missing)} "
+                    f"required by {base.rsplit('.', 1)[-1]}",
+                )
+
+
+class RegistryConformanceRule(Rule):
+    """REP402: the experiment registry maps valid ids to resolvable runners.
+
+    Registry ids are CLI arguments, sweep-job keys and bench-file keys, so
+    they must be lowercase slug-shaped (``[a-z0-9][a-z0-9_-]*``) and unique
+    within the literal; every literal value must be a name the registry
+    module actually imported or defined. Dynamic entries (``**{...}``
+    expansions) are outside static reach and are skipped.
+    """
+
+    id = "REP402"
+    title = "experiment registry entry invalid"
+    hint = "ids are lowercase slugs; runners must be imported into the registry module"
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        if not ctx.in_modules(ctx.config.registry_modules):
+            return
+        local_defs = {
+            node.name
+            for node in ctx.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        }
+        for node in ctx.tree.body:
+            if isinstance(node, ast.AnnAssign):
+                targets: list[ast.expr] = [node.target]
+                value = node.value
+            elif isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            else:
+                continue
+            is_registry = any(
+                isinstance(t, ast.Name) and t.id in ctx.config.registry_names
+                for t in targets
+            )
+            if not is_registry or not isinstance(value, ast.Dict):
+                continue
+            seen: set[str] = set()
+            for key, entry in zip(value.keys, value.values):
+                if key is None:  # ** expansion — dynamic, skipped
+                    continue
+                if not isinstance(key, ast.Constant) or not isinstance(key.value, str):
+                    yield self.finding(ctx, key, "registry key is not a string literal")
+                    continue
+                eid = key.value
+                if not _EXPERIMENT_ID.match(eid):
+                    yield self.finding(
+                        ctx, key, f"experiment id {eid!r} is not a valid slug"
+                    )
+                if eid in seen:
+                    yield self.finding(ctx, key, f"duplicate experiment id {eid!r}")
+                seen.add(eid)
+                if isinstance(entry, ast.Name) and not (
+                    entry.id in ctx.aliases or entry.id in local_defs
+                ):
+                    yield self.finding(
+                        ctx, entry,
+                        f"runner {entry.id!r} for id {eid!r} is neither imported "
+                        "nor defined in the registry module",
+                    )

@@ -1,0 +1,241 @@
+"""REP1xx — determinism rules.
+
+Digest-relevant modules (everything the simulator, controllers, hardware
+models, workloads and experiments execute) must be pure functions of the
+root seed: no wall-clock reads, no ambient entropy, no global RNG state,
+and no observable iteration over hash-ordered containers. A single stray
+``time.time()`` or ``for x in some_set`` silently breaks the bit-identical
+digest guarantees PR 2/PR 3 established.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..context import iter_scoped
+from ..findings import Finding
+from . import Rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..context import ModuleContext
+
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: ``numpy.random`` attributes that touch the hidden global RandomState or
+#: draw from it. Generator/SeedSequence/bit-generator classes are fine.
+_NUMPY_GLOBAL_RNG = frozenset({
+    "seed", "get_state", "set_state", "rand", "randn", "randint",
+    "random", "random_sample", "ranf", "sample", "bytes", "choice",
+    "shuffle", "permutation", "normal", "uniform", "poisson",
+    "exponential", "lognormal", "standard_normal", "binomial", "beta",
+    "gamma", "triangular", "pareto", "weibull",
+})
+
+_ENTROPY = frozenset({"os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4"})
+
+
+class WallClockRule(Rule):
+    """REP101: no wall-clock reads in digest-relevant modules.
+
+    Wall-clock timestamps differ between runs by construction; any one that
+    feeds a digest-relevant value destroys run-to-run bit-identity. Timing
+    *infrastructure* (the sweep runner, profiler, bench harness — whose
+    timings are excluded from digests) is exempted by configuration;
+    anything else must take time from the simulation clock or suppress with
+    a justification explaining why the value cannot reach a digest.
+    """
+
+    id = "REP101"
+    title = "wall-clock read in digest-relevant module"
+    hint = "use the simulation clock (time_s) or repro.rng; timings excluded from digests need an inline justification"
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        if ctx.in_modules(ctx.config.wallclock_exempt):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = ctx.resolve(node.func)
+                if name in _WALL_CLOCK:
+                    yield self.finding(ctx, node, f"call to {name}()")
+
+
+class StdlibRandomRule(Rule):
+    """REP102: the stdlib ``random`` module is banned everywhere.
+
+    ``random`` draws from process-global state seeded from OS entropy; even
+    a seeded use is invisible to :mod:`repro.rng`'s named-stream spawning,
+    so adding one consumer would perturb every other stream. All randomness
+    must come from a generator spawned via ``repro.rng.spawn``.
+    """
+
+    id = "REP102"
+    title = "stdlib random module used"
+    hint = "draw from a numpy Generator spawned via repro.rng.spawn(seed, name)"
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    if item.name == "random" or item.name.startswith("random."):
+                        yield self.finding(ctx, node, f"import {item.name}")
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield self.finding(ctx, node, "from random import ...")
+            elif isinstance(node, ast.Call):
+                name = ctx.resolve(node.func)
+                if name is not None and (
+                    name == "random" or name.startswith("random.")
+                ):
+                    yield self.finding(ctx, node, f"call to {name}()")
+
+
+class NumpyGlobalRngRule(Rule):
+    """REP103: no numpy global-RNG state; generators must be seeded.
+
+    ``np.random.seed``/``np.random.normal`` etc. share one hidden
+    ``RandomState`` across the whole process — concurrent sweep jobs and
+    unrelated components would interleave draws nondeterministically.
+    ``default_rng()`` *without* a seed pulls OS entropy. Only
+    :mod:`repro.rng` (the stream-spawning implementation) may construct
+    generators directly.
+    """
+
+    id = "REP103"
+    title = "numpy global RNG or unseeded generator"
+    hint = "use repro.rng.make_rng/spawn for explicit, named, seeded streams"
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        if ctx.in_modules(ctx.config.rng_impl_modules):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.resolve(node.func)
+            if name is None or not name.startswith("numpy.random."):
+                continue
+            attr = name.rsplit(".", 1)[-1]
+            if attr in _NUMPY_GLOBAL_RNG:
+                yield self.finding(ctx, node, f"call to {name}() (global RNG state)")
+            elif attr == "default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx, node, "default_rng() without a seed draws OS entropy"
+                )
+
+
+class AmbientEntropyRule(Rule):
+    """REP104: no ambient entropy sources.
+
+    ``os.urandom``, ``uuid.uuid1``/``uuid4`` and the ``secrets`` module are
+    nondeterministic by design; none of them can appear in a reproducible
+    pipeline (deterministic ids should derive from the seed or the job key).
+    """
+
+    id = "REP104"
+    title = "ambient entropy source"
+    hint = "derive identifiers from the root seed or job key instead"
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = ctx.resolve(node.func)
+                if name is not None and (
+                    name in _ENTROPY or name.startswith("secrets.")
+                ):
+                    yield self.finding(ctx, node, f"call to {name}()")
+
+
+class UnorderedIterationRule(Rule):
+    """REP105: no order-observing iteration over sets.
+
+    ``set``/``frozenset`` iteration order depends on insertion history and
+    hash seeding of the element type — it is not a stable function of the
+    contents. ``for`` loops, list comprehensions and generator expressions
+    over a set leak that order into results (accumulation order, trace
+    order, serialized order). Wrap the set in ``sorted(...)`` to pick an
+    explicit order. Order-insensitive consumption is allowed: set/dict
+    comprehensions, and comprehensions fed directly to ``sorted``/``min``/
+    ``max``/``any``/``all``/``set``/``frozenset`` (but not ``sum`` — float
+    accumulation order is observable, see REP202).
+    """
+
+    id = "REP105"
+    title = "iteration over unordered set"
+    hint = "iterate sorted(the_set) to fix an explicit order"
+
+    #: Consumers whose result does not depend on input order.
+    _LAUNDERERS = frozenset({"sorted", "min", "max", "any", "all", "len",
+                             "set", "frozenset"})
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        laundered: set[ast.AST] = set()
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._LAUNDERERS
+            ):
+                for arg in node.args:
+                    if isinstance(arg, (ast.ListComp, ast.GeneratorExp)):
+                        laundered.add(arg)
+        for scope, node in iter_scoped(ctx.tree):
+            if isinstance(node, ast.For):
+                if ctx.is_unordered(node.iter, scope):
+                    yield self.finding(ctx, node.iter, "for-loop over a set")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                if node in laundered:
+                    continue
+                for gen in node.generators:
+                    if ctx.is_unordered(gen.iter, scope):
+                        yield self.finding(
+                            ctx, gen.iter, "comprehension over a set"
+                        )
+
+
+class HashOrderMaterializationRule(Rule):
+    """REP106: no hash-order-dependent materialization of sets.
+
+    ``list(s)``, ``tuple(s)``, ``iter(s)``/``next(iter(s))``,
+    ``",".join(s)`` and ``s.pop()`` all expose an arbitrary element order
+    (or an arbitrary *element*, for ``pop``). Use ``sorted(s)`` or
+    ``min(s)``/``max(s)`` to make the choice explicit.
+    """
+
+    id = "REP106"
+    title = "hash-order-dependent set materialization"
+    hint = "use sorted(the_set) (or min/max for a single element)"
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        for scope, node in iter_scoped(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in ("list", "tuple", "iter")
+                and len(node.args) == 1
+                and ctx.is_unordered(node.args[0], scope)
+            ):
+                yield self.finding(ctx, node, f"{func.id}() over a set")
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "join"
+                and len(node.args) == 1
+                and ctx.is_unordered(node.args[0], scope)
+            ):
+                yield self.finding(ctx, node, "str.join over a set")
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "pop"
+                and not node.args
+                and ctx.is_unordered(func.value, scope)
+            ):
+                yield self.finding(ctx, node, "set.pop() removes an arbitrary element")

@@ -1,0 +1,234 @@
+"""REP3xx — units-safety rules.
+
+The package-wide convention (:mod:`repro.units`) is MHz / watts / joules /
+seconds, with unit-suffixed identifiers (``power_w``, ``dt_s``,
+``energy_uj``) marking every departure. These rules read the suffixes back
+and flag the two ways unit bugs enter: *mixing* quantities of conflicting
+units in one expression or call, and *hand-rolled* power-of-ten conversions
+that bypass the named converters (which both documents intent and gives the
+linter a single choke point to track).
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..findings import Finding
+from ..names import UNIT_DIMENSION, unit_of_identifier
+from . import Rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..context import ModuleContext
+
+#: (converter name, source unit, target unit, multiplicative factor).
+CONVERTERS: tuple[tuple[str, str, str, float], ...] = (
+    ("ghz_to_mhz", "ghz", "mhz", 1e3),
+    ("mhz_to_ghz", "mhz", "ghz", 1e-3),
+    ("watts_to_milliwatts", "w", "mw", 1e3),
+    ("milliwatts_to_watts", "mw", "w", 1e-3),
+    ("joules_to_microjoules", "j", "uj", 1e6),
+    ("microjoules_to_joules", "uj", "j", 1e-6),
+    ("joules_to_kilojoules", "j", "kj", 1e-3),
+    ("kilojoules_to_joules", "kj", "j", 1e3),
+    ("seconds_to_milliseconds", "s", "ms", 1e3),
+    ("milliseconds_to_seconds", "ms", "s", 1e-3),
+)
+
+_SCALE_LITERALS = (1e3, 1e6, 1e-3, 1e-6)
+
+
+def _conflict(a: str | None, b: str | None) -> bool:
+    """True when both units are known, same dimension, different unit."""
+    return (
+        a is not None
+        and b is not None
+        and a != b
+        and UNIT_DIMENSION[a] == UNIT_DIMENSION[b]
+    )
+
+
+class MixedUnitArithmeticRule(Rule):
+    """REP301: no additive mixing of conflicting units.
+
+    ``power_w + power_mw`` or ``t_s < timeout_ms`` is dimensionally
+    consistent but numerically wrong by orders of magnitude — the classic
+    silent unit bug. Addition, subtraction and comparisons require both
+    operands in the *same* unit; convert explicitly first. Multiplication
+    and division legitimately combine units and are not checked.
+    """
+
+    id = "REP301"
+    title = "arithmetic mixes conflicting units"
+    hint = "convert one operand with the repro.units converters first"
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                left, right = ctx.unit_of(node.left), ctx.unit_of(node.right)
+                if _conflict(left, right):
+                    yield self.finding(ctx, node, f"mixes {left} with {right}")
+            elif isinstance(node, ast.Compare):
+                operands = (node.left, *node.comparators)
+                for a, b in zip(operands, operands[1:]):
+                    left, right = ctx.unit_of(a), ctx.unit_of(b)
+                    if _conflict(left, right):
+                        yield self.finding(ctx, node, f"compares {left} with {right}")
+
+
+class CallUnitMismatchRule(Rule):
+    """REP302: no passing a quantity to a parameter of a conflicting unit.
+
+    When a call resolves to a project function whose parameter names carry
+    unit suffixes (``def step(dt_s, ...)``, ``def mhz_to_ghz(mhz)``),
+    arguments whose own names carry a conflicting unit of the same
+    dimension are flagged: ``mhz_to_ghz(freq_ghz)`` or
+    ``step(dt_ms, ...)`` is a unit error visible entirely in the names.
+    """
+
+    id = "REP302"
+    title = "argument unit conflicts with parameter unit"
+    hint = "convert the argument, or fix whichever name is lying"
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.resolve(node.func)
+            if name is None:
+                continue
+            info = ctx.index.resolve_function(name)
+            if info is None and "." not in name:
+                # A bare name is a module-local function of this module.
+                info = ctx.index.resolve_function(f"{ctx.module}.{name}")
+            if info is None:
+                continue
+            params = [p for p in info.params if p not in ("self", "cls")]
+            for param, arg in zip(params, node.args):
+                if _conflict(ctx.unit_of(arg), unit_of_identifier(param)):
+                    yield self.finding(
+                        ctx, arg,
+                        f"argument {ctx.unit_of(arg)} vs parameter "
+                        f"{param!r} ({unit_of_identifier(param)})",
+                    )
+            for kw in node.keywords:
+                if kw.arg is None:
+                    continue
+                if _conflict(ctx.unit_of(kw.value), unit_of_identifier(kw.arg)):
+                    yield self.finding(
+                        ctx, kw.value,
+                        f"argument {ctx.unit_of(kw.value)} vs parameter "
+                        f"{kw.arg!r} ({unit_of_identifier(kw.arg)})",
+                    )
+
+
+class ManualConversionRule(Rule):
+    """REP303: no hand-rolled power-of-ten unit conversions.
+
+    ``power_mw / 1e3`` or ``f_ghz = f_mhz / 1000.0`` re-derives a
+    conversion the package already names (:mod:`repro.units`). Hand-rolled
+    scalings are where W/mW and MHz/GHz confusions hide — the factor is
+    right but the direction wrong, or the source was already converted.
+    Using the named converter documents the intent and gives review (and
+    this linter) one choke point. Fires when a scaling by 1e±3/1e±6
+    touches a unit-suffixed operand matching a converter's source unit, or
+    lands in a unit-suffixed target matching a converter's result.
+    """
+
+    id = "REP303"
+    title = "hand-rolled unit conversion"
+    hint = "use the named converter from repro.units"
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        if ctx.in_modules(ctx.config.units_impl_modules):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp):
+                yield from self._check_operand_form(ctx, node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    yield from self._check_target_form(ctx, target, node.value)
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg is not None:
+                        yield from self._check_keyword_form(ctx, kw)
+
+    # A scaling expression is BinOp(Mult|Div) with one literal scale factor.
+    def _scaling(self, node: ast.expr) -> tuple[ast.expr, float] | None:
+        if not isinstance(node, ast.BinOp):
+            return None
+        left, right, op = node.left, node.right, node.op
+        for const, other, flip in ((right, left, False), (left, right, True)):
+            if (
+                isinstance(const, ast.Constant)
+                and isinstance(const.value, (int, float))
+                and not isinstance(const.value, bool)
+                and any(math.isclose(float(const.value), s) for s in _SCALE_LITERALS)
+            ):
+                factor = float(const.value)
+                if isinstance(op, ast.Mult):
+                    return other, factor
+                if isinstance(op, ast.Div) and not flip:
+                    return other, 1.0 / factor
+        return None
+
+    def _check_operand_form(
+        self, ctx: "ModuleContext", node: ast.BinOp
+    ) -> Iterator[Finding]:
+        scaled = self._scaling(node)
+        if scaled is None:
+            return
+        operand, factor = scaled
+        unit = ctx.unit_of(operand)
+        if unit is None:
+            return
+        for name, src, dst, conv in CONVERTERS:
+            if src == unit and math.isclose(factor, conv):
+                yield self.finding(
+                    ctx, node,
+                    f"scales a {src} quantity by {factor:g}",
+                    hint=f"use repro.units.{name}(...)",
+                )
+                return
+
+    def _check_target_form(
+        self, ctx: "ModuleContext", target: ast.expr, value: ast.expr | None
+    ) -> Iterator[Finding]:
+        if value is None or not isinstance(target, (ast.Name, ast.Attribute)):
+            return
+        unit = ctx.unit_of(target)
+        if unit is None:
+            return
+        scaled = self._scaling(value)
+        if scaled is None or ctx.unit_of(scaled[0]) is not None:
+            return  # operand form already covers unit-suffixed operands
+        for name, src, dst, conv in CONVERTERS:
+            if dst == unit and math.isclose(scaled[1], conv):
+                yield self.finding(
+                    ctx, value,
+                    f"builds a {dst} value by scaling ({scaled[1]:g})",
+                    hint=f"use repro.units.{name}(...)",
+                )
+                return
+
+    def _check_keyword_form(
+        self, ctx: "ModuleContext", kw: ast.keyword
+    ) -> Iterator[Finding]:
+        assert kw.arg is not None
+        unit = unit_of_identifier(kw.arg)
+        if unit is None:
+            return
+        scaled = self._scaling(kw.value)
+        if scaled is None or ctx.unit_of(scaled[0]) is not None:
+            return
+        for name, src, dst, conv in CONVERTERS:
+            if dst == unit and math.isclose(scaled[1], conv):
+                yield self.finding(
+                    ctx, kw.value,
+                    f"builds {kw.arg}={dst} by scaling ({scaled[1]:g})",
+                    hint=f"use repro.units.{name}(...)",
+                )
+                return

@@ -1,0 +1,94 @@
+"""Suppression comments: ``# repro-lint: disable=REP101 -- reason``.
+
+Grammar (one directive per comment)::
+
+    # repro-lint: disable=REP101,REP105 [-- justification]
+    # repro-lint: disable-file=REP303 [-- justification]
+    # repro-lint: disable=all          # escape hatch, discouraged
+
+``disable`` applies to findings on the comment's own physical line;
+``disable-file`` applies to the whole file. Comments are extracted with
+:mod:`tokenize`, so directive-shaped text inside string literals is ignored.
+Malformed directives (unknown verb, unparsable rule list) produce a
+``REP000`` finding instead of being silently dropped — a typo in a
+suppression must not re-arm a silenced rule without anyone noticing.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+__all__ = ["Suppressions", "collect_suppressions"]
+
+_DIRECTIVE = re.compile(r"#\s*repro-lint\s*:\s*(?P<body>.*)$")
+_BODY = re.compile(
+    r"^(?P<verb>[a-z-]+)\s*=\s*(?P<rules>[A-Za-z0-9, ]+?)\s*(?:--\s*(?P<why>.*))?$"
+)
+_RULE_ID = re.compile(r"^(REP\d{3}|all)$")
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression state for one file."""
+
+    #: line number -> rule ids disabled on that line ("all" disables every rule).
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: rule ids disabled for the whole file.
+    file_wide: set[str] = field(default_factory=set)
+    #: REP000 findings for malformed directives.
+    errors: list[Finding] = field(default_factory=list)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if "all" in self.file_wide or rule in self.file_wide:
+            return True
+        on_line = self.by_line.get(line)
+        return on_line is not None and ("all" in on_line or rule in on_line)
+
+
+def collect_suppressions(source: str, path: str) -> Suppressions:
+    """Extract suppression directives (and directive errors) from ``source``."""
+    supp = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # The engine reports unparsable files separately; nothing to collect.
+        return supp
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(tok.string)
+        if match is None:
+            continue
+        line = tok.start[0]
+        body = _BODY.match(match.group("body").strip())
+        verb = body.group("verb") if body else None
+        if body is None or verb not in ("disable", "disable-file"):
+            supp.errors.append(_bad_directive(path, line, tok.string))
+            continue
+        rules = {r.strip() for r in body.group("rules").split(",") if r.strip()}
+        bad = sorted(r for r in rules if not _RULE_ID.match(r))
+        if not rules or bad:
+            supp.errors.append(_bad_directive(path, line, tok.string))
+            continue
+        if verb == "disable-file":
+            supp.file_wide |= rules
+        else:
+            supp.by_line.setdefault(line, set()).update(rules)
+    return supp
+
+
+def _bad_directive(path: str, line: int, comment: str) -> Finding:
+    return Finding(
+        rule="REP000",
+        path=path,
+        line=line,
+        col=0,
+        message=f"malformed repro-lint directive: {comment.strip()!r}",
+        hint="use '# repro-lint: disable=REP101[,REP102] [-- reason]' or disable-file=",
+        content=comment.strip(),
+    )

@@ -12,14 +12,16 @@ derive independent child streams per component via :func:`spawn`, so that
 
 from __future__ import annotations
 
+from typing import TypeAlias
+
 import numpy as np
 
 __all__ = ["make_rng", "spawn", "BlockSampler", "SeedLike"]
 
-SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+SeedLike: TypeAlias = int | np.random.Generator | np.random.SeedSequence | None
 
 
-def make_rng(seed=None) -> np.random.Generator:
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
     ``seed`` may be an ``int``, an existing ``Generator`` (returned as-is),
@@ -31,7 +33,7 @@ def make_rng(seed=None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn(seed, name: str) -> np.random.Generator:
+def spawn(seed: SeedLike, name: str) -> np.random.Generator:
     """Derive an independent, reproducible child generator.
 
     The child stream is keyed on ``(seed, name)`` so distinct components get
@@ -81,18 +83,24 @@ class BlockSampler:
 
     __slots__ = ("_rng", "_dist", "_args", "_block", "_buf", "_i")
 
-    def __init__(self, rng: np.random.Generator, dist: str, args, block: int = 256):
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        dist: str,
+        args: tuple[float, ...],
+        block: int = 256,
+    ) -> None:
         if block < 1:
             raise ValueError("block must be >= 1")
         self._rng = rng
         self._dist = str(dist)
         self._args = tuple(args)
         self._block = int(block)
-        self._buf: list = []
+        self._buf: list[float] = []
         self._i = 0
 
     @property
-    def params(self) -> tuple:
+    def params(self) -> tuple[float, ...]:
         """The fixed distribution parameters this sampler was built with."""
         return self._args
 
@@ -106,7 +114,7 @@ class BlockSampler:
         self._i += 1
         return value
 
-    def take(self, n: int) -> list:
+    def take(self, n: int) -> list[float]:
         """The next ``n`` samples of the stream, as a list of floats.
 
         Equivalent to ``[self.next() for _ in range(n)]`` (and therefore to

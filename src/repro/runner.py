@@ -104,7 +104,7 @@ class SweepJob:
     @property
     def key(self) -> str:
         """Stable human-readable identity, e.g. ``fig3[seed=0,set_point_w=850.0]``."""
-        parts = [f"seed={self.seed}"] + [f"{k}={v}" for k, v in self.params]
+        parts = [f"seed={self.seed}", *(f"{k}={v}" for k, v in self.params)]
         return f"{self.experiment_id}[{','.join(parts)}]"
 
 

@@ -47,7 +47,13 @@ from ..telemetry import (
     Trace,
     UtilizationMonitor,
 )
-from ..units import require_positive
+from ..units import (
+    microjoules_to_joules,
+    milliwatts_to_watts,
+    mhz_to_ghz,
+    require_positive,
+    seconds_to_milliseconds,
+)
 from ..workloads.feature_selection import FeatureSelectionWorkload
 from ..workloads.pipeline import InferencePipeline
 from .events import EventSchedule
@@ -227,7 +233,7 @@ class ServerSimulation:
         # GPU = inference batches/s), utilization per channel.
         self.tput_monitors: list[ThroughputMonitor] = []
         self.util_monitors: list[UtilizationMonitor] = []
-        f_max_ghz = server.cpus[0].domain.f_max / 1000.0 if server.cpus else 0.0
+        f_max_ghz = mhz_to_ghz(server.cpus[0].domain.f_max) if server.cpus else 0.0
         for ref in server.channels:
             if ref.kind == "cpu":
                 hint = (
@@ -468,7 +474,9 @@ class ServerSimulation:
 
         gpu_power = np.array(
             [
-                self.nvml.power_usage_mw(self.nvml.device_handle_by_index(g)) / 1e3
+                milliwatts_to_watts(
+                    self.nvml.power_usage_mw(self.nvml.device_handle_by_index(g))
+                )
                 for g in range(self.server.n_gpus)
             ]
         )
@@ -483,7 +491,7 @@ class ServerSimulation:
         if dt > 0 and d_uj == 0 and self._last_cpu_power_w is not None:
             cpu_power = self._last_cpu_power_w
         elif dt > 0:
-            cpu_power = (d_uj / 1e6) / dt
+            cpu_power = microjoules_to_joules(d_uj) / dt
             self._last_cpu_power_w = cpu_power
         else:
             cpu_power = float("nan")
@@ -634,10 +642,12 @@ class ServerSimulation:
                 self._tick(record)
             obs = self._build_observation()
             if controller is not None:
-                t0 = time.perf_counter()
+                t0 = time.perf_counter()  # repro-lint: disable=REP101 -- ctl_ms is timing telemetry, excluded from digests (runner.TIMING_KEYS)
                 targets = controller.step(obs)
                 batches = controller.batch_commands(obs)
-                self.last_control_ms = (time.perf_counter() - t0) * 1e3
+                self.last_control_ms = seconds_to_milliseconds(
+                    time.perf_counter() - t0  # repro-lint: disable=REP101 -- same timing window as t0 above
+                )
                 self.actuator.set_targets(targets)
                 self._last_commanded_mhz = np.asarray(
                     targets, dtype=np.float64

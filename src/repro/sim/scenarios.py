@@ -16,6 +16,7 @@ from ..faults import FaultPlan
 from ..hardware.presets import rtx3090_server, v100_server
 from ..hardware.server import GpuServer
 from ..rng import spawn
+from ..units import mhz_to_ghz
 from ..workloads.feature_selection import FeatureSelectionWorkload
 from ..workloads.llm import LLAMA_7B_V100, LlmPipeline, LlmSpec
 from ..workloads.models import GOOGLENET_3090, RESNET50, SWIN_T, VGG16, InferenceModelSpec
@@ -74,7 +75,7 @@ def paper_scenario(
             PipelineConfig(
                 n_workers=1,
                 preproc_frequency="fixed",
-                fixed_preproc_ghz=server.cpus[0].domain.f_max / 1000.0,
+                fixed_preproc_ghz=mhz_to_ghz(server.cpus[0].domain.f_max),
             ),
             rng=spawn(seed, f"pipeline-{g}-{spec.name}"),
         )

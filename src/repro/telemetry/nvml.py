@@ -24,7 +24,7 @@ from ..errors import ConfigurationError, TelemetryError
 from ..hardware.server import GpuServer
 from ..perf import vectorized_enabled
 from ..rng import BlockSampler
-from ..units import watts_to_milliwatts
+from ..units import milliwatts_to_watts, watts_to_milliwatts
 
 __all__ = ["SimulatedNvml", "NvmlDeviceHandle"]
 
@@ -110,7 +110,7 @@ class SimulatedNvml:
         """Sum of all boards' power in watts (convenience for GPU-side loops)."""
         total = 0.0
         for i in range(self._server.n_gpus):
-            total += self.power_usage_mw(self.device_handle_by_index(i)) / 1e3
+            total += milliwatts_to_watts(self.power_usage_mw(self.device_handle_by_index(i)))
         return total
 
     def utilization_rates(self, handle: NvmlDeviceHandle) -> float:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from ..errors import ConfigurationError, TelemetryError
 from ..hardware.server import GpuServer
-from ..units import joules_to_microjoules
+from ..units import joules_to_microjoules, microjoules_to_joules
 
 __all__ = ["SimulatedRapl", "RaplWindowReader"]
 
@@ -95,9 +95,9 @@ class RaplWindowReader:
         if dt <= 0:
             raise TelemetryError("RAPL window has zero duration")
         now_uj = self._rapl.read_energy_uj()
-        delta = now_uj - self._last_uj
-        if delta < 0:  # counter wrapped between reads
-            delta += self._rapl.max_energy_range_uj
+        delta_uj = now_uj - self._last_uj
+        if delta_uj < 0:  # counter wrapped between reads
+            delta_uj += self._rapl.max_energy_range_uj
         self._last_uj = now_uj
         self._last_t = float(time_s)
-        return (delta / 1e6) / dt
+        return microjoules_to_joules(delta_uj) / dt

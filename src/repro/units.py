@@ -25,6 +25,10 @@ __all__ = [
     "milliwatts_to_watts",
     "joules_to_microjoules",
     "microjoules_to_joules",
+    "joules_to_kilojoules",
+    "kilojoules_to_joules",
+    "seconds_to_milliseconds",
+    "milliseconds_to_seconds",
     "require_positive",
     "require_non_negative",
     "require_in_range",
@@ -62,6 +66,26 @@ def joules_to_microjoules(j: float) -> float:
 def microjoules_to_joules(uj: float) -> float:
     """Convert microjoules to joules."""
     return float(uj) / 1e6
+
+
+def joules_to_kilojoules(j: float) -> float:
+    """Convert joules to kilojoules (efficiency metrics report work/kJ)."""
+    return float(j) / 1e3
+
+
+def kilojoules_to_joules(kj: float) -> float:
+    """Convert kilojoules to joules."""
+    return float(kj) * 1e3
+
+
+def seconds_to_milliseconds(s: float) -> float:
+    """Convert seconds to milliseconds (controller timings report ms)."""
+    return float(s) * 1e3
+
+
+def milliseconds_to_seconds(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(ms) / 1e3
 
 
 def require_positive(value: float, name: str) -> float:

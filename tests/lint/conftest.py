@@ -1,0 +1,30 @@
+"""Shared helpers for the lint-engine tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="session")
+def fixture_findings():
+    """Findings from one engine run over the whole fixture package."""
+    return run_lint([FIXTURES / "repro"], LintConfig()).findings
+
+
+def findings_for(findings, filename, rule=None):
+    """Findings in ``filename`` (basename match), optionally one rule only."""
+    hits = [f for f in findings if f.path.endswith(f"/{filename}")]
+    if rule is not None:
+        hits = [f for f in hits if f.rule == rule]
+    return hits
+
+
+def rules_in(findings, filename):
+    """The set of rule ids that fired in ``filename``."""
+    return {f.rule for f in findings_for(findings, filename)}

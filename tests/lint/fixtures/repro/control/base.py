@@ -1,0 +1,18 @@
+"""Fixture stand-in for the controller ABC (REP401 target)."""
+
+from abc import ABC, abstractmethod
+
+
+class PowerCappingController(ABC):
+    name = "controller"
+
+    @abstractmethod
+    def step(self, obs):
+        """Compute next-period frequency targets."""
+
+    @abstractmethod
+    def batch_commands(self, obs):
+        """Optional per-GPU batch-size commands."""
+
+    def reset(self):
+        """Stateless by default."""

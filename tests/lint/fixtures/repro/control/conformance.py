@@ -1,0 +1,47 @@
+"""Fixture: REP401 good and bad controller implementations."""
+
+from abc import abstractmethod
+
+from .base import PowerCappingController
+
+
+class CompleteController(PowerCappingController):
+    """Implements both abstract methods: clean."""
+
+    def step(self, obs):
+        return obs
+
+    def batch_commands(self, obs):
+        return None
+
+
+class IncompleteController(PowerCappingController):  # REP401: misses batch_commands
+    def step(self, obs):
+        return obs
+
+
+class IntermediateBase(PowerCappingController):
+    """Declares its own abstract method: treated as abstract, not flagged."""
+
+    @abstractmethod
+    def extra_knob(self):
+        """A further abstract extension point."""
+
+    def step(self, obs):
+        return obs
+
+    def batch_commands(self, obs):
+        return None
+
+
+class InheritsStep(CompleteController):
+    """Inherits both implementations transitively: clean."""
+
+    name = "inherits"
+
+
+class Unrelated:
+    """Not a controller: never checked."""
+
+    def step(self, obs):
+        return obs

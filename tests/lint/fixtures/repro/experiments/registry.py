@@ -1,0 +1,17 @@
+"""Fixture: REP402 registry with good and bad entries (never imported)."""
+
+from .runners import run_good  # noqa: F401
+
+
+def run_local(**kwargs):
+    return kwargs
+
+
+EXPERIMENTS = {
+    "fig1": run_good,  # clean: imported runner, slug id
+    "fault-tolerance_2": run_local,  # clean: locally defined runner
+    "Bad Id": run_good,  # REP402: not a slug
+    "fig1": run_local,  # REP402: duplicate id  # noqa: F601
+    "ghost": run_missing,  # REP402: runner neither imported nor defined  # noqa: F821
+    **{f"dyn-{n}": run_good for n in ("a", "b")},  # dynamic: skipped
+}

@@ -1,0 +1,5 @@
+"""Fixture runner referenced by the registry fixture."""
+
+
+def run_good(**kwargs):
+    return kwargs

@@ -1,0 +1,51 @@
+"""Fixture: every REP1xx determinism rule violated (never imported)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def wall_clock_read():
+    return time.time()  # REP101
+
+
+def monotonic_read():
+    return time.monotonic_ns()  # REP101
+
+
+def stdlib_random_draw():
+    return random.random()  # REP102 (plus the import above)
+
+
+def numpy_global_rng():
+    np.random.seed(42)  # REP103
+    return np.random.normal(0.0, 1.0)  # REP103
+
+
+def unseeded_generator():
+    return np.random.default_rng()  # REP103 (no seed -> OS entropy)
+
+
+def ambient_entropy():
+    import os
+    import uuid
+
+    return os.urandom(8), uuid.uuid4()  # REP104 x2
+
+
+def iterate_set(items):
+    good = set(items)
+    out = []
+    for item in good:  # REP105
+        out.append(item)
+    squares = [i * i for i in {1, 2, 3}]  # REP105
+    return out, squares
+
+
+def materialize_set(items):
+    ordered = list(set(items))  # REP106
+    first = next(iter({"a", "b"}))  # REP106 (iter over a set literal)
+    leftovers = set(items)
+    leftovers.pop()  # REP106
+    return ordered, first

@@ -1,0 +1,41 @@
+"""Fixture: deterministic equivalents of determinism_bad (never imported)."""
+
+import numpy as np
+
+from ..rng import spawn
+
+
+def sim_clock_read(time_s):
+    return time_s  # time comes from the simulation clock
+
+
+def seeded_stream(seed):
+    rng = spawn(seed, "fixture-noise")
+    return rng.normal(0.0, 1.0)
+
+
+def generator_classes_are_fine(seed):
+    # Naming Generator / SeedSequence types is allowed; only the global
+    # RandomState functions and unseeded default_rng are banned.
+    ss = np.random.SeedSequence(seed)
+    return np.random.default_rng(ss)
+
+
+def iterate_sorted(items):
+    out = []
+    for item in sorted(set(items)):  # explicit order
+        out.append(item)
+    return out
+
+
+def order_insensitive_consumption(items):
+    uniques = set(items)
+    smallest = min(uniques)  # min/max over a set is order-insensitive
+    n = len(uniques)
+    all_good = all(x > 0 for x in uniques)  # laundered by all(...)
+    as_set = {i * i for i in uniques}  # set comprehension stays unordered
+    return smallest, n, all_good, as_set
+
+
+def membership_is_fine(items, probe):
+    return probe in set(items)

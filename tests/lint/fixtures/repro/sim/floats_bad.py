@@ -1,0 +1,26 @@
+"""Fixture: every REP2xx float-semantics rule violated (never imported)."""
+
+import math
+
+import numpy as np
+
+
+def float_literal_equality(x):
+    if x == 0.9:  # REP201
+        return True
+    return x != 2.5  # REP201
+
+
+def reduction_over_set(values):
+    total = sum(set(values))  # REP202
+    compensated = math.fsum({0.1, 0.2, 0.3})  # REP202
+    mean = np.mean(frozenset(values))  # REP202
+    return total, compensated, mean
+
+
+def accumulate_over_set(values):
+    pending = set(values)
+    total = 0.0
+    for v in pending:  # REP105 on the loop ...
+        total += v  # ... and REP203 on the accumulation
+    return total

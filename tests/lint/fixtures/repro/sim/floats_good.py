@@ -1,0 +1,30 @@
+"""Fixture: order-pinned equivalents of floats_bad (never imported)."""
+
+import math
+
+
+def zero_sentinel_is_fine(sigma):
+    # Exact-zero sentinel compares are the package's "feature disabled"
+    # idiom (see workloads.models) and are exempt from REP201.
+    if sigma == 0.0:
+        return 0.0
+    return sigma * 2.0
+
+
+def integer_equality_is_fine(n):
+    return n == 3
+
+
+def tolerance_compare(x):
+    return math.isclose(x, 0.9, rel_tol=1e-9)
+
+
+def reduction_over_sorted(values):
+    return sum(sorted(set(values)))
+
+
+def accumulate_in_order(values):
+    total = 0.0
+    for v in sorted(set(values)):
+        total += v
+    return total

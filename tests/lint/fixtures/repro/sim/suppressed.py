@@ -1,0 +1,30 @@
+"""Fixture: suppression-comment handling (never imported)."""
+# repro-lint: disable-file=REP104 -- fixture exercises file-wide suppression
+
+import os
+import time
+import uuid
+
+
+def suppressed_on_line():
+    return time.time()  # repro-lint: disable=REP101 -- justified for the test
+
+
+def not_suppressed():
+    return time.time()  # REP101 still fires here
+
+
+def wrong_rule_suppressed():
+    return time.time()  # repro-lint: disable=REP102 -- wrong id, REP101 fires
+
+
+def file_wide_suppressed():
+    return os.urandom(4), uuid.uuid4()  # REP104 silenced file-wide
+
+
+def bad_directive():
+    return 1  # repro-lint: disable=NOTARULE
+
+
+def directive_in_string():
+    return "# repro-lint: disable=REP101 (inert: inside a string literal)"

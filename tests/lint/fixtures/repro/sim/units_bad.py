@@ -1,0 +1,43 @@
+"""Fixture: every REP3xx units rule violated (never imported)."""
+
+from ..units import mhz_to_ghz
+
+
+def mixed_addition(power_w, power_mw):
+    return power_w + power_mw  # REP301 (W + mW)
+
+
+def mixed_comparison(t_s, timeout_ms):
+    return t_s < timeout_ms  # REP301 (s vs ms)
+
+
+def advance(dt_s, f_mhz):
+    return dt_s * f_mhz
+
+
+def call_with_wrong_units(dt_ms, f_ghz):
+    return advance(dt_ms, f_ghz)  # REP302 x2 (ms->s param, ghz->mhz param)
+
+
+def inverted_converter(freq_ghz):
+    return mhz_to_ghz(freq_ghz)  # REP302 (ghz fed to the mhz parameter)
+
+
+def keyword_mismatch(cap_ghz):
+    return advance(dt_s=1.0, f_mhz=cap_ghz)  # REP302 (ghz vs mhz keyword)
+
+
+def hand_rolled_conversions(power_mw, f_mhz, energy_uj):
+    watts = power_mw / 1e3  # REP303 -> milliwatts_to_watts
+    ghz = f_mhz / 1000.0  # REP303 -> mhz_to_ghz
+    joules = energy_uj / 1e6  # REP303 -> microjoules_to_joules
+    return watts, ghz, joules
+
+
+def hand_rolled_target(raw):
+    elapsed_ms = raw * 1e3  # REP303 (target form) -> seconds_to_milliseconds
+    return elapsed_ms
+
+
+def hand_rolled_keyword(raw):
+    return advance(dt_s=raw / 1e3, f_mhz=0.0)  # REP303 (keyword form)

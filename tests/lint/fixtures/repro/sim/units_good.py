@@ -1,0 +1,33 @@
+"""Fixture: unit-clean equivalents of units_bad (never imported)."""
+
+from ..units import milliwatts_to_watts, mhz_to_ghz
+
+
+def same_unit_addition(power_w, other_w):
+    return power_w + other_w
+
+
+def converted_addition(power_w, power_mw):
+    return power_w + milliwatts_to_watts(power_mw)
+
+
+def products_combine_units(power_w, dt_s):
+    return power_w * dt_s  # energy: multiplication legitimately mixes units
+
+
+def advance(dt_s, f_mhz):
+    return dt_s * f_mhz
+
+
+def call_with_right_units(dt_s, f_ghz):
+    return advance(dt_s, f_ghz * 1.5)  # scaling by a non-power-of-ten is fine
+
+
+def named_conversion(f_mhz):
+    return mhz_to_ghz(f_mhz)
+
+
+def rates_are_not_times(rate_img_s, dt_s):
+    # rate_img_s is images *per* second; the _s suffix does not make it a
+    # time, and multiplying by one is how work is integrated.
+    return rate_img_s * dt_s

@@ -1,0 +1,24 @@
+"""Fixture stand-in for :mod:`repro.units` (converter signatures only).
+
+The fixture tree is a self-contained miniature ``repro`` package so the
+cross-file rules (REP302 parameter lookups, REP401 base-class resolution)
+exercise the same resolution paths as the real package. Scaling inside this
+module is exempt from REP303 by configuration, exactly like the real
+``repro.units``.
+"""
+
+
+def ghz_to_mhz(ghz):
+    return float(ghz) * 1000.0
+
+
+def mhz_to_ghz(mhz):
+    return float(mhz) / 1000.0
+
+
+def watts_to_milliwatts(watts):
+    return float(watts) * 1e3
+
+
+def milliwatts_to_watts(mw):
+    return float(mw) / 1e3

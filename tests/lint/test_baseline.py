@@ -1,0 +1,103 @@
+"""Baseline round-trip, partition, and stale-entry semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    BaselineEntry,
+    Finding,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.baseline import BaselineFormatError
+
+
+def _finding(rule="REP101", path="src/repro/sim/engine.py", line=10,
+             content="t0 = time.time()"):
+    return Finding(rule=rule, path=path, line=line, col=4,
+                   message="call to time.time()", content=content)
+
+
+def test_write_then_load_round_trip(tmp_path):
+    findings = [_finding(), _finding(rule="REP303", line=20, content="w = mw / 1e3")]
+    path = tmp_path / "baseline.json"
+    written = write_baseline(findings, path)
+    loaded = load_baseline(path)
+    assert loaded.entries == written.entries
+    assert {e.rule for e in loaded.entries} == {"REP101", "REP303"}
+    assert all(e.justification == "TODO: justify or fix" for e in loaded.entries)
+
+
+def test_partition_splits_new_baselined_stale():
+    baseline = Baseline(entries=[
+        BaselineEntry("REP101", "a.py", "t0 = time.time()"),
+        BaselineEntry("REP303", "gone.py", "w = mw / 1e3"),
+    ])
+    findings = [
+        _finding(path="a.py"),                      # matches the first entry
+        _finding(rule="REP201", path="b.py",
+                 content="if x == 0.9:"),           # new
+    ]
+    new, baselined, stale = baseline.partition(findings)
+    assert [f.rule for f in new] == ["REP201"]
+    assert [f.rule for f in baselined] == ["REP101"]
+    assert [e.path for e in stale] == ["gone.py"]
+
+
+def test_baseline_matches_on_content_not_line_number():
+    baseline = Baseline(entries=[BaselineEntry("REP101", "a.py", "t0 = time.time()")])
+    moved = _finding(path="a.py", line=999)  # same content, different line
+    new, baselined, stale = baseline.partition([moved])
+    assert not new and not stale and baselined == [moved]
+
+
+def test_one_entry_absorbs_identical_duplicate_lines():
+    baseline = Baseline(entries=[BaselineEntry("REP101", "a.py", "t0 = time.time()")])
+    dupes = [_finding(path="a.py", line=1), _finding(path="a.py", line=7)]
+    new, baselined, stale = baseline.partition(dupes)
+    assert not new and not stale and len(baselined) == 2
+
+
+def test_rewrite_preserves_existing_justifications(tmp_path):
+    path = tmp_path / "baseline.json"
+    first = write_baseline([_finding()], path)
+    # Simulate a human triaging the entry.
+    triaged = Baseline(entries=[
+        BaselineEntry(e.rule, e.path, e.content, "predates REP101; see docs")
+        for e in first.entries
+    ])
+    second = write_baseline([_finding(), _finding(rule="REP201", line=3,
+                                                  content="if x == 0.9:")],
+                            path, previous=triaged)
+    by_rule = {e.rule: e for e in second.entries}
+    assert by_rule["REP101"].justification == "predates REP101; see docs"
+    assert by_rule["REP201"].justification == "TODO: justify or fix"
+
+
+def test_paid_debt_disappears_on_rewrite(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline([_finding(), _finding(rule="REP201", content="if x == 0.9:")], path)
+    shrunk = write_baseline([_finding()], path, previous=load_baseline(path))
+    assert [e.rule for e in shrunk.entries] == ["REP101"]
+
+
+@pytest.mark.parametrize("payload", [
+    "not json at all",
+    json.dumps([1, 2, 3]),
+    json.dumps({"version": 99, "entries": []}),
+    json.dumps({"version": 1, "entries": [{"rule": "REP101"}]}),
+])
+def test_unusable_baseline_raises_format_error(tmp_path, payload):
+    path = tmp_path / "baseline.json"
+    path.write_text(payload)
+    with pytest.raises(BaselineFormatError):
+        load_baseline(path)
+
+
+def test_missing_baseline_raises_format_error(tmp_path):
+    with pytest.raises(BaselineFormatError):
+        load_baseline(tmp_path / "absent.json")

@@ -1,0 +1,133 @@
+"""``repro lint`` CLI: exit codes, baseline workflow, output formats.
+
+Exit codes follow the bench-compare convention: 0 clean, 1 findings,
+2 usage error (the check could not run).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLEAN = "def double(power_w):\n    return 2.0 * power_w\n"
+DIRTY = "import time\n\ndef stamp():\n    return time.time()\n"
+
+
+def _write(tmp_path, name, body):
+    target = tmp_path / name
+    target.write_text(body)
+    return str(target)
+
+
+def test_exit_zero_on_clean_file(tmp_path, capsys):
+    assert main(["lint", _write(tmp_path, "clean.py", CLEAN)]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(tmp_path, capsys):
+    assert main(["lint", _write(tmp_path, "dirty.py", DIRTY)]) == 1
+    out = capsys.readouterr().out
+    assert "REP101" in out
+    assert "1 finding" in out
+
+
+def test_exit_two_on_missing_path(capsys):
+    assert main(["lint", "no/such/dir"]) == 2
+    assert "no such file or directory" in capsys.readouterr().err
+
+
+def test_exit_two_on_bad_selector(tmp_path, capsys):
+    assert main(["lint", _write(tmp_path, "c.py", CLEAN), "--select", "BOGUS"]) == 2
+    assert "invalid rule selector" in capsys.readouterr().err
+
+
+def test_exit_two_on_missing_explicit_baseline(tmp_path, capsys):
+    code = main([
+        "lint", _write(tmp_path, "c.py", CLEAN),
+        "--baseline", str(tmp_path / "absent.json"),
+    ])
+    assert code == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+def test_baseline_workflow_write_pass_then_stale(tmp_path, capsys):
+    dirty = _write(tmp_path, "dirty.py", DIRTY)
+    baseline = str(tmp_path / "baseline.json")
+
+    # Triage: write the current findings, exits 0.
+    assert main(["lint", dirty, "--baseline", baseline, "--write-baseline"]) == 0
+    assert "wrote" in capsys.readouterr().out
+
+    # Baselined findings no longer fail the run but stay visible.
+    assert main(["lint", dirty, "--baseline", baseline]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # Paying the debt makes the entry stale: the run fails until the
+    # baseline is regenerated.
+    Path(dirty).write_text(CLEAN)
+    assert main(["lint", dirty, "--baseline", baseline]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+    assert main(["lint", dirty, "--baseline", baseline, "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert main(["lint", dirty, "--baseline", baseline]) == 0
+
+
+def test_no_baseline_flag_reports_everything(tmp_path, capsys):
+    dirty = _write(tmp_path, "dirty.py", DIRTY)
+    baseline = str(tmp_path / "baseline.json")
+    assert main(["lint", dirty, "--baseline", baseline, "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert main(["lint", dirty, "--baseline", baseline, "--no-baseline"]) == 1
+    assert "REP101" in capsys.readouterr().out
+
+
+def test_json_format(tmp_path, capsys):
+    assert main(["lint", _write(tmp_path, "dirty.py", DIRTY), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    assert payload["baselined"] == 0
+    assert payload["stale_baseline_entries"] == []
+    assert payload["budget_errors"] == []
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "REP101"
+    assert finding["line"] == 4
+
+
+def test_type_ignore_budget(tmp_path, capsys):
+    body = (
+        "x = 1  # type: ignore\n"
+        "y = 2  # type: ignore[assignment]\n"
+    )
+    path = _write(tmp_path, "ignores.py", body)
+    assert main(["lint", path, "--max-type-ignores", "2"]) == 0
+    capsys.readouterr()
+    assert main(["lint", path, "--max-type-ignores", "1"]) == 1
+    out = capsys.readouterr().out
+    assert "type-ignore budget exceeded: 2 > 1" in out
+
+
+def test_select_runs_only_requested_rules(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", DIRTY)
+    assert main(["lint", path, "--select", "REP3"]) == 0
+    capsys.readouterr()
+    assert main(["lint", path, "--select", "REP101"]) == 1
+
+
+def test_list_rules_catalogue(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("REP101", "REP102", "REP103", "REP104", "REP105", "REP106",
+                    "REP201", "REP202", "REP203",
+                    "REP301", "REP302", "REP303",
+                    "REP401", "REP402"):
+        assert rule_id in out
+
+
+def test_self_lint_of_shipped_package_is_clean(capsys):
+    """The repo holds itself to its own rules (acceptance criterion)."""
+    code = main(["lint", str(REPO_ROOT / "src" / "repro"), "--no-baseline"])
+    assert code == 0, capsys.readouterr().out

@@ -1,0 +1,139 @@
+"""Rule-family tests: each injected violation is caught, clean code is clean.
+
+The fixtures under ``fixtures/repro`` form a miniature package whose module
+names mirror the real tree (``repro.sim``, ``repro.control``, ...), so the
+default :class:`~repro.lint.LintConfig` applies unchanged. The files are
+never imported — they exist only as lint input.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .conftest import findings_for, rules_in
+
+
+class TestDeterminismRules:
+    def test_wall_clock_reads_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "determinism_bad.py", "REP101")
+        assert {f.line for f in hits} == {10, 14}
+
+    def test_stdlib_random_import_and_call_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "determinism_bad.py", "REP102")
+        assert {f.line for f in hits} == {3, 18}
+
+    def test_numpy_global_rng_and_unseeded_default_rng(self, fixture_findings):
+        hits = findings_for(fixture_findings, "determinism_bad.py", "REP103")
+        assert {f.line for f in hits} == {22, 23, 27}
+        assert any("without a seed" in f.message for f in hits)
+
+    def test_ambient_entropy_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "determinism_bad.py", "REP104")
+        assert {f.line for f in hits} == {34, 34}
+        assert len(hits) == 2  # os.urandom and uuid.uuid4 on one line
+
+    def test_unordered_iteration_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "determinism_bad.py", "REP105")
+        assert {f.line for f in hits} == {40, 42}
+
+    def test_hash_order_materialization_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "determinism_bad.py", "REP106")
+        assert {f.line for f in hits} == {47, 48, 50}
+
+    def test_good_file_is_clean(self, fixture_findings):
+        assert rules_in(fixture_findings, "determinism_good.py") == set()
+
+
+class TestFloatRules:
+    def test_float_literal_equality_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "floats_bad.py", "REP201")
+        assert {f.line for f in hits} == {9, 11}
+
+    def test_unordered_reductions_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "floats_bad.py", "REP202")
+        assert {f.line for f in hits} == {15, 16, 17}
+
+    def test_unordered_accumulation_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "floats_bad.py", "REP203")
+        assert {f.line for f in hits} == {25}
+        # The enclosing loop is independently an REP105.
+        loop = findings_for(fixture_findings, "floats_bad.py", "REP105")
+        assert {f.line for f in loop} == {24}
+
+    def test_good_file_is_clean(self, fixture_findings):
+        assert rules_in(fixture_findings, "floats_good.py") == set()
+
+
+class TestUnitsRules:
+    def test_mixed_unit_arithmetic_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "units_bad.py", "REP301")
+        assert {f.line for f in hits} == {7, 11}
+        messages = sorted(f.message for f in hits)
+        assert "compares s with ms" in messages[0]
+        assert "mixes w with mw" in messages[1]
+
+    def test_call_unit_mismatches_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "units_bad.py", "REP302")
+        # positional x2, converter misuse, keyword mismatch
+        assert [f.line for f in hits] == [19, 19, 23, 27]
+
+    def test_manual_conversions_flagged_with_named_converter(self, fixture_findings):
+        hits = findings_for(fixture_findings, "units_bad.py", "REP303")
+        assert {f.line for f in hits} == {31, 32, 33, 38, 43}
+        by_line = {f.line: f for f in hits}
+        assert "milliwatts_to_watts" in by_line[31].hint
+        assert "mhz_to_ghz" in by_line[32].hint
+        assert "microjoules_to_joules" in by_line[33].hint
+        assert "seconds_to_milliseconds" in by_line[38].hint
+        assert "milliseconds_to_seconds" in by_line[43].hint
+
+    def test_good_file_is_clean(self, fixture_findings):
+        assert rules_in(fixture_findings, "units_good.py") == set()
+
+
+class TestApiRules:
+    def test_incomplete_controller_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "conformance.py", "REP401")
+        assert len(hits) == 1
+        assert "IncompleteController" in hits[0].message
+        assert "batch_commands" in hits[0].message
+
+    def test_complete_abstract_and_inheriting_classes_not_flagged(
+        self, fixture_findings
+    ):
+        messages = " ".join(
+            f.message for f in findings_for(fixture_findings, "conformance.py")
+        )
+        for clean in ("CompleteController", "IntermediateBase", "InheritsStep",
+                      "Unrelated"):
+            assert clean not in messages
+
+    def test_registry_violations_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "registry.py", "REP402")
+        assert len(hits) == 3
+        joined = " ".join(f.message for f in hits)
+        assert "'Bad Id' is not a valid slug" in joined
+        assert "duplicate experiment id 'fig1'" in joined
+        assert "run_missing" in joined
+
+    def test_registry_clean_entries_not_flagged(self, fixture_findings):
+        joined = " ".join(
+            f.message for f in findings_for(fixture_findings, "registry.py")
+        )
+        assert "fault-tolerance_2" not in joined
+        assert "run_good" not in joined
+        assert "dyn-" not in joined
+
+
+@pytest.mark.parametrize("family", ["REP1", "REP2", "REP3", "REP4"])
+def test_every_family_is_exercised(fixture_findings, family):
+    """Acceptance criterion: at least one rule per family fires on fixtures."""
+    assert any(f.rule.startswith(family) for f in fixture_findings)
+
+
+def test_findings_are_sorted_and_carry_content(fixture_findings):
+    keys = [(f.path, f.line, f.rule, f.col) for f in fixture_findings]
+    assert keys == sorted(keys)
+    for finding in fixture_findings:
+        if finding.rule != "REP000":
+            assert finding.content  # stripped source line, used by baselines

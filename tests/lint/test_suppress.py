@@ -1,0 +1,69 @@
+"""Suppression-directive semantics, driven through the full engine."""
+
+from __future__ import annotations
+
+from .conftest import FIXTURES, findings_for
+from repro.lint import LintConfig, run_lint
+from repro.lint.suppress import collect_suppressions
+
+
+def _suppressed_findings(fixture_findings):
+    return findings_for(fixture_findings, "suppressed.py")
+
+
+def test_line_suppression_with_justification_silences(fixture_findings):
+    lines = {f.line for f in _suppressed_findings(fixture_findings)}
+    assert 10 not in lines  # disable=REP101 -- justified
+
+
+def test_unsuppressed_line_still_fires(fixture_findings):
+    hits = [f for f in _suppressed_findings(fixture_findings) if f.rule == "REP101"]
+    assert {f.line for f in hits} == {14, 18}
+
+
+def test_wrong_rule_id_does_not_suppress(fixture_findings):
+    # Line 18 carries disable=REP102 but the violation is REP101.
+    assert any(
+        f.rule == "REP101" and f.line == 18
+        for f in _suppressed_findings(fixture_findings)
+    )
+
+
+def test_file_wide_suppression_silences_whole_file(fixture_findings):
+    assert not any(
+        f.rule == "REP104" for f in _suppressed_findings(fixture_findings)
+    )
+
+
+def test_malformed_directive_is_rep000(fixture_findings):
+    hits = [f for f in _suppressed_findings(fixture_findings) if f.rule == "REP000"]
+    assert len(hits) == 1
+    assert "NOTARULE" in hits[0].message
+
+
+def test_directive_inside_string_literal_is_inert(fixture_findings):
+    # The string on line 30 mentions a directive; nothing may be suppressed
+    # or reported because of it.
+    source = (FIXTURES / "repro" / "sim" / "suppressed.py").read_text()
+    sup = collect_suppressions(source, "suppressed.py")
+    assert 30 not in sup.by_line
+    assert not sup.errors or all(f.line != 30 for f in sup.errors)
+
+
+def test_disable_all_suppresses_every_rule(tmp_path):
+    target = tmp_path / "all_off.py"
+    target.write_text(
+        "import time\n"
+        "x = time.time()  # repro-lint: disable=all -- fixture\n"
+    )
+    result = run_lint([target], LintConfig())
+    assert result.findings == []
+
+
+def test_select_filters_rule_families():
+    path = FIXTURES / "repro" / "sim" / "determinism_bad.py"
+    only_101 = run_lint([path], LintConfig(select=("REP101",)))
+    assert {f.rule for f in only_101.findings} == {"REP101"}
+    family = run_lint([path], LintConfig(select=("REP1",)))
+    assert {f.rule for f in family.findings} >= {"REP101", "REP105", "REP106"}
+    assert all(f.rule.startswith("REP1") for f in family.findings)

@@ -60,6 +60,6 @@ class TestRls:
 
     def test_n_updates_counts(self, rng):
         rls = RecursiveLeastSquares(2)
-        for i in range(5):
+        for _ in range(5):
             rls.update(rng.uniform(0, 1, 2), 1.0)
         assert rls.n_updates == 5
