@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .atomicio import atomic_write_text
 from .errors import ExperimentError
 
 __all__ = [
@@ -81,10 +82,7 @@ def write_bench_json(directory: str | Path, sha: str, entries: dict) -> Path:
     out_dir = Path(directory)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{sha}.json"
-    path.write_text(
-        json.dumps(bench_payload(sha, entries), indent=2, sort_keys=True),
-        encoding="utf-8",
-    )
+    atomic_write_text(path, json.dumps(bench_payload(sha, entries), indent=2, sort_keys=True))
     return path
 
 

@@ -1,0 +1,98 @@
+"""Cooperative SIGINT/SIGTERM shutdown for checkpointed runs.
+
+Signal handlers must not do real work — flushing a checkpoint involves
+fsync and object-graph capture, neither of which is async-signal-safe to
+run from an arbitrary bytecode boundary. So the handler only sets a flag;
+the run loops (``run_checkpointed``, ``run_sweep``) poll it at their
+natural boundaries (engine chunk, job completion), flush a final
+checkpoint/journal entry there, and the CLI exits with the conventional
+``128 + signum`` code (130 for SIGINT, 143 for SIGTERM) after printing a
+structured shutdown event.
+
+A second signal while the first is being honoured raises
+``KeyboardInterrupt`` — the operator's escape hatch if the final flush
+itself wedges.
+"""
+
+from __future__ import annotations
+
+import signal
+
+__all__ = [
+    "ShutdownFlag",
+    "CheckpointInterrupt",
+    "install_signal_handlers",
+    "shutdown_event",
+]
+
+
+class CheckpointInterrupt(Exception):
+    """A checkpointed run stopped at a boundary to honour a shutdown signal.
+
+    Carries the final checkpoint/journal state so the caller (the CLI) can
+    report where the run can be resumed from. Deliberately *not* a
+    :class:`~repro.errors.ReproError`: blanket ``except ReproError``
+    recovery paths must not swallow an operator's Ctrl-C.
+    """
+
+    def __init__(self, signum: int, checkpoint_path=None):
+        self.signum = int(signum)
+        self.checkpoint_path = checkpoint_path
+        super().__init__(f"interrupted by {signal.Signals(signum).name}")
+
+    @property
+    def exit_code(self) -> int:
+        return 128 + self.signum
+
+
+class ShutdownFlag:
+    """Latched shutdown request, settable from a signal handler."""
+
+    def __init__(self):
+        self.signum: int | None = None
+
+    def set(self, signum: int) -> None:
+        self.signum = int(signum)
+
+    def __bool__(self) -> bool:
+        return self.signum is not None
+
+    @property
+    def exit_code(self) -> int:
+        """Conventional shell exit code (130 SIGINT, 143 SIGTERM)."""
+        if self.signum is None:
+            raise ValueError("shutdown flag was never set")
+        return 128 + self.signum
+
+
+def install_signal_handlers(flag: ShutdownFlag) -> dict[int, object]:
+    """Route SIGINT/SIGTERM into ``flag``; returns the previous handlers.
+
+    The first signal latches the flag so the run can wind down at the next
+    checkpoint boundary; a second one raises ``KeyboardInterrupt``
+    immediately. Restore the returned handlers with ``signal.signal`` when
+    the guarded section ends (the CLI process just exits instead).
+    """
+
+    def handler(signum, frame):
+        if flag:
+            raise KeyboardInterrupt
+        flag.set(signum)
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(signum, handler)
+    return previous
+
+
+def shutdown_event(signum: int, checkpoint: str | None = None) -> dict:
+    """Structured shutdown record for journals / stderr event streams."""
+    event = {
+        "event": "shutdown",
+        "signal": signal.Signals(signum).name,
+        "signum": int(signum),
+        "exit_code": 128 + int(signum),
+    }
+    if checkpoint is not None:
+        event["checkpoint"] = str(checkpoint)
+    return event

@@ -46,6 +46,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-dir", default=None,
         help="directory to write every result trace as <experiment>_<name>.npz",
     )
+    run_p.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint the run every N engine periods (crash-safe, "
+             "bit-identical; supported by checkpointable experiments "
+             "such as fig9)",
+    )
+    run_p.add_argument(
+        "--checkpoint-file", default=None, metavar="FILE",
+        help="checkpoint blob path (required with --checkpoint-every/--resume)",
+    )
+    run_p.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint-file if it exists",
+    )
 
     sweep_p = sub.add_parser(
         "sweep",
@@ -53,8 +67,9 @@ def build_parser() -> argparse.ArgumentParser:
              "(bit-for-bit identical to sequential execution)",
     )
     sweep_p.add_argument(
-        "experiments", nargs="+",
-        help="experiment ids, 'all', or 'ablation' (expands to ablation-*)",
+        "experiments", nargs="*",
+        help="experiment ids, 'all', or 'ablation' (expands to ablation-*); "
+             "omitted when resuming (ids come from the journal manifest)",
     )
     sweep_p.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
     sweep_p.add_argument(
@@ -82,6 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "--quiet", action="store_true",
         help="suppress per-job rendered reports (summary table only)",
+    )
+    sweep_p.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="journal per-job completion to DIR (manifest.json + append-only "
+             "journal.jsonl) so a killed sweep can be resumed with --resume",
+    )
+    sweep_p.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume a journalled sweep: replay DIR's journal, skip completed "
+             "jobs, re-run only the remainder with their original seeds",
     )
 
     bench_p = sub.add_parser(
@@ -207,16 +232,76 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment: str, seed: int, save_dir: str | None = None) -> int:
+def _checkpoint_kwargs(args: argparse.Namespace, stop_flag) -> dict:
+    """Checkpoint kwargs for ``run_experiment``, validated against the
+    experiment's signature (not every experiment is checkpointable)."""
+    import inspect
+
+    from .experiments import EXPERIMENTS
+
+    if args.checkpoint_file is None:
+        raise SystemExit(
+            "repro run: --checkpoint-every/--resume require --checkpoint-file"
+        )
+    if args.experiment == "all":
+        raise SystemExit("repro run: checkpointing requires a single experiment id")
+    runner = EXPERIMENTS.get(args.experiment)
+    accepted = (
+        frozenset(inspect.signature(runner).parameters) if runner is not None else frozenset()
+    )
+    if runner is not None and "checkpoint_path" not in accepted:
+        raise SystemExit(
+            f"repro run: experiment {args.experiment!r} does not support "
+            "checkpointing (no checkpoint_path parameter)"
+        )
+    kwargs = {
+        "checkpoint_path": args.checkpoint_file,
+        "checkpoint_every": args.checkpoint_every,
+        "resume": args.resume,
+        "stop_flag": stop_flag,
+    }
+    return {k: v for k, v in kwargs.items() if k in accepted}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
     from .experiments import experiment_ids, run_experiment
 
-    ids = experiment_ids() if experiment == "all" else [experiment]
+    checkpointing = (
+        args.checkpoint_every is not None
+        or args.checkpoint_file is not None
+        or args.resume
+    )
+    kwargs: dict = {}
+    if checkpointing:
+        from .checkpoint import (
+            CheckpointInterrupt,
+            ShutdownFlag,
+            install_signal_handlers,
+            shutdown_event,
+        )
+
+        flag = ShutdownFlag()
+        kwargs = _checkpoint_kwargs(args, flag)
+        install_signal_handlers(flag)
+    ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     for eid in ids:
-        result = run_experiment(eid, seed=seed)
+        if checkpointing:
+            try:
+                result = run_experiment(eid, seed=args.seed, **kwargs)
+            except CheckpointInterrupt as stop:
+                import json
+
+                event = shutdown_event(
+                    stop.signum, checkpoint=str(stop.checkpoint_path)
+                )
+                print(json.dumps(event, sort_keys=True), file=sys.stderr)
+                return stop.exit_code
+        else:
+            result = run_experiment(eid, seed=args.seed)
         print(result.render())
         print()
-        if save_dir is not None:
-            _save_traces(result, save_dir)
+        if args.save_dir is not None:
+            _save_traces(result, args.save_dir)
     return 0
 
 
@@ -259,21 +344,93 @@ def _expand_sweep_ids(tokens: list[str]) -> list[str]:
     return [e for e in ids if not (e in seen or seen.add(e))]
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    import contextlib
-    import os
+def _sweep_jobs_and_journal(args: argparse.Namespace):
+    """Build (jobs, journal, completed-records) for a sweep invocation.
 
-    from .runner import build_jobs, run_sweep
+    Fresh sweeps derive jobs from the CLI arguments (and optionally start a
+    journal); ``--resume`` rebuilds the identical job list from the journal
+    manifest — per-job seeds are a pure function of the manifest arguments —
+    and pre-fills records replayed from the WAL.
+    """
+    from .checkpoint import SweepJournal
+    from .errors import CheckpointError
+    from .runner import JobRecord, build_jobs
 
+    if args.resume:
+        if args.experiments or args.journal_dir:
+            raise SystemExit(
+                "repro sweep: --resume takes its experiments and journal "
+                "directory from the manifest; drop the extra arguments"
+            )
+        journal = SweepJournal.open(args.resume)
+        manifest = journal.manifest()
+        jobs = build_jobs(
+            manifest["experiments"],
+            seed=manifest["seed"],
+            replicates=manifest["replicates"],
+            set_points_w=manifest["set_points_w"],
+            extra_params=manifest["extra_params"] or None,
+        )
+        if [job.key for job in jobs] != manifest["job_keys"]:
+            raise CheckpointError(
+                f"{journal.manifest_path}: rebuilt job list does not match the "
+                "manifest (code or experiment registry changed since the sweep "
+                "started) — resume would not be bit-identical"
+            )
+        replay = journal.replay()
+        completed = {
+            key: JobRecord.from_dict(rec) for key, rec in replay.completed.items()
+        }
+        print(
+            f"[sweep] resume: {len(completed)}/{len(jobs)} jobs already "
+            f"complete, {len(replay.in_flight)} crashed in flight, "
+            f"{len(jobs) - len(completed)} to run",
+            file=sys.stderr,
+        )
+        return jobs, journal, completed
+
+    if not args.experiments:
+        raise SystemExit("repro sweep: experiment ids required (or --resume DIR)")
+    ids = _expand_sweep_ids(args.experiments)
     jobs = build_jobs(
-        _expand_sweep_ids(args.experiments),
+        ids,
         seed=args.seed,
         replicates=args.replicates,
         set_points_w=args.set_points,
     )
+    journal = None
+    if args.journal_dir:
+        journal = SweepJournal.create(
+            args.journal_dir,
+            experiments=ids,
+            seed=args.seed,
+            replicates=args.replicates,
+            set_points_w=args.set_points,
+            extra_params={},
+            job_keys=[job.key for job in jobs],
+        )
+    return jobs, journal, None
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import contextlib
+    import os
+
+    from .checkpoint import ShutdownFlag, install_signal_handlers, shutdown_event
+    from .runner import run_sweep
+
+    jobs, journal, completed = _sweep_jobs_and_journal(args)
     n_jobs = args.jobs if args.jobs >= 1 else (os.cpu_count() or 1)
+    stop_flag = None
+    if journal is not None:
+        # Journalled sweeps wind down gracefully: finish in-flight jobs,
+        # journal them, and exit 130/143 so --resume picks up the rest.
+        stop_flag = ShutdownFlag()
+        install_signal_handlers(stop_flag)
 
     with contextlib.ExitStack() as stack:
+        if journal is not None:
+            stack.enter_context(journal)
         events_fh = (
             stack.enter_context(open(args.events, "a", encoding="utf-8"))
             if args.events
@@ -293,7 +450,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 events_fh.write(json.dumps(event.to_dict()) + "\n")
                 events_fh.flush()
 
-        report = run_sweep(jobs, n_jobs=n_jobs, on_event=on_event)
+        report = run_sweep(
+            jobs,
+            n_jobs=n_jobs,
+            on_event=on_event,
+            journal=journal,
+            completed=completed,
+            stop_flag=stop_flag,
+        )
+        if stop_flag:
+            event = shutdown_event(
+                stop_flag.signum,
+                checkpoint=str(journal.directory) if journal is not None else None,
+            )
+            if journal is not None:
+                journal.shutdown(event)
+            import json
+
+            print(json.dumps(event, sort_keys=True), file=sys.stderr)
     if not args.quiet:
         for rec in report.records:
             if rec.render:
@@ -303,6 +477,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.out:
         path = report.write_json(args.out)
         print(f"wrote {path}")
+    if stop_flag:
+        return stop_flag.exit_code
     return 0 if report.ok else 1
 
 
@@ -413,7 +589,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.seed, args.save_dir)
+        return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "bench-compare":

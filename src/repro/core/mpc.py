@@ -202,6 +202,28 @@ class MimoPowerMpc:
         self._cache[key] = entry
         return entry
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def __repro_getstate__(self) -> dict:
+        """Checkpoint projection (see :mod:`repro.checkpoint.state`).
+
+        Everything except the cache is a construction-time constant, and
+        the cached matrices are pure functions of their ``(a, r)`` keys —
+        so a checkpoint stores only the keys, in insertion order, and
+        restore replays :meth:`_assemble` to rebuild byte-identical
+        (read-only) entries. This keeps write-protected arrays out of the
+        generic in-place restore path.
+        """
+        return {"cache_keys": list(self._cache.keys())}
+
+    def __repro_setstate__(self, state: dict) -> None:
+        self._cache.clear()
+        for key_a, key_r in state["cache_keys"]:
+            self._assemble(
+                np.frombuffer(key_a, dtype=np.float64),
+                np.frombuffer(key_r, dtype=np.float64),
+            )
+
     # -- public API -----------------------------------------------------------
 
     def solve(

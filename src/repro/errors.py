@@ -18,6 +18,7 @@ __all__ = [
     "InfeasibleSetPointError",
     "SloInfeasibleError",
     "ExperimentError",
+    "CheckpointError",
 ]
 
 
@@ -87,3 +88,12 @@ class SloInfeasibleError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was invoked with inconsistent arguments."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint blob is malformed, corrupt, or incompatible.
+
+    Raised when loading a checkpoint whose digest does not verify, whose
+    schema version is unknown, or whose captured state cannot be mapped
+    onto the freshly constructed run it is being restored into.
+    """

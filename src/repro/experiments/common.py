@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
+from pathlib import Path
 
 from ..actuators import DeltaSigmaModulator, NearestLevelModulator
 from ..control import (
@@ -31,6 +32,8 @@ from ..sysid import PowerModelFit, identify_power_model
 
 __all__ = [
     "ExperimentResult",
+    "CheckpointPolicy",
+    "run_checkpointed",
     "run_timed_cases",
     "identified_model",
     "make_capgpu",
@@ -95,6 +98,70 @@ class ExperimentResult:
     def render(self) -> str:
         header = f"=== {self.experiment_id}: {self.title} ==="
         return "\n\n".join([header, *self.sections])
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """How a long engine run checkpoints itself (see :func:`run_checkpointed`).
+
+    ``path`` is the single checkpoint file, rewritten atomically every
+    ``every_n_periods`` engine periods; ``resume=True`` loads it (if it
+    exists) before running. ``stop_flag`` — typically a
+    :class:`repro.checkpoint.ShutdownFlag` wired to SIGINT/SIGTERM — is
+    polled at chunk boundaries; when set, a final checkpoint is flushed and
+    :class:`repro.checkpoint.CheckpointInterrupt` raised.
+    """
+
+    path: Path
+    every_n_periods: int = 10
+    resume: bool = False
+    stop_flag: object = None
+
+    def __post_init__(self):
+        if self.every_n_periods < 1:
+            raise ValueError("every_n_periods must be >= 1")
+
+
+def run_checkpointed(sim, controller, n_periods: int, events=None, checkpoint=None):
+    """``sim.run(...)`` in checkpoint-sized chunks with crash-safe saves.
+
+    Drop-in replacement for a single ``sim.run(controller, n_periods,
+    events=events)`` call: with ``checkpoint=None`` it behaves identically
+    (one chunk, no I/O), and chunking itself never changes results — the
+    engine's trace and period counter are cumulative, so N periods in
+    chunks are bit-identical to N periods straight.
+
+    With a :class:`CheckpointPolicy`, the run state (engine + controller +
+    events, one shared blob) is saved after every chunk; ``resume=True``
+    restores the newest checkpoint first and runs only the remaining
+    periods. A resumed run that already reached ``n_periods`` is a no-op
+    returning the restored trace.
+    """
+    if checkpoint is None:
+        return sim.run(controller, n_periods, events=events)
+
+    from ..checkpoint import CheckpointInterrupt, load_blob, save_blob
+
+    fresh = True
+    if checkpoint.resume and Path(checkpoint.path).exists():
+        sim.restore(load_blob(checkpoint.path), controller=controller, events=events)
+        fresh = False
+    trace = sim.trace
+    while sim.period_index < n_periods:
+        if checkpoint.stop_flag:
+            save_blob(checkpoint.path, sim.snapshot(controller, events))
+            raise CheckpointInterrupt(
+                checkpoint.stop_flag.signum, checkpoint_path=checkpoint.path
+            )
+        chunk = min(checkpoint.every_n_periods, n_periods - sim.period_index)
+        # initial_targets is the run's *first* actuation; re-applying it on
+        # resume would overwrite the restored actuator state.
+        trace = sim.run(
+            controller, chunk, events=events, apply_initial_targets=fresh
+        )
+        fresh = False
+        save_blob(checkpoint.path, sim.snapshot(controller, events))
+    return trace
 
 
 def run_timed_cases(result: ExperimentResult, cases, fn) -> dict:

@@ -15,7 +15,13 @@ import numpy as np
 
 from ..analysis import format_series, format_table, slo_miss_rate
 from ..sim import paper_scenario
-from .common import ExperimentResult, make_gpu_only, make_safe_fixed_step, modulator_for
+from .common import (
+    ExperimentResult,
+    make_gpu_only,
+    make_safe_fixed_step,
+    modulator_for,
+    run_checkpointed,
+)
 from .slo_schedule import SLO_CHANGE_PERIOD, initial_slos, section64_slo_events
 
 __all__ = ["run_fig8", "run_slo_strategy"]
@@ -27,10 +33,13 @@ def run_slo_strategy(
     seed: int = 0,
     set_point_w: float = 1100.0,
     n_periods: int = 60,
+    checkpoint=None,
 ):
     """Run one strategy under the Section 6.4 SLO schedule.
 
-    Returns ``(trace, sim)``.
+    ``checkpoint`` (a :class:`~repro.experiments.common.CheckpointPolicy`)
+    makes the run crash-safe/resumable; results are bit-identical either
+    way. Returns ``(trace, sim)``.
     """
     sim = paper_scenario(
         seed=seed, set_point_w=set_point_w,
@@ -40,7 +49,9 @@ def run_slo_strategy(
         sim.set_slo(g, slo)
     events = section64_slo_events(sim)
     controller = controller_factory(sim)
-    trace = sim.run(controller, n_periods, events=events)
+    trace = run_checkpointed(
+        sim, controller, n_periods, events=events, checkpoint=checkpoint
+    )
     return trace, sim
 
 

@@ -10,7 +10,7 @@ the paper reports zero misses.
 from __future__ import annotations
 
 from ..analysis import format_table
-from .common import ExperimentResult, make_capgpu
+from .common import CheckpointPolicy, ExperimentResult, make_capgpu
 from .fig8_slo_baselines import run_slo_strategy, summarize_slo_trace
 from .slo_schedule import SLO_CHANGE_PERIOD
 
@@ -18,12 +18,40 @@ __all__ = ["run_fig9"]
 
 
 def run_fig9(
-    seed: int = 0, set_point_w: float = 1100.0, n_periods: int = 60
+    seed: int = 0,
+    set_point_w: float = 1100.0,
+    n_periods: int = 60,
+    checkpoint_every: int | None = None,
+    checkpoint_path=None,
+    resume: bool = False,
+    stop_flag=None,
 ) -> ExperimentResult:
-    """CapGPU under the Section 6.4 SLO schedule."""
+    """CapGPU under the Section 6.4 SLO schedule.
+
+    The single long engine run makes this the checkpointing reference
+    experiment: pass ``checkpoint_every``/``checkpoint_path`` (the CLI's
+    ``--checkpoint-every``/``--checkpoint-file``) for periodic crash-safe
+    saves, ``resume=True`` to continue from the newest checkpoint —
+    bit-identical to an uninterrupted run either way.
+    """
+    checkpoint = None
+    if checkpoint_every is not None or checkpoint_path is not None or resume:
+        if checkpoint_path is None:
+            raise ValueError("checkpointing requires checkpoint_path")
+        checkpoint = CheckpointPolicy(
+            path=checkpoint_path,
+            every_n_periods=checkpoint_every or 10,
+            resume=resume,
+            stop_flag=stop_flag,
+        )
     result = ExperimentResult("fig9", "Inference latency vs SLO under CapGPU")
     trace, sim = run_slo_strategy(
-        "CapGPU", lambda s: make_capgpu(s, seed), seed, set_point_w, n_periods
+        "CapGPU",
+        lambda s: make_capgpu(s, seed),
+        seed,
+        set_point_w,
+        n_periods,
+        checkpoint=checkpoint,
     )
     rows = summarize_slo_trace("CapGPU", trace, sim, result)
     result.add(

@@ -19,6 +19,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..atomicio import atomic_write_text
 from .findings import Finding
 
 __all__ = ["Baseline", "BaselineEntry", "load_baseline", "write_baseline"]
@@ -134,5 +135,5 @@ def write_baseline(
             for e in entries
         ],
     }
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
     return Baseline(entries=entries)

@@ -53,6 +53,8 @@ class LintConfig:
     units_impl_modules: tuple[str, ...] = ("repro.units",)
     registry_modules: tuple[str, ...] = ("repro.experiments.registry",)
     registry_names: tuple[str, ...] = ("EXPERIMENTS",)
+    #: The atomic-write implementation itself (REP107's sanctioned sink).
+    atomicio_exempt: tuple[str, ...] = ("repro.atomicio",)
     controller_base: str = "repro.control.base.PowerCappingController"
     #: Unsuffixed names with a conventional unit.
     known_name_units: dict[str, str] = field(default_factory=_default_known_units)

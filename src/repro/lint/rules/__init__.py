@@ -51,6 +51,7 @@ class Rule:
 
 
 from .api import ControllerConformanceRule, RegistryConformanceRule  # noqa: E402
+from .artifacts import AtomicWriteRule  # noqa: E402
 from .determinism import (  # noqa: E402
     AmbientEntropyRule,
     HashOrderMaterializationRule,
@@ -77,6 +78,7 @@ ALL_RULES: tuple[Rule, ...] = (
     AmbientEntropyRule(),
     UnorderedIterationRule(),
     HashOrderMaterializationRule(),
+    AtomicWriteRule(),
     FloatEqualityRule(),
     UnorderedReductionRule(),
     UnorderedAccumulationRule(),

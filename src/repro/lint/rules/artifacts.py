@@ -1,0 +1,101 @@
+"""REP1xx — artifact-write crash safety.
+
+Every durable artifact this package writes must go through
+:mod:`repro.atomicio` (temp file + fsync + rename), so a crash mid-write
+can never leave a torn half-file that a later resume or comparison would
+silently read. A bare ``open(path, "w")`` or ``json.dump`` is exactly the
+kind of write the checkpoint/resume subsystem cannot protect.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from . import Rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..context import ModuleContext
+    from ..findings import Finding
+
+#: Dotted call names that write a whole file in one shot.
+_WRITER_CALLS = frozenset({
+    "json.dump",
+    "numpy.save",
+    "numpy.savez",
+    "numpy.savez_compressed",
+    "numpy.savetxt",
+    "pickle.dump",
+})
+
+#: Method names that write a whole file through a path-like object.
+_WRITER_METHODS = frozenset({"write_text", "write_bytes"})
+
+
+def _open_write_mode(node: ast.Call) -> str | None:
+    """The string-literal mode of an ``open()`` call iff it creates/truncates.
+
+    Append mode is deliberately not flagged: append-only logs (the sweep
+    WAL, event streams) are the legitimate non-atomic write pattern — they
+    rely on per-line flush + fsync and torn-tail tolerance instead.
+    """
+    mode: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    else:
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+    if mode is None:
+        return None  # default "r"
+    if not (isinstance(mode, ast.Constant) and isinstance(mode.value, str)):
+        return None  # dynamic mode: not statically decidable
+    if "w" in mode.value or "x" in mode.value:
+        return mode.value
+    return None
+
+
+class AtomicWriteRule(Rule):
+    """REP107: artifact writes must go through ``repro.atomicio``.
+
+    A process killed between ``open(path, "w")`` and the final flush leaves
+    a truncated file under the *final* name; anything that later reads it —
+    a resumed sweep, a bench comparison, a lint baseline check — sees
+    corruption, not absence. The atomic helpers write to a same-directory
+    temp file, fsync, then rename, so readers only ever observe complete
+    files. Flags truncating ``open`` modes (``"w"``/``"x"``; append is the
+    sanctioned WAL pattern), one-shot writers (``json.dump``,
+    ``pickle.dump``, ``numpy.save*``) and ``Path.write_text`` /
+    ``Path.write_bytes``. The :mod:`repro.atomicio` implementation itself
+    is exempted by configuration.
+    """
+
+    id = "REP107"
+    title = "non-atomic artifact write"
+    hint = (
+        "write through repro.atomicio (atomic_write_text/_bytes/_json, or "
+        "atomic_path for writer APIs); append-only logs use mode 'a' with "
+        "per-line flush+fsync"
+    )
+
+    def check(self, ctx: "ModuleContext") -> Iterator["Finding"]:
+        if ctx.in_modules(ctx.config.atomicio_exempt):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.resolve(node.func)
+            if name == "open":
+                mode = _open_write_mode(node)
+                if mode is not None:
+                    yield self.finding(
+                        ctx, node, f"open(..., {mode!r}) truncates in place"
+                    )
+            elif name in _WRITER_CALLS:
+                yield self.finding(ctx, node, f"call to {name}()")
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _WRITER_METHODS
+            ):
+                yield self.finding(ctx, node, f".{node.func.attr}(...) on a path")

@@ -14,6 +14,7 @@ from pathlib import Path
 
 from ._version import __version__
 from .analysis import sparkline
+from .atomicio import atomic_write_text
 from .experiments import run_experiment
 from .experiments.registry import experiment_ids
 from .telemetry.trace import Trace
@@ -84,6 +85,4 @@ def generate_report(
 
 def write_report(path: str | Path, seed: int = 0, ids: list[str] | None = None) -> Path:
     """Generate and write the report; returns the output path."""
-    out = Path(path)
-    out.write_text(generate_report(seed=seed, ids=ids), encoding="utf-8")
-    return out
+    return atomic_write_text(path, generate_report(seed=seed, ids=ids))

@@ -16,7 +16,14 @@ from typing import TypeAlias
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn", "BlockSampler", "SeedLike"]
+__all__ = [
+    "make_rng",
+    "spawn",
+    "BlockSampler",
+    "SeedLike",
+    "generator_state",
+    "set_generator_state",
+]
 
 SeedLike: TypeAlias = int | np.random.Generator | np.random.SeedSequence | None
 
@@ -61,6 +68,29 @@ def spawn(seed: SeedLike, name: str) -> np.random.Generator:
         entropy=root.entropy, spawn_key=tuple(int(b) for b in digest)
     )
     return np.random.default_rng(child)
+
+
+def generator_state(rng: np.random.Generator) -> dict:
+    """The exact bit-generator state of ``rng`` (checkpointable).
+
+    The returned dict (``{"bitgen": <class name>, "state": <state dict>}``)
+    round-trips through :func:`set_generator_state` such that the stream
+    continues bit-for-bit where it left off.
+    """
+    return {
+        "bitgen": type(rng.bit_generator).__name__,
+        "state": rng.bit_generator.state,
+    }
+
+
+def set_generator_state(rng: np.random.Generator, state: dict) -> np.random.Generator:
+    """Load a :func:`generator_state` snapshot into ``rng`` in place."""
+    have = type(rng.bit_generator).__name__
+    want = state["bitgen"]
+    if have != want:
+        raise ValueError(f"bit generator mismatch: have {have}, snapshot is {want}")
+    rng.bit_generator.state = state["state"]
+    return rng
 
 
 class BlockSampler:

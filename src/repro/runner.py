@@ -46,6 +46,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .atomicio import atomic_write_text
 from .errors import ExperimentError
 from .faults import FaultWindow
 from .rng import spawn
@@ -323,6 +324,24 @@ class JobRecord:
             out["timings"] = self.timings
         return out
 
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "JobRecord":
+        """Rebuild a record from its :meth:`to_dict` form (journal replay)."""
+        job = SweepJob.make(
+            data["experiment_id"], seed=data["seed"], **dict(data.get("params", {}))
+        )
+        return cls(
+            job=job,
+            status=data["status"],
+            attempts=int(data.get("attempts", 1)),
+            wall_s=data.get("wall_s"),
+            render=data.get("render"),
+            canonical=data.get("canonical"),
+            digest=data.get("digest"),
+            error=data.get("error"),
+            timings=dict(data.get("timings", {})),
+        )
+
 
 @dataclass
 class SweepReport:
@@ -331,6 +350,10 @@ class SweepReport:
     records: list[JobRecord]
     n_jobs: int
     wall_s: float
+    #: True when a shutdown signal stopped the sweep before every job had a
+    #: terminal record; the report then covers only the jobs that finished
+    #: (resume the journal directory to run the remainder).
+    interrupted: bool = False
 
     @property
     def failed(self) -> list[JobRecord]:
@@ -338,7 +361,7 @@ class SweepReport:
 
     @property
     def ok(self) -> bool:
-        return not self.failed
+        return not self.failed and not self.interrupted
 
     def checksum(self) -> str:
         """Digest of the reproducible output (renders + data, no timings)."""
@@ -354,6 +377,7 @@ class SweepReport:
         payload = {
             "schema": 1,
             "checksum": self.checksum(),
+            "interrupted": self.interrupted,
             "records": [r.to_dict(include_timing=include_timing) for r in self.records],
         }
         if include_timing:
@@ -362,9 +386,7 @@ class SweepReport:
         return json.dumps(payload, sort_keys=True, indent=2)
 
     def write_json(self, path, include_timing: bool = True) -> Path:
-        out = Path(path)
-        out.write_text(self.to_json(include_timing=include_timing), encoding="utf-8")
-        return out
+        return atomic_write_text(path, self.to_json(include_timing=include_timing))
 
     def render_summary(self) -> str:
         from .analysis import format_table
@@ -394,15 +416,24 @@ def _emit(on_event, event: JobEvent) -> None:
         on_event(event)
 
 
+def _start(job: SweepJob, attempt: int, on_event, journal) -> None:
+    """Announce one attempt — journalled *before* dispatch, so a resume can
+    tell a crashed-in-flight job from one that never started."""
+    if journal is not None:
+        journal.job_started(job.key, attempt)
+    _emit(on_event, JobEvent("job-start", job.key, attempt))
+
+
 def _finish(
     records: dict[SweepJob, JobRecord],
     job: SweepJob,
     attempt: int,
     payload: dict,
     on_event,
+    journal,
 ) -> None:
     status = JOB_OK if attempt == 1 else JOB_DEGRADED
-    records[job] = JobRecord(
+    record = JobRecord(
         job=job,
         status=status,
         attempts=attempt,
@@ -412,6 +443,9 @@ def _finish(
         digest=payload["digest"],
         timings=payload.get("timings", {}),
     )
+    records[job] = record
+    if journal is not None:
+        journal.job_done(record.to_dict(include_timing=True))
     _emit(on_event, JobEvent("job-done", job.key, attempt, wall_s=payload["wall_s"]))
 
 
@@ -421,8 +455,12 @@ def _fail(
     attempt: int,
     error: str,
     on_event,
+    journal,
 ) -> None:
-    records[job] = JobRecord(job=job, status=JOB_FAILED, attempts=attempt, error=error)
+    record = JobRecord(job=job, status=JOB_FAILED, attempts=attempt, error=error)
+    records[job] = record
+    if journal is not None:
+        journal.job_failed(record.to_dict(include_timing=True))
     _emit(on_event, JobEvent("job-failed", job.key, attempt, error=error))
 
 
@@ -435,6 +473,9 @@ def run_sweep(
     n_jobs: int = 1,
     on_event: Callable[[JobEvent], None] | None = None,
     crash_windows: Mapping[str, FaultWindow] | None = None,
+    journal=None,
+    completed: Mapping[str, JobRecord] | None = None,
+    stop_flag=None,
 ) -> SweepReport:
     """Execute ``jobs``, fanning out over ``n_jobs`` worker processes.
 
@@ -450,6 +491,15 @@ def run_sweep(
     :data:`MAX_ATTEMPTS` the job is recorded as ``failed`` and the sweep
     carries on — it never aborts.
 
+    Crash safety: ``journal`` (a :class:`repro.checkpoint.SweepJournal`)
+    receives a durable ``job_started`` entry before every dispatch and the
+    full record on every terminal outcome; ``completed`` (job key ->
+    :class:`JobRecord`, from a journal replay) pre-fills records so those
+    jobs are skipped; ``stop_flag`` (a truthy-when-set object, e.g.
+    :class:`repro.checkpoint.ShutdownFlag`) winds the sweep down at the next
+    job boundary — in-flight jobs finish and are recorded, queued ones are
+    not started, and the report comes back ``interrupted``.
+
     ``crash_windows`` (test/fault-injection hook) maps job keys to
     :class:`~repro.faults.FaultWindow` objects over zero-based attempt
     indices; a matching attempt kills the worker process hard.
@@ -461,25 +511,38 @@ def run_sweep(
         raise ExperimentError(f"n_jobs must be >= 1, got {n_jobs}")
     t0 = time.perf_counter()
     records: dict[SweepJob, JobRecord] = {}
+    if completed:
+        for job in job_list:
+            prior = completed.get(job.key)
+            if prior is not None:
+                records[job] = prior
+    todo = [job for job in job_list if job not in records]
 
     if n_jobs == 1:
-        for job in job_list:
-            _run_inline(records, job, crash_windows, on_event)
+        for job in todo:
+            if stop_flag:
+                break
+            _run_inline(records, job, crash_windows, on_event, journal)
     else:
-        _run_pooled(records, job_list, n_jobs, crash_windows, on_event)
+        _run_pooled(records, todo, n_jobs, crash_windows, on_event, journal, stop_flag)
 
-    ordered = [records[job] for job in job_list]
-    return SweepReport(records=ordered, n_jobs=n_jobs, wall_s=time.perf_counter() - t0)
+    ordered = [records[job] for job in job_list if job in records]
+    return SweepReport(
+        records=ordered,
+        n_jobs=n_jobs,
+        wall_s=time.perf_counter() - t0,
+        interrupted=len(ordered) < len(job_list),
+    )
 
 
-def _run_inline(records, job, crash_windows, on_event) -> None:
+def _run_inline(records, job, crash_windows, on_event, journal) -> None:
     """Sequential path: same attempt ladder, no subprocess.
 
     Hard-crash injection still runs in a throwaway single-worker pool so the
     parent survives it; genuine in-process exceptions are caught directly.
     """
     for attempt in range(1, MAX_ATTEMPTS + 1):
-        _emit(on_event, JobEvent("job-start", job.key, attempt))
+        _start(job, attempt, on_event, journal)
         injected = crash_windows and job.key in crash_windows
         try:
             if injected:
@@ -494,22 +557,23 @@ def _run_inline(records, job, crash_windows, on_event) -> None:
             if attempt < MAX_ATTEMPTS:
                 _retry(job, attempt, error, on_event)
                 continue
-            _fail(records, job, attempt, error, on_event)
+            _fail(records, job, attempt, error, on_event, journal)
             return
-        _finish(records, job, attempt, payload, on_event)
+        _finish(records, job, attempt, payload, on_event, journal)
         return
 
 
-def _run_pooled(records, job_list, n_jobs, crash_windows, on_event) -> None:
+def _run_pooled(records, job_list, n_jobs, crash_windows, on_event, journal, stop_flag) -> None:
     """First attempts share one pool; retries run isolated, one pool each."""
     retry_queue: list[tuple[SweepJob, int, str]] = []
     pending = {job: 1 for job in job_list}
     while pending:
         broken = False
+        stopped = False
         with ProcessPoolExecutor(max_workers=n_jobs) as pool:
             futures = {}
             for job, attempt in pending.items():
-                _emit(on_event, JobEvent("job-start", job.key, attempt))
+                _start(job, attempt, on_event, journal)
                 futures[pool.submit(_execute_job, job, attempt, crash_windows)] = (
                     job, attempt,
                 )
@@ -517,6 +581,8 @@ def _run_pooled(records, job_list, n_jobs, crash_windows, on_event) -> None:
             while not_done:
                 done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                 for fut in done:
+                    if fut.cancelled():
+                        continue
                     job, attempt = futures[fut]
                     try:
                         payload = fut.result()
@@ -528,11 +594,20 @@ def _run_pooled(records, job_list, n_jobs, crash_windows, on_event) -> None:
                             retry_queue.append((job, attempt + 1, error))
                             _retry(job, attempt, error, on_event)
                         else:
-                            _fail(records, job, attempt, error, on_event)
+                            _fail(records, job, attempt, error, on_event, journal)
                     else:
-                        _finish(records, job, attempt, payload, on_event)
+                        _finish(records, job, attempt, payload, on_event, journal)
                 if broken:
                     break
+                if stop_flag and not stopped:
+                    # Shutdown signal: queued work is cancelled, in-flight
+                    # jobs run to completion and get recorded — the journal
+                    # then resumes the remainder.
+                    stopped = True
+                    for fut in not_done:  # repro-lint: disable=REP105 -- cancellation is order-independent; nothing here reaches a digest
+                        fut.cancel()
+        if stopped:
+            return
         if broken:
             # The pool is poisoned: every unfinished job is collateral. Send
             # them all to isolated retries without charging an extra attempt
@@ -546,12 +621,14 @@ def _run_pooled(records, job_list, n_jobs, crash_windows, on_event) -> None:
                     retry_queue.append((job, attempt + 1, error))
                     _retry(job, attempt, error, on_event)
                 else:
-                    _fail(records, job, attempt, error, on_event)
+                    _fail(records, job, attempt, error, on_event, journal)
         pending = {}
         # Drain retries one at a time, each in a fresh single-worker pool, so
         # a deterministic crasher cannot poison anyone else's attempt.
         for job, attempt, prior_error in retry_queue:
-            _emit(on_event, JobEvent("job-start", job.key, attempt))
+            if stop_flag:
+                return
+            _start(job, attempt, on_event, journal)
             try:
                 with ProcessPoolExecutor(max_workers=1) as solo:
                     payload = solo.submit(
@@ -559,9 +636,9 @@ def _run_pooled(records, job_list, n_jobs, crash_windows, on_event) -> None:
                     ).result()
             except Exception as exc:  # noqa: BLE001
                 error = f"{type(exc).__name__}: {exc} (after {prior_error})"
-                _fail(records, job, attempt, error, on_event)
+                _fail(records, job, attempt, error, on_event, journal)
             else:
-                _finish(records, job, attempt, payload, on_event)
+                _finish(records, job, attempt, payload, on_event, journal)
         retry_queue = []
 
 

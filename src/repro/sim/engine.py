@@ -603,6 +603,34 @@ class ServerSimulation:
         row["cpu_tput"] = float(obs.throughput_raw[self.cpu_channels[0]])
         self.trace.append(**row)
 
+    # -- checkpointing -----------------------------------------------------------
+
+    def snapshot(self, controller=None, events=None) -> dict:
+        """Freeze the full run state into a versioned checkpoint blob.
+
+        Captures everything the next period depends on — device banks,
+        RNG bit-generator streams, degradation-ladder freshness/holdover
+        state, actuator targets and read-back state, the cumulative trace,
+        plus the controller stack and event schedule when passed — such
+        that :meth:`restore` followed by ``run`` continues bit-identically
+        with an uninterrupted run. Pass the *same* ``controller`` and
+        ``events`` objects the run loop uses (or ``None``).
+        """
+        from ..checkpoint.engine import capture_run_state
+
+        return capture_run_state(self, controller=controller, events=events)
+
+    def restore(self, blob: dict, controller=None, events=None) -> "ServerSimulation":
+        """Load a :meth:`snapshot` blob into this (freshly built) engine.
+
+        The engine, controller, and events must have been constructed the
+        same way as the checkpointed run (same scenario/factories); their
+        state is then overwritten in place. Returns ``self``.
+        """
+        from ..checkpoint.engine import restore_run_state
+
+        return restore_run_state(blob, self, controller=controller, events=events)
+
     # -- run loops ---------------------------------------------------------------
 
     def run(

@@ -12,6 +12,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..atomicio import atomic_path
 from ..errors import ConfigurationError
 from .trace import Trace
 
@@ -49,12 +50,17 @@ def trace_from_csv(text: str) -> Trace:
 
 
 def save_trace_npz(trace: Trace, path: str | Path) -> Path:
-    """Save a trace to a compressed ``.npz`` (lossless float64)."""
+    """Save a trace to a compressed ``.npz`` (lossless float64, atomic)."""
     path = Path(path)
+    if path.suffix != ".npz":
+        # np.savez appends .npz when the suffix is missing; resolve the real
+        # destination up front so the atomic rename targets it directly.
+        path = path.with_suffix(path.suffix + ".npz")
     arrays = {name: trace[name].copy() for name in trace.channels}
-    # Channel order must survive the round trip.
-    np.savez_compressed(path, __channels__=np.array(trace.channels), **arrays)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    with atomic_path(path) as tmp:
+        # Channel order must survive the round trip.
+        np.savez_compressed(tmp, __channels__=np.array(trace.channels), **arrays)  # repro-lint: disable=REP107 -- writes atomic_path's temp file, renamed over the destination on exit
+    return path
 
 
 def load_trace_npz(path: str | Path) -> Trace:

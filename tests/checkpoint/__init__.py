@@ -1,0 +1,1 @@
+"""Checkpoint/resume subsystem tests."""

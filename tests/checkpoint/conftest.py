@@ -1,0 +1,39 @@
+"""Shared helpers for the checkpoint/resume suite."""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.experiments.common import make_capgpu, modulator_for
+from repro.experiments.slo_schedule import initial_slos, section64_slo_events
+from repro.runner import TIMING_KEYS, canonical_json
+from repro.sim import paper_scenario
+
+
+def make_capgpu_run(seed=7, set_point_w=1000.0):
+    """A fresh fig9-style run triple: (sim, controller, events)."""
+    sim = paper_scenario(
+        seed=seed, set_point_w=set_point_w, modulator_factory=modulator_for("CapGPU")
+    )
+    for g, slo in enumerate(initial_slos(sim)):
+        sim.set_slo(g, slo)
+    events = section64_slo_events(sim)
+    controller = make_capgpu(sim, seed)
+    return sim, controller, events
+
+
+def trace_bytes(trace) -> bytes:
+    """Byte-exact trace content, excluding the wall-clock timing channels.
+
+    ``ctl_ms`` records measured controller wall time — legitimately different
+    between two otherwise identical runs, and excluded from digests by
+    construction (see :data:`repro.runner.TIMING_KEYS`).
+    """
+    return b"".join(
+        trace[ch].tobytes() for ch in sorted(trace.channels) if ch not in TIMING_KEYS
+    )
+
+
+def result_digest(result) -> str:
+    """sha256 of an ExperimentResult's canonical data (timings excluded)."""
+    return hashlib.sha256(canonical_json(result.data).encode("utf-8")).hexdigest()

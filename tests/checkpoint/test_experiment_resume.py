@@ -1,0 +1,100 @@
+"""Checkpointed experiments: periodic saves, interrupt, resume, no-op re-resume."""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+from repro.checkpoint import CheckpointInterrupt, ShutdownFlag, load_blob
+from repro.experiments.common import CheckpointPolicy
+from repro.experiments.fig9_slo_capgpu import run_fig9
+
+from .conftest import result_digest
+
+N_PERIODS = 20
+
+
+class TripAfter:
+    """Truthy stop flag after ``n`` polls — a deterministic in-process SIGTERM."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.signum = signal.SIGTERM
+
+    def __bool__(self) -> bool:
+        self.n -= 1
+        return self.n < 0
+
+
+class TestCheckpointPolicy:
+    def test_rejects_nonpositive_interval(self, tmp_path):
+        with pytest.raises(ValueError, match="every_n_periods"):
+            CheckpointPolicy(path=tmp_path / "ck", every_n_periods=0)
+
+    def test_fig9_requires_a_path(self):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            run_fig9(seed=3, n_periods=N_PERIODS, checkpoint_every=5)
+
+
+class TestCheckpointedExperiment:
+    def test_uninterrupted_checkpointed_run_is_bit_identical(self, tmp_path):
+        baseline = run_fig9(seed=3, n_periods=N_PERIODS)
+        checkpointed = run_fig9(
+            seed=3,
+            n_periods=N_PERIODS,
+            checkpoint_every=7,
+            checkpoint_path=tmp_path / "fig9.ckpt",
+        )
+        assert result_digest(checkpointed) == result_digest(baseline)
+        # The final checkpoint is the completed run.
+        blob = load_blob(tmp_path / "fig9.ckpt")
+        assert blob["summary"]["period_index"] == N_PERIODS
+
+    def test_interrupt_then_resume_is_bit_identical(self, tmp_path):
+        baseline = run_fig9(seed=3, n_periods=N_PERIODS)
+        path = tmp_path / "fig9.ckpt"
+        with pytest.raises(CheckpointInterrupt) as excinfo:
+            run_fig9(
+                seed=3,
+                n_periods=N_PERIODS,
+                checkpoint_every=6,
+                checkpoint_path=path,
+                stop_flag=TripAfter(2),
+            )
+        stop = excinfo.value
+        assert stop.exit_code == 143
+        assert stop.checkpoint_path == path
+        blob = load_blob(path)
+        assert 0 < blob["summary"]["period_index"] < N_PERIODS
+
+        resumed = run_fig9(
+            seed=3,
+            n_periods=N_PERIODS,
+            checkpoint_every=6,
+            checkpoint_path=path,
+            resume=True,
+        )
+        assert result_digest(resumed) == result_digest(baseline)
+
+    def test_resume_of_completed_run_is_a_noop(self, tmp_path):
+        path = tmp_path / "fig9.ckpt"
+        baseline = run_fig9(
+            seed=3, n_periods=N_PERIODS, checkpoint_every=9, checkpoint_path=path
+        )
+        again = run_fig9(
+            seed=3,
+            n_periods=N_PERIODS,
+            checkpoint_every=9,
+            checkpoint_path=path,
+            resume=True,
+        )
+        assert result_digest(again) == result_digest(baseline)
+
+    def test_shutdown_flag_exit_codes(self):
+        flag = ShutdownFlag()
+        assert not flag
+        flag.set(signal.SIGINT)
+        assert flag and flag.exit_code == 130
+        flag.set(signal.SIGTERM)
+        assert flag.exit_code == 143

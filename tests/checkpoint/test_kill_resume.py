@@ -1,0 +1,204 @@
+"""Chaos kill-resume tests: crash a real process mid-run, resume, compare.
+
+These spawn real subprocesses and SIGKILL/SIGTERM them mid-flight, then
+assert the resumed output is bit-identical to an uninterrupted baseline —
+the tentpole guarantee of the checkpoint subsystem. Opt in with
+``pytest -m chaos``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint import load_blob
+from repro.experiments.fig9_slo_capgpu import run_fig9
+
+from .conftest import result_digest
+
+pytestmark = pytest.mark.chaos
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+#: Experiments for the sweep kill test: fig3 first (the slow one, ~1 s), so
+#: the SIGKILL lands while the remainder is still running.
+SWEEP_IDS = ["fig3", "fig7", "fig9"]
+
+#: Driver for the experiment kill test: a checkpointed fig9 long enough
+#: (hundreds of periods, checkpoint+fsync every 3) that SIGKILL always lands
+#: mid-run once the first checkpoint exists.
+DRIVER = """\
+import hashlib
+import sys
+from pathlib import Path
+
+from repro.experiments.fig9_slo_capgpu import run_fig9
+from repro.runner import canonical_json
+
+result = run_fig9(
+    seed=5,
+    n_periods=int(sys.argv[2]),
+    checkpoint_every=3,
+    checkpoint_path=Path(sys.argv[1]),
+    resume=True,
+)
+print(hashlib.sha256(canonical_json(result.data).encode("utf-8")).hexdigest())
+"""
+
+N_PERIODS = 400
+
+
+def repro_cmd(*args):
+    return [sys.executable, "-m", "repro", *args]
+
+
+def src_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def wait_for(predicate, timeout=120.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestSweepKillResume:
+    def test_sigkill_mid_sweep_then_resume_matches_clean(self, tmp_path):
+        env = src_env()
+        clean_out = tmp_path / "clean.json"
+        subprocess.run(
+            repro_cmd(
+                "sweep", *SWEEP_IDS, "--jobs", "1", "--quiet", "--out", str(clean_out)
+            ),
+            check=True, env=env, cwd=REPO, capture_output=True, timeout=600,
+        )
+
+        journal_dir = tmp_path / "journal"
+        proc = subprocess.Popen(
+            repro_cmd(
+                "sweep", *SWEEP_IDS, "--jobs", "1", "--quiet",
+                "--journal-dir", str(journal_dir),
+                "--out", str(tmp_path / "never-written.json"),
+            ),
+            env=env, cwd=REPO,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        wal = journal_dir / "journal.jsonl"
+        try:
+            assert wait_for(
+                lambda: wal.exists() and b'"job_done"' in wal.read_bytes()
+            ), "no job completed before the timeout"
+            if proc.poll() is None:
+                proc.kill()  # SIGKILL: no handler, no final flush
+        finally:
+            proc.wait(timeout=60)
+        assert proc.returncode != 0, "sweep finished before it could be killed"
+
+        resumed_out = tmp_path / "resumed.json"
+        result = subprocess.run(
+            repro_cmd(
+                "sweep", "--resume", str(journal_dir),
+                "--jobs", "1", "--quiet", "--out", str(resumed_out),
+            ),
+            env=env, cwd=REPO, capture_output=True, text=True, timeout=600,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "resume:" in result.stderr  # the CLI reported replay stats
+
+        clean = json.loads(clean_out.read_text())
+        resumed = json.loads(resumed_out.read_text())
+        assert resumed["interrupted"] is False
+        assert resumed["checksum"] == clean["checksum"]
+
+
+class TestExperimentKillResume:
+    def test_sigkill_mid_experiment_then_resume_matches_clean(self, tmp_path):
+        baseline = result_digest(run_fig9(seed=5, n_periods=N_PERIODS))
+
+        driver = tmp_path / "driver.py"
+        driver.write_text(DRIVER)
+        ckpt = tmp_path / "fig9.ckpt"
+        proc = subprocess.Popen(
+            [sys.executable, str(driver), str(ckpt), str(N_PERIODS)],
+            env=src_env(), cwd=REPO,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            assert wait_for(ckpt.exists), "no checkpoint appeared before timeout"
+            if proc.poll() is None:
+                proc.kill()
+        finally:
+            proc.wait(timeout=60)
+        assert proc.returncode != 0, "run finished before it could be killed"
+        # The kill genuinely landed mid-run, and the surviving checkpoint
+        # (always a complete previous blob, thanks to atomic writes) loads.
+        blob = load_blob(ckpt)
+        assert 0 < blob["summary"]["period_index"] < N_PERIODS
+
+        result = subprocess.run(
+            [sys.executable, str(driver), str(ckpt), str(N_PERIODS)],
+            env=src_env(), cwd=REPO, capture_output=True, text=True, timeout=600,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == baseline
+
+
+class TestGracefulSignalCli:
+    def test_sigterm_checkpoints_and_resumes_via_cli(self, tmp_path):
+        env = src_env()
+        clean = subprocess.run(
+            repro_cmd("run", "fig9", "--seed", "2"),
+            env=env, cwd=REPO, capture_output=True, text=True, timeout=600,
+        )
+        assert clean.returncode == 0, clean.stderr
+
+        # SIGTERM lands somewhere inside the checkpointed run; retry the
+        # whole dance if the (short) run wins the race and exits cleanly.
+        for attempt in range(5):
+            ckpt = tmp_path / f"fig9-{attempt}.ckpt"
+            proc = subprocess.Popen(
+                repro_cmd(
+                    "run", "fig9", "--seed", "2",
+                    "--checkpoint-every", "1", "--checkpoint-file", str(ckpt),
+                ),
+                env=env, cwd=REPO,
+                stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+            )
+            wait_for(ckpt.exists, timeout=60)
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+            _, stderr = proc.communicate(timeout=60)
+            if proc.returncode == 143:
+                break
+        else:
+            pytest.skip("run always finished before SIGTERM could land")
+
+        # The CLI printed a structured shutdown event on stderr.
+        event = json.loads(stderr.strip().splitlines()[-1])
+        assert event["event"] == "shutdown"
+        assert event["signal"] == "SIGTERM" and event["exit_code"] == 143
+        assert event["checkpoint"] == str(ckpt)
+
+        resumed = subprocess.run(
+            repro_cmd(
+                "run", "fig9", "--seed", "2",
+                "--checkpoint-every", "1", "--checkpoint-file", str(ckpt),
+                "--resume",
+            ),
+            env=env, cwd=REPO, capture_output=True, text=True, timeout=600,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout == clean.stdout  # rendered report is identical

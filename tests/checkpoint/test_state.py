@@ -1,0 +1,145 @@
+"""Tagged-tree capture/restore: round trips, aliasing, error paths."""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import capture, restore
+from repro.checkpoint.state import count_rng_streams
+from repro.errors import CheckpointError
+
+
+class Widget:
+    """Plain object with nested state, used as a capture target."""
+
+    def __init__(self, values, tag="w"):
+        self.values = values
+        self.tag = tag
+
+
+class Slotted:
+    __slots__ = ("a", "b")
+
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+
+@dataclass(frozen=True)
+class FrozenCfg:
+    gain: float
+    steps: int
+
+
+class Mode(enum.Enum):
+    FAST = "fast"
+    SAFE = "safe"
+
+
+class Custom:
+    """Object opting into the custom checkpoint protocol."""
+
+    def __init__(self):
+        self.rebuilt = False
+        self.payload = {}
+
+    def __repro_getstate__(self):
+        return {"payload": dict(self.payload)}
+
+    def __repro_setstate__(self, state):
+        self.payload = dict(state["payload"])
+        self.rebuilt = True
+
+
+def roundtrip(obj, existing):
+    [tag] = capture(obj)
+    [out] = restore([tag], [existing])
+    return out
+
+
+class TestRoundTrip:
+    def test_containers_restore_in_place(self):
+        src = {"xs": [1, 2.5, "s"], "d": deque([1, 2], maxlen=4), "t": (1, (2, 3))}
+        dst = {"xs": [0], "d": deque(maxlen=4), "t": (0, (0, 0))}
+        out = roundtrip(src, dst)
+        assert out is dst
+        assert out["xs"] == [1, 2.5, "s"]
+        assert out["d"] == deque([1, 2]) and out["d"].maxlen == 4
+        assert out["t"] == (1, (2, 3))
+
+    def test_arrays_fill_existing_buffers(self):
+        src = Widget({"w": np.arange(6.0).reshape(2, 3)})
+        dst = Widget({"w": np.zeros((2, 3))})
+        buffer = dst.values["w"]
+        out = roundtrip(src, dst)
+        assert out is dst
+        assert out.values["w"] is buffer  # filled in place, not replaced
+        np.testing.assert_array_equal(buffer, np.arange(6.0).reshape(2, 3))
+
+    def test_aliasing_is_preserved(self):
+        shared = np.arange(4.0)
+        src = {"x": shared, "y": shared}
+        dst = {"x": np.zeros(4), "y": np.zeros(4)}  # distinct buffers
+        out = roundtrip(src, dst)
+        assert out["x"] is out["y"]  # the alias survives restore
+
+    def test_shared_memo_across_roots(self):
+        # capture(*objects) shares one memo: state shared between the engine
+        # and a controller must re-alias after restore, or a resumed run
+        # silently mutates copies.
+        shared = [1, 2, 3]
+        a, b = Widget(shared), Widget(shared)
+        tags = capture(a, b)
+        ra, rb = restore(tags, [Widget([0]), Widget([0])])
+        assert ra.values is rb.values
+
+    def test_rng_stream_continues_identically(self):
+        rng = np.random.default_rng(5)
+        rng.standard_normal(10)  # advance past the seed state
+        [tag] = capture(rng)
+        expect = rng.standard_normal(8)
+        [restored] = restore([tag], [np.random.default_rng(0)])
+        np.testing.assert_array_equal(restored.standard_normal(8), expect)
+
+    def test_frozen_dataclass_enum_and_slots(self):
+        src = Widget({"cfg": FrozenCfg(1.5, 3), "mode": Mode.SAFE, "s": Slotted(1, [2])})
+        dst = Widget({"cfg": FrozenCfg(0.0, 0), "mode": Mode.FAST, "s": Slotted(0, [])})
+        out = roundtrip(src, dst)
+        assert out.values["cfg"] == FrozenCfg(1.5, 3)
+        assert out.values["mode"] is Mode.SAFE
+        assert out.values["s"].a == 1 and out.values["s"].b == [2]
+
+    def test_sets_roundtrip(self):
+        src = {"s": {3, 1, 2}, "f": frozenset({"a", "b"})}
+        dst = {"s": set(), "f": frozenset()}
+        out = roundtrip(src, dst)
+        assert out["s"] == {1, 2, 3}
+        assert out["f"] == frozenset({"a", "b"})
+
+    def test_custom_protocol_drives_restore(self):
+        src = Custom()
+        src.payload = {"k": 7}
+        dst = Custom()
+        out = roundtrip(src, dst)
+        assert out is dst and out.rebuilt and out.payload == {"k": 7}
+
+
+class TestErrors:
+    def test_root_count_mismatch_raises(self):
+        tags = capture([1])
+        with pytest.raises(CheckpointError):
+            restore(tags, [[], []])
+
+    def test_dangling_ref_raises(self):
+        with pytest.raises(CheckpointError):
+            restore([{"__ref__": 999}], [None])
+
+
+def test_count_rng_streams_walks_the_tree():
+    [tag] = capture({"a": np.random.default_rng(1), "b": [np.random.default_rng(2)]})
+    assert count_rng_streams(tag) == 2

@@ -1,0 +1,132 @@
+"""run_sweep × journal: WAL lifecycle, graceful stop, resume equality."""
+
+from __future__ import annotations
+
+import json
+import signal
+
+from repro.checkpoint import ShutdownFlag, SweepJournal
+from repro.runner import JobRecord, SweepJob, run_sweep
+
+FAST = dict(n_periods=10, warmup_periods=3)
+
+
+def fast_jobs(*seeds):
+    return [SweepJob.make("table1", seed=s, **FAST) for s in seeds]
+
+
+def journal_for(directory, jobs):
+    return SweepJournal.create(
+        directory,
+        experiments=["table1"],
+        seed=0,
+        replicates=len(jobs),
+        set_points_w=None,
+        extra_params=dict(FAST),
+        job_keys=[job.key for job in jobs],
+    )
+
+
+def stop_after_first_done(flag):
+    def on_event(event):
+        if event.kind == "job-done":
+            flag.set(signal.SIGTERM)
+
+    return on_event
+
+
+class TestJournalledSweep:
+    def test_wal_orders_start_before_terminal(self, tmp_path):
+        jobs = fast_jobs(0, 1)
+        with journal_for(tmp_path / "j", jobs) as journal:
+            report = run_sweep(jobs, n_jobs=1, journal=journal)
+        assert report.ok and not report.interrupted
+        entries = [
+            json.loads(line)
+            for line in journal.journal_path.read_text().splitlines()
+        ]
+        assert [(e["kind"], e["key"]) for e in entries] == [
+            ("job_started", jobs[0].key),
+            ("job_done", jobs[0].key),
+            ("job_started", jobs[1].key),
+            ("job_done", jobs[1].key),
+        ]
+        # Terminal entries carry the full record (resume needs the digest).
+        assert entries[1]["record"]["digest"]
+
+    def test_stop_flag_interrupts_at_job_boundary(self, tmp_path):
+        jobs = fast_jobs(0, 1, 2)
+        flag = ShutdownFlag()
+        report = run_sweep(
+            jobs, n_jobs=1, on_event=stop_after_first_done(flag), stop_flag=flag
+        )
+        assert len(report.records) == 1  # in-flight job finished, rest skipped
+        assert report.interrupted and not report.ok
+        assert flag.exit_code == 143
+
+    def test_preset_stop_flag_runs_nothing(self):
+        flag = ShutdownFlag()
+        flag.set(signal.SIGINT)
+        report = run_sweep(fast_jobs(0, 1), n_jobs=1, stop_flag=flag)
+        assert report.records == [] and report.interrupted
+
+    def test_interrupted_lands_in_the_json_report(self):
+        flag = ShutdownFlag()
+        flag.set(signal.SIGTERM)
+        report = run_sweep(fast_jobs(0), n_jobs=1, stop_flag=flag)
+        assert json.loads(report.to_json())["interrupted"] is True
+
+    def test_resume_skips_completed_and_matches_clean(self, tmp_path):
+        jobs = fast_jobs(0, 1, 2)
+        clean = run_sweep(jobs, n_jobs=1)
+
+        # First pass: journalled, interrupted after the first job completes.
+        flag = ShutdownFlag()
+        with journal_for(tmp_path / "j", jobs) as journal:
+            first = run_sweep(
+                jobs,
+                n_jobs=1,
+                on_event=stop_after_first_done(flag),
+                journal=journal,
+                stop_flag=flag,
+            )
+        assert first.interrupted and len(first.records) == 1
+
+        # Resume: replay the WAL, pre-fill completed jobs, run the rest.
+        journal2 = SweepJournal.open(tmp_path / "j")
+        replay = journal2.replay()
+        completed = {
+            key: JobRecord.from_dict(rec) for key, rec in replay.completed.items()
+        }
+        assert set(completed) == {jobs[0].key}
+        started = []
+
+        def record_starts(event):
+            if event.kind == "job-start":
+                started.append(event.job_key)
+
+        with journal2:
+            resumed = run_sweep(
+                jobs,
+                n_jobs=1,
+                on_event=record_starts,
+                journal=journal2,
+                completed=completed,
+            )
+        assert resumed.ok and not resumed.interrupted
+        assert started == [jobs[1].key, jobs[2].key]  # first job never re-ran
+        assert resumed.checksum() == clean.checksum()
+        # Records keep job order, with the replayed record slotted in.
+        assert [r.job.key for r in resumed.records] == [j.key for j in jobs]
+
+    def test_replayed_records_preserve_reproducible_fields(self, tmp_path):
+        jobs = fast_jobs(0)
+        with journal_for(tmp_path / "j", jobs) as journal:
+            report = run_sweep(jobs, n_jobs=1, journal=journal)
+        rec = SweepJournal.open(tmp_path / "j").replay().completed[jobs[0].key]
+        rebuilt = JobRecord.from_dict(rec)
+        original = report.records[0]
+        assert rebuilt.job == original.job
+        assert rebuilt.digest == original.digest
+        assert rebuilt.canonical == original.canonical
+        assert rebuilt.status == original.status

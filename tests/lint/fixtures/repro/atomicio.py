@@ -1,0 +1,10 @@
+"""Fixture mirror of the atomic-write module: REP107's sanctioned sink.
+
+``LintConfig.atomicio_exempt`` names ``repro.atomicio``; the truncating
+writes below must therefore produce no findings.
+"""
+
+
+def atomic_write_text(path, text):
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)

@@ -1,0 +1,19 @@
+"""Injected REP107 violations: artifact writes that bypass repro.atomicio."""
+
+import json
+import pickle
+
+import numpy as np
+
+
+def torn_artifacts(path, payload, arr):
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+    open(path, mode="wt").close()
+    open(path, "xb").close()
+    np.save(path, arr)
+    np.savetxt(path, arr)
+    with open(path, "wb") as fh:
+        pickle.dump(payload, fh)
+    path.write_text("summary")
+    path.write_bytes(b"blob")

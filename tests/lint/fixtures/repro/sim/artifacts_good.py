@@ -1,0 +1,18 @@
+"""Sanctioned write patterns REP107 must not flag."""
+
+
+def wal_append(path, line):
+    # Append-only WAL discipline: per-line flush + fsync, torn-tail tolerant.
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line)
+
+
+def read_back(path):
+    with open(path, encoding="utf-8") as fh:
+        return fh.read()
+
+
+def dynamic_mode(path, mode):
+    # Not statically decidable — never flagged.
+    with open(path, mode) as fh:
+        return fh.name

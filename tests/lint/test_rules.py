@@ -64,6 +64,26 @@ class TestFloatRules:
         assert rules_in(fixture_findings, "floats_good.py") == set()
 
 
+class TestArtifactRules:
+    def test_non_atomic_writes_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "artifacts_bad.py", "REP107")
+        assert {f.line for f in hits} == {10, 11, 12, 13, 14, 15, 16, 17, 18, 19}
+        joined = " ".join(f.message for f in hits)
+        assert "open(..., 'w')" in joined
+        assert "json.dump" in joined
+        assert "numpy.savetxt" in joined
+        assert "pickle.dump" in joined
+        assert ".write_text" in joined and ".write_bytes" in joined
+
+    def test_append_reads_and_dynamic_modes_clean(self, fixture_findings):
+        # Append-only WAL writes, plain reads, and dynamic modes pass.
+        assert rules_in(fixture_findings, "artifacts_good.py") == set()
+
+    def test_atomicio_module_is_exempt(self, fixture_findings):
+        # The sanctioned sink itself truncates by design.
+        assert rules_in(fixture_findings, "atomicio.py") == set()
+
+
 class TestUnitsRules:
     def test_mixed_unit_arithmetic_flagged(self, fixture_findings):
         hits = findings_for(fixture_findings, "units_bad.py", "REP301")

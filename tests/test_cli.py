@@ -130,3 +130,117 @@ class TestSweepCommand:
 
         with pytest.raises(ExperimentError, match="unknown experiment ids"):
             main(["sweep", "fig99", "--jobs", "1"])
+
+
+@pytest.fixture
+def preserve_signal_handlers():
+    """Checkpointed commands install SIGINT/SIGTERM handlers; undo after."""
+    import signal
+
+    saved = {s: signal.getsignal(s) for s in (signal.SIGINT, signal.SIGTERM)}
+    yield
+    for signum, handler in saved.items():
+        signal.signal(signum, handler)
+
+
+class TestCheckpointedRunCli:
+    def test_checkpoint_flags_parse(self):
+        args = build_parser().parse_args([
+            "run", "fig9", "--checkpoint-every", "5",
+            "--checkpoint-file", "ck", "--resume",
+        ])
+        assert args.checkpoint_every == 5
+        assert args.checkpoint_file == "ck"
+        assert args.resume
+
+    def test_checkpointing_requires_a_file(self):
+        with pytest.raises(SystemExit, match="--checkpoint-file"):
+            main(["run", "fig9", "--checkpoint-every", "5"])
+
+    def test_checkpointing_rejects_run_all(self):
+        with pytest.raises(SystemExit, match="single experiment"):
+            main([
+                "run", "all", "--checkpoint-every", "5", "--checkpoint-file", "x",
+            ])
+
+    def test_checkpointing_rejects_unsupported_experiment(self):
+        with pytest.raises(SystemExit, match="does not support"):
+            main([
+                "run", "fig3", "--checkpoint-every", "5", "--checkpoint-file", "x",
+            ])
+
+    def test_checkpointed_run_and_noop_resume(
+        self, tmp_path, capsys, preserve_signal_handlers
+    ):
+        ckpt = tmp_path / "fig9.ckpt"
+        code = main([
+            "run", "fig9", "--checkpoint-every", "20",
+            "--checkpoint-file", str(ckpt),
+        ])
+        assert code == 0 and ckpt.exists()
+        first = capsys.readouterr().out
+        code = main([
+            "run", "fig9", "--checkpoint-every", "20",
+            "--checkpoint-file", str(ckpt), "--resume",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out == first  # resume of a done run: no-op
+
+
+class TestJournalledSweepCli:
+    def test_resume_rejects_extra_arguments(self, tmp_path):
+        with pytest.raises(SystemExit, match="--resume takes its experiments"):
+            main(["sweep", "table1", "--resume", str(tmp_path)])
+
+    def test_fresh_sweep_requires_experiment_ids(self):
+        with pytest.raises(SystemExit, match="experiment ids required"):
+            main(["sweep", "--jobs", "1"])
+
+    def test_resume_detects_manifest_drift(self, tmp_path):
+        from repro.checkpoint import SweepJournal
+        from repro.errors import CheckpointError
+
+        SweepJournal.create(
+            tmp_path / "j",
+            experiments=["table1"], seed=0, replicates=1,
+            set_points_w=None, extra_params={},
+            job_keys=["table1[seed=999]"],  # not what build_jobs derives
+        )
+        with pytest.raises(CheckpointError, match="does not match the manifest"):
+            main(["sweep", "--resume", str(tmp_path / "j"), "--jobs", "1"])
+
+    def test_journalled_sweep_then_resume(
+        self, tmp_path, capsys, preserve_signal_handlers
+    ):
+        import json
+
+        from repro.errors import CheckpointError
+
+        journal = tmp_path / "j"
+        out_first = tmp_path / "first.json"
+        code = main([
+            "sweep", "table1", "--jobs", "1", "--quiet",
+            "--journal-dir", str(journal), "--out", str(out_first),
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+        # A fresh sweep must not clobber the finished journal.
+        with pytest.raises(CheckpointError, match="already exists"):
+            main([
+                "sweep", "table1", "--jobs", "1", "--quiet",
+                "--journal-dir", str(journal),
+            ])
+
+        # Resuming the finished sweep re-runs nothing and matches bit-for-bit.
+        out_resumed = tmp_path / "resumed.json"
+        code = main([
+            "sweep", "--resume", str(journal), "--jobs", "1", "--quiet",
+            "--out", str(out_resumed),
+        ])
+        assert code == 0
+        assert "resume: 1/1 jobs already complete" in capsys.readouterr().err
+        first = json.loads(out_first.read_text())
+        resumed = json.loads(out_resumed.read_text())
+        assert resumed["checksum"] == first["checksum"]
+        assert resumed["interrupted"] is False
