@@ -1,0 +1,85 @@
+"""Fleet-scale benches: the SoA backend at 64/256/1024 servers.
+
+The 64- and 256-server benches regenerate a full budget-reallocation run on
+the ``tree-static`` scenario (datacenter → row → rack → server hierarchy)
+and file deterministic fleet aggregates. The 1024-server bench is the
+acceptance case for the vectorization: one budget-reallocation round on the
+SoA backend against the same round on the reference backend (N scalar
+engine loops), which is timed at 64 servers and extrapolated linearly —
+servers are independent, so reference cost is linear in N (the measured
+per-server period times at 2 vs 64 servers agree to a few percent).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.fleet.scenarios import fleet_scenario
+
+
+def _run_soa(n_servers: int, n_rounds: int):
+    fleet = fleet_scenario("tree-static").build_fleet("soa", n_servers=n_servers)
+    fleet.run(n_rounds)
+    return fleet
+
+
+def _file_fleet_metrics(benchmark, fleet):
+    n = fleet.n_servers
+    powers = np.asarray(fleet.backend.last_powers())
+    budgets = np.array(
+        [fleet.trace.last(f"budget_{name}") for name in fleet.backend.names]
+    )
+    assert np.isfinite(powers).all()
+    assert budgets.sum() <= fleet.budget_w + 1e-6
+    benchmark.extra_info["final_total_w"] = round(float(powers.sum()), 1)
+    benchmark.extra_info["mean_power_w"] = round(float(powers.mean()), 2)
+    benchmark.extra_info["budget_sum_w"] = round(float(budgets.sum()), 1)
+    benchmark.extra_info["n_servers"] = n
+
+
+@pytest.mark.parametrize("n_servers", [64, 256])
+def test_bench_fleet_soa(benchmark, n_servers):
+    fleet = benchmark.pedantic(
+        _run_soa, args=(n_servers, 2), rounds=1, iterations=1
+    )
+    print()
+    print(f"fleet n={n_servers}: total {fleet.trace.last('total_power_w'):.0f} W")
+    # Every server tracks its cap: the fleet total lands on the tree budget.
+    assert fleet.trace.last("total_power_w") == pytest.approx(
+        fleet.budget_w, rel=0.05
+    )
+    _file_fleet_metrics(benchmark, fleet)
+
+
+def test_bench_fleet_soa_1024_speedup(benchmark):
+    """One budget-reallocation round over 1024 servers, SoA vs N scalar
+    loops. The acceptance bar is >= 5x; in practice the SoA backend lands
+    over an order of magnitude ahead."""
+    scenario = fleet_scenario("tree-static")
+
+    def measured():
+        soa = scenario.build_fleet("soa", n_servers=1024)
+        soa.run(1)  # warm: first-touch allocation, noise-block refills
+        t0 = time.perf_counter()
+        soa.run(1)
+        t_soa = time.perf_counter() - t0
+
+        ref = scenario.build_fleet("reference", n_servers=64)
+        ref.run(1)
+        t0 = time.perf_counter()
+        ref.run(1)
+        t_ref_64 = time.perf_counter() - t0
+        return soa, t_soa, t_ref_64 * (1024 / 64)
+
+    soa, t_soa, t_ref_1024 = benchmark.pedantic(measured, rounds=1, iterations=1)
+    speedup = t_ref_1024 / t_soa
+    print()
+    print(
+        f"1024-server round: soa {t_soa * 1e3:.0f} ms, "
+        f"scalar (extrapolated) {t_ref_1024 * 1e3:.0f} ms -> {speedup:.1f}x"
+    )
+    assert speedup >= 5.0
+    # Headline *accuracy* numbers only: wall-clock ratios are hardware noise
+    # and belong in the printed line, not the compared metrics.
+    _file_fleet_metrics(benchmark, soa)

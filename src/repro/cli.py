@@ -40,8 +40,32 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list experiment ids")
 
     run_p = sub.add_parser("run", help="run an experiment (or 'all')")
-    run_p.add_argument("experiment", help="experiment id from 'capgpu list', or 'all'")
+    run_p.add_argument(
+        "experiment", nargs="?", default=None,
+        help="experiment id from 'capgpu list', or 'all' "
+             "(defaults to fig9-scale with --fleet)",
+    )
     run_p.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+    run_p.add_argument(
+        "--fleet", action="store_true",
+        help="fleet mode: default the experiment to fig9-scale (hierarchical "
+             "budget reallocation over many servers)",
+    )
+    run_p.add_argument(
+        "--fleet-servers", type=int, default=None, metavar="N",
+        help="fleet size for fleet-capable experiments (e.g. fig9-scale; "
+             "default 64)",
+    )
+    run_p.add_argument(
+        "--fleet-backend", choices=("soa", "reference"), default=None,
+        help="fleet stepping backend: 'soa' (vectorized, default) or "
+             "'reference' (N scalar engines, bit-identical)",
+    )
+    run_p.add_argument(
+        "--fleet-scenario", default=None, metavar="NAME",
+        help="registered fleet scenario to build (default tree-static; "
+             "see repro.fleet.scenarios)",
+    )
     run_p.add_argument(
         "--save-dir", default=None,
         help="directory to write every result trace as <experiment>_<name>.npz",
@@ -85,6 +109,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--set-points", type=float, nargs="*", default=None, metavar="W",
         help="power caps to sweep (applied to experiments that accept "
              "set_point_w; others run once)",
+    )
+    sweep_p.add_argument(
+        "--fleet-servers", type=int, default=None, metavar="N",
+        help="fleet size for fleet-capable experiments in the sweep "
+             "(e.g. fig9-scale; others ignore it)",
+    )
+    sweep_p.add_argument(
+        "--fleet-backend", choices=("soa", "reference"), default=None,
+        help="fleet stepping backend for fleet-capable experiments",
     )
     sweep_p.add_argument(
         "--out", default=None, metavar="FILE",
@@ -263,9 +296,45 @@ def _checkpoint_kwargs(args: argparse.Namespace, stop_flag) -> dict:
     return {k: v for k, v in kwargs.items() if k in accepted}
 
 
+def _fleet_kwargs(args: argparse.Namespace) -> dict:
+    """Fleet kwargs for ``run_experiment``, validated against the
+    experiment's signature (only fleet-capable experiments take them)."""
+    import inspect
+
+    from .experiments import EXPERIMENTS
+
+    opts = {
+        "n_servers": args.fleet_servers,
+        "backend": args.fleet_backend,
+        "scenario": args.fleet_scenario,
+    }
+    opts = {k: v for k, v in opts.items() if v is not None}
+    if not opts:
+        return {}
+    if args.experiment == "all":
+        raise SystemExit("repro run: fleet options require a single experiment id")
+    runner = EXPERIMENTS.get(args.experiment)
+    if runner is not None:
+        accepted = frozenset(inspect.signature(runner).parameters)
+        rejected = sorted(set(opts) - accepted)
+        if rejected:
+            raise SystemExit(
+                f"repro run: experiment {args.experiment!r} does not take "
+                f"fleet option(s) {rejected} (not a fleet experiment)"
+            )
+    return opts
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .experiments import experiment_ids, run_experiment
 
+    if args.experiment is None:
+        if not args.fleet:
+            raise SystemExit(
+                "repro run: an experiment id is required (or pass --fleet "
+                "for the fleet-scale default)"
+            )
+        args.experiment = "fig9-scale"
     checkpointing = (
         args.checkpoint_every is not None
         or args.checkpoint_file is not None
@@ -283,6 +352,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         flag = ShutdownFlag()
         kwargs = _checkpoint_kwargs(args, flag)
         install_signal_handlers(flag)
+    kwargs.update(_fleet_kwargs(args))
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     for eid in ids:
         if checkpointing:
@@ -297,7 +367,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print(json.dumps(event, sort_keys=True), file=sys.stderr)
                 return stop.exit_code
         else:
-            result = run_experiment(eid, seed=args.seed)
+            result = run_experiment(eid, seed=args.seed, **kwargs)
         print(result.render())
         print()
         if args.save_dir is not None:
@@ -392,11 +462,23 @@ def _sweep_jobs_and_journal(args: argparse.Namespace):
     if not args.experiments:
         raise SystemExit("repro sweep: experiment ids required (or --resume DIR)")
     ids = _expand_sweep_ids(args.experiments)
+    # Fleet knobs ride as extra params: build_jobs filters them per
+    # experiment against the runner's signature, so a mixed sweep simply
+    # applies them to the fleet-capable ids.
+    extra = {
+        k: v
+        for k, v in {
+            "n_servers": args.fleet_servers,
+            "backend": args.fleet_backend,
+        }.items()
+        if v is not None
+    }
     jobs = build_jobs(
         ids,
         seed=args.seed,
         replicates=args.replicates,
         set_points_w=args.set_points,
+        extra_params=extra or None,
     )
     journal = None
     if args.journal_dir:
@@ -406,7 +488,7 @@ def _sweep_jobs_and_journal(args: argparse.Namespace):
             seed=args.seed,
             replicates=args.replicates,
             set_points_w=args.set_points,
-            extra_params={},
+            extra_params=extra,
             job_keys=[job.key for job in jobs],
         )
     return jobs, journal, None

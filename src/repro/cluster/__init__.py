@@ -12,7 +12,17 @@ from .allocator import (
     ProportionalDemandAllocator,
     ServerPowerState,
 )
-from .rack import RackServer, RackSimulation
+
+
+def __getattr__(name: str):
+    # RackSimulation is a shim over repro.fleet, which itself builds on
+    # .allocator — importing .rack lazily keeps the package import acyclic
+    # whichever of repro.cluster / repro.fleet loads first.
+    if name in ("RackServer", "RackSimulation"):
+        from . import rack
+
+        return getattr(rack, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ServerPowerState",

@@ -26,12 +26,13 @@ Implemented policies:
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ConfigurationError, InfeasibleSetPointError
+from ..errors import BudgetShortfallWarning, ConfigurationError
 
 __all__ = [
     "ServerPowerState",
@@ -66,12 +67,23 @@ class ServerPowerState:
             raise ConfigurationError(f"{self.name}: demand must be >= 0")
 
 
-def _validate(states: list[ServerPowerState], budget_w: float) -> None:
+def _validate(states: list[ServerPowerState], budget_w: float) -> list[float] | None:
+    """Shared precondition check; returns a clamped allocation on shortfall.
+
+    When ``budget_w`` is below the sum of server minimums no allocator can
+    satisfy both the budget and the per-server floors. The defined behavior
+    (property-tested) is clamp-to-min: every server receives exactly its
+    ``p_min_w`` and a :class:`~repro.errors.BudgetShortfallWarning` carries
+    the structured deficit. Returns ``None`` when the budget is feasible and
+    the caller should run its policy.
+    """
     if not states:
         raise ConfigurationError("need at least one server state")
     floor = sum(s.p_min_w for s in states)
     if budget_w < floor:
-        raise InfeasibleSetPointError(budget_w, floor, sum(s.p_max_w for s in states))
+        warnings.warn(BudgetShortfallWarning(budget_w, floor), stacklevel=3)
+        return [s.p_min_w for s in states]
+    return None
 
 
 def _water_fill(
@@ -113,7 +125,9 @@ class FairShareAllocator(BudgetAllocator):
     """Equal share of the surplus above every server's minimum."""
 
     def allocate(self, budget_w: float, states: list[ServerPowerState]) -> list[float]:
-        _validate(states, budget_w)
+        clamped = _validate(states, budget_w)
+        if clamped is not None:
+            return clamped
         return _water_fill(states, budget_w, np.ones(len(states)))
 
 
@@ -130,7 +144,9 @@ class ProportionalDemandAllocator(BudgetAllocator):
         self.demand_floor = float(demand_floor)
 
     def allocate(self, budget_w: float, states: list[ServerPowerState]) -> list[float]:
-        _validate(states, budget_w)
+        clamped = _validate(states, budget_w)
+        if clamped is not None:
+            return clamped
         weights = np.array(
             [max(s.demand, self.demand_floor) for s in states], dtype=np.float64
         )
@@ -145,7 +161,9 @@ class PriorityAllocator(BudgetAllocator):
     """
 
     def allocate(self, budget_w: float, states: list[ServerPowerState]) -> list[float]:
-        _validate(states, budget_w)
+        clamped = _validate(states, budget_w)
+        if clamped is not None:
+            return clamped
         alloc = {i: s.p_min_w for i, s in enumerate(states)}
         surplus = budget_w - sum(alloc.values())
         for prio in sorted({s.priority for s in states}, reverse=True):

@@ -1,84 +1,45 @@
 """Rack simulation: hierarchical capping over multiple CapGPU servers.
 
-The outer loop of oversubscribed operation (extension beyond the paper):
-every ``periods_per_rack_period`` server control periods the rack manager
-reads each server's state (power, achievable envelope, demand) and pushes a
-new per-server budget computed by a :class:`~repro.cluster.allocator.
-BudgetAllocator`; each server's own controller then tracks its budget.
-Servers are electrically independent, so they advance one after another
-within a rack period without loss of fidelity.
+Since the fleet engine landed this is a thin compatibility shim: a rack is
+exactly a one-rack :class:`~repro.fleet.engine.FleetSimulation` over the
+scalar :class:`~repro.fleet.engine.ReferenceBackend`, with a flat budget
+tree (one interior node — the rack — feeding every server leaf). The
+original rack loop lives on, float for float, as that reference backend;
+``tests/fleet/test_differential.py`` pins the equivalence against a literal
+transcription of the pre-shim loop.
+
+New code should target :class:`~repro.fleet.engine.FleetSimulation`
+directly — it adds hierarchical budget trees, pluggable backends (the
+structure-of-arrays engine scales to thousands of servers) and fleet-level
+checkpointing. The shim exists so the paper-facing rack experiments and
+the published examples keep their exact API and their exact traces
+(modulo the appended digest-excluded ``alloc_ms`` timing channel).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..control.base import PowerCappingController
-from ..errors import ConfigurationError
-from ..sim.engine import ServerSimulation
-from ..telemetry.trace import Trace
-from ..units import require_positive
-from .allocator import BudgetAllocator, ServerPowerState
+from ..fleet.engine import FleetServer, FleetSimulation, ReferenceBackend
+from .allocator import BudgetAllocator
 
 __all__ = ["RackServer", "RackSimulation"]
 
 
-class RackServer:
-    """One server slot in a rack: a simulation plus its capping controller."""
+class RackServer(FleetServer):
+    """One server slot in a rack: a simulation plus its capping controller.
 
-    def __init__(
-        self,
-        name: str,
-        sim: ServerSimulation,
-        controller: PowerCappingController,
-        priority: int = 0,
-    ):
-        self.name = str(name)
-        self.sim = sim
-        self.controller = controller
-        self.priority = int(priority)
-        self._started = False
-
-    def state(self) -> ServerPowerState:
-        """Snapshot for the allocator."""
-        lo, hi = self.sim.server.power_envelope_w(utilization=1.0)
-        trace = self.sim.trace
-        if len(trace) > 0:
-            power = trace.last("power_w")
-            # Demand = throttling pressure: a GPU that is busy a larger
-            # fraction of time than the throughput fraction it delivers is
-            # being held back by its clock (cap), whereas a GPU idle for
-            # lack of work shows low utilization *and* low throughput and
-            # contributes nothing. This distinguishes "capped" from "idle".
-            pressure = [
-                max(
-                    trace.last(f"util_{c}") - trace.last(f"tput_norm_{c}"), 0.0
-                )
-                for c in self.sim.gpu_channels
-            ]
-            demand = float(np.clip(np.mean(pressure), 0.0, 1.0))
-        else:
-            power = float("nan")
-            demand = 1.0
-        return ServerPowerState(
-            name=self.name,
-            power_w=power,
-            p_min_w=lo,
-            p_max_w=hi,
-            demand=demand,
-            priority=self.priority,
-        )
-
-    def run_periods(self, n: int) -> None:
-        """Advance the server ``n`` control periods under its controller."""
-        self.sim.run(
-            self.controller, n, apply_initial_targets=not self._started
-        )
-        self._started = True
+    Alias of :class:`~repro.fleet.engine.FleetServer` kept for the original
+    rack API.
+    """
 
 
-class RackSimulation:
-    """A rack of servers under a shared, reallocated power budget."""
+class RackSimulation(FleetSimulation):
+    """A rack of servers under a shared, reallocated power budget.
+
+    One-rack :class:`FleetSimulation` with the original constructor and
+    attribute names (``servers``, ``allocator``, ``rack_budget_w``).
+    """
+
+    backend: ReferenceBackend  # racks always step the scalar reference loop
 
     def __init__(
         self,
@@ -87,49 +48,22 @@ class RackSimulation:
         rack_budget_w: float,
         periods_per_rack_period: int = 5,
     ):
-        if not servers:
-            raise ConfigurationError("rack needs at least one server")
-        names = [s.name for s in servers]
-        if len(set(names)) != len(names):
-            raise ConfigurationError(f"duplicate server names: {names}")
-        self.servers = list(servers)
+        super().__init__(
+            ReferenceBackend(servers),
+            budget_w=rack_budget_w,
+            allocation=allocator,
+            periods_per_rack_period=periods_per_rack_period,
+        )
         self.allocator = allocator
-        self.rack_budget_w = require_positive(rack_budget_w, "rack_budget_w")
-        if periods_per_rack_period < 1:
-            raise ConfigurationError("periods_per_rack_period must be >= 1")
-        self.periods_per_rack_period = int(periods_per_rack_period)
-        channels = ["rack_period", "budget_w", "total_power_w"]
-        for name in names:
-            channels += [f"budget_{name}", f"power_{name}", f"demand_{name}"]
-        self.trace = Trace(channels)
-        self.rack_period = 0
 
-    def set_budget(self, budget_w: float) -> None:
-        """Change the rack budget (takes effect at the next rack period)."""
-        self.rack_budget_w = require_positive(budget_w, "budget_w")
+    @property
+    def servers(self) -> list[FleetServer]:
+        return self.backend.servers
 
-    def run(self, n_rack_periods: int) -> Trace:
-        """Run ``n_rack_periods`` allocation rounds; returns the rack trace."""
-        if n_rack_periods < 1:
-            raise ConfigurationError("n_rack_periods must be >= 1")
-        for _ in range(n_rack_periods):
-            states = [s.state() for s in self.servers]
-            budgets = self.allocator.allocate(self.rack_budget_w, states)
-            for server, budget in zip(self.servers, budgets):
-                server.sim.set_point_w = budget
-                server.run_periods(self.periods_per_rack_period)
-            row: dict[str, float] = {
-                "rack_period": float(self.rack_period),
-                "budget_w": self.rack_budget_w,
-            }
-            total = 0.0
-            for server, budget, state in zip(self.servers, budgets, states):
-                power = server.sim.trace.last("power_w")
-                total += power
-                row[f"budget_{server.name}"] = budget
-                row[f"power_{server.name}"] = power
-                row[f"demand_{server.name}"] = state.demand
-            row["total_power_w"] = total
-            self.trace.append(**row)
-            self.rack_period += 1
-        return self.trace
+    @property
+    def rack_budget_w(self) -> float:
+        return self.budget_w
+
+    @rack_budget_w.setter
+    def rack_budget_w(self, value: float) -> None:
+        self.set_budget(value)

@@ -19,6 +19,7 @@ __all__ = [
     "SloInfeasibleError",
     "ExperimentError",
     "CheckpointError",
+    "BudgetShortfallWarning",
 ]
 
 
@@ -70,6 +71,27 @@ class InfeasibleSetPointError(ReproError):
         super().__init__(
             f"set point {set_point_w:.1f} W outside achievable envelope "
             f"[{p_min_w:.1f}, {p_max_w:.1f}] W"
+        )
+
+
+class BudgetShortfallWarning(UserWarning):
+    """A rack/fleet budget fell below the sum of server minimums.
+
+    The allocators cannot hand out less than each server's achievable
+    minimum (a server could not comply with a smaller cap), so they clamp
+    every allocation to its minimum and emit this warning instead of
+    failing the allocation round. The structured fields let monitoring
+    distinguish "slightly oversubscribed" from "badly misconfigured".
+    """
+
+    def __init__(self, budget_w: float, floor_w: float):
+        self.budget_w = float(budget_w)
+        self.floor_w = float(floor_w)
+        self.deficit_w = self.floor_w - self.budget_w
+        super().__init__(
+            f"budget {self.budget_w:.1f} W below the sum of server minimums "
+            f"{self.floor_w:.1f} W (deficit {self.deficit_w:.1f} W); "
+            "clamping every allocation to its minimum"
         )
 
 

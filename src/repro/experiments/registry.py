@@ -19,6 +19,7 @@ from .fig7_performance import run_fig7
 from .fig8_slo_baselines import run_fig8
 from .fig9_slo_capgpu import run_fig9
 from .fig10_adaptation import run_fig10
+from .fleet_scale import run_fig9_scale
 from .llm_serving import run_llm_serving
 from .robustness import run_robustness
 from .table1 import run_table1
@@ -42,6 +43,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "batching": run_batching_comparison,
     "llm": run_llm_serving,
     "comparators": run_comparators,
+    "fig9-scale": run_fig9_scale,
     **{f"ablation-{name}": fn for name, fn in ABLATIONS.items()},
 }
 

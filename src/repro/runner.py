@@ -179,10 +179,12 @@ def _accepted_kwargs(fn: Callable) -> frozenset[str]:
 
 
 #: Data keys / trace channels that record *measured wall-clock time* (the
-#: engine times each controller invocation into ``ctl_ms``). They are real
-#: results but inherently non-reproducible, so the canonical projection — and
-#: therefore the ``--jobs N == --jobs 1`` digest — excludes them.
-TIMING_KEYS = frozenset({"ctl_ms"})
+#: engine times each controller invocation into ``ctl_ms``; the fleet engine
+#: times each allocation round into ``alloc_ms``). They are real results but
+#: inherently non-reproducible, so the canonical projection — and therefore
+#: the ``--jobs N == --jobs 1`` digest and the fleet-vs-scalar differential
+#: equality — excludes them.
+TIMING_KEYS = frozenset({"ctl_ms", "alloc_ms"})
 
 
 def _canonicalize(obj):

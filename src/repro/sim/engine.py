@@ -55,7 +55,7 @@ from ..units import (
     seconds_to_milliseconds,
 )
 from ..workloads.feature_selection import FeatureSelectionWorkload
-from ..workloads.pipeline import InferencePipeline
+from ..workloads.pipeline import GpuWorkload
 from .events import EventSchedule
 
 __all__ = ["SimConfig", "ServerSimulation", "PeriodRecord", "POWER_SOURCES"]
@@ -123,8 +123,10 @@ class ServerSimulation:
     server:
         The plant (see :mod:`repro.hardware.presets`).
     pipelines:
-        One :class:`InferencePipeline` per GPU (``None`` entries allowed for
-        idle GPUs). Length must equal ``server.n_gpus``.
+        One :class:`~repro.workloads.pipeline.GpuWorkload` per GPU —
+        typically an :class:`~repro.workloads.pipeline.InferencePipeline`
+        or a :class:`~repro.workloads.static.StaticLoadPipeline`; ``None``
+        entries allowed for idle GPUs. Length must equal ``server.n_gpus``.
     fs_workload:
         Optional CPU feature-selection workload (the paper's CPU-side task).
     set_point_w:
@@ -150,7 +152,7 @@ class ServerSimulation:
     def __init__(
         self,
         server: GpuServer,
-        pipelines: list[InferencePipeline | None],
+        pipelines: list[GpuWorkload | None],
         fs_workload: FeatureSelectionWorkload | None = None,
         set_point_w: float = 900.0,
         config: SimConfig = SimConfig(),

@@ -14,8 +14,13 @@ from __future__ import annotations
 
 import math
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from .errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only; keeps runtime numpy-free
+    import numpy as np
+    import numpy.typing as npt
 
 __all__ = [
     "MHZ_PER_GHZ",
@@ -25,6 +30,7 @@ __all__ = [
     "milliwatts_to_watts",
     "joules_to_microjoules",
     "microjoules_to_joules",
+    "microjoules_to_joules_array",
     "joules_to_kilojoules",
     "kilojoules_to_joules",
     "seconds_to_milliseconds",
@@ -66,6 +72,16 @@ def joules_to_microjoules(j: float) -> float:
 def microjoules_to_joules(uj: float) -> float:
     """Convert microjoules to joules."""
     return float(uj) / 1e6
+
+
+def microjoules_to_joules_array(uj: npt.NDArray[np.int64]) -> npt.NDArray[np.float64]:
+    """Elementwise :func:`microjoules_to_joules` for fleet-axis counters.
+
+    Same division as the scalar converter, so vectorized RAPL windows stay
+    bit-identical to the per-server path.
+    """
+    result: npt.NDArray[np.float64] = uj / 1e6
+    return result
 
 
 def joules_to_kilojoules(j: float) -> float:

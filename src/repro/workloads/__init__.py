@@ -25,7 +25,8 @@ from .models import (
     tail_latency,
 )
 from .pai import PAI_FEATURE_NAMES, TRUE_SUPPORT, PaiTrace, generate_pai_trace
-from .pipeline import InferencePipeline, PipelineConfig, PipelineTick
+from .pipeline import GpuWorkload, InferencePipeline, PipelineConfig, PipelineTick
+from .static import StaticLoadPipeline, StaticLoadSpec
 from .request_gen import (
     ArrivalProcess,
     BurstArrivals,
@@ -45,9 +46,12 @@ __all__ = [
     "VGG16",
     "GOOGLENET_3090",
     "MODEL_ZOO",
+    "GpuWorkload",
     "InferencePipeline",
     "PipelineConfig",
     "PipelineTick",
+    "StaticLoadSpec",
+    "StaticLoadPipeline",
     "FeatureSelectionWorkload",
     "FeatureSelectionResult",
     "cross_val_mse",

@@ -29,6 +29,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
+from typing import Any, Protocol
 
 import numpy as np
 
@@ -39,7 +40,7 @@ from ..units import require_positive
 from .models import InferenceModelSpec, sample_batch_work
 from .request_gen import ArrivalProcess, SaturatedArrivals
 
-__all__ = ["PipelineConfig", "PipelineTick", "InferencePipeline"]
+__all__ = ["PipelineConfig", "PipelineTick", "GpuWorkload", "InferencePipeline"]
 
 _LATENCY_WINDOW = 512  # recent per-batch samples kept for percentile stats
 
@@ -131,6 +132,26 @@ class _RunningBatch:
         self.start_t = start_t
         self.queue_wait_s = queue_wait_s
         self.n_images = n_images
+
+
+class GpuWorkload(Protocol):
+    """Structural interface :class:`~repro.sim.engine.ServerSimulation`
+    requires of a per-GPU workload.
+
+    Satisfied by :class:`InferencePipeline` (the full queued serving model)
+    and by :class:`~repro.workloads.static.StaticLoadPipeline` (the
+    closed-form fleet model). ``spec`` must expose ``max_batch_rate_s()``
+    (throughput-monitor normalization hint).
+    """
+
+    config: PipelineConfig
+    spec: Any
+
+    def step(
+        self, t_s: float, dt_s: float, cpu_ghz: float, gpu_mhz: float
+    ) -> PipelineTick: ...
+
+    def set_batch_size(self, batch: int) -> None: ...
 
 
 class InferencePipeline:

@@ -1,0 +1,111 @@
+"""Closed-form GPU workload for fleet-scale simulation.
+
+The full :class:`~repro.workloads.pipeline.InferencePipeline` carries queues,
+per-image latency bookkeeping and stochastic batch work — state that is
+inherently per-object and resists stacking across thousands of servers. The
+fleet engine instead uses this *static load* model: a deterministic,
+closed-form law mapping GPU frequency to batch capacity,
+
+``capacity(f) = base_rate_s + rate_per_mhz * (f - f_ref_mhz)``
+
+with completions ``min(demand, capacity)`` and busy fraction
+``min(demand / capacity, 1)``. Every operation is an elementwise float
+expression, so N servers step as one numpy program while a scalar
+:class:`StaticLoadPipeline` run of the very same spec reproduces the result
+bit for bit — the property the differential suite in ``tests/fleet`` pins.
+
+The model intentionally reports no per-batch latencies (the latency channels
+trace as NaN): latency percentiles need per-batch samples, which is exactly
+the state this model exists to avoid. Scenarios that care about latency use
+the full pipeline on the scalar reference engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+from ..units import require_positive
+from .pipeline import PipelineConfig, PipelineTick
+
+__all__ = ["StaticLoadSpec", "StaticLoadPipeline"]
+
+
+@dataclass(frozen=True)
+class StaticLoadSpec:
+    """Parameters of the affine frequency-capacity law for one GPU.
+
+    ``base_rate_s`` is the batch capacity at ``f_ref_mhz`` (use the domain
+    minimum so capacity stays positive across the whole range);
+    ``rate_per_mhz`` is the capacity gained per MHz of GPU clock;
+    ``demand_rate_s`` is the offered load in batches/s.
+    """
+
+    name: str = "static-load"
+    demand_rate_s: float = 8.0
+    base_rate_s: float = 4.0
+    rate_per_mhz: float = 0.01
+    f_ref_mhz: float = 435.0
+    f_max_mhz: float = 1350.0
+    preproc_scale: float = 0.5
+
+    def __post_init__(self):
+        require_positive(self.demand_rate_s, "demand_rate_s")
+        require_positive(self.base_rate_s, "base_rate_s")
+        if self.rate_per_mhz < 0:
+            raise ConfigurationError("rate_per_mhz must be >= 0")
+        if self.f_max_mhz < self.f_ref_mhz:
+            raise ConfigurationError("f_max_mhz must be >= f_ref_mhz")
+        if not 0.0 <= self.preproc_scale <= 1.0:
+            raise ConfigurationError("preproc_scale must be in [0, 1]")
+
+    def capacity_s(self, gpu_mhz: float) -> float:
+        """Batch capacity (batches/s) at ``gpu_mhz``."""
+        return self.base_rate_s + self.rate_per_mhz * (gpu_mhz - self.f_ref_mhz)
+
+    def max_batch_rate_s(self) -> float:
+        """Capacity at the top of the frequency range (monitor hint)."""
+        return self.capacity_s(self.f_max_mhz)
+
+    def scaled(self, demand_scale: float) -> "StaticLoadSpec":
+        """The same law under ``demand_scale`` times the offered load."""
+        return replace(self, demand_rate_s=self.demand_rate_s * demand_scale)
+
+
+class StaticLoadPipeline:
+    """Scalar reference execution of a :class:`StaticLoadSpec`.
+
+    Drop-in for :class:`~repro.workloads.pipeline.InferencePipeline` in
+    :class:`~repro.sim.engine.ServerSimulation`: exposes ``config``, ``spec``
+    (with ``max_batch_rate_s``), ``step`` and ``set_batch_size``. Whole-batch
+    completions come from a fractional accumulator (``acc += rate * dt``,
+    emit ``floor(acc)``) so throughput counts stay integral per tick while
+    the long-run rate is exact.
+    """
+
+    def __init__(self, spec: StaticLoadSpec, config: PipelineConfig | None = None):
+        self.spec = spec
+        self.config = config if config is not None else PipelineConfig(n_workers=1)
+        self._frac_batches = 0.0
+
+    def set_batch_size(self, batch: int) -> None:
+        """Accepted for controller compatibility; the law is batch-agnostic."""
+
+    def step(
+        self, t_s: float, dt_s: float, cpu_ghz: float, gpu_mhz: float
+    ) -> PipelineTick:
+        spec = self.spec
+        capacity = spec.base_rate_s + spec.rate_per_mhz * (gpu_mhz - spec.f_ref_mhz)
+        busy = min(spec.demand_rate_s / capacity, 1.0)
+        rate = min(spec.demand_rate_s, capacity)
+        self._frac_batches = self._frac_batches + rate * dt_s
+        done = int(self._frac_batches)
+        self._frac_batches = self._frac_batches - done
+        return PipelineTick(
+            images_preprocessed=float(done),
+            batches_completed=done,
+            images_completed=done,
+            gpu_busy_s=busy * dt_s,
+            preproc_busy_frac=min(busy * spec.preproc_scale, 1.0),
+            queue_len_img=0.0,
+        )

@@ -1,5 +1,7 @@
 """Rack budget allocators."""
 
+import warnings
+
 import pytest
 
 from repro.cluster import (
@@ -8,7 +10,7 @@ from repro.cluster import (
     ProportionalDemandAllocator,
     ServerPowerState,
 )
-from repro.errors import ConfigurationError, InfeasibleSetPointError
+from repro.errors import BudgetShortfallWarning, ConfigurationError
 
 
 def state(name, p_min=700.0, p_max=1300.0, demand=1.0, priority=0, power=900.0):
@@ -48,9 +50,27 @@ class TestCommonInvariants:
         "allocator",
         [FairShareAllocator(), ProportionalDemandAllocator(), PriorityAllocator()],
     )
-    def test_budget_below_floor_raises(self, allocator):
-        with pytest.raises(InfeasibleSetPointError):
-            allocator.allocate(1000.0, [state("a"), state("b")])
+    def test_budget_below_floor_clamps_to_minimums_and_warns(self, allocator):
+        """An infeasible budget degrades gracefully: every server gets its
+        minimum (the rack cannot run on less) and the shortfall is surfaced
+        as a structured warning carrying the deficit."""
+        with pytest.warns(BudgetShortfallWarning) as record:
+            alloc = allocator.allocate(1000.0, [state("a"), state("b")])
+        assert alloc == [700.0, 700.0]
+        warning = record[0].message
+        assert warning.budget_w == 1000.0
+        assert warning.floor_w == 1400.0
+        assert warning.deficit_w == pytest.approx(400.0)
+        assert "clamping" in str(warning)
+
+    @pytest.mark.parametrize(
+        "allocator",
+        [FairShareAllocator(), ProportionalDemandAllocator(), PriorityAllocator()],
+    )
+    def test_feasible_budget_does_not_warn(self, allocator):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", BudgetShortfallWarning)
+            allocator.allocate(3000.0, [state("a"), state("b")])
 
     @pytest.mark.parametrize(
         "allocator",

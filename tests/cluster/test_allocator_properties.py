@@ -1,5 +1,8 @@
 """Property-based invariants of the water-filling budget allocators."""
 
+import math
+import warnings
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -10,6 +13,7 @@ from repro.cluster import (
     ProportionalDemandAllocator,
     ServerPowerState,
 )
+from repro.errors import BudgetShortfallWarning
 
 server_strategy = st.builds(
     lambda pmin, span, demand, prio: (pmin, pmin + span, demand, prio),
@@ -83,3 +87,82 @@ def test_property_fair_share_order_preserving(case):
     order = np.argsort(caps)
     for i, j in zip(order, order[1:]):
         assert surplus[i] <= surplus[j] + 1e-6
+
+
+@given(rack_case())
+@settings(max_examples=60, deadline=None)
+def test_property_conservation_within_ulps(case):
+    """The budget overshoot is bounded by accumulated rounding, not a loose
+    epsilon: sum(alloc) exceeds the budget by at most one ulp per server."""
+    states, budget = case
+    for allocator in ALLOCATORS:
+        alloc = allocator.allocate(budget, states)
+        total = sum(alloc)
+        slack = len(states) * math.ulp(max(abs(budget), abs(total), 1.0))
+        assert total - budget <= slack
+
+
+@given(rack_case(), st.floats(min_value=1.0, max_value=500.0))
+@settings(max_examples=60, deadline=None)
+def test_property_monotone_in_budget(case, extra):
+    """More rack budget never takes power away from any server."""
+    states, budget = case
+    ceiling = sum(s.p_max_w for s in states)
+    larger = min(budget + extra, ceiling * 1.5)
+    for allocator in ALLOCATORS:
+        lo = allocator.allocate(budget, states)
+        hi = allocator.allocate(larger, states)
+        for a_lo, a_hi in zip(lo, hi):
+            assert a_hi >= a_lo - 1e-6
+
+
+@given(rack_case(), st.randoms(use_true_random=False))
+@settings(max_examples=60, deadline=None)
+def test_property_fair_share_permutation_equivariant(case, rng):
+    """Fair share must not depend on server order: permuting the input
+    permutes the output and nothing else."""
+    states, budget = case
+    perm = list(range(len(states)))
+    rng.shuffle(perm)
+    base = FairShareAllocator().allocate(budget, states)
+    shuffled = FairShareAllocator().allocate(budget, [states[i] for i in perm])
+    for out_pos, in_pos in enumerate(perm):
+        assert math.isclose(
+            shuffled[out_pos], base[in_pos], rel_tol=1e-9, abs_tol=1e-9
+        )
+
+
+@given(rack_case())
+@settings(max_examples=60, deadline=None)
+def test_property_priority_water_fills_tiers_in_order(case):
+    """Strict tiers: a lower-priority server only rises above its minimum
+    once every higher-priority server is saturated at its maximum."""
+    states, budget = case
+    alloc = PriorityAllocator().allocate(budget, states)
+    for i, (a_i, s_i) in enumerate(zip(alloc, states)):
+        if a_i > s_i.p_min_w + 1e-6:
+            for a_j, s_j in zip(alloc, states):
+                if s_j.priority > s_i.priority:
+                    assert a_j >= s_j.p_max_w - 1e-6
+
+
+@given(st.lists(server_strategy, min_size=1, max_size=6), st.floats(min_value=0.0, max_value=0.99))
+@settings(max_examples=60, deadline=None)
+def test_property_infeasible_budget_clamps_and_warns(raw, frac):
+    """Below the floor every policy degrades identically: exact minimums out,
+    one structured warning carrying the deficit."""
+    states = make_states(raw)
+    floor = sum(s.p_min_w for s in states)
+    budget = floor * frac
+    mins = [s.p_min_w for s in states]
+    for allocator in ALLOCATORS:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", BudgetShortfallWarning)
+            alloc = allocator.allocate(budget, states)
+        assert alloc == mins
+        shortfalls = [w for w in caught if isinstance(w.message, BudgetShortfallWarning)]
+        assert len(shortfalls) == 1
+        warning = shortfalls[0].message
+        assert warning.budget_w == budget
+        assert warning.floor_w == floor
+        assert warning.deficit_w == floor - budget

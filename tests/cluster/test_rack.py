@@ -87,3 +87,18 @@ class TestRun:
         rack = make_rack()
         with pytest.raises(ConfigurationError):
             rack.run(0)
+
+    def test_rack_budget_property_delegates_to_set_budget(self):
+        """The shim keeps ``rack_budget_w`` as a live alias of the fleet
+        budget: assigning it mid-run changes the next allocation round."""
+        from repro.fleet.scenarios import fleet_scenario
+
+        rack = fleet_scenario("fair-static").build_rack(2)
+        rack.run(1)
+        assert rack.rack_budget_w == rack.budget_w
+        rack.rack_budget_w = 1400.0
+        assert rack.budget_w == 1400.0
+        rack.run(1)
+        assert rack.trace.last("budget_w") == 1400.0
+        with pytest.raises(ConfigurationError):
+            rack.rack_budget_w = -1.0

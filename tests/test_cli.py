@@ -187,6 +187,60 @@ class TestCheckpointedRunCli:
         assert capsys.readouterr().out == first  # resume of a done run: no-op
 
 
+class TestFleetCli:
+    def test_fleet_flags_parse(self):
+        args = build_parser().parse_args([
+            "run", "--fleet", "--fleet-servers", "128",
+            "--fleet-backend", "reference", "--fleet-scenario", "fair-static",
+        ])
+        assert args.experiment is None and args.fleet
+        assert args.fleet_servers == 128
+        assert args.fleet_backend == "reference"
+        assert args.fleet_scenario == "fair-static"
+
+    def test_run_requires_experiment_or_fleet(self):
+        with pytest.raises(SystemExit, match="--fleet"):
+            main(["run"])
+
+    def test_fleet_options_reject_non_fleet_experiment(self):
+        with pytest.raises(SystemExit, match="not a fleet experiment"):
+            main(["run", "fig3", "--fleet-servers", "8"])
+
+    def test_fleet_options_reject_run_all(self):
+        with pytest.raises(SystemExit, match="single experiment"):
+            main(["run", "all", "--fleet-servers", "8"])
+
+    def test_fleet_run_defaults_to_fig9_scale(self, capsys):
+        assert main(["run", "--fleet", "--fleet-servers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9-scale" in out
+        assert "4 servers" in out
+        assert "datacenter" in out  # the rendered budget hierarchy
+
+    def test_fleet_backends_agree(self, capsys):
+        """The CLI surfaces both backends; same fleet, same report."""
+        assert main([
+            "run", "fig9-scale", "--fleet-servers", "2",
+            "--fleet-backend", "soa", "--fleet-scenario", "fair-static",
+        ]) == 0
+        soa_out = capsys.readouterr().out
+        assert main([
+            "run", "fig9-scale", "--fleet-servers", "2",
+            "--fleet-backend", "reference", "--fleet-scenario", "fair-static",
+        ]) == 0
+        ref_out = capsys.readouterr().out
+        assert soa_out.replace("soa backend", "reference backend") == ref_out
+
+    def test_sweep_fleet_params_reach_jobs(self, capsys):
+        assert main([
+            "sweep", "fig9-scale", "--jobs", "1", "--quiet",
+            "--fleet-servers", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fig9-scale[seed=0,n_servers=4]" in out
+        assert "ok" in out
+
+
 class TestJournalledSweepCli:
     def test_resume_rejects_extra_arguments(self, tmp_path):
         with pytest.raises(SystemExit, match="--resume takes its experiments"):
