@@ -35,6 +35,9 @@ from repro.benchcompare import git_sha, write_bench_json
 _DURATIONS: dict[str, float] = {}
 #: nodeid -> extra_info metrics filed by the bench body.
 _METRICS: dict[str, dict] = {}
+#: nodeid -> engine namespace ("reference", or "fast" for benches marked
+#: ``fast_engine``). Each namespace gets its own baseline entry set.
+_ENGINES: dict[str, str] = {}
 
 
 def pytest_addoption(parser):
@@ -73,6 +76,11 @@ def _bench_metrics_recorder(request):
     yield
     if bench is not None:
         _METRICS[request.node.nodeid] = dict(bench.extra_info)
+        _ENGINES[request.node.nodeid] = (
+            "fast"
+            if request.node.get_closest_marker("fast_engine") is not None
+            else "reference"
+        )
 
 
 def pytest_runtest_logreport(report):
@@ -84,20 +92,28 @@ def pytest_sessionfinish(session, exitstatus):
     out_dir = session.config.getoption("--bench-json-dir")
     if not out_dir:
         return
-    entries = {
-        nodeid: {"wall_s": _DURATIONS[nodeid], "metrics": metrics}
-        for nodeid, metrics in _METRICS.items()
-        if nodeid in _DURATIONS
-    }
-    if not entries:
+    engines: dict[str, dict] = {}
+    for nodeid, metrics in _METRICS.items():
+        if nodeid not in _DURATIONS:
+            continue
+        engine = _ENGINES.get(nodeid, "reference")
+        engines.setdefault(engine, {})[nodeid] = {
+            "wall_s": _DURATIONS[nodeid],
+            "metrics": metrics,
+        }
+    if not engines:
         return
     sha = os.environ.get("BENCH_SHA") or git_sha()
-    path = write_bench_json(out_dir, sha, entries)
+    path = write_bench_json(out_dir, sha, engines=engines)
     tr = session.config.pluginmanager.get_plugin("terminalreporter")
     if tr is not None:
-        tr.write_line(f"wrote bench json: {path} ({len(entries)} benches)")
+        counts = ", ".join(
+            f"{eng}: {len(entries)}" for eng, entries in sorted(engines.items())
+        )
+        tr.write_line(f"wrote bench json: {path} ({counts} benches)")
 
 
 def pytest_sessionstart(session):
     _DURATIONS.clear()
     _METRICS.clear()
+    _ENGINES.clear()

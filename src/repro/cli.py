@@ -57,9 +57,18 @@ def build_parser() -> argparse.ArgumentParser:
              "default 64)",
     )
     run_p.add_argument(
-        "--fleet-backend", choices=("soa", "reference"), default=None,
+        "--fleet-backend",
+        choices=("soa", "reference", "fast", "fast-parallel"),
+        default=None,
         help="fleet stepping backend: 'soa' (vectorized, default) or "
-             "'reference' (N scalar engines, bit-identical)",
+             "'reference' (N scalar engines, bit-identical); 'fast' / "
+             "'fast-parallel' require --engine fast",
+    )
+    run_p.add_argument(
+        "--engine", choices=("reference", "fast"), default=None,
+        help="execution engine: 'reference' (bit-identical ground truth, "
+             "default) or 'fast' (relaxed float semantics, statistically "
+             "equivalent per repro.equiv — see docs/simulator.md)",
     )
     run_p.add_argument(
         "--fleet-scenario", default=None, metavar="NAME",
@@ -116,8 +125,15 @@ def build_parser() -> argparse.ArgumentParser:
              "(e.g. fig9-scale; others ignore it)",
     )
     sweep_p.add_argument(
-        "--fleet-backend", choices=("soa", "reference"), default=None,
+        "--fleet-backend",
+        choices=("soa", "reference", "fast", "fast-parallel"),
+        default=None,
         help="fleet stepping backend for fleet-capable experiments",
+    )
+    sweep_p.add_argument(
+        "--engine", choices=("reference", "fast"), default=None,
+        help="execution engine for every job in the sweep (exported as "
+             "REPRO_ENGINE so spawn- and fork-started workers agree)",
     )
     sweep_p.add_argument(
         "--out", default=None, metavar="FILE",
@@ -161,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--fail-on-missing", action="store_true",
         help="also fail when a baseline bench is missing from the candidate",
+    )
+    bench_p.add_argument(
+        "--engine", choices=("reference", "fast"), default=None,
+        help="compare only this engine's baseline namespace (default: every "
+             "namespace present in either file); CI runs one gate per "
+             "engine with separate wall thresholds",
     )
 
     prof_p = sub.add_parser(
@@ -325,9 +347,31 @@ def _fleet_kwargs(args: argparse.Namespace) -> dict:
     return opts
 
 
+def _activate_engine(engine: str | None) -> None:
+    """Select the execution engine for this process and its children.
+
+    Sets both the programmatic override and ``REPRO_ENGINE`` so worker
+    processes — fork- or spawn-started — build under the same engine.
+    """
+    if engine is None:
+        return
+    import os
+
+    from .fast.mode import set_engine
+
+    os.environ["REPRO_ENGINE"] = engine
+    set_engine(engine)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .experiments import experiment_ids, run_experiment
 
+    if args.fleet_backend in ("fast", "fast-parallel") and args.engine != "fast":
+        raise SystemExit(
+            f"repro run: --fleet-backend {args.fleet_backend} changes float "
+            "semantics; opt in explicitly with --engine fast"
+        )
+    _activate_engine(args.engine)
     if args.experiment is None:
         if not args.fleet:
             raise SystemExit(
@@ -427,13 +471,17 @@ def _sweep_jobs_and_journal(args: argparse.Namespace):
     from .runner import JobRecord, build_jobs
 
     if args.resume:
-        if args.experiments or args.journal_dir:
+        if args.experiments or args.journal_dir or args.engine:
             raise SystemExit(
-                "repro sweep: --resume takes its experiments and journal "
-                "directory from the manifest; drop the extra arguments"
+                "repro sweep: --resume takes its experiments, journal "
+                "directory and engine from the manifest; drop the extra "
+                "arguments"
             )
         journal = SweepJournal.open(args.resume)
         manifest = journal.manifest()
+        # Re-apply the recorded engine so resumed jobs build under the same
+        # semantics the sweep started with.
+        _activate_engine((manifest["extra_params"] or {}).get("engine"))
         jobs = build_jobs(
             manifest["experiments"],
             seed=manifest["seed"],
@@ -461,15 +509,24 @@ def _sweep_jobs_and_journal(args: argparse.Namespace):
 
     if not args.experiments:
         raise SystemExit("repro sweep: experiment ids required (or --resume DIR)")
+    if args.fleet_backend in ("fast", "fast-parallel") and args.engine != "fast":
+        raise SystemExit(
+            f"repro sweep: --fleet-backend {args.fleet_backend} changes float "
+            "semantics; opt in explicitly with --engine fast"
+        )
+    _activate_engine(args.engine)
     ids = _expand_sweep_ids(args.experiments)
     # Fleet knobs ride as extra params: build_jobs filters them per
     # experiment against the runner's signature, so a mixed sweep simply
-    # applies them to the fleet-capable ids.
+    # applies them to the fleet-capable ids. The engine is not a runner
+    # kwarg (no runner takes it) — it rides here purely so the journal
+    # manifest records it and --resume re-activates it.
     extra = {
         k: v
         for k, v in {
             "n_servers": args.fleet_servers,
             "backend": args.fleet_backend,
+            "engine": args.engine,
         }.items()
         if v is not None
     }
@@ -574,6 +631,7 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
             load_bench(args.candidate),
             wall_threshold=args.wall_threshold,
             metric_threshold=args.metric_threshold,
+            engine=args.engine,
         )
     except ExperimentError as err:
         # Unusable inputs (missing file, invalid JSON, disjoint bench keys)

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..control.base import ControlObservation, PowerCappingController
 from ..errors import ConfigurationError
+from ..fast.mode import fast_enabled
 from ..sysid.least_squares import PowerModelFit
 from ..sysid.rls import RecursiveLeastSquares
 from .feasibility import FeasibilityReport, check_set_point
@@ -63,7 +64,15 @@ class CapGpuController(PowerCappingController):
         online_adaptation: bool = False,
     ):
         self.model = model
-        self.mpc = MimoPowerMpc(model.n_channels, mpc_config)
+        if fast_enabled():
+            # Construction-time engine switch: a controller built under
+            # --engine fast keeps the pre-solved-gain solver for life,
+            # matching the discipline in repro.fast.mode.
+            from ..fast.mpc import FastMimoPowerMpc
+
+            self.mpc: MimoPowerMpc = FastMimoPowerMpc(model.n_channels, mpc_config)
+        else:
+            self.mpc = MimoPowerMpc(model.n_channels, mpc_config)
         self.weights = weights if weights is not None else WeightAssigner()
         self.slo_manager = slo_manager
         self.online_adaptation = bool(online_adaptation)

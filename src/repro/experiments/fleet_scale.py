@@ -47,11 +47,22 @@ def _build_fleet(scenario, backend: str, n_servers: int, seed: int) -> FleetSimu
         for s in scenario.specs(n_servers)
     ]
     if backend == "soa":
-        be = SoaFleetBackend(specs)
+        be: object = SoaFleetBackend(specs)
     elif backend == "reference":
         be = ReferenceBackend([build_scalar_twin(s) for s in specs])
+    elif backend == "fast":
+        from ..fast.fleet import FastFleetBackend
+
+        be = FastFleetBackend(specs)
+    elif backend == "fast-parallel":
+        from ..fast.parallel import ParallelFleetBackend
+
+        be = ParallelFleetBackend(specs)
     else:
-        raise ConfigurationError(f"unknown fleet backend {backend!r}")
+        raise ConfigurationError(
+            f"unknown fleet backend {backend!r}; have soa, reference, fast, "
+            f"fast-parallel"
+        )
     return FleetSimulation(
         be,
         budget_w=scenario.budget_w(n_servers),
@@ -63,7 +74,7 @@ def _build_fleet(scenario, backend: str, n_servers: int, seed: int) -> FleetSimu
 def run_fig9_scale(
     seed: int = 0,
     n_servers: int = 64,
-    backend: str = "soa",
+    backend: str | None = None,
     scenario: str = "tree-static",
     n_rack_periods: int = 6,
 ) -> ExperimentResult:
@@ -72,8 +83,14 @@ def run_fig9_scale(
     Half the rack periods run at the full fleet budget, half after a
     :data:`CURTAIL_FRACTION` cut. Reported per round: the fleet budget, the
     summed per-server allocations (conservation), total measured power and
-    its tracking error.
+    its tracking error. The default backend follows the engine mode: ``soa``
+    (bit-identical) under the reference engine, ``fast`` under
+    ``--engine fast``.
     """
+    if backend is None:
+        from ..fast.mode import fast_enabled
+
+        backend = "fast" if fast_enabled() else "soa"
     if n_rack_periods < 2:
         raise ConfigurationError("n_rack_periods must be >= 2 (pre and post cut)")
     sc = fleet_scenario(scenario)
@@ -120,4 +137,7 @@ def run_fig9_scale(
     result.data["backend"] = backend
     result.data["final_powers_w"] = powers
     result.data["post_cut_tracking_err_w"] = float(np.mean(post - post_budget))
+    closer = getattr(fleet.backend, "close", None)
+    if callable(closer):  # fast-parallel owns worker processes + shm
+        closer()
     return result

@@ -115,8 +115,19 @@ class FleetScenario:
             be = SoaFleetBackend(self.specs(n))
         elif backend == "reference":
             be = ReferenceBackend(self.servers(n))
+        elif backend == "fast":
+            from ..fast.fleet import FastFleetBackend
+
+            be = FastFleetBackend(self.specs(n))
+        elif backend == "fast-parallel":
+            from ..fast.parallel import ParallelFleetBackend
+
+            be = ParallelFleetBackend(self.specs(n))
         else:
-            raise ConfigurationError(f"unknown fleet backend {backend!r}")
+            raise ConfigurationError(
+                f"unknown fleet backend {backend!r}; have reference, soa, "
+                f"fast, fast-parallel"
+            )
         return FleetSimulation(
             be,
             budget_w=self.budget_w(n),
@@ -164,6 +175,16 @@ def _demand_spec(i: int) -> SoaServerSpec:
         demand_scale=0.6 + 0.08 * (i % 7),
         controller="safe-fixed-step" if i % 3 == 0 else "fixed-step",
         deadband_w=5.0 if i % 2 else 0.0,
+    )
+
+
+def _mpc_spec(i: int) -> SoaServerSpec:
+    return SoaServerSpec(
+        name=f"s{i:04d}",
+        seed=4000 + i,
+        set_point_w=880.0 + 15.0 * (i % 4),
+        demand_scale=0.8 + 0.05 * (i % 5),
+        controller="mpc",
     )
 
 
@@ -231,6 +252,15 @@ FLEET_SCENARIOS: dict[str, FleetScenario] = {
             budget_per_server_w=720.0,
             alloc_fn=lambda n: PriorityAllocator(),
             spec_fn=_priority_spec,
+        ),
+        FleetScenario(
+            name="mpc-static",
+            description="MPC-heavy static-load fleet: CapGPU (uniform "
+            "weights, shared identified model) on every server",
+            n_servers=4,
+            budget_per_server_w=900.0,
+            alloc_fn=lambda n: FairShareAllocator(),
+            spec_fn=_mpc_spec,
         ),
         FleetScenario(
             name="tree-static",

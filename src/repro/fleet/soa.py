@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -62,6 +63,7 @@ __all__ = [
     "SoaFleetBackend",
     "DEFAULT_GPU_SPECS",
     "build_scalar_twin",
+    "fleet_identified_model",
 ]
 
 _CONTROLLER_CORE_UTIL = 0.3  # engine constant (one core runs the controller)
@@ -77,10 +79,44 @@ DEFAULT_GPU_SPECS: tuple[StaticLoadSpec, ...] = (
 )
 
 
+def fleet_identified_model(
+    gpu_specs: tuple[StaticLoadSpec, ...] = DEFAULT_GPU_SPECS,
+    config: SimConfig = SimConfig(),
+    seed: int = 0,
+    points_per_channel: int = 6,
+):
+    """One-shot system identification on a probe static-load server.
+
+    Cached per process (like :func:`repro.experiments.common.identified_model`)
+    so every MPC controller in a homogeneous fleet — reference twins and SoA
+    columns alike — shares the same :class:`PowerModelFit`, mirroring the
+    paper's identify-once-per-testbed workflow.
+    """
+    return _fleet_identified_model_cached(gpu_specs, config, seed, points_per_channel)
+
+
+@lru_cache(maxsize=8)
+def _fleet_identified_model_cached(gpu_specs, config, seed, points_per_channel):
+    from ..sysid import identify_power_model
+
+    server = v100_server(seed=seed, n_gpus=len(gpu_specs))
+    pipelines = [
+        StaticLoadPipeline(gs, PipelineConfig(n_workers=1)) for gs in gpu_specs
+    ]
+    sim = ServerSimulation(server, pipelines, config=config, seed=seed)
+    return identify_power_model(sim, points_per_channel=points_per_channel).fit
+
+
 @dataclass(frozen=True)
 class SoaServerSpec:
     """Construction recipe for one fleet server (both backends build from
     this, so the scalar twin and the SoA column are configured identically).
+
+    ``controller="mpc"`` wires the CapGPU MPC (uniform penalty weights, no
+    SLO manager, the shared :func:`fleet_identified_model`) — the MPC-heavy
+    fleet case. Uniform weights keep the MPC's ``(a, r)`` matrices constant
+    across servers and periods, which the fast engine's factorization cache
+    exploits; the reference path just runs the stock controller.
     """
 
     name: str
@@ -103,6 +139,13 @@ class SoaServerSpec:
                 self.safety_margin_w,
                 step_size=self.step_size,
                 deadband_w=self.deadband_w,
+            )
+        if self.controller == "mpc":
+            from ..core import CapGpuController, WeightAssigner
+
+            return CapGpuController(
+                model=fleet_identified_model(),
+                weights=WeightAssigner(mode="uniform"),
             )
         raise ConfigurationError(f"unknown controller {self.controller!r}")
 

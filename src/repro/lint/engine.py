@@ -37,6 +37,13 @@ def _default_known_units() -> dict[str, str]:
     return {"f_max": "mhz", "f_min": "mhz"}
 
 
+def _default_sanctioned_modules() -> dict[str, tuple[str, ...]]:
+    # The fast engine is *allowed* to relax float semantics (fused and
+    # batched reductions, factorization reuse); its correctness gate is
+    # the statistical-equivalence suite (repro.equiv), not bitwise rules.
+    return {"repro.fast": ("REP2",)}
+
+
 @dataclass(frozen=True)
 class LintConfig:
     """Project policy the rules consult (defaults match this repository)."""
@@ -60,6 +67,27 @@ class LintConfig:
     known_name_units: dict[str, str] = field(default_factory=_default_known_units)
     #: Rule-id prefixes to run (empty = all rules).
     select: tuple[str, ...] = ()
+    #: Module prefixes sanctioned to violate specific rule families.
+    #: Unlike ``# repro: noqa`` suppressions (per-line, baseline-audited),
+    #: a sanction is a *policy* statement: every module under the prefix
+    #: may trigger the listed rule-id prefixes by design.
+    sanctioned_modules: dict[str, tuple[str, ...]] = field(
+        default_factory=_default_sanctioned_modules
+    )
+
+    def sanctioned_rules_for(self, module: str) -> tuple[str, ...]:
+        """Rule-id prefixes waived for ``module`` (package-prefix match)."""
+        waived: list[str] = []
+        for prefix, tokens in self.sanctioned_modules.items():
+            for token in tokens:
+                if not re.match(r"^REP\d{0,3}$", token):
+                    raise LintUsageError(
+                        f"invalid sanctioned rule selector {token!r} "
+                        f"for module prefix {prefix!r}"
+                    )
+            if module == prefix or module.startswith(prefix + "."):
+                waived.extend(tokens)
+        return tuple(waived)
 
     def active_rules(self) -> tuple[Rule, ...]:
         if not self.select:
@@ -173,11 +201,15 @@ def lint_file(
         set_names=_collect_set_names(tree),
     )
     suppressions = collect_suppressions(source, display)
+    sanctioned = config.sanctioned_rules_for(module)
     findings: list[Finding] = list(suppressions.errors)
     for rule in config.active_rules():
         for finding in rule.check(ctx):
-            if not suppressions.is_suppressed(finding.rule, finding.line):
-                findings.append(finding)
+            if suppressions.is_suppressed(finding.rule, finding.line):
+                continue
+            if any(finding.rule.startswith(tok) for tok in sanctioned):
+                continue
+            findings.append(finding)
 
     ignores = [
         (display, tok.start[0])
@@ -196,6 +228,7 @@ def run_lint(paths: list[str | Path], config: LintConfig | None = None) -> LintR
     """
     config = config or LintConfig()
     config.active_rules()  # validate the selection eagerly
+    config.sanctioned_rules_for("")  # validate the sanction tokens eagerly
     files: list[Path] = []
     roots: list[Path] = []
     for raw in paths:

@@ -37,6 +37,7 @@ from ..faults import (
     FaultyServerActuator,
 )
 from ..hardware.server import GpuServer
+from ..fast.mode import fast_enabled
 from ..perf import vectorized_enabled
 from ..rng import spawn
 from ..telemetry import (
@@ -261,7 +262,11 @@ class ServerSimulation:
         # ``record(total, elapsed)`` call is bit-identical to one built from
         # per-tick calls — the same float additions run in the same order,
         # and seeding the window is ``0.0 + total == total`` exactly.
-        self._vec = vectorized_enabled()
+        # The fast engine implies the vectorized path: its relaxed-semantics
+        # contract subsumes the bit-identical one, and the scalar loop is
+        # never the faster choice. With fast off this is exactly the old
+        # expression, so reference digests are unchanged.
+        self._vec = vectorized_enabled() or fast_enabled()
         self._tput_acc = [0.0] * server.n_channels
         self._util_acc = [0.0] * server.n_channels
         self._acc_elapsed = 0.0

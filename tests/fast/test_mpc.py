@@ -1,0 +1,159 @@
+"""The pre-solved-gain MPC solver against the reference solver.
+
+Interior solves must reproduce the unconstrained analytic optimum; bound
+solves must land on the same constrained optimum SLSQP iterates to (the
+active-set projection), not on the clipped unconstrained trajectory — the
+clip famously stages a huge first move whose compensating second move the
+box removes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mpc import MimoPowerMpc, MpcConfig
+from repro.core.weights import WeightAssigner
+from repro.errors import ConfigurationError
+from repro.fast.mpc import FastMimoPowerMpc, presolved_gains
+from repro.fleet.soa import fleet_identified_model
+
+MODEL = fleet_identified_model()
+N = MODEL.n_channels
+A = MODEL.a_w_per_mhz
+R = np.full(N, WeightAssigner(mode="uniform").r_scale)
+F_MIN = np.array([1000.0, 435.0, 435.0, 435.0])
+F_MAX = np.array([2400.0, 1350.0, 1350.0, 1350.0])
+
+
+def solvers():
+    return MimoPowerMpc(N, MpcConfig()), FastMimoPowerMpc(N, MpcConfig())
+
+
+class TestValidation:
+    def test_shape_mismatch_raises(self):
+        fast = FastMimoPowerMpc(N, MpcConfig())
+        with pytest.raises(ConfigurationError):
+            fast.solve(0.0, F_MIN[:2], A, R, F_MIN, F_MAX)
+
+    def test_infeasible_box_raises(self):
+        fast = FastMimoPowerMpc(N, MpcConfig())
+        with pytest.raises(ConfigurationError):
+            fast.solve(0.0, F_MIN, A, R, F_MAX, F_MIN)
+
+
+class TestInterior:
+    def test_matches_unconstrained_optimum(self):
+        ref, fast = solvers()
+        f_now = np.array([1700.0, 900.0, 900.0, 900.0])
+        sr = ref.solve(3.0, f_now, A, R, F_MIN, F_MAX)
+        sf = fast.solve(3.0, f_now, A, R, F_MIN, F_MAX)
+        np.testing.assert_allclose(sf.d0_mhz, sr.d0_mhz, atol=1e-6)
+
+    def test_solution_metadata(self):
+        _, fast = solvers()
+        sol = fast.solve(3.0, np.array([1700.0, 900.0, 900.0, 900.0]),
+                         A, R, F_MIN, F_MAX)
+        assert sol.solver == "fast-analytic"
+        assert sol.converged
+        assert sol.trajectory_mhz.shape == (MpcConfig().control_horizon, N)
+
+
+class TestBoundary:
+    def test_hold_at_f_max_when_under_budget(self):
+        # Power 50 W under the cap with everything at f_max: the optimum is
+        # to stay put. The naive clipped-unconstrained trajectory instead
+        # cuts the CPU by >1000 MHz (its compensating second move is
+        # removed by the box) — the active-set projection must not.
+        _, fast = solvers()
+        sol = fast.solve(-50.0, F_MAX.copy(), A, R, F_MIN, F_MAX)
+        np.testing.assert_allclose(sol.d0_mhz, 0.0, atol=1e-6)
+
+    @pytest.mark.parametrize("error_w", [-50.0, -5.0, 5.0, 50.0, 150.0])
+    def test_matches_slsqp_at_f_max(self, error_w):
+        ref, fast = solvers()
+        sr = ref.solve(error_w, F_MAX.copy(), A, R, F_MIN, F_MAX)
+        sf = fast.solve(error_w, F_MAX.copy(), A, R, F_MIN, F_MAX)
+        t_ref = np.clip(F_MAX + sr.d0_mhz, F_MIN, F_MAX)
+        t_fast = np.clip(F_MAX + sf.d0_mhz, F_MIN, F_MAX)
+        np.testing.assert_allclose(t_fast, t_ref, atol=0.5)
+
+    def test_matches_slsqp_at_floor(self):
+        ref, fast = solvers()
+        sr = ref.solve(80.0, F_MIN.copy(), A, R, F_MIN, F_MAX)
+        sf = fast.solve(80.0, F_MIN.copy(), A, R, F_MIN, F_MAX)
+        t_ref = np.clip(F_MIN + sr.d0_mhz, F_MIN, F_MAX)
+        t_fast = np.clip(F_MIN + sf.d0_mhz, F_MIN, F_MAX)
+        np.testing.assert_allclose(t_fast, t_ref, atol=0.5)
+
+
+class TestPropertyEnvelope:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        error_w=st.floats(-150.0, 150.0),
+        fracs=st.lists(st.floats(0.0, 1.0), min_size=4, max_size=4),
+    )
+    def test_realized_targets_track_slsqp(self, error_w, fracs):
+        ref, fast = solvers()
+        f_now = F_MIN + np.asarray(fracs) * (F_MAX - F_MIN)
+        sr = ref.solve(error_w, f_now, A, R, F_MIN, F_MAX)
+        sf = fast.solve(error_w, f_now, A, R, F_MIN, F_MAX)
+        t_ref = np.clip(f_now + sr.d0_mhz, F_MIN, F_MAX)
+        t_fast = np.clip(f_now + sf.d0_mhz, F_MIN, F_MAX)
+        # SLSQP's own convergence tolerance dominates the residual.
+        assert np.abs(t_fast - t_ref).max() < 1.0
+
+
+class TestBatch:
+    def test_batch_rows_equal_scalar_solves(self):
+        _, fast = solvers()
+        rng = np.random.default_rng(7)
+        errors = rng.uniform(-120, 120, size=16)
+        f_now = rng.uniform(F_MIN, F_MAX, size=(16, N))
+        f_now[0] = F_MAX  # force a constrained row through the batch path
+        f_now[1] = F_MIN
+        batch = fast.batch_first_moves(errors, f_now, A, R, F_MIN, F_MAX)
+        for i in range(16):
+            sol = fast.solve(errors[i], f_now[i], A, R, F_MIN, F_MAX)
+            # Batched BLAS kernels (gemm) round differently from the
+            # single-row path (gemv); agreement is to float rounding.
+            np.testing.assert_allclose(batch[i], sol.d0_mhz, rtol=0, atol=1e-9)
+
+    def test_bounds_broadcast_per_server(self):
+        _, fast = solvers()
+        floors = np.tile(F_MIN, (3, 1))
+        floors[2, 0] = 2000.0  # one server with a raised CPU floor
+        batch = fast.batch_first_moves(
+            np.array([40.0, 40.0, 40.0]),
+            np.tile(F_MAX, (3, 1)),
+            A, R, floors, np.tile(F_MAX, (3, 1)),
+        )
+        targets = np.tile(F_MAX, (3, 1)) + batch
+        assert (targets >= floors - 1e-9).all()
+        assert (targets <= F_MAX + 1e-9).all()
+
+
+class TestGainCache:
+    def test_cache_shared_across_instances(self):
+        a = np.ascontiguousarray(A, dtype=np.float64)
+        r = np.ascontiguousarray(R, dtype=np.float64)
+        m1 = FastMimoPowerMpc(N, MpcConfig())
+        m2 = FastMimoPowerMpc(N, MpcConfig())
+        assert presolved_gains(m1, a, r) is presolved_gains(m2, a, r)
+
+    def test_cached_arrays_read_only(self):
+        gains = presolved_gains(
+            FastMimoPowerMpc(N, MpcConfig()),
+            np.ascontiguousarray(A, dtype=np.float64),
+            np.ascontiguousarray(R, dtype=np.float64),
+        )
+        with pytest.raises(ValueError):
+            gains.g_e[0] = 1.0
+
+
+class TestMaxStepFallback:
+    def test_max_step_limits_every_move(self):
+        cfg = MpcConfig(max_step_mhz=30.0)
+        fast = FastMimoPowerMpc(N, cfg)
+        sol = fast.solve(120.0, F_MAX.copy(), A, R, F_MIN, F_MAX)
+        assert np.abs(sol.trajectory_mhz).max() <= 30.0 + 1e-9

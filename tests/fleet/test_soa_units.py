@@ -32,9 +32,15 @@ class TestSpec:
         ctl = spec(controller="safe-fixed-step").build_controller()
         assert isinstance(ctl, SafeFixedStepController)
 
+    def test_builds_mpc(self):
+        from repro.core import CapGpuController
+
+        ctl = spec(controller="mpc").build_controller()
+        assert isinstance(ctl, CapGpuController)
+
     def test_unknown_controller_rejected(self):
         with pytest.raises(ConfigurationError):
-            spec(controller="mpc").build_controller()
+            spec(controller="pid").build_controller()
 
 
 class TestValidation:

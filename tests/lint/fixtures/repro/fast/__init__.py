@@ -1,0 +1,1 @@
+"""Fixture: the sanctioned fast-engine package (never imported)."""

@@ -1,0 +1,29 @@
+"""Fixture: REP2xx float-semantics relaxations inside the sanctioned
+``repro.fast`` package (never imported).
+
+Every REP2xx trigger here is waived by ``LintConfig.sanctioned_modules``
+— no ``# repro: noqa`` comments — but non-REP2 rules must still fire
+(the set-iteration loop below stays a REP105 finding).
+"""
+
+import math
+
+
+def fused_tolerance_check(x):
+    if x == 0.9:  # REP201, sanctioned here
+        return True
+    return x != 2.5  # REP201, sanctioned here
+
+
+def batched_reduction(values):
+    total = sum(set(values))  # REP202, sanctioned here
+    compensated = math.fsum({0.1, 0.2, 0.3})  # REP202, sanctioned here
+    return total, compensated
+
+
+def fused_accumulation(values):
+    pending = set(values)
+    total = 0.0
+    for v in pending:  # REP105 — NOT sanctioned, must still fire
+        total += v  # REP203, sanctioned here
+    return total

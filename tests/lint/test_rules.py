@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import pytest
 
-from .conftest import findings_for, rules_in
+from repro.lint import LintConfig, LintUsageError, run_lint
+
+from .conftest import FIXTURES, findings_for, rules_in
 
 
 class TestDeterminismRules:
@@ -143,6 +145,45 @@ class TestApiRules:
         assert "fault-tolerance_2" not in joined
         assert "run_good" not in joined
         assert "dyn-" not in joined
+
+
+class TestSanctionedModules:
+    """``repro.fast`` legally relaxes float semantics: REP2xx is waived
+    there by policy (not by per-line suppressions), everything else is
+    not, and the waiver reaches no other package."""
+
+    def test_rep2_waived_in_sanctioned_package(self, fixture_findings):
+        assert not any(
+            r.startswith("REP2") for r in rules_in(fixture_findings, "relaxed.py")
+        )
+
+    def test_other_families_still_fire_there(self, fixture_findings):
+        hits = findings_for(fixture_findings, "relaxed.py", "REP105")
+        assert {f.line for f in hits} == {27}
+
+    def test_sanction_does_not_leak_to_other_packages(self, fixture_findings):
+        assert "REP201" in rules_in(fixture_findings, "floats_bad.py")
+
+    def test_unsanctioned_run_proves_triggers_are_genuine(self):
+        findings = run_lint(
+            [FIXTURES / "repro" / "fast"],
+            LintConfig(sanctioned_modules={}),
+        ).findings
+        assert {f.rule for f in findings_for(findings, "relaxed.py")} == {
+            "REP201", "REP202", "REP203", "REP105"
+        }
+
+    def test_prefix_match_is_per_package(self):
+        config = LintConfig()
+        assert config.sanctioned_rules_for("repro.fast") == ("REP2",)
+        assert config.sanctioned_rules_for("repro.fast.mpc") == ("REP2",)
+        assert config.sanctioned_rules_for("repro.fastest") == ()
+        assert config.sanctioned_rules_for("repro.sim.power") == ()
+
+    def test_invalid_sanction_token_rejected(self):
+        config = LintConfig(sanctioned_modules={"repro.fast": ("E501",)})
+        with pytest.raises(LintUsageError, match="E501"):
+            run_lint([FIXTURES / "repro" / "fast"], config)
 
 
 @pytest.mark.parametrize("family", ["REP1", "REP2", "REP3", "REP4"])

@@ -36,13 +36,46 @@ class TestSchema:
         payload = bench_payload("abc123", entries())
         assert payload["schema"] == BENCH_SCHEMA
         assert payload["sha"] == "abc123"
-        assert set(payload["entries"]) == set(entries())
+        assert set(payload["engines"]) == {"reference"}
+        assert set(payload["engines"]["reference"]["entries"]) == set(entries())
+
+    def test_payload_engines_shape(self):
+        fast = {"benchmarks/test_bench_fast.py::test_x": {"wall_s": 1.0, "metrics": {}}}
+        payload = bench_payload("abc123", engines={"reference": entries(), "fast": fast})
+        assert set(payload["engines"]) == {"reference", "fast"}
+        assert set(payload["engines"]["fast"]["entries"]) == set(fast)
+
+    def test_payload_rejects_both_and_neither(self):
+        with pytest.raises(ExperimentError, match="exactly one"):
+            bench_payload("a", entries(), engines={"reference": entries()})
+        with pytest.raises(ExperimentError, match="exactly one"):
+            bench_payload("a")
 
     def test_write_and_load_roundtrip(self, tmp_path):
         path = write_bench_json(tmp_path, "abc123", entries())
         assert path.name == "BENCH_abc123.json"
         loaded = load_bench(path)
-        assert loaded["entries"] == bench_payload("abc123", entries())["entries"]
+        expected = bench_payload("abc123", entries())["engines"]
+        assert loaded["engines"] == expected
+
+    def test_schema1_file_loads_as_reference_namespace(self, tmp_path):
+        legacy = tmp_path / "BENCH_old.json"
+        legacy.write_text(json.dumps(
+            {"schema": 1, "sha": "old", "created_unix": 0.0, "entries": entries()}
+        ))
+        loaded = load_bench(legacy)
+        assert loaded["schema"] == BENCH_SCHEMA
+        assert set(loaded["engines"]) == {"reference"}
+        assert loaded["engines"]["reference"]["entries"] == entries()
+
+    def test_schema1_and_schema2_files_compare(self, tmp_path):
+        legacy = tmp_path / "BENCH_old.json"
+        legacy.write_text(json.dumps(
+            {"schema": 1, "sha": "old", "entries": entries()}
+        ))
+        modern = write_bench_json(tmp_path, "new0000", entries())
+        cmp = compare_bench(load_bench(legacy), load_bench(modern))
+        assert cmp.ok and cmp.rows
 
     def test_resolve_directory_picks_newest(self, tmp_path):
         import os
@@ -193,7 +226,8 @@ class TestUnusableInputs:
         # Hand-rolled payload (bench_payload would refuse it): an entry that
         # lost its wall_s, e.g. a file not written by the bench conftest.
         broken = bench_payload("b", entries())
-        del broken["entries"]["benchmarks/test_bench_fig2.py::test_bench_fig2"]["wall_s"]
+        ref = broken["engines"]["reference"]["entries"]
+        del ref["benchmarks/test_bench_fig2.py::test_bench_fig2"]["wall_s"]
         with pytest.raises(ExperimentError, match="wall_s"):
             compare_bench(base, broken)
 
@@ -223,3 +257,92 @@ class TestUnusableInputs:
         bad.write_text("{not json")
         assert main(["bench-compare", base, str(bad)]) == 2
         assert "bench-compare:" in capsys.readouterr().err
+
+
+class TestEngineNamespaces:
+    """Schema 2: per-engine entry sets, compared and gated independently."""
+
+    def fast_entries(self, wall_s: float = 2.0) -> dict:
+        return {
+            "benchmarks/test_bench_fast.py::test_bench_fast_rack_speedup": {
+                "wall_s": wall_s,
+                "metrics": {"speedup": 6.0},
+            }
+        }
+
+    def dual(self, ref_wall=10.0, fast_wall=2.0):
+        return bench_payload(
+            "x",
+            engines={"reference": entries(ref_wall), "fast": self.fast_entries(fast_wall)},
+        )
+
+    def test_fast_regression_detected_independently(self):
+        cmp = compare_bench(self.dual(), self.dual(fast_wall=3.0), wall_threshold=0.20)
+        assert not cmp.ok
+        (reg,) = cmp.regressions
+        assert reg.bench.startswith("fast::")
+        assert reg.quantity == "wall_s"
+
+    def test_fast_speedup_cannot_mask_reference_regression(self):
+        cmp = compare_bench(
+            self.dual(ref_wall=10.0, fast_wall=2.0),
+            self.dual(ref_wall=13.0, fast_wall=0.5),
+            wall_threshold=0.20,
+        )
+        assert not cmp.ok
+        assert all(not r.bench.startswith("fast::") for r in cmp.regressions)
+
+    def test_engine_selector_restricts_comparison(self):
+        cmp = compare_bench(
+            self.dual(), self.dual(fast_wall=9.0), wall_threshold=0.20,
+            engine="reference",
+        )
+        assert cmp.ok  # the fast regression is outside the selected namespace
+        assert all(not r.bench.startswith("fast::") for r in cmp.rows)
+
+    def test_engine_selector_missing_namespace_raises(self):
+        ref_only = bench_payload("a", entries())
+        with pytest.raises(ExperimentError, match="'fast' missing from the baseline"):
+            compare_bench(ref_only, self.dual(), engine="fast")
+
+    def test_missing_fast_namespace_lands_in_missing_lists(self):
+        cmp = compare_bench(self.dual(), bench_payload("b", entries()))
+        assert cmp.ok
+        assert cmp.missing_in_candidate == [
+            "fast::benchmarks/test_bench_fast.py::test_bench_fast_rack_speedup"
+        ]
+
+    def test_disjoint_message_names_keys_per_engine_namespace(self):
+        base = self.dual()
+        cand = bench_payload(
+            "b",
+            engines={
+                "reference": {"benchmarks/test_other.py::test_other": {"wall_s": 1.0}},
+                "fast": {"benchmarks/test_bench_fast.py::test_renamed": {"wall_s": 1.0}},
+            },
+        )
+        with pytest.raises(ExperimentError) as exc:
+            compare_bench(base, cand)
+        message = str(exc.value)
+        assert "no bench keys" in message
+        assert "[reference]" in message and "[fast]" in message
+        assert "test_bench_fig2" in message and "test_other" in message
+        assert "test_bench_fast_rack_speedup" in message and "test_renamed" in message
+
+    def test_cli_engine_flag(self, tmp_path, capsys):
+        base = tmp_path / "BENCH_a.json"
+        base.write_text(json.dumps(self.dual()))
+        cand = tmp_path / "BENCH_b.json"
+        cand.write_text(json.dumps(self.dual(fast_wall=9.0)))
+        assert main(["bench-compare", str(base), str(cand), "--engine", "reference"]) == 0
+        capsys.readouterr()
+        assert main(["bench-compare", str(base), str(cand), "--engine", "fast"]) == 1
+        assert "fast::" in capsys.readouterr().out
+
+    def test_cli_engine_flag_missing_namespace_exit_2(self, tmp_path, capsys):
+        ref_only = tmp_path / "BENCH_a.json"
+        ref_only.write_text(json.dumps(bench_payload("a", entries())))
+        dual = tmp_path / "BENCH_b.json"
+        dual.write_text(json.dumps(self.dual()))
+        assert main(["bench-compare", str(ref_only), str(dual), "--engine", "fast"]) == 2
+        assert "missing from the baseline" in capsys.readouterr().err
