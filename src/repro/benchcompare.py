@@ -237,6 +237,41 @@ class BenchComparison:
         lines.append("PASS: no regressions" if not n else f"FAIL: {n} regression(s)")
         return "\n".join(lines)
 
+    def render_markdown(self) -> str:
+        """The comparison as a GitHub-flavored markdown table.
+
+        ``repro bench-compare --summary-md`` appends this to a file — in
+        CI, ``$GITHUB_STEP_SUMMARY``, so the per-engine wall/metric deltas
+        show on the workflow run page without downloading artifacts.
+        """
+        n = len(self.regressions)
+        verdict = "**PASS** — no regressions" if not n else f"**FAIL** — {n} regression(s)"
+        lines = [
+            "### bench-compare",
+            "",
+            f"{len(self.rows)} quantities, wall threshold "
+            f"+{self.wall_threshold:.0%}, metric threshold "
+            f"±{self.metric_threshold:.0%}: {verdict}",
+            "",
+            "| status | bench | quantity | baseline | candidate | change |",
+            "| --- | --- | --- | ---: | ---: | ---: |",
+        ]
+        for row in self.rows:
+            marker = "REGRESSION" if row.regressed else "ok"
+            lines.append(
+                f"| {marker} | {row.bench} | {row.quantity} | "
+                f"{row.baseline:.6g} | {row.candidate:.6g} | "
+                f"{row.rel_change:+.1%} |"
+            )
+        if self.missing_in_candidate:
+            lines += ["", f"Missing in candidate: {', '.join(self.missing_in_candidate)}"]
+        if self.missing_in_baseline:
+            lines += [
+                "",
+                f"New benches (not in baseline): {', '.join(self.missing_in_baseline)}",
+            ]
+        return "\n".join(lines)
+
 
 def _rel_change(baseline: float, candidate: float) -> float:
     if baseline == 0.0:
@@ -258,19 +293,15 @@ def _qualified(engine: str, name: str) -> str:
     return name if engine == DEFAULT_ENGINE else f"{engine}::{name}"
 
 
-def _disjoint_message(
-    engines: list[str], base_engines: dict, cand_engines: dict
-) -> str:
+def _disjoint_message(engines: list[str], base_engines: dict, cand_engines: dict) -> str:
     """Per-engine-namespace key listing for the disjoint-keys refusal."""
-    parts = [
-        "bench files share no bench keys — comparing them would check nothing."
-    ]
+    parts = ["bench files share no bench keys — comparing them would check nothing."]
     for engine in engines:
-        base_keys = sorted(base_engines.get(engine, {}))
-        cand_keys = sorted(cand_engines.get(engine, {}))
+        base_keys = ", ".join(sorted(base_engines.get(engine, {}))) or "(none)"
+        cand_keys = ", ".join(sorted(cand_engines.get(engine, {}))) or "(none)"
         parts.append(
-            f"[{engine}] baseline-only keys: {base_keys or '(none)'}; "
-            f"candidate-only keys: {cand_keys or '(none)'}."
+            f"[{engine}] baseline-only keys: {base_keys}; "
+            f"candidate-only keys: {cand_keys}."
         )
     parts.append(
         "Regenerate the baseline with the current suite (see benchmarks/"
@@ -344,9 +375,7 @@ def compare_bench(
         # things (renamed suite, wrong artifact, stale baseline) — comparing
         # zero quantities would vacuously PASS, so refuse instead, naming
         # the unmatched keys per engine namespace.
-        raise ExperimentError(
-            _disjoint_message(compared, base_engines, cand_engines)
-        )
+        raise ExperimentError(_disjoint_message(compared, base_engines, cand_engines))
     cmp.missing_in_candidate.sort()
     cmp.missing_in_baseline.sort()
 

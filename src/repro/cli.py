@@ -184,6 +184,11 @@ def build_parser() -> argparse.ArgumentParser:
              "namespace present in either file); CI runs one gate per "
              "engine with separate wall thresholds",
     )
+    bench_p.add_argument(
+        "--summary-md", default=None, metavar="FILE",
+        help="also write the comparison as a markdown table (append mode; "
+             "point it at $GITHUB_STEP_SUMMARY in CI)",
+    )
 
     prof_p = sub.add_parser(
         "profile",
@@ -275,6 +280,114 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument(
         "--ids", nargs="*", default=None,
         help="experiment ids to include (default: all)",
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the streaming digital-twin service: ingest a telemetry "
+             "stream, close event-time windows, simulate deployed + shadow "
+             "what-ifs, answer over HTTP (see docs/service.md)",
+    )
+    serve_p.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="stream a recorded artifact as the event source: a .npz trace "
+             "(repro run --save-dir output, file or directory) or a .jsonl "
+             "event log",
+    )
+    serve_p.add_argument(
+        "--stdin", action="store_true", dest="use_stdin",
+        help="read line-delimited JSON events from stdin until EOF",
+    )
+    serve_p.add_argument(
+        "--ingest-port", type=int, default=None, metavar="PORT",
+        help="also listen for line-delimited JSON producers on TCP PORT "
+             "(0 = ephemeral)",
+    )
+    serve_p.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve the HTTP API (/healthz /windows /whatif /metrics) on "
+             "HOST:PORT (PORT 0 = ephemeral; default: no HTTP)",
+    )
+    # Topology flags default to None (not their effective values) so that
+    # --resume can refuse any flag the user actually typed; the effective
+    # defaults are applied in _cmd_serve when building a fresh config.
+    serve_p.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="deployed fleet scenario (default tree-static; "
+             "see repro.fleet.scenarios)",
+    )
+    serve_p.add_argument(
+        "--servers", type=int, default=None, metavar="N",
+        help="deployed fleet size (default 8)",
+    )
+    serve_p.add_argument(
+        "--window-s", type=float, default=None, metavar="SEC",
+        help="event-time window width in seconds (default 1.0)",
+    )
+    serve_p.add_argument(
+        "--periods-per-window", type=int, default=None, metavar="N",
+        help="rack periods the twins advance per closed window (default 1)",
+    )
+    serve_p.add_argument(
+        "--seed", type=int, default=None, help="twin seed (default 0)"
+    )
+    serve_p.add_argument(
+        "--shadows", default=None, metavar="SPECS",
+        help="comma-separated shadow what-ifs simulated alongside the "
+             "deployed twin, e.g. 'cap=80,cap=120,cap=60+engine=fast' "
+             "(keys: cap=<percent>, scenario=<name>, engine=reference|fast)",
+    )
+    serve_p.add_argument(
+        "--journal", default=None, metavar="DIR", dest="journal_dir",
+        help="journal closed windows to DIR (manifest.json + hash-chained "
+             "windows.jsonl WAL + twin.ckpt) so a killed service resumes "
+             "bit-identically with --resume",
+    )
+    serve_p.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume a journalled service from DIR (configuration comes "
+             "from its manifest; topology flags are refused)",
+    )
+    serve_p.add_argument(
+        "--oneshot", action="store_true",
+        help="exit after the replay source is exhausted instead of staying "
+             "up for live ingestion",
+    )
+    serve_p.add_argument(
+        "--max-windows", type=int, default=None, metavar="N",
+        help="stop after closing N windows (counts resumed windows)",
+    )
+
+    twin_p = sub.add_parser(
+        "twin",
+        help="offline one-shot digital twin: advance the deployed + shadow "
+             "simulations N windows and print their cumulative answers "
+             "(digest-comparable to a served /whatif at window N)",
+    )
+    twin_p.add_argument(
+        "--scenario", default="tree-static", metavar="NAME",
+        help="deployed fleet scenario (default tree-static)",
+    )
+    twin_p.add_argument(
+        "--servers", type=int, default=8, metavar="N",
+        help="deployed fleet size (default 8)",
+    )
+    twin_p.add_argument(
+        "--windows", type=int, required=True, metavar="N",
+        help="number of windows to advance",
+    )
+    twin_p.add_argument(
+        "--periods-per-window", type=int, default=1, metavar="N",
+        help="rack periods per window (default 1)",
+    )
+    twin_p.add_argument("--seed", type=int, default=0, help="twin seed (default 0)")
+    twin_p.add_argument(
+        "--shadow", action="append", default=None, metavar="SPEC",
+        help="shadow what-if spec (repeatable), e.g. --shadow cap=80",
+    )
+    twin_p.add_argument(
+        "--json", action="store_true",
+        help="print the full answer object as JSON instead of the summary",
     )
     return parser
 
@@ -640,10 +753,164 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
         print(f"bench-compare: {err}", file=sys.stderr)
         return 2
     print(comparison.render())
+    if args.summary_md:
+        # Append: $GITHUB_STEP_SUMMARY accumulates across steps.
+        with open(args.summary_md, "a", encoding="utf-8") as fh:
+            fh.write(comparison.render_markdown() + "\n")
     if args.fail_on_missing and comparison.missing_in_candidate:
         print("FAIL: baseline benches missing from candidate")
         return 1
     return 0 if comparison.ok else 1
+
+
+def _parse_host_port(text: str, flag: str) -> tuple[str, int]:
+    from .errors import ConfigurationError
+
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(f"{flag} takes HOST:PORT, got {text!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ConfigurationError(
+            f"{flag} port must be an integer, got {port!r}"
+        ) from None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .errors import CheckpointError, ConfigurationError
+    from .service import ServeOptions, ServiceConfig, parse_shadow_specs, serve
+
+    def announce(message: str) -> None:
+        print(f"[serve] {message}", file=sys.stderr, flush=True)
+
+    try:
+        resume = args.resume is not None
+        if resume:
+            if args.journal_dir is not None:
+                raise ConfigurationError(
+                    "--resume and --journal are mutually exclusive (resume "
+                    "reuses the journal directory it is given)"
+                )
+            overridden = [
+                flag
+                for flag, value in (
+                    ("--scenario", args.scenario),
+                    ("--servers", args.servers),
+                    ("--window-s", args.window_s),
+                    ("--periods-per-window", args.periods_per_window),
+                    ("--seed", args.seed),
+                    ("--shadows", args.shadows),
+                )
+                if value is not None
+            ]
+            if overridden:
+                raise ConfigurationError(
+                    f"{', '.join(overridden)} come from the journal manifest "
+                    "on --resume; drop them"
+                )
+        if not (args.replay or args.use_stdin or args.ingest_port is not None):
+            raise ConfigurationError(
+                "no event source: give --replay, --stdin, or --ingest-port"
+            )
+        listen_host, listen_port = ("127.0.0.1", None)
+        if args.listen is not None:
+            listen_host, listen_port = _parse_host_port(args.listen, "--listen")
+        config = None
+        if not resume:
+            shadows = (
+                parse_shadow_specs(args.shadows) if args.shadows is not None else ()
+            )
+            config = ServiceConfig(
+                scenario=args.scenario if args.scenario is not None else "tree-static",
+                n_servers=args.servers if args.servers is not None else 8,
+                window_s=args.window_s if args.window_s is not None else 1.0,
+                periods_per_window=(
+                    args.periods_per_window
+                    if args.periods_per_window is not None
+                    else 1
+                ),
+                seed=args.seed if args.seed is not None else 0,
+                shadows=shadows,
+            )
+        options = ServeOptions(
+            journal_dir=Path(args.resume) if resume else (
+                Path(args.journal_dir) if args.journal_dir is not None else None
+            ),
+            resume=resume,
+            replay=Path(args.replay) if args.replay is not None else None,
+            use_stdin=args.use_stdin,
+            ingest_port=args.ingest_port,
+            listen_host=listen_host,
+            listen_port=listen_port,
+            oneshot=args.oneshot,
+            max_windows=args.max_windows,
+        )
+        service = serve(config, options, announce=announce)
+    except (CheckpointError, ConfigurationError) as err:
+        # Setup/durability refusals (journal exists, corrupt WAL, bad spec)
+        # are exit 2, like every other "could not even start" CLI path.
+        print(f"serve: {err}", file=sys.stderr)
+        return 2
+    try:
+        print(json.dumps(service.snapshot(), sort_keys=True))
+    finally:
+        service.close()
+    return 0
+
+
+def _cmd_twin(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ConfigurationError
+    from .service import offline_whatif
+    from .service.shadow import parse_shadow_spec
+
+    try:
+        shadows = tuple(parse_shadow_spec(s) for s in (args.shadow or ()))
+        names = [s.name for s in shadows]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate shadow specs: {names}")
+        answers = offline_whatif(
+            args.scenario,
+            args.servers,
+            args.windows,
+            periods_per_window=args.periods_per_window,
+            seed=args.seed,
+            shadows=shadows,
+        )
+    except ConfigurationError as err:
+        print(f"twin: {err}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(answers, sort_keys=True, indent=2))
+        return 0
+    deployed = answers["deployed"]
+    print(
+        f"deployed: scenario={deployed['scenario']} "
+        f"servers={deployed['n_servers']} windows={deployed['windows']} "
+        f"digest={deployed['digest']}"
+    )
+    if "total_power_w" in deployed:
+        print(
+            f"  power {deployed['total_power_w']:.1f} W / "
+            f"budget {deployed['budget_w']:.1f} W "
+            f"(err {deployed['tracking_err_w']:+.1f} W)"
+        )
+    for name in sorted(answers["shadows"]):
+        answer = answers["shadows"][name]
+        line = f"shadow {name}: digest={answer['digest']}"
+        if "total_power_w" in answer:
+            line += (
+                f" power={answer['total_power_w']:.1f}W"
+                f" budget={answer['budget_w']:.1f}W"
+            )
+        line += f" equiv_ok={answer['equiv_vs_deployed']['ok']}"
+        print(line)
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -752,6 +1019,10 @@ def main(argv: list[str] | None = None) -> int:
         path = write_report(args.output, seed=args.seed, ids=args.ids)
         print(f"wrote {path}")
         return 0
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "twin":
+        return _cmd_twin(args)
     raise AssertionError("unreachable")
 
 

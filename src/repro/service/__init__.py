@@ -1,0 +1,67 @@
+"""Streaming digital-twin service: live what-if simulation of capped fleets.
+
+``repro`` was batch-only — run an experiment, write artifacts. This package
+adds the deployment-shaped mode: a long-running service (``repro serve``)
+that ingests a workload/telemetry stream, aggregates events into
+**event-time windows** closed by heartbeat watermarks, and on every window
+close advances a *cumulative* simulation of the deployed configuration plus
+N **shadow-mode** what-if simulations (alternative caps, alternative
+topologies, the relaxed-semantics fast engine) through the existing
+:class:`~repro.fleet.engine.FleetSimulation` machinery.
+
+The architecture is the opendt sim-worker pipeline without Kafka:
+
+:mod:`~repro.service.events`
+    Line-delimited-JSON event model with canonical encoding and digests.
+:mod:`~repro.service.windows`
+    The event-time window manager: watermark-driven closing, duplicate
+    dedup, late-event drop, deterministic closed-window digests.
+:mod:`~repro.service.ingest`
+    Event sources — trace replay (any recorded experiment trace), stdin,
+    and a TCP line-delimited-JSON listener.
+:mod:`~repro.service.shadow`
+    Cumulative deployed/shadow twins over the fleet engine, with
+    shadow-vs-deployed deltas through the :mod:`repro.equiv` tolerances.
+:mod:`~repro.service.cache`
+    What-if result cache keyed on (topology hash, window chain digest).
+:mod:`~repro.service.journal`
+    Crash durability: closed windows journaled through the PR 5
+    checkpoint/WAL layer so a killed service resumes bit-identically.
+:mod:`~repro.service.http`
+    The stdlib HTTP API: ``/healthz``, ``/windows``, ``/whatif``,
+    ``/metrics`` (Prometheus text format).
+:mod:`~repro.service.core`
+    The service itself, tying the layers together, plus the offline
+    one-shot twin used by CI to cross-check ``/whatif`` answers.
+:mod:`~repro.service.run`
+    The ``repro serve`` loop: sources, journal, HTTP, and signal
+    handling wired into one asyncio run.
+
+See ``docs/service.md`` for window semantics and shadow-trust guidance.
+"""
+
+from .cache import ResultCache
+from .core import DigitalTwinService, ServiceConfig, offline_whatif
+from .events import Event, event_digest, parse_event
+from .journal import ServiceJournal
+from .run import ServeOptions, serve
+from .shadow import ShadowSpec, TwinRunner, parse_shadow_specs
+from .windows import ClosedWindow, WindowManager
+
+__all__ = [
+    "ClosedWindow",
+    "DigitalTwinService",
+    "Event",
+    "ResultCache",
+    "ServeOptions",
+    "ServiceConfig",
+    "ServiceJournal",
+    "ShadowSpec",
+    "TwinRunner",
+    "WindowManager",
+    "event_digest",
+    "offline_whatif",
+    "parse_event",
+    "parse_shadow_specs",
+    "serve",
+]

@@ -1,0 +1,78 @@
+"""What-if result cache keyed on (topology hash, window chain digest).
+
+A cumulative twin's answer after window ``k`` is a pure function of its
+topology hash (scenario, size, seed, budget fraction, engine, cadence)
+and the position in the closed-window chain — so that pair is the cache
+key. The cache is a bounded LRU: live services answer repeated
+``/whatif`` queries for the same shadow at the same window from memory,
+and the hit/miss counters surface through ``/metrics``.
+
+Thread-safe: the asyncio loop fills it on window close, the HTTP thread
+fills it for on-demand specs — both sides go through one lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable
+
+from ..errors import ConfigurationError
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded LRU mapping (topology_hash, chain_digest) -> answer dict."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ConfigurationError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[tuple[str, str], dict] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, topology_hash: str, chain_digest: str) -> dict | None:
+        key = (topology_hash, chain_digest)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, topology_hash: str, chain_digest: str, answer: dict) -> None:
+        key = (topology_hash, chain_digest)
+        with self._lock:
+            self._entries[key] = answer
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def get_or_compute(
+        self, topology_hash: str, chain_digest: str, compute: Callable[[], dict]
+    ) -> dict:
+        """Cached answer, or ``compute()`` filed under the key.
+
+        The computation runs outside the lock (it may simulate many
+        windows); a racing duplicate computation is tolerated — both
+        arrive at the identical deterministic answer.
+        """
+        cached = self.get(topology_hash, chain_digest)
+        if cached is not None:
+            return cached
+        answer = compute()
+        self.put(topology_hash, chain_digest, answer)
+        return answer
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}

@@ -1,0 +1,173 @@
+"""Stdlib HTTP read surface for the digital-twin service.
+
+A :class:`~http.server.ThreadingHTTPServer` on a daemon thread serves
+four GET endpoints off the live service object:
+
+``/healthz``
+    Liveness + identity: deployed scenario, window/watermark position,
+    chain head, configured shadows.
+``/windows``
+    The verified closed-window ledger (``?limit=N`` for the tail).
+``/whatif``
+    Without a query: the configured shadows' latest cumulative answers.
+    With ``?spec=cap=90``: an on-demand what-if computed (and cached) at
+    the current window position.
+``/metrics``
+    Prometheus text exposition of the ingestion, window, cache, and
+    twin-power counters.
+
+The server only *reads* service state (the service's read surface is
+thread-safe), so it cannot perturb the deterministic window/journal path
+— a service with and without HTTP attached produces identical WALs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from ..errors import ConfigurationError
+from .core import DigitalTwinService
+
+__all__ = ["ServiceHTTPServer", "render_metrics"]
+
+_PROM_PREFIX = "repro_service"
+
+#: (counter key, metric suffix, prometheus type, help text)
+_SCALAR_METRICS = (
+    ("windows_closed", "windows_closed_total", "counter", "Windows closed since genesis"),
+    ("watermark_s", "watermark_seconds", "gauge", "Event-time watermark"),
+    ("events_total", "events_total", "counter", "Data events ingested"),
+    ("heartbeats_total", "heartbeats_total", "counter", "Heartbeats ingested"),
+    ("late_events", "late_events_total", "counter", "Events dropped as late"),
+    ("duplicate_events", "duplicate_events_total", "counter", "Duplicate events collapsed"),
+    ("cache_hits", "cache_hits_total", "counter", "What-if cache hits"),
+    ("cache_misses", "cache_misses_total", "counter", "What-if cache misses"),
+    ("cache_entries", "cache_entries", "gauge", "What-if cache size"),
+    ("deployed_power_w", "deployed_power_watts", "gauge", "Deployed twin fleet power"),
+    ("deployed_budget_w", "deployed_budget_watts", "gauge", "Deployed twin fleet budget"),
+)
+
+
+def _escape_label(value: str) -> str:
+    """Prometheus label-value escaping (backslash, quote, newline)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_metrics(service: DigitalTwinService) -> str:
+    """The /metrics body: Prometheus text exposition format."""
+    counters = service.metrics_counters()
+    lines: list[str] = []
+    for key, suffix, kind, help_text in _SCALAR_METRICS:
+        value = counters.get(key)
+        if value is None:
+            continue
+        name = f"{_PROM_PREFIX}_{suffix}"
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name} {float(value):g}")
+    shadow_power = counters.get("shadow_power_w") or {}
+    if shadow_power:
+        name = f"{_PROM_PREFIX}_shadow_power_watts"
+        lines.append(f"# HELP {name} Shadow twin fleet power")
+        lines.append(f"# TYPE {name} gauge")
+        for shadow, value in sorted(shadow_power.items()):
+            if value is None:
+                continue
+            lines.append(f'{name}{{shadow="{_escape_label(shadow)}"}} {float(value):g}')
+    return "\n".join(lines) + "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """GET-only JSON/metrics handler bound to one service instance."""
+
+    service: DigitalTwinService  # set by the subclass ServiceHTTPServer builds
+
+    # The service is a long-lived process; access-log chatter belongs to
+    # the operator's proxy, not stderr.
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        split = urlsplit(self.path)
+        query = parse_qs(split.query)
+        try:
+            if split.path == "/healthz":
+                self._send_json(200, self.service.snapshot())
+            elif split.path == "/windows":
+                limit = self._int_param(query, "limit")
+                self._send_json(200, self.service.windows_payload(limit))
+            elif split.path == "/whatif":
+                spec = query.get("spec", [None])[0]
+                self._send_json(200, self.service.whatif_payload(spec))
+            elif split.path == "/metrics":
+                body = render_metrics(self.service).encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            else:
+                self._send_json(404, {"error": f"no such endpoint: {split.path}"})
+        except ConfigurationError as exc:
+            self._send_json(400, {"error": str(exc)})
+
+    @staticmethod
+    def _int_param(query: dict[str, list[str]], name: str) -> int | None:
+        raw = query.get(name, [None])[0]
+        if raw is None:
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"query parameter {name} must be an integer, got {raw!r}"
+            ) from None
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class ServiceHTTPServer:
+    """The service's HTTP front end, served from a daemon thread."""
+
+    def __init__(self, service: DigitalTwinService, host: str = "127.0.0.1", port: int = 0):
+        handler = type("BoundHandler", (_Handler,), {"service": service})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self.host = self._server.server_address[0]
+        self.port = int(self._server.server_address[1])
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._thread.join()
+        self._server.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "ServiceHTTPServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

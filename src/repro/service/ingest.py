@@ -1,0 +1,150 @@
+"""Event sources for the digital-twin service.
+
+Three ways events reach the window manager:
+
+* **Replay** (:func:`replay_events`) — stream any recorded experiment
+  trace as if it arrived live. A ``.npz`` trace (the ``repro run
+  --save-dir`` artifact) replays one data event per recorded row — the
+  row's non-timing channels become the payload — followed by a heartbeat
+  at the row's window boundary, so row ``k`` lands in (and then closes)
+  window ``k``. A ``.jsonl`` file replays verbatim LDJSON events. A
+  directory replays its single trace (the shape of a ``--save-dir``
+  output directory). This is the deterministic source tests and CI drive.
+* **stdin** (:func:`stdin_lines`) — LDJSON from a pipe.
+* **TCP** (:func:`serve_ingest`) — an asyncio line-delimited-JSON
+  listener; every connected producer appends to the same stream.
+
+Replay is a plain generator (the event-time axis is synthetic, so there
+is nothing to await); the live sources are asyncio coroutines feeding the
+service's ``feed_line`` callback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import sys
+from collections.abc import Callable, Iterator
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from ..runner import TIMING_KEYS
+from ..telemetry.serialize import load_trace_npz
+from ..telemetry.trace import Trace
+from .events import Event, heartbeat, make_event, parse_event
+
+__all__ = [
+    "replay_events",
+    "trace_events",
+    "resolve_replay_path",
+    "stdin_lines",
+    "serve_ingest",
+]
+
+
+def trace_events(trace: Trace, window_s: float) -> Iterator[Event]:
+    """Stream a recorded :class:`Trace` as data events plus heartbeats.
+
+    Row ``k`` becomes one ``telemetry`` event at ``(k + 0.5) * window_s``
+    (mid-window, so boundary rounding can never move it) carrying every
+    non-timing channel, followed by a heartbeat at ``(k + 1) * window_s``
+    that closes window ``k`` — the replayed stream reproduces the
+    one-window-per-recorded-period cadence of a live rack.
+    """
+    channels = [c for c in trace.channels if c not in TIMING_KEYS]
+    for k in range(len(trace)):
+        payload: dict[str, object] = {
+            "kind": "telemetry",
+            "t": (k + 0.5) * window_s,
+            "row": k,
+        }
+        for name in channels:
+            value = float(trace[name][k])
+            # NaN is unrepresentable in strict JSON; holes stay holes.
+            if not math.isnan(value):
+                payload[name] = value
+        yield make_event(payload)
+        yield heartbeat((k + 1) * window_s)
+
+
+def resolve_replay_path(path: str | Path) -> Path:
+    """Accept a trace file or a directory holding exactly one ``.npz``."""
+    p = Path(path)
+    if p.is_dir():
+        candidates = sorted(p.glob("*.npz"))
+        if not candidates:
+            raise ConfigurationError(f"no .npz traces in replay directory {p}")
+        if len(candidates) > 1:
+            raise ConfigurationError(
+                f"replay directory {p} holds {len(candidates)} traces "
+                f"({', '.join(c.name for c in candidates)}); point --replay at one"
+            )
+        return candidates[0]
+    if not p.exists():
+        raise ConfigurationError(f"replay source not found: {p}")
+    return p
+
+
+def replay_events(path: str | Path, window_s: float) -> Iterator[Event]:
+    """Stream a recorded artifact (``.npz`` trace or ``.jsonl`` events)."""
+    resolved = resolve_replay_path(path)
+    if resolved.suffix == ".jsonl":
+        with open(resolved, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield parse_event(line)
+                except ConfigurationError as exc:
+                    raise ConfigurationError(f"{resolved}:{lineno}: {exc}") from None
+        return
+    if resolved.suffix == ".npz":
+        yield from trace_events(load_trace_npz(resolved), window_s)
+        return
+    raise ConfigurationError(
+        f"replay source {resolved} is neither a .npz trace nor a .jsonl "
+        "event log"
+    )
+
+
+async def stdin_lines(feed_line: Callable[[str], None]) -> None:
+    """Feed LDJSON lines from stdin until EOF (off-loop readline)."""
+    loop = asyncio.get_running_loop()
+    while True:
+        line = await loop.run_in_executor(None, sys.stdin.readline)
+        if not line:
+            return
+        line = line.strip()
+        if line:
+            feed_line(line)
+
+
+async def serve_ingest(
+    feed_line: Callable[[str], None], host: str, port: int
+) -> asyncio.AbstractServer:
+    """Start the TCP LDJSON ingest listener; returns the asyncio server."""
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                try:
+                    feed_line(line)
+                except ConfigurationError as exc:
+                    # A malformed producer line must not kill the stream;
+                    # answer with a structured error and keep reading.
+                    writer.write(
+                        (json.dumps({"error": str(exc)}) + "\n").encode("utf-8")
+                    )
+                    await writer.drain()
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(handle, host=host, port=port)

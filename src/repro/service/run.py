@@ -1,0 +1,174 @@
+"""The ``repro serve`` loop: sources, twins, journal, HTTP, signals.
+
+One asyncio loop owns ingestion (replay generator, stdin reader, TCP
+listener) and feeds the single :class:`DigitalTwinService`; the HTTP
+read surface runs on its own daemon thread. SIGINT/SIGTERM stop the loop
+gracefully (the journal is flushed per window anyway, so an abrupt
+SIGKILL loses at most the torn final WAL line — exactly what the replay
+path tolerates and CI's kill-resume drill exercises).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from .core import DigitalTwinService, ServiceConfig
+from .http import ServiceHTTPServer
+from .ingest import replay_events, serve_ingest, stdin_lines
+from .journal import ServiceJournal
+
+__all__ = ["ServeOptions", "serve"]
+
+
+@dataclass(frozen=True)
+class ServeOptions:
+    """Everything ``repro serve`` resolved from its command line."""
+
+    journal_dir: Path | None = None
+    resume: bool = False
+    replay: Path | None = None
+    use_stdin: bool = False
+    ingest_host: str = "127.0.0.1"
+    ingest_port: int | None = None
+    listen_host: str = "127.0.0.1"
+    listen_port: int | None = None
+    oneshot: bool = False
+    max_windows: int | None = None
+
+
+def _build_service(config: ServiceConfig | None, options: ServeOptions) -> DigitalTwinService:
+    if options.resume:
+        if options.journal_dir is None:
+            raise ConfigurationError("--resume requires the journal directory")
+        journal = ServiceJournal.open(options.journal_dir)
+        resumed_config = ServiceConfig.from_dict(journal.manifest())
+        return DigitalTwinService(resumed_config, journal=journal, resume=True)
+    if config is None:
+        raise ConfigurationError("a fresh service needs a configuration")
+    journal = None
+    if options.journal_dir is not None:
+        journal = ServiceJournal.create(options.journal_dir, config.to_dict())
+    return DigitalTwinService(config, journal=journal)
+
+
+async def _run(
+    service: DigitalTwinService,
+    options: ServeOptions,
+    announce: Callable[[str], None],
+) -> None:
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, ValueError):
+            loop.add_signal_handler(signum, stop.set)
+
+    def at_max() -> bool:
+        return (
+            options.max_windows is not None
+            and service.windows_closed >= options.max_windows
+        )
+
+    def feed(line: str) -> None:
+        service.feed_line(line)
+        if at_max():
+            stop.set()
+
+    http_server: ServiceHTTPServer | None = None
+    ingest_server: asyncio.AbstractServer | None = None
+    tasks: list[asyncio.Task] = []
+    try:
+        if options.listen_port is not None:
+            http_server = ServiceHTTPServer(
+                service, options.listen_host, options.listen_port
+            )
+            http_server.start()
+            announce(f"http: serving on {http_server.host}:{http_server.port}")
+        if options.ingest_port is not None:
+            ingest_server = await serve_ingest(
+                feed, options.ingest_host, options.ingest_port
+            )
+            sockets = ingest_server.sockets or ()
+            for sock in sockets:
+                host, port = sock.getsockname()[:2]
+                announce(f"ingest: listening on {host}:{port}")
+        if options.use_stdin:
+            tasks.append(asyncio.create_task(stdin_lines(feed)))
+        if options.replay is not None:
+            window_s = service.config.window_s
+            announce(f"replay: streaming {options.replay}")
+            for event in replay_events(options.replay, window_s):
+                service.feed_event(event)
+                if at_max():
+                    break
+                # Yield between events so the ingest listener and signal
+                # handlers run while a long replay streams.
+                await asyncio.sleep(0)
+            announce(
+                f"replay: done — {service.windows_closed} windows closed, "
+                f"watermark {service.windows.watermark_s:g}s"
+            )
+        if options.oneshot and tasks and not at_max() and not stop.is_set():
+            # stdin is a finite source like the replay: --oneshot drains
+            # it to EOF (or a stop: signal / --max-windows) before exiting.
+            stopper = asyncio.ensure_future(stop.wait())
+            await asyncio.wait([stopper, *tasks], return_when=asyncio.FIRST_COMPLETED)
+            stopper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await stopper
+        if options.oneshot or at_max():
+            return
+        live = tasks or ingest_server is not None or http_server is not None
+        if not live:
+            return
+        if tasks and ingest_server is None:
+            # stdin is the only ingest source: EOF ends the stream, and
+            # with it the service (HTTP stays up only while stdin lives).
+            done_or_stop = [asyncio.ensure_future(stop.wait()), *tasks]
+            await asyncio.wait(done_or_stop, return_when=asyncio.FIRST_COMPLETED)
+        else:
+            await stop.wait()
+    finally:
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        if ingest_server is not None:
+            ingest_server.close()
+            await ingest_server.wait_closed()
+        if http_server is not None:
+            http_server.stop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.remove_signal_handler(signum)
+
+
+def serve(
+    config: ServiceConfig | None,
+    options: ServeOptions,
+    announce: Callable[[str], None] = print,
+) -> DigitalTwinService:
+    """Build (or resume) the service and run the serve loop to completion.
+
+    Returns the service so callers (tests, the CLI summary) can read its
+    final state; the caller owns :meth:`DigitalTwinService.close`.
+    """
+    service = _build_service(config, options)
+    try:
+        announce(
+            f"service: scenario={service.config.scenario} "
+            f"servers={service.config.n_servers} "
+            f"shadows={len(service.shadows)} "
+            f"resumed_windows={service.windows_closed}"
+        )
+        asyncio.run(_run(service, options, announce))
+    except BaseException:
+        service.close()
+        raise
+    return service

@@ -1,0 +1,200 @@
+"""Event-time window manager with heartbeat-driven (watermark) closing.
+
+Events are grouped into fixed-width windows on the **event-time** axis —
+window ``k`` covers ``[k*window_s, (k+1)*window_s)`` — exactly the opendt
+sim-worker windowing, reproduced without Kafka. Closing is driven by the
+stream's watermark, which advances only on heartbeat events:
+
+* a heartbeat at time ``w`` raises the watermark to ``max(watermark, w)``
+  (monotone by construction — a regressing producer clock cannot reopen
+  anything);
+* every window whose *end* is ``<= watermark`` closes, **in index order**,
+  including empty gap windows (so the closed-window count is a pure
+  function of the watermark, never of which windows happened to hold
+  events);
+* data events with ``t < close boundary`` are *late*: counted and dropped,
+  never mutating a closed window.
+
+Closed windows are deterministic: duplicate events (same canonical JSON)
+collapse to one, membership is decided by ``t`` alone, and the digest is
+taken over the sorted unique canonical encodings — so any arrival order of
+the same event set between the same heartbeats produces byte-identical
+:class:`ClosedWindow` records. The hypothesis suite in
+``tests/service/test_window_properties.py`` pins exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .events import Event
+
+__all__ = ["ClosedWindow", "WindowManager"]
+
+
+@dataclass(frozen=True)
+class ClosedWindow:
+    """One closed event-time window (immutable, JSON-able, digest-stable)."""
+
+    index: int
+    start_s: float
+    end_s: float
+    n_events: int
+    n_duplicates: int
+    digest: str
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "n_events": self.n_events,
+            "n_duplicates": self.n_duplicates,
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClosedWindow":
+        return cls(
+            index=int(data["index"]),
+            start_s=float(data["start_s"]),
+            end_s=float(data["end_s"]),
+            n_events=int(data["n_events"]),
+            n_duplicates=int(data["n_duplicates"]),
+            digest=str(data["digest"]),
+        )
+
+
+def _window_digest(index: int, start_s: float, end_s: float, members: list[str]) -> str:
+    body = json.dumps(
+        [index, start_s, end_s, members], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class _OpenWindow:
+    members: set[str] = field(default_factory=set)
+    n_duplicates: int = 0
+
+
+class WindowManager:
+    """Aggregate events into event-time windows; close them by watermark.
+
+    Parameters
+    ----------
+    window_s:
+        Window width in seconds (> 0).
+    closed_count:
+        Number of windows already closed (resume: the manager starts past
+        them, treating their whole span as behind the watermark).
+    """
+
+    def __init__(self, window_s: float, closed_count: int = 0):
+        if not (isinstance(window_s, (int, float)) and math.isfinite(window_s)):
+            raise ConfigurationError(f"window_s must be finite, got {window_s!r}")
+        if window_s <= 0.0:
+            raise ConfigurationError(f"window_s must be > 0, got {window_s!r}")
+        if closed_count < 0:
+            raise ConfigurationError("closed_count must be >= 0")
+        self.window_s = float(window_s)
+        self._next_to_close = int(closed_count)
+        self._watermark_s = self._next_to_close * self.window_s
+        self._open: dict[int, _OpenWindow] = {}
+        self.events_total = 0
+        self.heartbeats_total = 0
+        self.late_events = 0
+        self.duplicate_events = 0
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def watermark_s(self) -> float:
+        """The stream's event-time high-water mark (monotone)."""
+        return self._watermark_s
+
+    @property
+    def closed_count(self) -> int:
+        """Windows closed so far (== the next window index to close)."""
+        return self._next_to_close
+
+    def window_index(self, t: float) -> int:
+        """The window index event time ``t`` falls in."""
+        return int(t // self.window_s)
+
+    # -- feeding -----------------------------------------------------------
+
+    def add(self, event: Event) -> list[ClosedWindow]:
+        """Feed one event; return the windows it closed (possibly none).
+
+        Heartbeats advance the watermark and close every window whose end
+        has been passed, in index order. Data events join their window's
+        accumulating set — or are dropped as late/duplicate.
+        """
+        if event.is_heartbeat:
+            self.heartbeats_total += 1
+            if event.t > self._watermark_s:
+                self._watermark_s = event.t
+            return self._close_due()
+        self.events_total += 1
+        index = self.window_index(event.t)
+        if index < self._next_to_close:
+            self.late_events += 1
+            return []
+        window = self._open.setdefault(index, _OpenWindow())
+        if event.canonical in window.members:
+            window.n_duplicates += 1
+            self.duplicate_events += 1
+        else:
+            window.members.add(event.canonical)
+        return []
+
+    def _close_due(self) -> list[ClosedWindow]:
+        closed: list[ClosedWindow] = []
+        # A window closes when its *end* is at or behind the watermark:
+        # floor(watermark / width) windows are due in total.
+        due = int(self._watermark_s // self.window_s)
+        while self._next_to_close < due:
+            closed.append(self._close_one(self._next_to_close))
+        return closed
+
+    def _close_one(self, index: int) -> ClosedWindow:
+        window = self._open.pop(index, _OpenWindow())
+        members = sorted(window.members)
+        start_s = index * self.window_s
+        end_s = (index + 1) * self.window_s
+        self._next_to_close = index + 1
+        return ClosedWindow(
+            index=index,
+            start_s=start_s,
+            end_s=end_s,
+            n_events=len(members),
+            n_duplicates=window.n_duplicates,
+            digest=_window_digest(index, start_s, end_s, members),
+        )
+
+    def flush(self) -> list[ClosedWindow]:
+        """Close every window still holding events (end-of-stream only).
+
+        Gap windows between them close too, so indices stay contiguous.
+        The watermark advances to the last flushed window's end.
+        """
+        if not self._open:
+            return []
+        last = max(self._open)
+        self._watermark_s = max(self._watermark_s, (last + 1) * self.window_s)
+        return self._close_due()
+
+    def counters(self) -> dict[str, int]:
+        """Ingestion counters for metrics/snapshot export."""
+        return {
+            "events_total": self.events_total,
+            "heartbeats_total": self.heartbeats_total,
+            "late_events": self.late_events,
+            "duplicate_events": self.duplicate_events,
+        }

@@ -1,0 +1,47 @@
+"""What-if result cache: LRU bounds, counters, get_or_compute."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.cache import ResultCache
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("topo", "chain") is None
+        cache.put("topo", "chain", {"answer": 1})
+        assert cache.get("topo", "chain") == {"answer": 1}
+        assert cache.counters() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_keyed_on_both_halves(self):
+        cache = ResultCache()
+        cache.put("topo", "chain", {"answer": 1})
+        assert cache.get("topo", "other") is None
+        assert cache.get("other", "chain") is None
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", "c", {})
+        cache.put("b", "c", {})
+        cache.get("a", "c")  # refresh a
+        cache.put("d", "c", {})  # evicts b
+        assert cache.get("b", "c") is None
+        assert cache.get("a", "c") is not None
+        assert len(cache) == 2
+
+    def test_get_or_compute_computes_once(self):
+        cache = ResultCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"answer": 42}
+
+        assert cache.get_or_compute("t", "c", compute) == {"answer": 42}
+        assert cache.get_or_compute("t", "c", compute) == {"answer": 42}
+        assert len(calls) == 1
+
+    def test_rejects_empty_cache(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(max_entries=0)

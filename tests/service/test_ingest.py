@@ -1,0 +1,92 @@
+"""Replay sources: trace and LDJSON streaming, path resolution."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.ingest import replay_events, resolve_replay_path, trace_events
+from repro.telemetry.serialize import save_trace_npz
+from repro.telemetry.trace import Trace
+
+
+def small_trace(rows=3):
+    trace = Trace(["power_w", "budget_w", "ctl_ms"])
+    for k in range(rows):
+        trace.append_row(
+            {"power_w": 100.0 + k, "budget_w": 120.0, "ctl_ms": 1.0}
+        )
+    return trace
+
+
+class TestTraceEvents:
+    def test_row_k_lands_in_window_k(self):
+        events = list(trace_events(small_trace(2), window_s=1.0))
+        # data, heartbeat, data, heartbeat
+        assert [e.is_heartbeat for e in events] == [False, True, False, True]
+        assert events[0].t == 0.5
+        assert events[1].t == 1.0
+        assert events[2].t == 1.5
+
+    def test_timing_channels_are_excluded(self):
+        (first, _, _, _) = list(trace_events(small_trace(2), window_s=1.0))
+        assert "ctl_ms" not in first.canonical
+        assert "power_w" in first.canonical
+
+    def test_window_width_scales_event_times(self):
+        events = list(trace_events(small_trace(1), window_s=4.0))
+        assert events[0].t == 2.0
+        assert events[1].t == 4.0
+
+
+class TestResolveReplayPath:
+    def test_direct_file(self, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace_npz(small_trace(), path)
+        assert resolve_replay_path(path) == path
+
+    def test_directory_with_single_trace(self, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace_npz(small_trace(), path)
+        assert resolve_replay_path(tmp_path) == path
+
+    def test_directory_with_many_traces_refuses(self, tmp_path):
+        save_trace_npz(small_trace(), tmp_path / "a.npz")
+        save_trace_npz(small_trace(), tmp_path / "b.npz")
+        with pytest.raises(ConfigurationError, match="2 traces"):
+            resolve_replay_path(tmp_path)
+
+    def test_empty_directory_refuses(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no .npz traces"):
+            resolve_replay_path(tmp_path)
+
+    def test_missing_path_refuses(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            resolve_replay_path(tmp_path / "nope.npz")
+
+
+class TestReplayEvents:
+    def test_npz_replay(self, tmp_path):
+        save_trace_npz(small_trace(2), tmp_path / "t.npz")
+        events = list(replay_events(tmp_path, window_s=1.0))
+        assert len(events) == 4
+
+    def test_jsonl_replay(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"kind": "telemetry", "t": 0.5, "x": 1}\n'
+            "\n"
+            '{"kind": "heartbeat", "t": 1.0}\n'
+        )
+        events = list(replay_events(path, window_s=1.0))
+        assert [e.is_heartbeat for e in events] == [False, True]
+
+    def test_jsonl_error_carries_line_number(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"kind": "telemetry", "t": 0.5}\n{bad\n')
+        with pytest.raises(ConfigurationError, match="events.jsonl:2"):
+            list(replay_events(path, window_s=1.0))
+
+    def test_unknown_suffix_refuses(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(ConfigurationError, match="neither"):
+            list(replay_events(path, window_s=1.0))

@@ -1,0 +1,168 @@
+"""The serve loop and the TCP ingest listener."""
+
+import asyncio
+import warnings
+
+import pytest
+
+from repro.errors import CheckpointError, ConfigurationError
+from repro.service import ServeOptions, ServiceConfig, offline_whatif, serve
+from repro.service.events import parse_event
+from repro.service.ingest import serve_ingest
+from repro.service.run import _build_service
+from repro.telemetry.serialize import save_trace_npz
+from repro.telemetry.trace import Trace
+
+SCENARIO = "tree-static"
+N = 4
+
+
+@pytest.fixture(autouse=True)
+def _quiet_shortfall():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        yield
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    trace = Trace(["power_w"])
+    for k in range(3):
+        trace.append_row({"power_w": 100.0 + k})
+    path = tmp_path / "trace.npz"
+    save_trace_npz(trace, path)
+    return path
+
+
+def config():
+    return ServiceConfig(scenario=SCENARIO, n_servers=N)
+
+
+class TestServeLoop:
+    def test_oneshot_replay_matches_offline(self, trace_path):
+        messages = []
+        service = serve(
+            config(),
+            ServeOptions(replay=trace_path, oneshot=True),
+            announce=messages.append,
+        )
+        assert service.windows_closed == 3
+        offline = offline_whatif(SCENARIO, N, 3)
+        assert (
+            service.records[-1]["deployed"]["digest"]
+            == offline["deployed"]["digest"]
+        )
+        assert any("replay: done" in m for m in messages)
+        service.close()
+
+    def test_max_windows_stops_early(self, trace_path):
+        service = serve(
+            config(),
+            ServeOptions(replay=trace_path, oneshot=True, max_windows=1),
+            announce=lambda _: None,
+        )
+        assert service.windows_closed == 1
+        service.close()
+
+    def test_http_listener_announced(self, trace_path):
+        messages = []
+        service = serve(
+            config(),
+            ServeOptions(
+                replay=trace_path, oneshot=True, listen_port=0
+            ),
+            announce=messages.append,
+        )
+        assert any(m.startswith("http: serving on 127.0.0.1:") for m in messages)
+        service.close()
+
+    def test_oneshot_drains_stdin_to_eof(self, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                '{"kind": "telemetry", "t": 0.5, "power_w": 101.0}\n'
+                '{"kind": "heartbeat", "t": 1.0}\n'
+                '{"kind": "heartbeat", "t": 2.0}\n'
+            ),
+        )
+        service = serve(
+            config(),
+            ServeOptions(use_stdin=True, oneshot=True),
+            announce=lambda _: None,
+        )
+        assert service.windows_closed == 2
+        service.close()
+
+    def test_journal_then_resume_roundtrip(self, tmp_path, trace_path):
+        journal_dir = tmp_path / "svc"
+        first = serve(
+            config(),
+            ServeOptions(
+                journal_dir=journal_dir, replay=trace_path, oneshot=True
+            ),
+            announce=lambda _: None,
+        )
+        chain = first.chain
+        first.close()
+        resumed = serve(
+            None,
+            ServeOptions(
+                journal_dir=journal_dir, resume=True,
+                replay=trace_path, oneshot=True,
+            ),
+            announce=lambda _: None,
+        )
+        # The re-fed replay is entirely behind the watermark: no new
+        # windows, identical chain head.
+        assert resumed.windows_closed == 3
+        assert resumed.chain == chain
+        resumed.close()
+
+
+class TestBuildService:
+    def test_resume_requires_journal_dir(self):
+        with pytest.raises(ConfigurationError, match="journal directory"):
+            _build_service(None, ServeOptions(resume=True))
+
+    def test_fresh_requires_config(self):
+        with pytest.raises(ConfigurationError, match="configuration"):
+            _build_service(None, ServeOptions())
+
+    def test_journal_refuses_existing_directory(self, tmp_path, trace_path):
+        journal_dir = tmp_path / "svc"
+        service = serve(
+            config(),
+            ServeOptions(journal_dir=journal_dir, replay=trace_path, oneshot=True),
+            announce=lambda _: None,
+        )
+        service.close()
+        with pytest.raises(CheckpointError, match="already exists"):
+            _build_service(
+                config(), ServeOptions(journal_dir=journal_dir)
+            )
+
+
+class TestTcpIngest:
+    def test_lines_feed_and_bad_lines_answer_errors(self):
+        async def drive():
+            events = []
+            server = await serve_ingest(
+                lambda line: events.append(parse_event(line)), "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b'{"kind": "heartbeat", "t": 1.0}\n')
+            writer.write(b"{bad json\n")
+            writer.write(b'{"kind": "heartbeat", "t": 2.0}\n')
+            await writer.drain()
+            error_line = await asyncio.wait_for(reader.readline(), timeout=5)
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return events, error_line
+
+        events, error_line = asyncio.run(drive())
+        assert [e.t for e in events] == [1.0, 2.0]
+        assert b"error" in error_line

@@ -1,0 +1,119 @@
+"""Hypothesis properties of the window manager.
+
+The load-bearing claim of the streaming layer: a closed window is a pure
+function of the *event set* and the *heartbeat schedule* — never of
+arrival order, duplication, or lateness. Every downstream guarantee (WAL
+chain stability, resume convergence after re-feeding a replay, live
+``/whatif`` == offline ``repro twin``) leans on exactly this.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.events import heartbeat, make_event
+from repro.service.windows import WindowManager
+
+
+@st.composite
+def streams(draw):
+    """A windowed stream: rounds of data events, each ended by a heartbeat."""
+    window_s = draw(st.sampled_from([0.5, 1.0, 2.0]))
+    n_rounds = draw(st.integers(min_value=1, max_value=4))
+    times = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=12.0).map(lambda x: round(x, 3)),
+            min_size=n_rounds,
+            max_size=n_rounds,
+        )
+    )
+    heartbeats = sorted(times)
+    rounds = []
+    for hb in heartbeats:
+        events = draw(
+            st.lists(
+                st.tuples(
+                    st.floats(min_value=0.0, max_value=12.0).map(
+                        lambda x: round(x, 3)
+                    ),
+                    st.integers(min_value=0, max_value=3),
+                ),
+                max_size=5,
+            )
+        )
+        rounds.append((events, hb))
+    return window_s, rounds
+
+
+def _feed(window_s, rounds, arrange=None):
+    """Run one stream; returns (closed windows, manager)."""
+    wm = WindowManager(window_s)
+    closed = []
+    for events, hb in rounds:
+        for t, x in events if arrange is None else arrange(events):
+            wm.add(make_event({"kind": "telemetry", "t": t, "x": x}))
+        closed.extend(wm.add(heartbeat(hb)))
+    closed.extend(wm.flush())
+    return closed, wm
+
+
+@given(st.data(), streams())
+@settings(max_examples=60, deadline=None)
+def test_arrival_order_and_duplicates_do_not_change_digests(data, stream):
+    """Shuffling each round and injecting duplicates leaves every closed
+    window's digest (and membership count) byte-identical."""
+    window_s, rounds = stream
+    baseline, _ = _feed(window_s, rounds)
+
+    def arrange(events):
+        shuffled = data.draw(st.permutations(events))
+        dupes = data.draw(
+            st.lists(st.sampled_from(shuffled), max_size=3) if shuffled else st.just([])
+        )
+        return shuffled + dupes
+
+    perturbed, _ = _feed(window_s, rounds, arrange=arrange)
+    assert [w.digest for w in perturbed] == [w.digest for w in baseline]
+    assert [w.n_events for w in perturbed] == [w.n_events for w in baseline]
+    assert [w.index for w in perturbed] == [w.index for w in baseline]
+
+
+@given(streams())
+@settings(max_examples=60, deadline=None)
+def test_late_events_never_mutate_closed_windows(stream):
+    """Re-feeding events that landed behind the watermark (the resume
+    re-feed path) drops them as late and closes nothing new."""
+    window_s, rounds = stream
+    baseline, wm = _feed(window_s, rounds)
+    watermark = wm.watermark_s
+    for events, _ in rounds:
+        for t, x in events:
+            if t < watermark:
+                assert wm.add(make_event({"kind": "telemetry", "t": t, "x": x})) == []
+    assert wm.closed_count == len(baseline)
+    assert wm.watermark_s == watermark
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=20.0).map(lambda x: round(x, 3)),
+        max_size=12,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_watermark_is_monotone_under_any_heartbeat_sequence(times):
+    wm = WindowManager(1.0)
+    seen = wm.watermark_s
+    for t in times:
+        wm.add(heartbeat(t))
+        assert wm.watermark_s >= seen
+        seen = wm.watermark_s
+    assert seen == max([0.0, *times])
+
+
+@given(streams())
+@settings(max_examples=60, deadline=None)
+def test_closed_count_is_pure_function_of_watermark(stream):
+    window_s, rounds = stream
+    closed, wm = _feed(window_s, rounds)
+    assert wm.closed_count == int(wm.watermark_s // wm.window_s)
+    assert [w.index for w in closed] == list(range(wm.closed_count))

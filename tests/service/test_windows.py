@@ -1,0 +1,135 @@
+"""Window manager unit behavior: closing, gaps, late/duplicate handling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.events import heartbeat, make_event
+from repro.service.windows import ClosedWindow, WindowManager
+
+
+def data(t, **payload):
+    return make_event({"kind": "telemetry", "t": t, **payload})
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("window_s", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects_bad_width(self, window_s):
+        with pytest.raises(ConfigurationError):
+            WindowManager(window_s)
+
+    def test_rejects_negative_closed_count(self):
+        with pytest.raises(ConfigurationError):
+            WindowManager(1.0, closed_count=-1)
+
+    def test_resume_starts_past_closed_windows(self):
+        wm = WindowManager(2.0, closed_count=3)
+        assert wm.closed_count == 3
+        assert wm.watermark_s == 6.0
+
+
+class TestClosing:
+    def test_heartbeat_at_boundary_closes_window(self):
+        wm = WindowManager(1.0)
+        assert wm.add(data(0.5, x=1)) == []
+        closed = wm.add(heartbeat(1.0))
+        assert [w.index for w in closed] == [0]
+        assert closed[0].n_events == 1
+
+    def test_data_events_never_close(self):
+        wm = WindowManager(1.0)
+        assert wm.add(data(5.5)) == []
+        assert wm.closed_count == 0
+
+    def test_gap_windows_close_empty(self):
+        wm = WindowManager(1.0)
+        wm.add(data(2.5, x=1))
+        closed = wm.add(heartbeat(3.0))
+        assert [w.index for w in closed] == [0, 1, 2]
+        assert [w.n_events for w in closed] == [0, 0, 1]
+
+    def test_closed_count_is_function_of_watermark(self):
+        wm = WindowManager(2.0)
+        wm.add(heartbeat(9.0))
+        # floor(9 / 2) = 4 windows due, regardless of events.
+        assert wm.closed_count == 4
+
+    def test_watermark_is_monotone(self):
+        wm = WindowManager(1.0)
+        wm.add(heartbeat(5.0))
+        wm.add(heartbeat(2.0))  # regressing producer clock
+        assert wm.watermark_s == 5.0
+        assert wm.closed_count == 5
+
+    def test_event_at_boundary_joins_next_window(self):
+        wm = WindowManager(1.0)
+        wm.add(data(1.0, x=1))  # [1, 2), not [0, 1)
+        closed = wm.add(heartbeat(2.0))
+        assert [w.n_events for w in closed] == [0, 1]
+
+
+class TestLateAndDuplicate:
+    def test_late_event_dropped_and_counted(self):
+        wm = WindowManager(1.0)
+        wm.add(heartbeat(2.0))
+        wm.add(data(0.5, x=1))
+        assert wm.late_events == 1
+        # The closed window does not reopen.
+        assert wm.closed_count == 2
+
+    def test_duplicate_collapses_to_one_member(self):
+        wm = WindowManager(1.0)
+        wm.add(data(0.5, x=1))
+        wm.add(data(0.5, x=1))
+        (closed,) = wm.add(heartbeat(1.0))
+        assert closed.n_events == 1
+        assert closed.n_duplicates == 1
+        assert wm.duplicate_events == 1
+
+    def test_distinct_payloads_are_not_duplicates(self):
+        wm = WindowManager(1.0)
+        wm.add(data(0.5, x=1))
+        wm.add(data(0.5, x=2))
+        (closed,) = wm.add(heartbeat(1.0))
+        assert closed.n_events == 2
+
+
+class TestFlush:
+    def test_flush_closes_open_and_gap_windows(self):
+        wm = WindowManager(1.0)
+        wm.add(data(0.5, x=1))
+        wm.add(data(3.5, x=2))
+        closed = wm.flush()
+        assert [w.index for w in closed] == [0, 1, 2, 3]
+        assert wm.watermark_s == 4.0
+
+    def test_flush_with_nothing_open_is_noop(self):
+        wm = WindowManager(1.0)
+        assert wm.flush() == []
+
+
+class TestClosedWindow:
+    def test_dict_roundtrip(self):
+        wm = WindowManager(1.0)
+        wm.add(data(0.5, x=1))
+        (closed,) = wm.add(heartbeat(1.0))
+        assert ClosedWindow.from_dict(closed.to_dict()) == closed
+
+    def test_digest_covers_membership(self):
+        def digest_of(payload):
+            wm = WindowManager(1.0)
+            wm.add(data(0.5, **payload))
+            (closed,) = wm.add(heartbeat(1.0))
+            return closed.digest
+
+        assert digest_of({"x": 1}) != digest_of({"x": 2})
+
+    def test_counters_mapping(self):
+        wm = WindowManager(1.0)
+        wm.add(data(0.5))
+        wm.add(heartbeat(1.0))
+        assert wm.counters() == {
+            "events_total": 1,
+            "heartbeats_total": 1,
+            "late_events": 0,
+            "duplicate_events": 0,
+        }

@@ -346,3 +346,67 @@ class TestEngineNamespaces:
         dual.write_text(json.dumps(self.dual()))
         assert main(["bench-compare", str(ref_only), str(dual), "--engine", "fast"]) == 2
         assert "missing from the baseline" in capsys.readouterr().err
+
+
+class TestDisjointMessageRendering:
+    """The disjoint-keys message lists keys as prose, not raw list reprs."""
+
+    def test_no_raw_list_reprs(self):
+        base = bench_payload("a", entries())
+        cand = bench_payload("b", {"benchmarks/test_other.py::test_other": {"wall_s": 1.0}})
+        with pytest.raises(ExperimentError) as exc:
+            compare_bench(base, cand)
+        message = str(exc.value)
+        assert "['" not in message and "']" not in message
+        assert "benchmarks/test_other.py::test_other" in message
+
+    def test_empty_side_reads_none(self):
+        base = bench_payload("a", entries())
+        cand = bench_payload("b", engines={"reference": {}})
+        with pytest.raises(ExperimentError) as exc:
+            compare_bench(base, cand)
+        assert "(none)" in str(exc.value)
+
+
+class TestRenderMarkdown:
+    def test_pass_report_has_table_and_verdict(self):
+        cmp = compare_bench(bench_payload("a", entries()), bench_payload("b", entries()))
+        md = cmp.render_markdown()
+        assert md.startswith("### bench-compare")
+        assert "**PASS**" in md
+        assert "| status | bench | quantity | baseline | candidate | change |" in md
+        assert "| ok | " in md
+        assert "REGRESSION" not in md
+
+    def test_fail_report_marks_regressed_rows(self):
+        cmp = compare_bench(
+            bench_payload("a", entries(wall_s=10.0)),
+            bench_payload("b", entries(wall_s=14.0)),
+            wall_threshold=0.20,
+        )
+        md = cmp.render_markdown()
+        assert "**FAIL**" in md
+        assert "| REGRESSION | " in md
+        assert "+40.0%" in md
+
+    def test_missing_benches_listed(self):
+        base = bench_payload("a", entries())
+        extra = dict(entries())
+        extra["benchmarks/test_new.py::test_new"] = {"wall_s": 1.0, "metrics": {}}
+        cmp = compare_bench(bench_payload("a", extra), base)
+        assert "Missing in candidate:" in cmp.render_markdown()
+        cmp = compare_bench(base, bench_payload("b", extra))
+        assert "New benches (not in baseline):" in cmp.render_markdown()
+
+    def test_summary_md_flag_appends_report(self, tmp_path, capsys):
+        base = tmp_path / "BENCH_a.json"
+        base.write_text(json.dumps(bench_payload("a", entries())))
+        cand = tmp_path / "BENCH_b.json"
+        cand.write_text(json.dumps(bench_payload("b", entries())))
+        summary = tmp_path / "summary.md"
+        summary.write_text("prior content\n")
+        assert main(["bench-compare", str(base), str(cand), "--summary-md", str(summary)]) == 0
+        text = summary.read_text()
+        assert text.startswith("prior content\n")
+        assert "### bench-compare" in text
+        assert "**PASS**" in text
