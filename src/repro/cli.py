@@ -470,7 +470,7 @@ def _activate_engine(engine: str | None) -> None:
         return
     import os
 
-    from .fast.mode import set_engine
+    from .enginemode import set_engine
 
     os.environ["REPRO_ENGINE"] = engine
     set_engine(engine)

@@ -316,7 +316,7 @@ def run_scalar_capgpu_equivalence(
     """
     from .core import build_capgpu
     from .experiments.common import identified_model
-    from .fast.mode import fast_engine
+    from .enginemode import fast_engine
     from .sim import paper_scenario
 
     traces = []

@@ -88,7 +88,7 @@ def run_fig9_scale(
     ``--engine fast``.
     """
     if backend is None:
-        from ..fast.mode import fast_enabled
+        from ..enginemode import fast_enabled
 
         backend = "fast" if fast_enabled() else "soa"
     if n_rack_periods < 2:

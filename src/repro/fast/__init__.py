@@ -9,7 +9,10 @@ statistical tolerances (distributions of power error, cap violations and
 settle times), never with digests.
 
 Opt in per process with ``REPRO_ENGINE=fast`` / ``--engine fast`` or
-programmatically with :func:`set_engine`; see :mod:`repro.fast.mode`.
+programmatically with :func:`set_engine`; the switch itself lives at the
+kernel layer in :mod:`repro.enginemode` (re-exported here via
+``repro.fast.mode``) so the engine layer can consult it without an
+upward import.
 
 This package is *sanctioned* for the REP2xx float-semantics lint rules
 (see ``LintConfig.sanctioned_rules``): unordered reductions are its whole
@@ -34,8 +37,8 @@ __all__ = [
     "ParallelFleetBackend",
 ]
 
-# Heavy submodules load lazily: ``repro.fast.mode`` must stay importable
-# from the sim engine and the CLI without dragging in scipy/the fleet.
+# Heavy submodules load lazily: ``repro.fast`` must stay importable
+# from the CLI without dragging in scipy/the fleet.
 _LAZY = {
     "FastMimoPowerMpc": ("repro.fast.mpc", "FastMimoPowerMpc"),
     "FastFleetBackend": ("repro.fast.fleet", "FastFleetBackend"),

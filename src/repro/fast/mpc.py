@@ -41,6 +41,8 @@ Semantics contract (why this lives under ``repro.fast``):
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 from scipy.linalg import cho_factor, cho_solve
 
@@ -53,7 +55,15 @@ __all__ = ["FastMimoPowerMpc", "presolved_gains"]
 #: (n, config, a bytes, r bytes) -> _Gains.
 #: Shared across every FastMimoPowerMpc instance so a homogeneous fleet
 #: factors H exactly once, not once per server.
-_GAIN_CACHE: dict[tuple, "_Gains"] = {}
+_GAIN_CACHE: dict[tuple, "_Gains"] = {}  # repro-lint: lock-protocol=_GAIN_LOCK -- read/evict/insert under the lock; _Gains are immutable once published
+
+#: Guards every read-modify-write of ``_GAIN_CACHE``: the fast fleet bank
+#: is constructed from thread-pool callbacks and service shadows, so two
+#: threads can race the evict-then-insert sequence. Gains themselves are
+#: computed *outside* the lock (the Cholesky factor is the expensive part)
+#: and are deterministic for a given key, so racing duplicate computations
+#: is safe — last writer wins with an identical value.
+_GAIN_LOCK = threading.Lock()
 
 #: Entries kept before a full clear (same discipline as MimoPowerMpc's
 #: per-instance cache; adapting gains would otherwise grow it unboundedly).
@@ -112,14 +122,15 @@ def presolved_gains(mpc: MimoPowerMpc, a: np.ndarray, r: np.ndarray) -> _Gains:
     active-set projection.
     """
     key = (mpc.n, mpc.config, a.tobytes(), r.tobytes())
-    hit = _GAIN_CACHE.get(key)
+    with _GAIN_LOCK:
+        hit = _GAIN_CACHE.get(key)
     if hit is not None:
         return hit
-    if len(_GAIN_CACHE) >= _GAIN_CACHE_LIMIT:
-        _GAIN_CACHE.clear()
-    entry = _Gains(mpc, a, r)
-    _GAIN_CACHE[key] = entry
-    return entry
+    entry = _Gains(mpc, a, r)  # expensive factorization: outside the lock
+    with _GAIN_LOCK:
+        if len(_GAIN_CACHE) >= _GAIN_CACHE_LIMIT:
+            _GAIN_CACHE.clear()
+        return _GAIN_CACHE.setdefault(key, entry)
 
 
 def _cumulative_blocks(d: np.ndarray, n: int, m_hor: int) -> np.ndarray:

@@ -17,6 +17,15 @@ REP3xx     Units safety: no raw-float mixing of W/mW, MHz/GHz, s/ms and
 REP4xx     API conformance: controllers implement the full
            :class:`~repro.control.base.PowerCappingController` contract;
            the experiment registry maps valid ids to imported runners.
+REP5xx     Concurrency safety over the whole-program call graph: no
+           blocking calls reachable from ``async def``, no unlocked
+           writes to module-level state from thread/worker/async
+           entrypoints, no thread locks across ``await``, no dropped
+           task handles, shared-memory lifecycle, picklable-only
+           process-pool submissions.
+REP6xx     Architecture layering over the whole-program import graph:
+           the ``pyproject.toml`` layer contract (no upward imports),
+           module-level import cycles, stdlib-only modules.
 =========  =============================================================
 
 Findings can be suppressed per line (``# repro-lint: disable=REP101 --
@@ -31,6 +40,14 @@ from __future__ import annotations
 from .baseline import Baseline, BaselineEntry, load_baseline, write_baseline
 from .engine import LintConfig, LintResult, LintUsageError, run_lint
 from .findings import Finding
+from .index import ImportGraph, ProjectCallGraph, ProjectIndex
+from .layers import (
+    Layer,
+    LayerContract,
+    LayerContractError,
+    discover_layer_contract,
+    load_layer_contract,
+)
 from .rules import ALL_RULES, Rule, rule_by_id
 
 __all__ = [
@@ -38,11 +55,19 @@ __all__ = [
     "Baseline",
     "BaselineEntry",
     "Finding",
+    "ImportGraph",
+    "Layer",
+    "LayerContract",
+    "LayerContractError",
     "LintConfig",
     "LintResult",
     "LintUsageError",
+    "ProjectCallGraph",
+    "ProjectIndex",
     "Rule",
+    "discover_layer_contract",
     "load_baseline",
+    "load_layer_contract",
     "rule_by_id",
     "run_lint",
     "write_baseline",

@@ -13,11 +13,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
 from .baseline import Baseline, BaselineFormatError, load_baseline, write_baseline
-from .engine import LintConfig, LintUsageError, run_lint
+from .engine import LintConfig, LintUsageError, discover_files, run_lint
+from .index import ProjectIndex
+from .layers import LayerContractError, discover_layer_contract
 from .rules import ALL_RULES
 
 __all__ = ["add_lint_arguments", "run_lint_cli"]
@@ -50,8 +53,15 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule ids or prefixes to run, e.g. REP1,REP303",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default text)",
+        "--format", choices=("text", "json", "dot"), default="text",
+        help="output format (default text); 'dot' emits the project import "
+             "graph (GraphViz) instead of findings",
+    )
+    parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="BASE",
+        help="only report findings in files changed vs the given git ref "
+             "(default HEAD) plus untracked files; cross-file indexes are "
+             "still built whole-program",
     )
     parser.add_argument(
         "--max-type-ignores", type=int, default=None, metavar="N",
@@ -62,6 +72,26 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+
+
+def _changed_files(base: str) -> set[Path]:
+    """Resolved paths of .py files changed vs ``base`` plus untracked ones."""
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "--diff-filter=d", base, "--"],
+            capture_output=True, text=True, check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True, text=True, check=True,
+        )
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = ""
+        if isinstance(exc, subprocess.CalledProcessError) and exc.stderr:
+            detail = f": {exc.stderr.strip()}"
+        raise LintUsageError(f"--changed {base}: git failed{detail}") from exc
+    names = diff.stdout.splitlines() + untracked.stdout.splitlines()
+    return {Path(n).resolve() for n in names if n.endswith(".py")}
 
 
 def _print_rule_catalogue() -> None:
@@ -83,7 +113,24 @@ def run_lint_cli(args: argparse.Namespace) -> int:
     select: tuple[str, ...] = ()
     if args.select:
         select = tuple(s.strip() for s in args.select.split(",") if s.strip())
-    config = LintConfig(select=select)
+    try:
+        contract = discover_layer_contract([Path(p) for p in args.paths])
+    except LayerContractError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    config = LintConfig(select=select, layer_contract=contract)
+
+    if args.format == "dot":
+        try:
+            _files, roots = discover_files(list(args.paths))
+            index = ProjectIndex.build(sorted({r.resolve() for r in roots}))
+            if contract is not None:
+                contract.validate_against(frozenset(index.module_aliases))
+        except (LintUsageError, LayerContractError) as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        sys.stdout.write(index.import_graph().to_dot(contract))
+        return 0
 
     baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
     baseline = Baseline()
@@ -95,7 +142,8 @@ def run_lint_cli(args: argparse.Namespace) -> int:
             baseline = load_baseline(baseline_path)
         elif use_baseline and args.baseline is not None and not args.write_baseline:
             raise BaselineFormatError(f"baseline file not found: {baseline_path}")
-        result = run_lint(list(args.paths), config)
+        restrict = _changed_files(args.changed) if args.changed is not None else None
+        result = run_lint(list(args.paths), config, restrict=restrict)
     except (LintUsageError, BaselineFormatError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2

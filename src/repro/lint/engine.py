@@ -18,11 +18,18 @@ from pathlib import Path
 from .context import ModuleContext, iter_scoped
 from .findings import Finding
 from .index import ProjectIndex, module_name_for
+from .layers import LayerContract
 from .names import build_aliases
 from .rules import ALL_RULES, Rule
 from .suppress import collect_suppressions
 
-__all__ = ["LintConfig", "LintResult", "LintUsageError", "run_lint"]
+__all__ = [
+    "LintConfig",
+    "LintResult",
+    "LintUsageError",
+    "discover_files",
+    "run_lint",
+]
 
 _TYPE_IGNORE = re.compile(r"#\s*type:\s*ignore\b")
 
@@ -74,6 +81,10 @@ class LintConfig:
     sanctioned_modules: dict[str, tuple[str, ...]] = field(
         default_factory=_default_sanctioned_modules
     )
+    #: Declared architecture layers (REP601/REP603); ``None`` disables the
+    #: contract-backed checks. The CLI discovers it from the nearest
+    #: ``pyproject.toml`` with a ``[tool.repro-lint]`` section.
+    layer_contract: LayerContract | None = None
 
     def sanctioned_rules_for(self, module: str) -> tuple[str, ...]:
         """Rule-id prefixes waived for ``module`` (package-prefix match)."""
@@ -219,16 +230,8 @@ def lint_file(
     return findings, ignores
 
 
-def run_lint(paths: list[str | Path], config: LintConfig | None = None) -> LintResult:
-    """Lint ``paths`` (files or directories) under ``config``.
-
-    Raises :class:`LintUsageError` for nonexistent paths or invalid rule
-    selections; per-file syntax errors become ``REP000`` findings instead,
-    so one broken file cannot mask findings elsewhere.
-    """
-    config = config or LintConfig()
-    config.active_rules()  # validate the selection eagerly
-    config.sanctioned_rules_for("")  # validate the sanction tokens eagerly
+def discover_files(paths: list[str | Path]) -> tuple[list[Path], list[Path]]:
+    """Expand ``paths`` into (unique lintable files, package index roots)."""
     files: list[Path] = []
     roots: list[Path] = []
     for raw in paths:
@@ -250,13 +253,47 @@ def run_lint(paths: list[str | Path], config: LintConfig | None = None) -> LintR
         if resolved not in seen:
             seen.add(resolved)
             unique_files.append(file)
+    return unique_files, roots
+
+
+def run_lint(
+    paths: list[str | Path],
+    config: LintConfig | None = None,
+    restrict: set[Path] | None = None,
+) -> LintResult:
+    """Lint ``paths`` (files or directories) under ``config``.
+
+    Raises :class:`LintUsageError` for nonexistent paths or invalid rule
+    selections; per-file syntax errors become ``REP000`` findings instead,
+    so one broken file cannot mask findings elsewhere.
+
+    ``restrict`` (resolved paths) limits which files are *checked* —
+    the cross-file index and its derived import/call graphs still cover
+    the whole program, so ``--changed`` scoping never weakens the
+    whole-program rules, it only narrows where findings are reported.
+    """
+    config = config or LintConfig()
+    config.active_rules()  # validate the selection eagerly
+    config.sanctioned_rules_for("")  # validate the sanction tokens eagerly
+    unique_files, roots = discover_files(paths)
 
     index = ProjectIndex.build(sorted(set(r.resolve() for r in roots)))
+    if config.layer_contract is not None:
+        try:
+            config.layer_contract.validate_against(
+                frozenset(index.module_aliases)
+            )
+        except ValueError as exc:
+            raise LintUsageError(str(exc)) from exc
+    if restrict is not None:
+        unique_files = [f for f in unique_files if f.resolve() in restrict]
     result = LintResult()
     for file in unique_files:
         findings, ignores = lint_file(file, index, config)
         result.findings.extend(findings)
         result.type_ignores.extend(ignores)
         result.files_checked += 1
-    result.findings.sort(key=lambda f: (f.path, f.line, f.rule, f.col))
+    # Fully deterministic ordering — (path, line, col, rule) — so json
+    # output and baselines diff cleanly across runs and platforms.
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return result

@@ -6,6 +6,22 @@ parameter names of a function defined elsewhere, the abstract surface of a
 base class, the names a module imported. The index is built once over every
 ``.py`` file under the package roots implied by the linted paths, then
 shared by all rules.
+
+On top of the symbol tables the index derives two whole-program graphs on
+demand (both cached per run):
+
+* :class:`ImportGraph` — every import edge between project modules, tagged
+  with whether it is module-level or deferred (inside a function) and
+  whether it lives under ``if TYPE_CHECKING:``. REP6xx layering and cycle
+  detection run over it, and ``repro lint --format dot`` exports it.
+* :class:`ProjectCallGraph` — a class-hierarchy-analysis call graph:
+  direct calls, constructor calls, ``self.method()`` dispatch (including
+  subclass overrides), and method calls through constructor-typed or
+  annotation-typed locals and ``self`` attributes. It also records the
+  thread/process/async *entrypoints* (``async def``, ``Thread(target=…)``,
+  executor ``submit``/``map``, ``run_in_executor`` callables, ``do_*``
+  handlers on ``BaseHTTPRequestHandler`` subclasses) that the REP5xx
+  concurrency rules walk reachability from.
 """
 
 from __future__ import annotations
@@ -16,7 +32,18 @@ from pathlib import Path
 
 from .names import build_aliases, dotted_name, resolve_name
 
-__all__ = ["ClassInfo", "FunctionInfo", "ProjectIndex", "module_name_for"]
+__all__ = [
+    "CallRecord",
+    "ClassInfo",
+    "FunctionInfo",
+    "FunctionNode",
+    "ImportEdge",
+    "ImportGraph",
+    "ProjectCallGraph",
+    "ProjectIndex",
+    "RawImport",
+    "module_name_for",
+]
 
 
 @dataclass(frozen=True)
@@ -31,6 +58,24 @@ class ClassInfo:
     bases: tuple[str, ...]
     methods: frozenset[str]
     abstract_methods: frozenset[str]
+
+
+@dataclass(frozen=True)
+class RawImport:
+    """One import statement's target, as an absolute dotted name.
+
+    Relative imports are resolved against the importing module at collection
+    time; ``from pkg import name`` records ``pkg.name`` (the graph resolver
+    falls back to the longest project-module prefix, so a symbol import
+    lands on its defining module).
+    """
+
+    target: str
+    lineno: int
+    #: The import executes inside a function body, not at module import time.
+    deferred: bool
+    #: The import lives under ``if TYPE_CHECKING:`` (annotations only).
+    type_checking: bool
 
 
 def module_name_for(path: Path) -> tuple[str, bool]:
@@ -51,12 +96,79 @@ def module_name_for(path: Path) -> tuple[str, bool]:
     return ".".join(reversed(parts)), is_package
 
 
+def _is_type_checking_test(test: ast.expr) -> bool:
+    name = dotted_name(test)
+    return name is not None and name.split(".")[-1] == "TYPE_CHECKING"
+
+
+def _collect_raw_imports(
+    tree: ast.Module, module: str, is_package: bool
+) -> list[RawImport]:
+    """Every import in ``tree`` as absolute dotted targets with context flags."""
+    package_parts = module.split(".") if is_package else module.split(".")[:-1]
+    records: list[RawImport] = []
+
+    def record(node: ast.Import | ast.ImportFrom, deferred: bool, tc: bool) -> None:
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                records.append(RawImport(item.name, node.lineno, deferred, tc))
+            return
+        if node.level:
+            base_parts = package_parts[: len(package_parts) - (node.level - 1)]
+            base = ".".join(base_parts)
+            if node.module:
+                base = f"{base}.{node.module}" if base else node.module
+        else:
+            base = node.module or ""
+        for item in node.names:
+            if item.name == "*":
+                target = base
+            else:
+                target = f"{base}.{item.name}" if base else item.name
+            if target:
+                records.append(RawImport(target, node.lineno, deferred, tc))
+
+    def visit(node: ast.AST, deferred: bool, tc: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.Import, ast.ImportFrom)):
+                record(child, deferred, tc)
+                continue
+            if isinstance(child, ast.If) and _is_type_checking_test(child.test):
+                for sub in child.body:
+                    visit_stmt(sub, deferred, True)
+                for sub in child.orelse:
+                    visit_stmt(sub, deferred, tc)
+                continue
+            child_deferred = deferred or isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            )
+            visit(child, child_deferred, tc)
+
+    def visit_stmt(stmt: ast.stmt, deferred: bool, tc: bool) -> None:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            record(stmt, deferred, tc)
+            return
+        stmt_deferred = deferred or isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+        )
+        visit(stmt, stmt_deferred, tc)
+
+    visit(tree, False, False)
+    return records
+
+
 @dataclass
 class ProjectIndex:
     functions: dict[str, FunctionInfo] = field(default_factory=dict)
     classes: dict[str, ClassInfo] = field(default_factory=dict)
     #: module name -> local alias table (for resolving re-exports).
     module_aliases: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: module name -> every import it performs (absolute dotted targets).
+    raw_imports: dict[str, list[RawImport]] = field(default_factory=dict)
+    #: module name -> parsed AST (kept for the derived graphs).
+    module_trees: dict[str, ast.Module] = field(default_factory=dict)
+    _import_graph: "ImportGraph | None" = field(default=None, repr=False)
+    _call_graph: "ProjectCallGraph | None" = field(default=None, repr=False)
 
     # -- construction ------------------------------------------------------
 
@@ -82,6 +194,8 @@ class ProjectIndex:
         module, is_package = module_name_for(path)
         aliases = build_aliases(tree, module, is_package)
         self.module_aliases[module] = aliases
+        self.raw_imports[module] = _collect_raw_imports(tree, module, is_package)
+        self.module_trees[module] = tree
         for node in tree.body:
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 self._index_function(module, node)
@@ -166,3 +280,644 @@ class ProjectIndex:
         if aliases and attr in aliases and aliases[attr] != name:
             return self.resolve_function(aliases[attr], _depth + 1)
         return None
+
+    # -- derived graphs (cached per run) -----------------------------------
+
+    def import_graph(self) -> "ImportGraph":
+        if self._import_graph is None:
+            self._import_graph = ImportGraph.build(self)
+        return self._import_graph
+
+    def call_graph(self) -> "ProjectCallGraph":
+        if self._call_graph is None:
+            self._call_graph = ProjectCallGraph.build(self)
+        return self._call_graph
+
+
+# -- the import graph ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    source: str
+    target: str
+    lineno: int
+    deferred: bool
+    type_checking: bool
+
+
+def _project_prefix(name: str, known: frozenset[str]) -> str | None:
+    """The longest prefix of dotted ``name`` that is a project module."""
+    parts = name.split(".")
+    for i in range(len(parts), 0, -1):
+        prefix = ".".join(parts[:i])
+        if prefix in known:
+            return prefix
+    return None
+
+
+@dataclass
+class ImportGraph:
+    """Project-module import edges, module-level vs deferred, cycle-aware."""
+
+    modules: tuple[str, ...]
+    edges: tuple[ImportEdge, ...]
+    _cycles: "tuple[tuple[str, ...], ...] | None" = field(default=None, repr=False)
+
+    @classmethod
+    def build(cls, index: ProjectIndex) -> "ImportGraph":
+        modules = tuple(sorted(index.module_aliases))
+        known = frozenset(modules)
+        edges: list[ImportEdge] = []
+        for module in modules:
+            seen: set[tuple[str, int, bool, bool]] = set()
+            for raw in index.raw_imports.get(module, []):
+                target = _project_prefix(raw.target, known)
+                if target is None or target == module:
+                    continue
+                key = (target, raw.lineno, raw.deferred, raw.type_checking)
+                if key in seen:
+                    continue
+                seen.add(key)
+                edges.append(
+                    ImportEdge(
+                        module, target, raw.lineno, raw.deferred, raw.type_checking
+                    )
+                )
+        edges.sort(key=lambda e: (e.source, e.lineno, e.target))
+        return cls(modules, tuple(edges))
+
+    def edges_from(self, module: str) -> tuple[ImportEdge, ...]:
+        return tuple(e for e in self.edges if e.source == module)
+
+    def module_level_adjacency(self) -> dict[str, tuple[str, ...]]:
+        """Import-time edges only (no deferred, no ``TYPE_CHECKING`` edges)."""
+        adjacency: dict[str, set[str]] = {m: set() for m in self.modules}
+        for edge in self.edges:
+            if not edge.deferred and not edge.type_checking:
+                adjacency[edge.source].add(edge.target)
+        return {m: tuple(sorted(t)) for m, t in adjacency.items()}
+
+    def cycles(self) -> tuple[tuple[str, ...], ...]:
+        """Import-time strongly connected components of size > 1 (sorted).
+
+        Deferred imports break cycles at runtime and are excluded, matching
+        how the interpreter actually loads the modules.
+        """
+        if self._cycles is not None:
+            return self._cycles
+        adjacency = self.module_level_adjacency()
+        # Iterative Tarjan: deterministic over the sorted module order.
+        index_of: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        sccs: list[tuple[str, ...]] = []
+        counter = 0
+        for root in self.modules:
+            if root in index_of:
+                continue
+            work: list[tuple[str, int]] = [(root, 0)]
+            while work:
+                node, child_i = work.pop()
+                if child_i == 0:
+                    index_of[node] = low[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                children = adjacency.get(node, ())
+                recursed = False
+                for i in range(child_i, len(children)):
+                    child = children[i]
+                    if child not in index_of:
+                        work.append((node, i + 1))
+                        work.append((child, 0))
+                        recursed = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index_of[child])
+                if recursed:
+                    continue
+                if low[node] == index_of[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1 or node in adjacency.get(node, ()):
+                        sccs.append(tuple(sorted(component)))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        self._cycles = tuple(sorted(sccs))
+        return self._cycles
+
+    def cycle_of(self, module: str) -> tuple[str, ...] | None:
+        for component in self.cycles():
+            if module in component:
+                return component
+        return None
+
+    def to_dot(self, contract: object = None) -> str:
+        """GraphViz export; layer clusters when a contract is provided.
+
+        ``contract`` duck-types :class:`repro.lint.layers.LayerContract`
+        (kept loose to avoid an import cycle inside the lint package).
+        """
+        lines = [
+            "digraph repro_imports {",
+            "  rankdir=LR;",
+            '  node [shape=box, fontsize=10, fontname="monospace"];',
+        ]
+        clustered: set[str] = set()
+        layers = getattr(contract, "layers", ()) if contract is not None else ()
+        for i, layer in enumerate(layers):
+            members = sorted(
+                m
+                for m in self.modules
+                if getattr(contract, "layer_of", lambda _m: None)(m) is layer
+            )
+            if not members:
+                continue
+            lines.append(f"  subgraph cluster_{i} {{")
+            lines.append(f'    label="{layer.name}";')
+            for member in members:
+                lines.append(f'    "{member}";')
+                clustered.add(member)
+            lines.append("  }")
+        for module in self.modules:
+            if module not in clustered:
+                lines.append(f'  "{module}";')
+        seen: set[tuple[str, str, bool]] = set()
+        for edge in self.edges:
+            if edge.type_checking:
+                continue
+            key = (edge.source, edge.target, edge.deferred)
+            if key in seen:
+                continue
+            seen.add(key)
+            style = " [style=dashed]" if edge.deferred else ""
+            lines.append(f'  "{edge.source}" -> "{edge.target}"{style};')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+# -- the call graph --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One call expression inside a function body, partially resolved."""
+
+    lineno: int
+    col: int
+    #: Project function/method qualnames this call may dispatch to (CHA).
+    targets: tuple[str, ...] = ()
+    #: Resolved dotted name when the callee is not a project symbol.
+    external: str | None = None
+    #: Bare attribute name when the receiver's type is unknown.
+    attr: str | None = None
+
+
+@dataclass(frozen=True)
+class FunctionNode:
+    """One project function or method with its outgoing calls."""
+
+    qualname: str
+    module: str
+    lineno: int
+    is_async: bool
+    is_generator: bool
+    calls: tuple[CallRecord, ...]
+
+
+_THREAD_FACTORIES = frozenset({"threading.Thread", "multiprocessing.Process"})
+_EXECUTOR_CLASSES = {
+    "concurrent.futures.ProcessPoolExecutor": "worker",
+    "concurrent.futures.process.ProcessPoolExecutor": "worker",
+    "concurrent.futures.ThreadPoolExecutor": "thread",
+    "concurrent.futures.thread.ThreadPoolExecutor": "thread",
+}
+_HTTP_HANDLER_BASES = frozenset(
+    {"http.server.BaseHTTPRequestHandler", "http.server.SimpleHTTPRequestHandler"}
+)
+
+
+class _FunctionScanner:
+    """Resolve one function body into call records and entrypoint targets."""
+
+    def __init__(
+        self,
+        graph: "ProjectCallGraph",
+        index: ProjectIndex,
+        module: str,
+        aliases: dict[str, str],
+        class_qual: str | None,
+    ) -> None:
+        self.graph = graph
+        self.index = index
+        self.module = module
+        self.aliases = aliases
+        self.class_qual = class_qual
+        #: local name -> project class qualname (constructor/annotation typed)
+        self.local_classes: dict[str, str] = {}
+        #: local name -> external dotted type ("concurrent.futures.ProcessPoolExecutor")
+        self.local_external: dict[str, str] = {}
+        self.calls: list[CallRecord] = []
+        #: (target qualname, kind) references handed to threads/executors.
+        self.spawned: list[tuple[str, str]] = []
+
+    # -- typing helpers ----------------------------------------------------
+
+    def _canonical_class(self, name: str) -> str | None:
+        """Resolve a (possibly module-local bare) name to a project class."""
+        cls = self.index.canonical_class(name)
+        if cls is None and "." not in name:
+            cls = self.index.canonical_class(f"{self.module}.{name}")
+        return cls
+
+    def _class_of_expr(self, node: ast.expr) -> str | None:
+        """Project class qualname an expression statically evaluates to."""
+        if isinstance(node, ast.Call):
+            resolved = resolve_name(node.func, self.aliases)
+            if resolved is not None:
+                return self._canonical_class(resolved)
+            return None
+        resolved = resolve_name(node, self.aliases)
+        if resolved is not None:
+            return self._canonical_class(resolved)
+        return None
+
+    def _external_of_expr(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Call):
+            resolved = resolve_name(node.func, self.aliases)
+            if resolved is not None and self._canonical_class(resolved) is None:
+                return resolved
+        return None
+
+    def bind_local(self, name: str, value: ast.expr) -> None:
+        cls = self._class_of_expr(value)
+        if cls is not None:
+            self.local_classes[name] = cls
+            return
+        external = self._external_of_expr(value)
+        if external is not None:
+            self.local_external[name] = external
+
+    def bind_annotation(self, name: str, annotation: ast.expr | None) -> None:
+        if annotation is None:
+            return
+        target: ast.expr = annotation
+        if isinstance(target, ast.Constant) and isinstance(target.value, str):
+            try:
+                target = ast.parse(target.value, mode="eval").body
+            except SyntaxError:
+                return
+        resolved = resolve_name(target, self.aliases)
+        if resolved is None:
+            return
+        cls = self._canonical_class(resolved)
+        if cls is not None:
+            self.local_classes[name] = cls
+        else:
+            self.local_external[name] = resolved
+
+    def _method_targets(self, class_qual: str, method: str) -> tuple[str, ...]:
+        """The defining method plus subclass overrides (CHA dispatch set)."""
+        targets: list[str] = []
+        for info in self.index.mro_chain(class_qual):
+            if method in info.methods:
+                targets.append(f"{info.qualname}.{method}")
+                break
+        for sub in self.graph.subclasses_of(class_qual):
+            if method in self.index.classes[sub].methods:
+                name = f"{sub}.{method}"
+                if name not in targets:
+                    targets.append(name)
+        return tuple(targets)
+
+    def _targets_for_name(self, resolved: str) -> tuple[str, ...]:
+        """Project dispatch targets for a resolved dotted (or bare) name."""
+        candidates = [resolved]
+        if "." not in resolved:
+            candidates.append(f"{self.module}.{resolved}")
+        for name in candidates:
+            info = self.index.resolve_function(name)
+            if info is not None:
+                return (info.qualname,)
+            cls = self.index.canonical_class(name)
+            if cls is not None:
+                init = self._method_targets(cls, "__init__")
+                return init if init else (cls,)
+            head, _, attr = name.rpartition(".")
+            head_cls = self.index.canonical_class(head) if head else None
+            if head_cls is not None:
+                targets = self._method_targets(head_cls, attr)
+                if targets:
+                    return targets
+        return ()
+
+    def resolve_reference(self, node: ast.expr) -> tuple[str, ...]:
+        """Project qualnames a non-call reference (callback) points at."""
+        if isinstance(node, ast.Attribute):
+            receiver_cls = self._receiver_class(node.value)
+            if receiver_cls is not None:
+                targets = self._method_targets(receiver_cls, node.attr)
+                if targets:
+                    return targets
+        resolved = resolve_name(node, self.aliases)
+        if resolved is not None:
+            return self._targets_for_name(resolved)
+        return ()
+
+    def _receiver_class(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name):
+            if node.id == "self" and self.class_qual is not None:
+                return self.class_qual
+            return self.local_classes.get(node.id)
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self.class_qual is not None
+        ):
+            return self.graph.attr_class(self.class_qual, node.attr)
+        return None
+
+    # -- the walk ----------------------------------------------------------
+
+    def scan(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = fn.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            self.bind_annotation(arg.arg, arg.annotation)
+        for stmt in fn.body:
+            self._walk(stmt)
+
+    def _walk(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                self.bind_local(target.id, node.value)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            self.bind_annotation(node.target.id, node.annotation)
+            if node.value is not None:
+                self.bind_local(node.target.id, node.value)
+        elif isinstance(node, ast.With) or isinstance(node, ast.AsyncWith):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    self.bind_local(item.optional_vars.id, item.context_expr)
+        elif isinstance(node, ast.Call):
+            self._record_call(node)
+        for child in ast.iter_child_nodes(node):
+            # Nested function bodies count as part of this function: their
+            # calls run when the closure runs, which (for the REP5xx rules)
+            # is attributed to the defining scope.
+            self._walk(child)
+
+    def _record_call(self, node: ast.Call) -> None:
+        self._detect_spawn(node)
+        # Receiver typing first: ``service.feed_line(...)`` on a
+        # constructor/annotation-typed local must dispatch into the
+        # project class, not fall through to a dotted "external" name.
+        if isinstance(node.func, ast.Attribute):
+            receiver_cls = self._receiver_class(node.func.value)
+            if receiver_cls is not None:
+                targets = self._method_targets(receiver_cls, node.func.attr)
+                if targets:
+                    self.calls.append(
+                        CallRecord(node.lineno, node.col_offset, targets=targets)
+                    )
+                    return
+        attr = node.func.attr if isinstance(node.func, ast.Attribute) else None
+        resolved = resolve_name(node.func, self.aliases)
+        if resolved is not None:
+            targets = self._targets_for_name(resolved)
+            if targets:
+                self.calls.append(
+                    CallRecord(node.lineno, node.col_offset, targets=targets)
+                )
+                return
+            # Unresolvable receivers keep the bare attribute too, so rules
+            # matching attribute names (``.read_text``) still see them.
+            self.calls.append(
+                CallRecord(node.lineno, node.col_offset, external=resolved, attr=attr)
+            )
+            return
+        if attr is not None:
+            self.calls.append(CallRecord(node.lineno, node.col_offset, attr=attr))
+
+    def _detect_spawn(self, node: ast.Call) -> None:
+        """Record callables handed to threads, processes, and executors."""
+        resolved = resolve_name(node.func, self.aliases)
+        attr = node.func.attr if isinstance(node.func, ast.Attribute) else None
+        # Thread(target=fn) / Process(target=fn) — including via a
+        # multiprocessing context object (ctx.Process(target=fn)).
+        if resolved in _THREAD_FACTORIES or attr in ("Thread", "Process"):
+            kind = "worker" if (resolved or attr or "").endswith("Process") else "thread"
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    for target in self.resolve_reference(kw.value):
+                        self.spawned.append((target, kind))
+            return
+        # loop.run_in_executor(executor, fn, *args) / asyncio.to_thread(fn, …)
+        if attr == "run_in_executor" and len(node.args) >= 2:
+            for target in self.resolve_reference(node.args[1]):
+                self.spawned.append((target, "thread"))
+            return
+        if resolved == "asyncio.to_thread" and node.args:
+            for target in self.resolve_reference(node.args[0]):
+                self.spawned.append((target, "thread"))
+            return
+        # pool.submit(fn, *args) / pool.map(fn, it) on a typed executor.
+        if attr in ("submit", "map") and node.args:
+            receiver = node.func.value if isinstance(node.func, ast.Attribute) else None
+            external = (
+                self.local_external.get(receiver.id)
+                if isinstance(receiver, ast.Name)
+                else None
+            )
+            kind = _EXECUTOR_CLASSES.get(external or "")
+            if kind is not None:
+                for target in self.resolve_reference(node.args[0]):
+                    self.spawned.append((target, kind))
+
+
+def _contains_yield(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True for generator functions (nested defs excluded)."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+@dataclass
+class ProjectCallGraph:
+    """CHA call graph over every indexed function, with entrypoint registry."""
+
+    functions: dict[str, FunctionNode] = field(default_factory=dict)
+    #: (qualname, kind) pairs; kind in {"async", "thread", "worker"}.
+    entrypoints: tuple[tuple[str, str], ...] = ()
+    _subclasses: dict[str, tuple[str, ...]] = field(default_factory=dict, repr=False)
+    _attr_types: dict[str, dict[str, str]] = field(default_factory=dict, repr=False)
+    _reachable: "frozenset[str] | None" = field(default=None, repr=False)
+
+    def subclasses_of(self, class_qual: str) -> tuple[str, ...]:
+        return self._subclasses.get(class_qual, ())
+
+    def attr_class(self, class_qual: str, attr: str) -> str | None:
+        """The project class ``self.<attr>`` holds, inferred from the body."""
+        return self._attr_types.get(class_qual, {}).get(attr)
+
+    @classmethod
+    def build(cls, index: ProjectIndex) -> "ProjectCallGraph":
+        graph = cls()
+        graph._build_hierarchy(index)
+        entrypoints: list[tuple[str, str]] = []
+        for module in sorted(index.module_trees):
+            tree = index.module_trees[module]
+            aliases = index.module_aliases[module]
+            for node in tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    graph._add_function(
+                        index, module, aliases, None, node, entrypoints
+                    )
+                elif isinstance(node, ast.ClassDef):
+                    class_qual = f"{module}.{node.name}"
+                    handler = graph._is_http_handler(index, class_qual)
+                    for item in node.body:
+                        if isinstance(
+                            item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ):
+                            qual = graph._add_function(
+                                index, module, aliases, class_qual, item, entrypoints
+                            )
+                            if handler and item.name.startswith("do_"):
+                                entrypoints.append((qual, "thread"))
+        graph.entrypoints = tuple(sorted(set(entrypoints)))
+        return graph
+
+    def _build_hierarchy(self, index: ProjectIndex) -> None:
+        subclasses: dict[str, set[str]] = {}
+        for qual, info in index.classes.items():
+            module = qual.rpartition(".")[0]
+            for base in info.bases:
+                canonical = index.canonical_class(base)
+                if canonical is None and "." not in base:
+                    # Bare base name: a class defined in the same module.
+                    canonical = index.canonical_class(f"{module}.{base}")
+                if canonical is not None:
+                    subclasses.setdefault(canonical, set()).add(qual)
+        # Transitive closure so CHA dispatch sees indirect subclasses too.
+        changed = True
+        while changed:
+            changed = False
+            for base, subs in subclasses.items():
+                extra: set[str] = set()
+                for sub in subs:
+                    extra |= subclasses.get(sub, set())
+                if not extra <= subs:
+                    subs |= extra
+                    changed = True
+        self._subclasses = {b: tuple(sorted(s)) for b, s in subclasses.items()}
+        # self.<attr> types from constructor/annotation assignments.
+        for module, tree in index.module_trees.items():
+            aliases = index.module_aliases[module]
+            for node in tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                class_qual = f"{module}.{node.name}"
+                attr_types: dict[str, str] = {}
+                for item in ast.walk(node):
+                    target: ast.expr | None = None
+                    value: ast.expr | None = None
+                    annotation: ast.expr | None = None
+                    if isinstance(item, ast.Assign) and len(item.targets) == 1:
+                        target, value = item.targets[0], item.value
+                    elif isinstance(item, ast.AnnAssign):
+                        target, value = item.target, item.value
+                        annotation = item.annotation
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    resolved: str | None = None
+                    if isinstance(value, ast.Call):
+                        name = resolve_name(value.func, aliases)
+                        if name is not None:
+                            resolved = index.canonical_class(name)
+                    if resolved is None and annotation is not None:
+                        name = resolve_name(annotation, aliases)
+                        if name is not None:
+                            resolved = index.canonical_class(name)
+                    if resolved is not None and target.attr not in attr_types:
+                        attr_types[target.attr] = resolved
+                if attr_types:
+                    self._attr_types[class_qual] = attr_types
+
+    def _is_http_handler(self, index: ProjectIndex, class_qual: str) -> bool:
+        for info in index.mro_chain(class_qual):
+            if any(base in _HTTP_HANDLER_BASES for base in info.bases):
+                return True
+        return False
+
+    def _add_function(
+        self,
+        index: ProjectIndex,
+        module: str,
+        aliases: dict[str, str],
+        class_qual: str | None,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        entrypoints: list[tuple[str, str]],
+    ) -> str:
+        qualname = (
+            f"{class_qual}.{node.name}" if class_qual else f"{module}.{node.name}"
+        )
+        scanner = _FunctionScanner(self, index, module, aliases, class_qual)
+        scanner.scan(node)
+        self.functions[qualname] = FunctionNode(
+            qualname=qualname,
+            module=module,
+            lineno=node.lineno,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            is_generator=_contains_yield(node),
+            calls=tuple(scanner.calls),
+        )
+        if isinstance(node, ast.AsyncFunctionDef):
+            entrypoints.append((qualname, "async"))
+        entrypoints.extend(scanner.spawned)
+        return qualname
+
+    def reachable_from_entrypoints(self) -> frozenset[str]:
+        """Every function reachable (transitively) from any entrypoint."""
+        if self._reachable is not None:
+            return self._reachable
+        seen: set[str] = set()
+        queue = [q for q, _kind in self.entrypoints if q in self.functions]
+        while queue:
+            qual = queue.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            node = self.functions.get(qual)
+            if node is None:
+                continue
+            for record in node.calls:
+                for target in record.targets:
+                    if target not in seen and target in self.functions:
+                        queue.append(target)
+        self._reachable = frozenset(seen)
+        return self._reachable
+
+    def entrypoint_kinds(self, qualname: str) -> tuple[str, ...]:
+        return tuple(
+            sorted({kind for qual, kind in self.entrypoints if qual == qualname})
+        )

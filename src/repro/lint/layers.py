@@ -1,0 +1,176 @@
+"""The declared architecture-layer contract behind the REP6xx rules.
+
+The contract lives in ``pyproject.toml``::
+
+    [tool.repro-lint]
+    stdlib-only = ["repro.lint"]
+
+    [[tool.repro-lint.layers]]
+    name = "kernel"
+    modules = ["repro.units", "repro.errors", "repro.rng"]
+
+    [[tool.repro-lint.layers]]
+    name = "platform"
+    modules = ["repro.telemetry", "repro.control"]
+
+Layers are ordered lowest-first; a module may import same-layer or
+lower-layer modules, never higher ones. Module entries are prefixes:
+``repro.control`` covers ``repro.control.base`` and every other
+submodule. Modules not matched by any prefix are unconstrained (the
+root ``repro`` package and ``__main__`` stay unlisted on purpose).
+
+``stdlib-only`` modules may import only the standard library and other
+project modules — a third-party import (numpy from ``repro.lint``) is a
+REP603 finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "Layer",
+    "LayerContract",
+    "LayerContractError",
+    "discover_layer_contract",
+    "load_layer_contract",
+]
+
+
+class LayerContractError(ValueError):
+    """The contract itself is malformed or references unknown modules."""
+
+
+@dataclass(frozen=True)
+class Layer:
+    name: str
+    #: Module-name prefixes; ``repro.control`` also covers submodules.
+    modules: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class LayerContract:
+    """Ordered layers (lowest first) plus the stdlib-only module set."""
+
+    layers: tuple[Layer, ...]
+    stdlib_only: tuple[str, ...] = ()
+    source: Path | None = None
+
+    def _matches(self, module: str, prefix: str) -> bool:
+        return module == prefix or module.startswith(prefix + ".")
+
+    def layer_index_of(self, module: str) -> int | None:
+        """Index of the layer owning ``module`` (longest prefix wins)."""
+        best: tuple[int, int] | None = None  # (prefix length, layer index)
+        for i, layer in enumerate(self.layers):
+            for prefix in layer.modules:
+                if self._matches(module, prefix):
+                    key = (len(prefix), i)
+                    if best is None or key > best:
+                        best = key
+        return None if best is None else best[1]
+
+    def layer_of(self, module: str) -> Layer | None:
+        index = self.layer_index_of(module)
+        return None if index is None else self.layers[index]
+
+    def is_stdlib_only(self, module: str) -> bool:
+        return any(self._matches(module, prefix) for prefix in self.stdlib_only)
+
+    def validate_against(self, known_modules: frozenset[str]) -> None:
+        """Every declared prefix must match at least one indexed module."""
+
+        def known(prefix: str) -> bool:
+            return any(self._matches(module, prefix) for module in known_modules)
+
+        unknown = [
+            prefix
+            for layer in self.layers
+            for prefix in layer.modules
+            if not known(prefix)
+        ]
+        unknown += [prefix for prefix in self.stdlib_only if not known(prefix)]
+        if unknown:
+            where = f" in {self.source}" if self.source else ""
+            raise LayerContractError(
+                "layer contract%s names modules that do not exist: %s"
+                % (where, ", ".join(sorted(set(unknown))))
+            )
+
+
+def _parse_contract(data: object, source: Path) -> LayerContract | None:
+    if not isinstance(data, dict):
+        return None
+    section = data.get("tool", {})
+    section = section.get("repro-lint", {}) if isinstance(section, dict) else {}
+    if not isinstance(section, dict) or (
+        "layers" not in section and "stdlib-only" not in section
+    ):
+        return None
+    raw_layers = section.get("layers", [])
+    if not isinstance(raw_layers, list):
+        raise LayerContractError(f"{source}: [tool.repro-lint] layers must be a list")
+    layers: list[Layer] = []
+    for entry in raw_layers:
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("name"), str)
+            or not isinstance(entry.get("modules"), list)
+            or not all(isinstance(m, str) and m for m in entry["modules"])
+        ):
+            raise LayerContractError(
+                f"{source}: each [[tool.repro-lint.layers]] entry needs a "
+                "string 'name' and a non-empty string list 'modules'"
+            )
+        layers.append(Layer(entry["name"], tuple(entry["modules"])))
+    raw_stdlib = section.get("stdlib-only", [])
+    if not isinstance(raw_stdlib, list) or not all(
+        isinstance(m, str) and m for m in raw_stdlib
+    ):
+        raise LayerContractError(
+            f"{source}: [tool.repro-lint] stdlib-only must be a string list"
+        )
+    return LayerContract(tuple(layers), tuple(raw_stdlib), source)
+
+
+def load_layer_contract(path: Path) -> LayerContract | None:
+    """Parse the ``[tool.repro-lint]`` contract out of a pyproject file.
+
+    Returns ``None`` when the file has no contract section; raises
+    :class:`LayerContractError` on a present-but-malformed one.
+    """
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - py<3.11: layering checks skip
+        return None
+    try:
+        with path.open("rb") as fh:
+            data = tomllib.load(fh)
+    except OSError:
+        return None
+    except tomllib.TOMLDecodeError as exc:
+        raise LayerContractError(f"{path}: invalid TOML: {exc}") from exc
+    return _parse_contract(data, path)
+
+
+def discover_layer_contract(roots: list[Path]) -> LayerContract | None:
+    """Walk up from the first linted root to the nearest contract.
+
+    Starting at the package root of the first path (so fixture packages
+    under ``tests/`` find their own ``pyproject.toml``, not the repo's),
+    each ancestor is probed for a ``pyproject.toml`` with a
+    ``[tool.repro-lint]`` section; the first hit wins.
+    """
+    for root in roots:
+        base = root.resolve()
+        if base.is_file():
+            base = base.parent
+        for candidate in (base, *base.parents):
+            pyproject = candidate / "pyproject.toml"
+            if pyproject.is_file():
+                contract = load_layer_contract(pyproject)
+                if contract is not None:
+                    return contract
+        break  # only the first root anchors discovery
+    return None

@@ -9,50 +9,23 @@ rule's docstring is its catalogue entry (rendered by ``repro lint
 
 from __future__ import annotations
 
-import ast
-from collections.abc import Iterator
-from typing import TYPE_CHECKING
-
-from ..findings import Finding
-
-if TYPE_CHECKING:  # pragma: no cover
-    from ..context import ModuleContext
-
-__all__ = ["ALL_RULES", "Rule", "rule_by_id"]
-
-
-class Rule:
-    """Base class for lint rules (subclasses set id/title/hint)."""
-
-    id: str = "REP000"
-    title: str = ""
-    hint: str = ""
-
-    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
-        raise NotImplementedError
-
-    def finding(
-        self,
-        ctx: "ModuleContext",
-        node: ast.AST,
-        message: str,
-        hint: str | None = None,
-    ) -> Finding:
-        line = getattr(node, "lineno", 0)
-        return Finding(
-            rule=self.id,
-            path=ctx.path,
-            line=line,
-            col=getattr(node, "col_offset", 0),
-            message=message,
-            hint=self.hint if hint is None else hint,
-            content=ctx.line_text(line),
-        )
-
-
-from .api import ControllerConformanceRule, RegistryConformanceRule  # noqa: E402
-from .artifacts import AtomicWriteRule  # noqa: E402
-from .determinism import (  # noqa: E402
+from .api import ControllerConformanceRule, RegistryConformanceRule
+from .architecture import (
+    ImportCycleRule,
+    LayerViolationRule,
+    StdlibOnlyRule,
+)
+from .artifacts import AtomicWriteRule
+from .base import Rule
+from .concurrency import (
+    AsyncBlockingCallRule,
+    FireAndForgetTaskRule,
+    LockAcrossAwaitRule,
+    SharedMemoryLifecycleRule,
+    UnlockedSharedStateRule,
+    UnpicklableSubmitRule,
+)
+from .determinism import (
     AmbientEntropyRule,
     HashOrderMaterializationRule,
     NumpyGlobalRngRule,
@@ -60,16 +33,18 @@ from .determinism import (  # noqa: E402
     UnorderedIterationRule,
     WallClockRule,
 )
-from .floats import (  # noqa: E402
+from .floats import (
     FloatEqualityRule,
     UnorderedAccumulationRule,
     UnorderedReductionRule,
 )
-from .units_rules import (  # noqa: E402
+from .units_rules import (
     CallUnitMismatchRule,
     ManualConversionRule,
     MixedUnitArithmeticRule,
 )
+
+__all__ = ["ALL_RULES", "Rule", "rule_by_id"]
 
 ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(),
@@ -87,6 +62,15 @@ ALL_RULES: tuple[Rule, ...] = (
     ManualConversionRule(),
     ControllerConformanceRule(),
     RegistryConformanceRule(),
+    AsyncBlockingCallRule(),
+    UnlockedSharedStateRule(),
+    LockAcrossAwaitRule(),
+    FireAndForgetTaskRule(),
+    SharedMemoryLifecycleRule(),
+    UnpicklableSubmitRule(),
+    LayerViolationRule(),
+    ImportCycleRule(),
+    StdlibOnlyRule(),
 )
 
 

@@ -1,0 +1,161 @@
+"""REP6xx — architecture layering over the whole-program import graph.
+
+The layer contract is declared in ``pyproject.toml`` (see
+:mod:`repro.lint.layers`); the import graph is derived by the index. A
+module may import its own layer or lower layers, never upward — the sim
+core importing the service plane would invert the dependency stack and
+(eventually) the build. Cycle detection runs contract or no contract:
+an import-time cycle is a latent ``ImportError`` that only the current
+import order hides.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..findings import Finding
+from ..index import _project_prefix
+from .base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..context import ModuleContext
+
+__all__ = ["ImportCycleRule", "LayerViolationRule", "StdlibOnlyRule"]
+
+
+def _finding_at(
+    rule: Rule, ctx: "ModuleContext", line: int, message: str
+) -> Finding:
+    return Finding(
+        rule=rule.id,
+        path=ctx.path,
+        line=line,
+        col=0,
+        message=message,
+        hint=rule.hint,
+        content=ctx.line_text(line),
+    )
+
+
+class LayerViolationRule(Rule):
+    """Import that points *up* the declared layer stack.
+
+    With layers ordered lowest-first in ``[tool.repro-lint]``, an edge
+    from layer *i* to layer *j > i* couples a foundation to its
+    consumers: the sim core importing the service plane, a unit helper
+    importing the CLI. Deferred (function-body) imports count — they
+    still create the coupling, just later. ``TYPE_CHECKING`` imports are
+    exempt (annotations only, erased at runtime); use them for
+    type-only references, or invert the dependency.
+    """
+
+    id = "REP601"
+    title = "upward import across declared layers"
+    hint = (
+        "invert the dependency (move shared code down a layer), or make "
+        "the reference TYPE_CHECKING-only; sanction deliberate bridges "
+        "via sanctioned_modules or a justified suppression"
+    )
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        contract = ctx.config.layer_contract
+        if contract is None:
+            return
+        source_index = contract.layer_index_of(ctx.module)
+        if source_index is None:
+            return
+        graph = ctx.index.import_graph()
+        for edge in graph.edges_from(ctx.module):
+            if edge.type_checking:
+                continue
+            target_index = contract.layer_index_of(edge.target)
+            if target_index is None or target_index <= source_index:
+                continue
+            source_layer = contract.layers[source_index].name
+            target_layer = contract.layers[target_index].name
+            yield _finding_at(
+                self,
+                ctx,
+                edge.lineno,
+                f"layer '{source_layer}' imports upward into layer "
+                f"'{target_layer}' ({edge.target})",
+            )
+
+
+class ImportCycleRule(Rule):
+    """Module-level import cycle between project modules.
+
+    Cycles only work while every participant finishes its module body
+    before anyone needs the half-initialised sibling — an accident of
+    import order that the next refactor breaks with a confusing partial
+    ``ImportError``. Deferred imports are excluded: moving one edge of a
+    cycle into a function body is exactly how cycles are broken, and the
+    rule should reward that, not flag it.
+    """
+
+    id = "REP602"
+    title = "module-level import cycle"
+    hint = (
+        "break the cycle: move shared code to a lower module, or defer "
+        "one edge into the function that needs it"
+    )
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        graph = ctx.index.import_graph()
+        component = graph.cycle_of(ctx.module)
+        if component is None:
+            return
+        members = set(component)
+        described = " <-> ".join(component)
+        for edge in graph.edges_from(ctx.module):
+            if edge.deferred or edge.type_checking:
+                continue
+            if edge.target in members:
+                yield _finding_at(
+                    self,
+                    ctx,
+                    edge.lineno,
+                    f"import of {edge.target} closes a module-level cycle "
+                    f"({described})",
+                )
+
+
+class StdlibOnlyRule(Rule):
+    """Third-party import from a module declared stdlib-only.
+
+    ``repro.lint`` must run anywhere — pre-commit hooks, bare CI
+    containers, the red-path fixture checks — so the contract's
+    ``stdlib-only`` list pins it (and anything else listed) to the
+    standard library plus project-internal modules. Importing numpy from
+    the linter is itself a finding.
+    """
+
+    id = "REP603"
+    title = "third-party import from stdlib-only module"
+    hint = (
+        "keep this module standard-library-only; move the dependency "
+        "behind an interface in a higher layer"
+    )
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        contract = ctx.config.layer_contract
+        if contract is None or not contract.is_stdlib_only(ctx.module):
+            return
+        known = frozenset(ctx.index.module_aliases)
+        project_heads = {module.split(".")[0] for module in known}
+        for raw in ctx.index.raw_imports.get(ctx.module, []):
+            if raw.type_checking:
+                continue
+            head = raw.target.split(".")[0]
+            if head in sys.stdlib_module_names or head == "__future__":
+                continue
+            if _project_prefix(raw.target, known) is not None or head in project_heads:
+                continue
+            yield _finding_at(
+                self,
+                ctx,
+                raw.lineno,
+                f"stdlib-only module imports third-party '{head}'",
+            )

@@ -13,7 +13,7 @@ import ast
 from collections.abc import Iterator
 from typing import TYPE_CHECKING
 
-from . import Rule
+from .base import Rule
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..context import ModuleContext

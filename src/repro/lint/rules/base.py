@@ -1,0 +1,50 @@
+"""The :class:`Rule` base class, below the registry.
+
+Rule modules used to import ``Rule`` from the package ``__init__`` while
+the ``__init__`` imported them back for the registry — a module-level
+import cycle (REP602, found by self-lint) that only worked because the
+registry imports sat at the bottom of the file. The base class now lives
+here, under both.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..context import ModuleContext
+
+__all__ = ["Rule"]
+
+
+class Rule:
+    """Base class for lint rules (subclasses set id/title/hint)."""
+
+    id: str = "REP000"
+    title: str = ""
+    hint: str = ""
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: "ModuleContext",
+        node: ast.AST,
+        message: str,
+        hint: str | None = None,
+    ) -> Finding:
+        line = getattr(node, "lineno", 0)
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=self.hint if hint is None else hint,
+            content=ctx.line_text(line),
+        )

@@ -1,0 +1,706 @@
+"""REP5xx — concurrency safety for the async/thread/worker planes.
+
+These rules consume the :class:`~repro.lint.index.ProjectCallGraph` that
+the index derives on demand: which functions are thread/worker/async
+entrypoints, what each function calls (with class-hierarchy dispatch),
+and therefore what runs concurrently. The single-file REP1xx–4xx rules
+cannot see that a blocking write three calls below an ``async def``
+stalls the event loop, or that a module-level cache is mutated from a
+``ProcessPoolExecutor`` worker — these can.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..findings import Finding
+from ..index import CallRecord, ProjectCallGraph
+from ..suppress import lock_protocol_on
+from .base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..context import ModuleContext
+
+__all__ = [
+    "AsyncBlockingCallRule",
+    "FireAndForgetTaskRule",
+    "LockAcrossAwaitRule",
+    "SharedMemoryLifecycleRule",
+    "UnpicklableSubmitRule",
+    "UnlockedSharedStateRule",
+]
+
+
+#: Dotted call targets that block the calling thread (and with it the loop).
+_BLOCKING_EXTERNALS = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "os.popen",
+        "os.fsync",
+        "os.fdatasync",
+        "os.wait",
+        "os.waitpid",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.request",
+        "scipy.optimize.minimize",
+        "scipy.optimize.linprog",
+        "select.select",
+        "sys.stdin.readline",
+        "sys.stdin.read",
+        "open",
+        "input",
+    }
+)
+
+#: Attribute calls that block even when the receiver's type is unknown.
+#: Deliberately conservative: ``.write`` would false-positive on
+#: ``asyncio.StreamWriter.write`` (non-blocking), so only the Path I/O
+#: helpers that have no async counterpart are listed.
+_BLOCKING_ATTRS = frozenset({"read_text", "read_bytes", "write_text", "write_bytes"})
+
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear", "update",
+        "setdefault", "popitem", "add", "discard",
+    }
+)
+
+_CONTAINER_CALLS = frozenset(
+    {
+        "dict", "list", "set",
+        "collections.OrderedDict", "collections.defaultdict", "collections.deque",
+        "collections.Counter",
+    }
+)
+
+_RNG_BEARING_CALLS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "repro.rng.make_rng",
+        "repro.rng.spawn",
+    }
+)
+
+_LOCK_CALLS = frozenset({"threading.Lock", "threading.RLock"})
+
+
+def _blocking_call_desc(record: CallRecord) -> str | None:
+    """Why this call record blocks, or ``None`` when it does not."""
+    if record.external is not None and record.external in _BLOCKING_EXTERNALS:
+        return record.external
+    if record.attr is not None and record.attr in _BLOCKING_ATTRS:
+        return f".{record.attr}"
+    return None
+
+
+def _blocking_chain(
+    graph: ProjectCallGraph,
+    qualname: str,
+    memo: dict[str, tuple[str, ...] | None],
+) -> tuple[str, ...] | None:
+    """A sync call chain from ``qualname`` to a blocking call, if one exists.
+
+    Traverses only synchronous non-generator project functions (calling an
+    ``async def`` just builds a coroutine; calling a generator function
+    builds a generator — neither runs the body). Returns the chain as
+    ``(callee, ..., blocking-desc)`` for the finding message.
+    """
+    if qualname in memo:
+        return memo[qualname]
+    memo[qualname] = None  # cycle guard: assume non-blocking while in progress
+    node = graph.functions.get(qualname)
+    if node is None or node.is_async or node.is_generator:
+        return None
+    for record in node.calls:
+        desc = _blocking_call_desc(record)
+        if desc is not None:
+            memo[qualname] = (desc,)
+            return memo[qualname]
+    for record in node.calls:
+        for target in record.targets:
+            sub = _blocking_chain(graph, target, memo)
+            if sub is not None:
+                memo[qualname] = (target, *sub)
+                return memo[qualname]
+    return None
+
+
+class AsyncBlockingCallRule(Rule):
+    """Blocking call reachable inside an ``async def`` body.
+
+    ``time.sleep``, synchronous file/socket I/O, ``subprocess``, and
+    SLSQP solves stall the entire event loop — every ingest source and
+    signal handler in the service plane stops until the call returns.
+    The walk is transitive over the project call graph: a journal
+    ``fsync`` three frames below ``feed_line`` is still a finding at the
+    async call site.
+    """
+
+    id = "REP501"
+    title = "blocking call reachable from async code"
+    hint = (
+        "offload with 'await loop.run_in_executor(None, fn, ...)' (or "
+        "asyncio.to_thread), or use the async counterpart (asyncio.sleep, "
+        "asyncio.open_connection)"
+    )
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        graph = ctx.index.call_graph()
+        memo: dict[str, tuple[str, ...] | None] = {}
+        for node in graph.functions.values():
+            if node.module != ctx.module or not node.is_async:
+                continue
+            short = node.qualname.removeprefix(ctx.module + ".")
+            for record in node.calls:
+                desc = _blocking_call_desc(record)
+                if desc is not None:
+                    yield self._at(
+                        ctx,
+                        record,
+                        f"blocking call {desc} inside async '{short}'",
+                    )
+                    continue
+                for target in record.targets:
+                    chain = _blocking_chain(graph, target, memo)
+                    if chain is not None:
+                        via = " -> ".join((target, *chain[:-1]))
+                        yield self._at(
+                            ctx,
+                            record,
+                            f"blocking call {chain[-1]} reachable from async "
+                            f"'{short}' via {via}",
+                        )
+                        break
+
+    def _at(self, ctx: "ModuleContext", record: CallRecord, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=record.lineno,
+            col=record.col,
+            message=message,
+            hint=self.hint,
+            content=ctx.line_text(record.lineno),
+        )
+
+
+def _module_level_containers(ctx: "ModuleContext") -> dict[str, int]:
+    """Module-level mutable-container names -> definition line."""
+    containers: dict[str, int] = {}
+    for stmt in ctx.tree.body:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value = stmt.target, stmt.value
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        mutable = isinstance(
+            value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+        )
+        if not mutable and isinstance(value, ast.Call):
+            resolved = ctx.resolve(value.func)
+            mutable = resolved in _CONTAINER_CALLS
+        if mutable:
+            containers[target.id] = stmt.lineno
+    return containers
+
+
+def _module_level_locks(ctx: "ModuleContext") -> set[str]:
+    locks: set[str] = set()
+    for stmt in ctx.tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+            and ctx.resolve(stmt.value.func) in _LOCK_CALLS
+        ):
+            locks.add(stmt.targets[0].id)
+    return locks
+
+
+def _iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[str | None, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """(class name or None, function node) for every top-level def/method."""
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield None, stmt
+        elif isinstance(stmt, ast.ClassDef):
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield stmt.name, item
+
+
+class UnlockedSharedStateRule(Rule):
+    """Module-level mutable state written from concurrent code without a lock.
+
+    A dict/list/set defined at module scope and mutated inside a function
+    that the call graph marks entrypoint-reachable (async task, thread
+    target, worker function) is a data race in every plane that shares
+    the interpreter. Writes must hold a module-level ``threading.Lock``,
+    or the container's definition line must carry a lock-protocol
+    annotation: ``# repro-lint: lock-protocol=_MY_LOCK -- reason`` pins
+    the exact lock, ``lock-protocol=exempt -- reason`` records why no
+    lock is needed (e.g. worker processes never share the mapping).
+    """
+
+    id = "REP502"
+    title = "unlocked write to module-level mutable state"
+    hint = (
+        "guard writes with 'with <module-level lock>:' and annotate the "
+        "container with '# repro-lint: lock-protocol=<LOCK> -- reason' "
+        "(or lock-protocol=exempt when provably single-threaded)"
+    )
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        containers = _module_level_containers(ctx)
+        if not containers:
+            return
+        locks = _module_level_locks(ctx)
+        protocols = {
+            name: lock_protocol_on(ctx.line_text(line))
+            for name, line in containers.items()
+        }
+        graph = ctx.index.call_graph()
+        reachable = graph.reachable_from_entrypoints()
+        for class_name, fn in _iter_functions(ctx.tree):
+            qualname = (
+                f"{ctx.module}.{class_name}.{fn.name}"
+                if class_name
+                else f"{ctx.module}.{fn.name}"
+            )
+            if qualname not in reachable:
+                continue
+            yield from self._scan_body(ctx, fn, containers, locks, protocols)
+
+    def _scan_body(
+        self,
+        ctx: "ModuleContext",
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        containers: dict[str, int],
+        locks: set[str],
+        protocols: dict[str, str | None],
+    ) -> Iterator[Finding]:
+        def walk(node: ast.AST, held: frozenset[str]) -> Iterator[Finding]:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                acquired = {
+                    item.context_expr.id
+                    for item in node.items
+                    if isinstance(item.context_expr, ast.Name)
+                    and item.context_expr.id in locks
+                }
+                inner = held | acquired
+                for item in node.items:
+                    yield from walk(item.context_expr, held)
+                for stmt in node.body:
+                    yield from walk(stmt, inner)
+                return
+            written = self._written_container(ctx, node, containers)
+            if written is not None:
+                name, where = written
+                finding = self._verdict(ctx, name, where, held, protocols)
+                if finding is not None:
+                    yield finding
+            for child in ast.iter_child_nodes(node):
+                yield from walk(child, held)
+
+        for stmt in fn.body:
+            yield from walk(stmt, frozenset())
+
+    def _written_container(
+        self, ctx: "ModuleContext", node: ast.AST, containers: dict[str, int]
+    ) -> tuple[str, ast.AST] | None:
+        def subscript_base(expr: ast.expr) -> str | None:
+            if isinstance(expr, ast.Subscript) and isinstance(expr.value, ast.Name):
+                return expr.value.id
+            return None
+
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                base = subscript_base(target)
+                if base in containers:
+                    return base, node
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            base = subscript_base(node.target)
+            if base in containers:
+                return base, node
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                base = subscript_base(target)
+                if base in containers:
+                    return base, node
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATOR_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in containers
+        ):
+            return node.func.value.id, node
+        return None
+
+    def _verdict(
+        self,
+        ctx: "ModuleContext",
+        name: str,
+        node: ast.AST,
+        held: frozenset[str],
+        protocols: dict[str, str | None],
+    ) -> Finding | None:
+        protocol = protocols.get(name)
+        if protocol == "exempt":
+            return None
+        if protocol is not None:
+            if protocol in held:
+                return None
+            return self.finding(
+                ctx,
+                node,
+                f"write to '{name}' without holding its declared lock "
+                f"'{protocol}'",
+            )
+        if held:
+            return self.finding(
+                ctx,
+                node,
+                f"write to module-level '{name}' is locked but the container "
+                "has no lock-protocol annotation; declare "
+                f"'# repro-lint: lock-protocol=<LOCK>' on its definition",
+            )
+        return self.finding(
+            ctx,
+            node,
+            f"module-level '{name}' written from entrypoint-reachable code "
+            "without a lock",
+        )
+
+
+def _is_lockish(expr: ast.expr, module_locks: set[str]) -> bool:
+    if isinstance(expr, ast.Name):
+        return expr.id in module_locks or "lock" in expr.id.lower()
+    if isinstance(expr, ast.Attribute):
+        return "lock" in expr.attr.lower()
+    if isinstance(expr, ast.Call):
+        return _is_lockish(expr.func, module_locks)
+    return False
+
+
+def _contains_await(body: list[ast.stmt]) -> bool:
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Await,)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+class LockAcrossAwaitRule(Rule):
+    """``threading.Lock`` held across an ``await``.
+
+    A thread lock acquired in a coroutine and held across a suspension
+    point blocks every other task (and thread) that needs it for an
+    unbounded time — and deadlocks outright if the awaited task needs
+    the same lock. Use ``asyncio.Lock`` inside coroutines, or release
+    the thread lock before awaiting.
+    """
+
+    id = "REP503"
+    title = "thread lock held across await"
+    hint = "use asyncio.Lock in coroutines, or drop the lock before awaiting"
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        module_locks = _module_level_locks(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for inner in ast.walk(node):
+                if (
+                    isinstance(inner, ast.With)
+                    and any(
+                        _is_lockish(item.context_expr, module_locks)
+                        for item in inner.items
+                    )
+                    and _contains_await(inner.body)
+                ):
+                    yield self.finding(
+                        ctx,
+                        inner,
+                        f"sync lock held across await in async '{node.name}'",
+                    )
+
+
+class FireAndForgetTaskRule(Rule):
+    """``asyncio.create_task`` result dropped on the floor.
+
+    A task whose only reference is the loop's weak set can be garbage
+    collected mid-flight, and its exceptions surface (if ever) as an
+    opaque "exception was never retrieved" log line at shutdown. Keep
+    the task handle — append it to a task list that the shutdown path
+    awaits, or await it directly.
+    """
+
+    id = "REP504"
+    title = "fire-and-forget asyncio task"
+    hint = "retain the task: tasks.append(asyncio.create_task(...)) and await on teardown"
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Expr) or not isinstance(node.value, ast.Call):
+                continue
+            call = node.value
+            resolved = ctx.resolve(call.func)
+            attr = call.func.attr if isinstance(call.func, ast.Attribute) else None
+            if resolved in ("asyncio.create_task", "asyncio.ensure_future") or attr in (
+                "create_task",
+                "ensure_future",
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "task created without retaining a reference",
+                )
+
+
+class SharedMemoryLifecycleRule(Rule):
+    """``SharedMemory`` block without close/unlink on all exit paths.
+
+    A mapped segment that is not closed leaks the mapping for the
+    process lifetime; a created segment that is never unlinked leaks the
+    OS object past process death (``/dev/shm`` fills up across sweep
+    runs). Attach-style locals must ``close()`` in a ``finally``;
+    creator-style ``self`` attributes must ``close()`` *and* ``unlink()``
+    in the owning class's teardown.
+    """
+
+    id = "REP505"
+    title = "shared_memory without close/unlink on all paths"
+    hint = (
+        "wrap attach-side use in try/finally shm.close(); creators must "
+        "also shm.unlink() in the owning teardown"
+    )
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, stmt)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from self._check_class(ctx, stmt)
+
+    def _is_shm_call(self, ctx: "ModuleContext", node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        resolved = ctx.resolve(node.func)
+        if resolved in (
+            "multiprocessing.shared_memory.SharedMemory",
+            "shared_memory.SharedMemory",
+        ):
+            return True
+        return (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "SharedMemory"
+        )
+
+    def _creates(self, node: ast.expr) -> bool:
+        return isinstance(node, ast.Call) and any(
+            kw.arg == "create"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        )
+
+    def _check_function(
+        self, ctx: "ModuleContext", fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        finally_closed: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    for call in ast.walk(stmt):
+                        if (
+                            isinstance(call, ast.Call)
+                            and isinstance(call.func, ast.Attribute)
+                            and call.func.attr == "close"
+                            and isinstance(call.func.value, ast.Name)
+                        ):
+                            finally_closed.add(call.func.value.id)
+        for node in ast.walk(fn):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and self._is_shm_call(ctx, node.value)
+            ):
+                continue
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                if target.id not in finally_closed:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"SharedMemory '{target.id}' has no close() in a "
+                        "finally block",
+                    )
+            # self.<attr> assignments are validated at class scope.
+
+    def _check_class(self, ctx: "ModuleContext", cls: ast.ClassDef) -> Iterator[Finding]:
+        closed: set[str] = set()
+        unlinked: set[str] = set()
+        for node in ast.walk(cls):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("close", "unlink")
+                and isinstance(node.func.value, ast.Attribute)
+                and isinstance(node.func.value.value, ast.Name)
+                and node.func.value.value.id == "self"
+            ):
+                (closed if node.func.attr == "close" else unlinked).add(
+                    node.func.value.attr
+                )
+        for node in ast.walk(cls):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Attribute)
+                and isinstance(node.targets[0].value, ast.Name)
+                and node.targets[0].value.id == "self"
+                and self._is_shm_call(ctx, node.value)
+            ):
+                continue
+            attr = node.targets[0].attr
+            if attr not in closed:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"SharedMemory 'self.{attr}' is never close()d by "
+                    f"'{cls.name}'",
+                )
+            elif self._creates(node.value) and attr not in unlinked:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"created SharedMemory 'self.{attr}' is never unlink()ed "
+                    f"by '{cls.name}'",
+                )
+
+
+class UnpicklableSubmitRule(Rule):
+    """Non-picklable or RNG-bearing object handed to a process pool.
+
+    Lambdas and nested functions fail to pickle at submit time; a
+    ``numpy.random.Generator`` pickles but silently *forks* the stream —
+    the worker advances a copy, the parent's stays put, and the sweep's
+    spawned-seed discipline (every worker derives its own child seed) is
+    bypassed. Pass module-level functions and plain seeds; reconstruct
+    RNGs, files, and locks inside the worker.
+    """
+
+    id = "REP506"
+    title = "unpicklable/RNG-bearing object submitted to process pool"
+    hint = (
+        "submit module-level functions with plain-data args; pass seeds, "
+        "not Generators (spawned-seed discipline), and reopen files/locks "
+        "in the worker"
+    )
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        for _class_name, fn in _iter_functions(ctx.tree):
+            yield from self._check_function(ctx, fn)
+
+    def _check_function(
+        self, ctx: "ModuleContext", fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        pools: set[str] = set()
+        nested: set[str] = set()
+        tainted: dict[str, str] = {}
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn:
+                nested.add(node.name)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if (
+                        isinstance(item.optional_vars, ast.Name)
+                        and self._is_process_pool(ctx, item.context_expr)
+                    ):
+                        pools.add(item.optional_vars.id)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                if self._is_process_pool(ctx, node.value):
+                    pools.add(target.id)
+                else:
+                    taint = self._taint_of(ctx, node.value)
+                    if taint is not None:
+                        tainted[target.id] = taint
+        if not pools:
+            return
+        for node in ast.walk(fn):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("submit", "map")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in pools
+                and node.args
+            ):
+                continue
+            callee = node.args[0]
+            if isinstance(callee, ast.Lambda):
+                yield self.finding(
+                    ctx, node, "lambda submitted to a process pool cannot pickle"
+                )
+            elif isinstance(callee, ast.Name) and callee.id in nested:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"nested function '{callee.id}' submitted to a process "
+                    "pool cannot pickle",
+                )
+            for arg in node.args[1:]:
+                if isinstance(arg, ast.Name) and arg.id in tainted:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"'{arg.id}' ({tainted[arg.id]}) crosses the process "
+                        "boundary",
+                    )
+
+    def _is_process_pool(self, ctx: "ModuleContext", node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and ctx.resolve(node.func)
+            in (
+                "concurrent.futures.ProcessPoolExecutor",
+                "concurrent.futures.process.ProcessPoolExecutor",
+            )
+        )
+
+    def _taint_of(self, ctx: "ModuleContext", node: ast.expr) -> str | None:
+        if not isinstance(node, ast.Call):
+            return None
+        resolved = ctx.resolve(node.func)
+        if resolved in _RNG_BEARING_CALLS:
+            return "an RNG stream; pass the seed instead"
+        if resolved in _LOCK_CALLS:
+            return "a thread lock, which cannot pickle"
+        if resolved == "open":
+            return "an open file handle, which cannot pickle"
+        return None

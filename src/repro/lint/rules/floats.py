@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING
 
 from ..context import iter_scoped
 from ..findings import Finding
-from . import Rule
+from .base import Rule
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..context import ModuleContext

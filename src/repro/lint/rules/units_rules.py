@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING
 
 from ..findings import Finding
 from ..names import UNIT_DIMENSION, unit_of_identifier
-from . import Rule
+from .base import Rule
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..context import ModuleContext

@@ -12,6 +12,16 @@ Grammar (one directive per comment)::
 Malformed directives (unknown verb, unparsable rule list) produce a
 ``REP000`` finding instead of being silently dropped — a typo in a
 suppression must not re-arm a silenced rule without anyone noticing.
+
+A third verb documents lock discipline rather than suppressing anything::
+
+    # repro-lint: lock-protocol=_GAIN_LOCK -- why this lock guards the state
+    # repro-lint: lock-protocol=exempt     -- why no lock is needed
+
+It annotates a module-level mutable container's definition line; REP502
+reads it from the source to decide which lock must guard writes (or that
+the author has justified going lockless). The grammar is validated here
+so a typo'd annotation is a REP000 finding, not a silent no-op.
 """
 
 from __future__ import annotations
@@ -23,13 +33,17 @@ from dataclasses import dataclass, field
 
 from .findings import Finding
 
-__all__ = ["Suppressions", "collect_suppressions"]
+__all__ = ["Suppressions", "collect_suppressions", "lock_protocol_on"]
 
 _DIRECTIVE = re.compile(r"#\s*repro-lint\s*:\s*(?P<body>.*)$")
 _BODY = re.compile(
     r"^(?P<verb>[a-z-]+)\s*=\s*(?P<rules>[A-Za-z0-9, ]+?)\s*(?:--\s*(?P<why>.*))?$"
 )
 _RULE_ID = re.compile(r"^(REP\d{3}|all)$")
+_LOCK_PROTOCOL = re.compile(
+    r"^lock-protocol\s*=\s*(?P<lock>[A-Za-z_][A-Za-z0-9_.]*|exempt)"
+    r"\s*(?:--\s*(?P<why>.*))?$"
+)
 
 
 @dataclass
@@ -65,7 +79,12 @@ def collect_suppressions(source: str, path: str) -> Suppressions:
         if match is None:
             continue
         line = tok.start[0]
-        body = _BODY.match(match.group("body").strip())
+        stripped = match.group("body").strip()
+        if stripped.startswith("lock-protocol"):
+            if _LOCK_PROTOCOL.match(stripped) is None:
+                supp.errors.append(_bad_directive(path, line, tok.string))
+            continue  # annotation, not a suppression: REP502 reads it itself
+        body = _BODY.match(stripped)
         verb = body.group("verb") if body else None
         if body is None or verb not in ("disable", "disable-file"):
             supp.errors.append(_bad_directive(path, line, tok.string))
@@ -80,6 +99,15 @@ def collect_suppressions(source: str, path: str) -> Suppressions:
         else:
             supp.by_line.setdefault(line, set()).update(rules)
     return supp
+
+
+def lock_protocol_on(line_text: str) -> str | None:
+    """The lock name (or ``"exempt"``) a line's annotation declares, if any."""
+    match = _DIRECTIVE.search(line_text)
+    if match is None:
+        return None
+    body = _LOCK_PROTOCOL.match(match.group("body").strip())
+    return None if body is None else body.group("lock")
 
 
 def _bad_directive(path: str, line: int, comment: str) -> Finding:

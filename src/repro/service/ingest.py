@@ -22,10 +22,11 @@ service's ``feed_line`` callback.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import math
 import sys
-from collections.abc import Callable, Iterator
+from collections.abc import Awaitable, Callable, Iterator
 from pathlib import Path
 
 from ..errors import ConfigurationError
@@ -35,6 +36,7 @@ from ..telemetry.trace import Trace
 from .events import Event, heartbeat, make_event, parse_event
 
 __all__ = [
+    "FeedLine",
     "replay_events",
     "trace_events",
     "resolve_replay_path",
@@ -109,7 +111,19 @@ def replay_events(path: str | Path, window_s: float) -> Iterator[Event]:
     )
 
 
-async def stdin_lines(feed_line: Callable[[str], None]) -> None:
+#: Feed callbacks may be plain (``None``) or coroutine-returning: the
+#: serve loop wraps feeding in an executor hop so journal fsyncs never
+#: block the loop, and the sources await that hop when offered one.
+FeedLine = Callable[[str], "None | Awaitable[None]"]
+
+
+async def _deliver(feed_line: FeedLine, line: str) -> None:
+    result = feed_line(line)
+    if inspect.isawaitable(result):
+        await result
+
+
+async def stdin_lines(feed_line: FeedLine) -> None:
     """Feed LDJSON lines from stdin until EOF (off-loop readline)."""
     loop = asyncio.get_running_loop()
     while True:
@@ -118,11 +132,11 @@ async def stdin_lines(feed_line: Callable[[str], None]) -> None:
             return
         line = line.strip()
         if line:
-            feed_line(line)
+            await _deliver(feed_line, line)
 
 
 async def serve_ingest(
-    feed_line: Callable[[str], None], host: str, port: int
+    feed_line: FeedLine, host: str, port: int
 ) -> asyncio.AbstractServer:
     """Start the TCP LDJSON ingest listener; returns the asyncio server."""
 
@@ -136,7 +150,7 @@ async def serve_ingest(
                 if not line:
                     continue
                 try:
-                    feed_line(line)
+                    await _deliver(feed_line, line)
                 except ConfigurationError as exc:
                     # A malformed producer line must not kill the stream;
                     # answer with a structured error and keep reading.

@@ -74,8 +74,17 @@ async def _run(
             and service.windows_closed >= options.max_windows
         )
 
-    def feed(line: str) -> None:
-        service.feed_line(line)
+    # The service is single-writer by contract; feed_lock serializes every
+    # source (stdin, TCP producers, replay) onto one feed at a time while
+    # the actual feeding — which ends in a journal write + fsync — runs on
+    # the default executor so it never stalls the event loop (REP501).
+    # ConfigurationError from a bad line propagates through the executor
+    # hop unchanged, so the TCP per-line {"error": ...} protocol holds.
+    feed_lock = asyncio.Lock()
+
+    async def feed(line: str) -> None:
+        async with feed_lock:
+            await loop.run_in_executor(None, service.feed_line, line)
         if at_max():
             stop.set()
 
@@ -102,8 +111,16 @@ async def _run(
         if options.replay is not None:
             window_s = service.config.window_s
             announce(f"replay: streaming {options.replay}")
-            for event in replay_events(options.replay, window_s):
-                service.feed_event(event)
+            events = replay_events(options.replay, window_s)
+            while True:
+                # The generator does file I/O lazily (open/read on first
+                # and subsequent next()), so advancing it is offloaded
+                # like the feeding itself.
+                event = await loop.run_in_executor(None, next, events, None)
+                if event is None:
+                    break
+                async with feed_lock:
+                    await loop.run_in_executor(None, service.feed_event, event)
                 if at_max():
                     break
                 # Yield between events so the ingest listener and signal

@@ -37,7 +37,7 @@ from ..faults import (
     FaultyServerActuator,
 )
 from ..hardware.server import GpuServer
-from ..fast.mode import fast_enabled
+from ..enginemode import fast_enabled
 from ..perf import vectorized_enabled
 from ..rng import spawn
 from ..telemetry import (

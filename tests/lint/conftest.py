@@ -6,15 +6,23 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import LintConfig, run_lint
+from repro.lint import LintConfig, load_layer_contract, run_lint
 
 FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def fixture_config(**overrides):
+    """Default config plus the fixture package's own layer contract."""
+    overrides.setdefault(
+        "layer_contract", load_layer_contract(FIXTURES / "pyproject.toml")
+    )
+    return LintConfig(**overrides)
 
 
 @pytest.fixture(scope="session")
 def fixture_findings():
     """Findings from one engine run over the whole fixture package."""
-    return run_lint([FIXTURES / "repro"], LintConfig()).findings
+    return run_lint([FIXTURES / "repro"], fixture_config()).findings
 
 
 def findings_for(findings, filename, rule=None):

@@ -1,0 +1,5 @@
+"""Only module in the badcontract fixture package."""
+
+
+def noop():
+    return None

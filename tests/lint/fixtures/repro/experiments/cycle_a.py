@@ -1,0 +1,11 @@
+"""Fixture: one half of an REP602 import cycle (same layer, so no REP601)."""
+
+from repro.experiments import cycle_b  # REP602: cycle_a <-> cycle_b
+
+
+def ping():
+    return cycle_b.pong()
+
+
+def forward():
+    return "a"

@@ -1,0 +1,7 @@
+"""Fixture: the other half of the REP602 import cycle."""
+
+from repro.experiments import cycle_a  # REP602: cycle_a <-> cycle_b
+
+
+def pong():
+    return cycle_a.forward()

@@ -1,0 +1,53 @@
+"""Fixture: REP502/REP505/REP506 shared-state violations (never imported)."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+import numpy
+
+_CACHE = {}  # unannotated module-level mutable state
+_STATS = {}  # locked below, but missing the lock-protocol annotation
+_STATS_LOCK = threading.Lock()
+
+
+def _worker_loop():
+    _CACHE["hits"] = 1  # REP502: written from a thread entrypoint, no lock
+    with _STATS_LOCK:
+        _STATS["n"] = 2  # REP502: locked but unannotated
+
+
+def start_worker():
+    thread = threading.Thread(target=_worker_loop)
+    thread.start()
+    return thread
+
+
+def leak_segment(nbytes):
+    segment = SharedMemory(create=True, size=nbytes)  # REP505: never closed
+    return segment.buf[0]
+
+
+class SegmentOwner:
+    def __init__(self, nbytes):
+        self.segment = SharedMemory(create=True, size=nbytes)  # REP505
+
+    def close(self):
+        self.segment.close()  # close() but no unlink() for create=True
+
+
+def submit_jobs(values):
+    rng = numpy.random.default_rng(0)
+
+    def _local(job):
+        return job + 1
+
+    with ProcessPoolExecutor() as pool:
+        bad_lambda = pool.submit(lambda v: v * 2, values[0])  # REP506
+        bad_nested = pool.submit(_local, values[1])  # REP506: nested def
+        bad_rng = pool.submit(_score, rng, values[2])  # REP506: rng argument
+    return bad_lambda, bad_nested, bad_rng
+
+
+def _score(rng, value):
+    return rng.random() + value

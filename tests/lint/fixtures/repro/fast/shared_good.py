@@ -1,0 +1,40 @@
+"""Fixture: shared-state patterns done right — no REP5xx findings expected."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+_CACHE = {}  # repro-lint: lock-protocol=_CACHE_LOCK -- all writers hold the lock
+_CACHE_LOCK = threading.Lock()
+
+_SCRATCH = []  # repro-lint: lock-protocol=exempt -- append-only scratch; GIL-atomic
+
+
+def _worker_loop():
+    with _CACHE_LOCK:
+        _CACHE["hits"] = 1  # locked and annotated: clean
+    _SCRATCH.append(0)  # exempt by annotation
+
+
+def start_worker():
+    thread = threading.Thread(target=_worker_loop)
+    thread.start()
+    return thread
+
+
+def use_segment(nbytes):
+    segment = SharedMemory(create=True, size=nbytes)
+    try:
+        return bytes(segment.buf[:1])
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def _score(value):
+    return value + 1
+
+
+def submit_jobs(values):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(_score, v) for v in values]

@@ -1,0 +1,9 @@
+"""Fixture: REP603 — a stdlib-only module reaching for a third-party import."""
+
+import json
+
+import numpy  # REP603: repro.lint is declared stdlib-only
+
+
+def digest(payload):
+    return json.dumps({"mean": float(numpy.mean(payload))})

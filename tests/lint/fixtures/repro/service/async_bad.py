@@ -1,0 +1,33 @@
+"""Fixture: REP501/REP503/REP504 async-plane violations (never imported)."""
+
+import asyncio
+import threading
+import time
+
+_STATE_LOCK = threading.Lock()
+
+
+def _flush_to_disk(payload):
+    with open("/tmp/fixture.out", "w") as fh:  # the blocking sink
+        fh.write(payload)
+
+
+def _relay(payload):
+    _flush_to_disk(payload)  # one hop below the async caller
+
+
+async def sleepy_handler():
+    time.sleep(0.5)  # REP501 (direct)
+
+
+async def chained_handler(payload):
+    _relay(payload)  # REP501 (transitive: _relay -> _flush_to_disk -> open)
+
+
+async def locked_handler():
+    with _STATE_LOCK:  # REP503: thread lock held across await
+        await asyncio.sleep(0.1)
+
+
+async def spawner():
+    asyncio.create_task(sleepy_handler())  # REP504: handle dropped

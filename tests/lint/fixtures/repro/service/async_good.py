@@ -1,0 +1,27 @@
+"""Fixture: the async plane done right — no REP5xx findings expected."""
+
+import asyncio
+
+
+def _parse(payload):
+    return payload.strip()
+
+
+async def sleepy_handler():
+    await asyncio.sleep(0.5)  # async counterpart, not time.sleep
+
+
+async def offloaded_handler(payload):
+    loop = asyncio.get_running_loop()
+    # Blocking work crosses the loop boundary through the executor.
+    return await loop.run_in_executor(None, _parse, payload)
+
+
+async def locked_handler(lock: asyncio.Lock):
+    async with lock:  # asyncio lock, fine to hold across await
+        await asyncio.sleep(0.1)
+
+
+async def spawner():
+    tasks = [asyncio.create_task(sleepy_handler())]  # handle retained
+    await asyncio.gather(*tasks)

@@ -1,0 +1,7 @@
+"""Fixture: REP601 layering violation — engine importing upward into surface."""
+
+from repro.service import async_bad  # REP601: sim (engine) -> service (surface)
+
+
+def peek():
+    return async_bad.__name__

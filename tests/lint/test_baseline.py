@@ -101,3 +101,18 @@ def test_unusable_baseline_raises_format_error(tmp_path, payload):
 def test_missing_baseline_raises_format_error(tmp_path):
     with pytest.raises(BaselineFormatError):
         load_baseline(tmp_path / "absent.json")
+
+
+def test_round_trip_covers_concurrency_and_architecture_families(tmp_path):
+    findings = [
+        _finding(rule="REP501", path="src/repro/service/run.py", line=42,
+                 content="time.sleep(0.5)"),
+        _finding(rule="REP601", path="src/repro/sim/engine.py", line=3,
+                 content="from repro.service import run"),
+    ]
+    path = tmp_path / "baseline.json"
+    write_baseline(findings, path)
+    loaded = load_baseline(path)
+    assert {e.rule for e in loaded.entries} == {"REP501", "REP601"}
+    new, baselined, stale = loaded.partition(findings)
+    assert not new and not stale and len(baselined) == 2

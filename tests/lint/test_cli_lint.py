@@ -123,11 +123,108 @@ def test_list_rules_catalogue(capsys):
     for rule_id in ("REP101", "REP102", "REP103", "REP104", "REP105", "REP106",
                     "REP201", "REP202", "REP203",
                     "REP301", "REP302", "REP303",
-                    "REP401", "REP402"):
+                    "REP401", "REP402",
+                    "REP501", "REP502", "REP503", "REP504", "REP505", "REP506",
+                    "REP601", "REP602", "REP603"):
         assert rule_id in out
 
 
 def test_self_lint_of_shipped_package_is_clean(capsys):
-    """The repo holds itself to its own rules (acceptance criterion)."""
+    """The repo holds itself to its own rules (acceptance criterion).
+
+    Runs with the repository's own layer contract discovered from
+    pyproject.toml, so REP6xx is active too.
+    """
     code = main(["lint", str(REPO_ROOT / "src" / "repro"), "--no-baseline"])
     assert code == 0, capsys.readouterr().out
+
+
+def test_self_lint_concurrency_and_layering_clean(capsys):
+    """Acceptance criterion: --select REP5,REP6 is clean on the repo."""
+    code = main([
+        "lint", str(REPO_ROOT / "src" / "repro"),
+        "--no-baseline", "--select", "REP5,REP6",
+    ])
+    assert code == 0, capsys.readouterr().out
+
+
+def test_json_ordering_is_fully_deterministic(tmp_path, capsys):
+    """Two rules on one line emit in (path, line, col, rule) order."""
+    body = (
+        "import time\n"
+        "import random\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time(), random.random(), time.time_ns()\n"
+    )
+    path = _write(tmp_path, "multi.py", body)
+    assert main(["lint", path, "--format", "json"]) == 1
+    first = capsys.readouterr().out
+    keys = [
+        (f["path"], f["line"], f["col"], f["rule"])
+        for f in json.loads(first)["findings"]
+    ]
+    assert keys == sorted(keys)
+    assert len(keys) >= 3
+    # Byte-identical across runs: no set/dict ordering leaks into the output.
+    assert main(["lint", path, "--format", "json"]) == 1
+    assert capsys.readouterr().out == first
+
+
+def test_dot_export_of_import_graph(capsys):
+    code = main([
+        "lint", str(REPO_ROOT / "tests" / "lint" / "fixtures" / "repro"),
+        "--format", "dot",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph repro_imports {")
+    # The fixture contract clusters modules into named layers.
+    assert 'label="engine";' in out
+    assert '"repro.sim.layering_bad" -> "repro.service.async_bad";' in out
+
+
+def test_exit_two_on_contract_naming_unknown_module(capsys):
+    """A layer contract naming modules absent from the tree cannot run."""
+    code = main([
+        "lint",
+        str(REPO_ROOT / "tests" / "lint" / "fixtures" / "badcontract" / "pkg"),
+    ])
+    assert code == 2
+    assert "nonexistent_module" in capsys.readouterr().err
+
+
+def _git(tmp_path, *argv):
+    import subprocess
+
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+        cwd=tmp_path, check=True, capture_output=True,
+    )
+
+
+def test_changed_restricts_to_files_touched_since_base(tmp_path, capsys,
+                                                       monkeypatch):
+    _git(tmp_path, "init", "-q")
+    _write(tmp_path, "old.py", DIRTY)   # dirty, but committed at BASE
+    _git(tmp_path, "add", "old.py")
+    _git(tmp_path, "commit", "-qm", "base")
+    _write(tmp_path, "new.py", CLEAN)   # clean, added after BASE
+    monkeypatch.chdir(tmp_path)
+
+    # Only new.py is checked: the pre-existing REP101 does not fail the run.
+    assert main(["lint", str(tmp_path), "--changed", "HEAD"]) == 0
+    assert "1 file" in capsys.readouterr().out
+
+    # A dirty untracked file does fail it.
+    _write(tmp_path, "worse.py", DIRTY)
+    assert main(["lint", str(tmp_path), "--changed", "HEAD"]) == 1
+    assert "REP101" in capsys.readouterr().out
+
+
+def test_changed_outside_git_repo_is_usage_error(tmp_path, capsys,
+                                                 monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.delenv("GIT_DIR", raising=False)
+    assert main(["lint", str(tmp_path), "--changed", "HEAD"]) == 2
+    assert "git" in capsys.readouterr().err.lower()

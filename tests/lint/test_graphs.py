@@ -1,0 +1,162 @@
+"""Unit tests for the shared whole-program graphs in ``repro.lint.index``.
+
+These build tiny synthetic packages under ``tmp_path`` so each assertion
+pins one structural behaviour: edge classification (module-level vs
+deferred vs ``TYPE_CHECKING``), cycle detection, dot export, entrypoint
+discovery, and call-graph reachability/dispatch.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint.index import ImportGraph, ProjectCallGraph, ProjectIndex
+from repro.lint.layers import load_layer_contract
+
+
+def _write_package(root, files):
+    pkg = root / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for name, body in files.items():
+        (pkg / name).write_text(textwrap.dedent(body))
+    return pkg
+
+
+@pytest.fixture()
+def import_pkg(tmp_path):
+    return _write_package(tmp_path, {
+        "a.py": """\
+            from typing import TYPE_CHECKING
+
+            import pkg.b
+
+            if TYPE_CHECKING:
+                import pkg.d
+
+
+            def late():
+                import pkg.c
+                return pkg.c
+            """,
+        "b.py": "import pkg.a\n",
+        "c.py": "VALUE = 1\n",
+        "d.py": "VALUE = 2\n",
+    })
+
+
+class TestImportGraph:
+    def test_edges_classified_and_sorted(self, import_pkg):
+        graph = ProjectIndex.build([import_pkg]).import_graph()
+        by_target = {e.target: e for e in graph.edges_from("pkg.a")}
+        assert not by_target["pkg.b"].deferred
+        assert by_target["pkg.c"].deferred  # imported inside a function
+        assert by_target["pkg.d"].type_checking
+        keys = [(e.source, e.lineno, e.target) for e in graph.edges]
+        assert keys == sorted(keys)
+
+    def test_module_level_adjacency_excludes_deferred_and_tc(self, import_pkg):
+        adjacency = ProjectIndex.build([import_pkg]).import_graph() \
+            .module_level_adjacency()
+        assert adjacency["pkg.a"] == ("pkg.b",)
+
+    def test_cycles_found_and_deferred_edges_break_them(self, import_pkg):
+        graph = ProjectIndex.build([import_pkg]).import_graph()
+        assert graph.cycles() == (("pkg.a", "pkg.b"),)
+        assert graph.cycle_of("pkg.a") == ("pkg.a", "pkg.b")
+        assert graph.cycle_of("pkg.c") is None  # only a deferred import
+
+    def test_dot_export_styles_edges(self, import_pkg):
+        dot = ProjectIndex.build([import_pkg]).import_graph().to_dot()
+        assert dot.startswith("digraph repro_imports {")
+        assert '"pkg.a" -> "pkg.b";' in dot
+        assert '"pkg.a" -> "pkg.c" [style=dashed];' in dot  # deferred
+        assert "pkg.d" not in dot.split("->")[1]  # no TYPE_CHECKING edge
+
+    def test_dot_export_clusters_by_layer(self, tmp_path, import_pkg):
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""\
+            [tool.repro-lint]
+            [[tool.repro-lint.layers]]
+            name = "base"
+            modules = ["pkg.c", "pkg.d"]
+            [[tool.repro-lint.layers]]
+            name = "top"
+            modules = ["pkg.a", "pkg.b"]
+            """))
+        contract = load_layer_contract(tmp_path / "pyproject.toml")
+        dot = ProjectIndex.build([import_pkg]).import_graph().to_dot(contract)
+        assert 'label="base";' in dot and 'label="top";' in dot
+        assert dot.index('label="base"') < dot.index('"pkg.c"')
+
+    def test_graphs_are_memoized_per_index(self, import_pkg):
+        index = ProjectIndex.build([import_pkg])
+        assert index.import_graph() is index.import_graph()
+        assert index.call_graph() is index.call_graph()
+
+
+@pytest.fixture()
+def call_pkg(tmp_path):
+    return _write_package(tmp_path, {
+        "work.py": """\
+            import threading
+
+
+            def _helper():
+                return 1
+
+
+            def _job():
+                return _helper()
+
+
+            def start():
+                thread = threading.Thread(target=_job)
+                thread.start()
+                return thread
+
+
+            async def handler():
+                return _helper()
+
+
+            def untouched():
+                return 0
+            """,
+        "dispatch.py": """\
+            class Base:
+                def run(self):
+                    return 0
+
+
+            class Sub(Base):
+                def run(self):
+                    return 1
+
+
+            def drive(obj: Base):
+                return obj.run()
+            """,
+    })
+
+
+class TestProjectCallGraph:
+    def test_entrypoints_discovered(self, call_pkg):
+        graph = ProjectIndex.build([call_pkg]).call_graph()
+        assert ("pkg.work._job", "thread") in graph.entrypoints
+        assert ("pkg.work.handler", "async") in graph.entrypoints
+        assert all(q != "pkg.work.start" for q, _ in graph.entrypoints)
+
+    def test_reachability_walks_call_edges(self, call_pkg):
+        graph = ProjectIndex.build([call_pkg]).call_graph()
+        reachable = graph.reachable_from_entrypoints()
+        assert {"pkg.work._job", "pkg.work._helper", "pkg.work.handler"} \
+            <= reachable
+        assert "pkg.work.untouched" not in reachable
+
+    def test_cha_dispatch_includes_overrides(self, call_pkg):
+        graph = ProjectIndex.build([call_pkg]).call_graph()
+        drive = graph.functions["pkg.dispatch.drive"]
+        targets = {t for call in drive.calls for t in call.targets}
+        assert {"pkg.dispatch.Base.run", "pkg.dispatch.Sub.run"} <= targets

@@ -186,14 +186,101 @@ class TestSanctionedModules:
             run_lint([FIXTURES / "repro" / "fast"], config)
 
 
-@pytest.mark.parametrize("family", ["REP1", "REP2", "REP3", "REP4"])
+class TestConcurrencyRules:
+    def test_direct_blocking_call_in_async_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "async_bad.py", "REP501")
+        assert {f.line for f in hits} == {20, 24}
+        by_line = {f.line: f for f in hits}
+        assert "time.sleep" in by_line[20].message
+        # The transitive finding names the call chain, not just the sink.
+        assert "_relay" in by_line[24].message
+        assert "_flush_to_disk" in by_line[24].message
+
+    def test_lock_across_await_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "async_bad.py", "REP503")
+        assert {f.line for f in hits} == {28}
+
+    def test_fire_and_forget_task_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "async_bad.py", "REP504")
+        assert {f.line for f in hits} == {33}
+
+    def test_async_good_file_is_clean(self, fixture_findings):
+        # await asyncio.sleep, executor offload, asyncio.Lock, retained task.
+        assert rules_in(fixture_findings, "async_good.py") == set()
+
+    def test_unlocked_and_unannotated_shared_writes_flagged(
+        self, fixture_findings
+    ):
+        hits = findings_for(fixture_findings, "shared_bad.py", "REP502")
+        by_line = {f.line: f for f in hits}
+        assert set(by_line) == {15, 17}
+        assert "without a lock" in by_line[15].message  # unlocked write
+        assert "lock-protocol" in by_line[17].message  # locked, unannotated
+
+    def test_shared_memory_lifecycle_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "shared_bad.py", "REP505")
+        by_line = {f.line: f for f in hits}
+        assert set(by_line) == {27, 33}
+        assert "close()" in by_line[27].message
+        assert "unlink()" in by_line[33].message
+
+    def test_unpicklable_submissions_flagged(self, fixture_findings):
+        hits = findings_for(fixture_findings, "shared_bad.py", "REP506")
+        assert {f.line for f in hits} == {46, 47, 48}
+        joined = " ".join(f.message for f in hits)
+        assert "lambda" in joined
+        assert "nested function" in joined
+        assert "RNG stream" in joined
+
+    def test_shared_good_file_is_clean(self, fixture_findings):
+        # Locked+annotated writes, lock-protocol=exempt, try/finally close
+        # + unlink, module-level function submitted to the pool.
+        assert rules_in(fixture_findings, "shared_good.py") == set()
+
+
+class TestArchitectureRules:
+    def test_upward_import_violates_layer_contract(self, fixture_findings):
+        hits = findings_for(fixture_findings, "layering_bad.py", "REP601")
+        assert {f.line for f in hits} == {3}
+        assert "'engine'" in hits[0].message
+        assert "'surface'" in hits[0].message
+        assert "repro.service.async_bad" in hits[0].message
+
+    def test_import_cycle_reported_on_both_ends(self, fixture_findings):
+        a = findings_for(fixture_findings, "cycle_a.py", "REP602")
+        b = findings_for(fixture_findings, "cycle_b.py", "REP602")
+        assert {f.line for f in a} == {3} and {f.line for f in b} == {3}
+        for hit in (*a, *b):
+            assert "repro.experiments.cycle_a <-> repro.experiments.cycle_b" \
+                in hit.message
+
+    def test_same_layer_cycle_raises_no_layer_violation(self, fixture_findings):
+        assert not findings_for(fixture_findings, "cycle_a.py", "REP601")
+        assert not findings_for(fixture_findings, "cycle_b.py", "REP601")
+
+    def test_stdlib_only_module_rejects_third_party_import(
+        self, fixture_findings
+    ):
+        hits = findings_for(fixture_findings, "impl.py", "REP603")
+        assert {f.line for f in hits} == {5}
+        assert "numpy" in hits[0].message
+
+    def test_without_contract_no_layer_findings(self):
+        findings = run_lint(
+            [FIXTURES / "repro" / "sim" / "layering_bad.py"], LintConfig()
+        ).findings
+        assert not any(f.rule == "REP601" for f in findings)
+
+
+@pytest.mark.parametrize("family", ["REP1", "REP2", "REP3", "REP4", "REP5", "REP6"])
 def test_every_family_is_exercised(fixture_findings, family):
     """Acceptance criterion: at least one rule per family fires on fixtures."""
     assert any(f.rule.startswith(family) for f in fixture_findings)
 
 
 def test_findings_are_sorted_and_carry_content(fixture_findings):
-    keys = [(f.path, f.line, f.rule, f.col) for f in fixture_findings]
+    # Stable order is (path, line, col, rule) — the JSON/text emission order.
+    keys = [(f.path, f.line, f.col, f.rule) for f in fixture_findings]
     assert keys == sorted(keys)
     for finding in fixture_findings:
         if finding.rule != "REP000":

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from .conftest import FIXTURES, findings_for
+from .conftest import FIXTURES, findings_for, fixture_config
 from repro.lint import LintConfig, run_lint
-from repro.lint.suppress import collect_suppressions
+from repro.lint.suppress import collect_suppressions, lock_protocol_on
 
 
 def _suppressed_findings(fixture_findings):
@@ -67,3 +67,44 @@ def test_select_filters_rule_families():
     family = run_lint([path], LintConfig(select=("REP1",)))
     assert {f.rule for f in family.findings} >= {"REP101", "REP105", "REP106"}
     assert all(f.rule.startswith("REP1") for f in family.findings)
+
+
+def test_select_reaches_new_families():
+    """--select REP5,REP6 narrows a fixture run to exactly those families."""
+    findings = run_lint(
+        [FIXTURES / "repro"], fixture_config(select=("REP5", "REP6"))
+    ).findings
+    fired = {f.rule for f in findings}
+    assert fired >= {"REP501", "REP502", "REP601", "REP602", "REP603"}
+    # Directive errors (REP000) always surface; everything else is filtered.
+    assert all(rule.startswith(("REP5", "REP6", "REP000")) for rule in fired)
+
+
+def test_line_suppression_silences_concurrency_finding(tmp_path):
+    target = tmp_path / "svc.py"
+    target.write_text(
+        "import time\n"
+        "async def h():\n"
+        "    time.sleep(1)  # repro-lint: disable=REP501 -- startup only\n"
+    )
+    result = run_lint([target], LintConfig())
+    assert not any(f.rule == "REP501" for f in result.findings)
+
+
+def test_lock_protocol_annotation_parses():
+    assert lock_protocol_on("_CACHE = {}  # repro-lint: lock-protocol=_LOCK") \
+        == "_LOCK"
+    assert lock_protocol_on(
+        "_SCRATCH = []  # repro-lint: lock-protocol=exempt -- single writer"
+    ) == "exempt"
+    assert lock_protocol_on("_CACHE = {}  # plain comment") is None
+
+
+def test_malformed_lock_protocol_is_rep000(tmp_path):
+    target = tmp_path / "bad_annotation.py"
+    target.write_text("_CACHE = {}  # repro-lint: lock-protocol=\n")
+    result = run_lint([target], LintConfig())
+    assert any(
+        f.rule == "REP000" and "lock-protocol" in f.message
+        for f in result.findings
+    )
