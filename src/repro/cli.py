@@ -357,6 +357,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-windows", type=int, default=None, metavar="N",
         help="stop after closing N windows (counts resumed windows)",
     )
+    serve_p.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="arm a seeded network/twin fault plan (JSON; see "
+             "docs/robustness.md) — deterministic, replayable chaos on "
+             "every ingest source",
+    )
+    serve_p.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="override the fault plan's own seed",
+    )
+    serve_p.add_argument(
+        "--queue-size", type=int, default=None, metavar="N",
+        help="bounded ingest queue capacity before the load-shedding "
+             "ladder engages (default 256)",
+    )
+    serve_p.add_argument(
+        "--max-restarts", type=int, default=None, metavar="N",
+        help="consecutive twin crash/stall restarts before the service "
+             "gives up with exit 2 (default 5)",
+    )
+    serve_p.add_argument(
+        "--idle-timeout-s", type=float, default=None, metavar="SEC",
+        help="per-connection TCP read deadline (default 30; 0 disables)",
+    )
+    serve_p.add_argument(
+        "--max-line-bytes", type=int, default=None, metavar="BYTES",
+        help="largest accepted LDJSON frame on any source (default 65536)",
+    )
 
     twin_p = sub.add_parser(
         "twin",
@@ -781,8 +809,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from .errors import CheckpointError, ConfigurationError
+    from .errors import (
+        CheckpointError,
+        ConfigurationError,
+        ForcedShutdown,
+        ServiceFailedError,
+    )
     from .service import ServeOptions, ServiceConfig, parse_shadow_specs, serve
+    from .service.resilience import ResilienceConfig
 
     def announce(message: str) -> None:
         print(f"[serve] {message}", file=sys.stderr, flush=True)
@@ -836,6 +870,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 seed=args.seed if args.seed is not None else 0,
                 shadows=shadows,
             )
+        defaults = ResilienceConfig()
+        resilience = ResilienceConfig(
+            queue_size=(
+                args.queue_size
+                if args.queue_size is not None
+                else defaults.queue_size
+            ),
+            max_line_bytes=(
+                args.max_line_bytes
+                if args.max_line_bytes is not None
+                else defaults.max_line_bytes
+            ),
+            idle_timeout_s=(
+                (args.idle_timeout_s if args.idle_timeout_s > 0 else None)
+                if args.idle_timeout_s is not None
+                else defaults.idle_timeout_s
+            ),
+            max_restarts=(
+                args.max_restarts
+                if args.max_restarts is not None
+                else defaults.max_restarts
+            ),
+            seed=args.seed if args.seed is not None else defaults.seed,
+        )
         options = ServeOptions(
             journal_dir=Path(args.resume) if resume else (
                 Path(args.journal_dir) if args.journal_dir is not None else None
@@ -848,8 +906,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             listen_port=listen_port,
             oneshot=args.oneshot,
             max_windows=args.max_windows,
+            fault_plan=Path(args.fault_plan) if args.fault_plan is not None else None,
+            fault_seed=args.fault_seed,
+            resilience=resilience,
         )
         service = serve(config, options, announce=announce)
+    except ServiceFailedError as err:
+        # The supervisor exhausted its restart budget: the crash-loop
+        # give-up contract is exit 2 (docs/robustness.md).
+        print(f"serve: {err}", file=sys.stderr)
+        return 2
+    except ForcedShutdown as err:
+        # Second SIGINT: conventional SIGINT exit status.
+        print(f"serve: {err}", file=sys.stderr)
+        return 130
     except (CheckpointError, ConfigurationError) as err:
         # Setup/durability refusals (journal exists, corrupt WAL, bad spec)
         # are exit 2, like every other "could not even start" CLI path.

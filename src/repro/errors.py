@@ -19,6 +19,8 @@ __all__ = [
     "SloInfeasibleError",
     "ExperimentError",
     "CheckpointError",
+    "ServiceFailedError",
+    "ForcedShutdown",
     "BudgetShortfallWarning",
 ]
 
@@ -118,4 +120,23 @@ class CheckpointError(ReproError):
     Raised when loading a checkpoint whose digest does not verify, whose
     schema version is unknown, or whose captured state cannot be mapped
     onto the freshly constructed run it is being restored into.
+    """
+
+
+class ServiceFailedError(ReproError):
+    """The service plane exhausted its recovery budget and gave up.
+
+    Raised by the twin supervisor when the twin task keeps crashing (or
+    stalling) through ``max_restarts`` consecutive restart attempts — the
+    crash-loop case where continuing to restart would only thrash. The
+    ``repro serve`` CLI maps it to exit code 2.
+    """
+
+
+class ForcedShutdown(ReproError):
+    """The operator demanded an immediate stop (second SIGINT).
+
+    The first SIGINT asks the serve loop to drain gracefully; a second
+    one raises this instead of waiting. The ``repro serve`` CLI maps it
+    to exit code 130, the conventional SIGINT exit status.
     """

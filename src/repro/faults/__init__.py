@@ -12,6 +12,28 @@ degradation counterpart lives in the engine's observation ladder
 """
 
 from .injector import ArmedFault, FaultInjector
+from .network import (
+    DEFAULT_MAX_LINE_BYTES,
+    DuplicateStorm,
+    InjectedTwinCrash,
+    LateStorm,
+    LineChaos,
+    NetDisconnect,
+    NetFault,
+    NetworkFaultPlan,
+    OversizedFrame,
+    ReorderStorm,
+    ServiceFaultBank,
+    SlowLoris,
+    TornFrame,
+    TwinCrash,
+    TwinFault,
+    TwinStall,
+    WatermarkStall,
+    line_survives,
+    load_network_fault_plan,
+    surviving_lines,
+)
 from .models import (
     ActuatorClamp,
     ActuatorDelay,
@@ -51,4 +73,25 @@ __all__ = [
     "FaultyNvml",
     "FaultyRapl",
     "FaultyServerActuator",
+    # service-plane (network + twin) faults
+    "DEFAULT_MAX_LINE_BYTES",
+    "NetFault",
+    "NetDisconnect",
+    "TornFrame",
+    "OversizedFrame",
+    "SlowLoris",
+    "DuplicateStorm",
+    "ReorderStorm",
+    "LateStorm",
+    "WatermarkStall",
+    "TwinFault",
+    "TwinCrash",
+    "TwinStall",
+    "InjectedTwinCrash",
+    "NetworkFaultPlan",
+    "load_network_fault_plan",
+    "LineChaos",
+    "ServiceFaultBank",
+    "line_survives",
+    "surviving_lines",
 ]

@@ -33,17 +33,32 @@ The architecture is the opendt sim-worker pipeline without Kafka:
 :mod:`~repro.service.core`
     The service itself, tying the layers together, plus the offline
     one-shot twin used by CI to cross-check ``/whatif`` answers.
+:mod:`~repro.service.resilience`
+    The self-healing plane: bounded backpressure with a load-shedding
+    ladder, circuit breakers with seeded backoff, the twin supervisor
+    (crash/stall restart from the WAL), and the ok → degraded →
+    shedding → failed health state machine.
 :mod:`~repro.service.run`
-    The ``repro serve`` loop: sources, journal, HTTP, and signal
-    handling wired into one asyncio run.
+    The ``repro serve`` loop: sources, pipeline, supervised twin,
+    journal, HTTP, and signal handling wired into one asyncio run.
 
-See ``docs/service.md`` for window semantics and shadow-trust guidance.
+See ``docs/service.md`` for window semantics, shadow-trust guidance, and
+the degraded-mode HTTP contract; ``docs/robustness.md`` for the
+service-plane fault model.
 """
 
 from .cache import ResultCache
 from .core import DigitalTwinService, ServiceConfig, offline_whatif
 from .events import Event, event_digest, parse_event
 from .journal import ServiceJournal
+from .resilience import (
+    HealthMonitor,
+    HealthState,
+    IngestPipeline,
+    ResilienceConfig,
+    ShedLevel,
+    TwinSupervisor,
+)
 from .run import ServeOptions, serve
 from .shadow import ShadowSpec, TwinRunner, parse_shadow_specs
 from .windows import ClosedWindow, WindowManager
@@ -52,12 +67,18 @@ __all__ = [
     "ClosedWindow",
     "DigitalTwinService",
     "Event",
+    "HealthMonitor",
+    "HealthState",
+    "IngestPipeline",
+    "ResilienceConfig",
     "ResultCache",
     "ServeOptions",
     "ServiceConfig",
     "ServiceJournal",
     "ShadowSpec",
+    "ShedLevel",
     "TwinRunner",
+    "TwinSupervisor",
     "WindowManager",
     "event_digest",
     "offline_whatif",

@@ -17,13 +17,16 @@ build the twins, advance them ``n`` windows, return the answers. CI's
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..checkpoint.blob import build_blob, load_blob, save_blob
 from ..errors import CheckpointError, ConfigurationError
+from ..faults.network import InjectedTwinCrash, ServiceFaultBank
 from .cache import ResultCache
 from .events import Event, parse_event
 from .journal import GENESIS_CHAIN, ServiceJournal, chain_digest
+from .resilience.health import HealthMonitor
 from .shadow import ShadowSpec, TwinRunner, parse_shadow_spec, topology_hash
 from .windows import ClosedWindow, WindowManager
 
@@ -113,6 +116,19 @@ def _shadow_answer(shadow: TwinRunner, deployed: TwinRunner) -> dict:
     return answer
 
 
+@dataclass
+class _PendingWindow:
+    """A closed window awaiting commit, with its sticky shed level.
+
+    The level is frozen the moment the window closes so a crash-retry of
+    the same window journals a byte-identical body (the WAL may already
+    hold the first attempt's entry — the chain must agree).
+    """
+
+    window: ClosedWindow
+    shed_level: int
+
+
 class DigitalTwinService:
     """Streaming service state: window manager, twins, cache, journal.
 
@@ -150,6 +166,23 @@ class DigitalTwinService:
         self.cache = ResultCache()
         self.records: list[dict] = []
         self.chain = GENESIS_CHAIN
+        self.health = HealthMonitor()
+        #: Armed by the resilient serve loop to inject deterministic twin
+        #: crashes (supervisor drills); None in normal operation.
+        self.fault_bank: ServiceFaultBank | None = None
+        #: Windows the watermark closed but the twins have not committed
+        #: yet. Survives a twin crash: after :meth:`rebuild_twins`, a
+        #: :meth:`drain_pending` re-commits them — the events themselves
+        #: are never re-fed.
+        self._pending: deque[_PendingWindow] = deque()
+        #: Highest window index already appended to the WAL — guards a
+        #: crash-retry against journalling the same window twice when the
+        #: first attempt died between the WAL fsync and the in-memory
+        #: commit.
+        self._last_journaled_index = -1
+        self.windows_shed_shadows = 0
+        self.windows_deployed_only = 0
+        self.rebuilds_total = 0
         restored = 0
         if resume:
             if journal is None:
@@ -166,6 +199,7 @@ class DigitalTwinService:
             return 0
         self.records = list(entries)
         self.chain = journal.head_chain(entries)
+        self._last_journaled_index = len(entries) - 1
         if not self._restore_from_blob(journal, len(entries)):
             self.deployed.advance(len(entries))
             for shadow in self.shadows.values():
@@ -223,35 +257,149 @@ class DigitalTwinService:
 
     def feed_event(self, event: Event) -> list[dict]:
         """Feed one event; process (and return) any windows it closed."""
-        return [self._on_window_closed(w) for w in self.windows.add(event)]
+        return self.feed_event_sheddable(event, 0)
+
+    def feed_event_sheddable(self, event: Event, shed_level: int = 0) -> list[dict]:
+        """Feed one event under a shed-ladder level; commit closed windows.
+
+        ``shed_level`` (a :class:`~repro.service.resilience.ShedLevel`
+        value as int) is frozen into each window the event closes — a
+        crash-retry re-commits the window at the same level, keeping the
+        journaled body byte-identical across attempts.
+        """
+        for window in self.windows.add(event):
+            self._pending.append(_PendingWindow(window, int(shed_level)))
+        if self._pending:
+            return self.drain_pending()
+        return []
 
     def flush(self) -> list[dict]:
         """End-of-stream: close and process every still-open window."""
-        return [self._on_window_closed(w) for w in self.windows.flush()]
+        for window in self.windows.flush():
+            self._pending.append(_PendingWindow(window, 0))
+        return self.drain_pending()
 
-    def _on_window_closed(self, window: ClosedWindow) -> dict:
-        self.deployed.advance(1)
-        for shadow in self.shadows.values():
-            shadow.advance(1)
+    @property
+    def has_pending_windows(self) -> bool:
+        """True when closed windows await (re-)commit after a crash."""
+        return bool(self._pending)
+
+    def drain_pending(self) -> list[dict]:
+        """Commit every pending closed window, oldest first.
+
+        A window is popped only *after* its commit completes, so a crash
+        mid-commit leaves it (and everything behind it) pending for the
+        next drain. Already-committed prefixes are skipped idempotently.
+        """
+        out: list[dict] = []
+        while self._pending:
+            pending = self._pending[0]
+            if self.fault_bank is not None and self.fault_bank.crash_fires(
+                pending.window.index
+            ):
+                raise InjectedTwinCrash(
+                    f"injected twin crash at window {pending.window.index}"
+                )
+            out.append(self._commit_window(pending.window, pending.shed_level))
+            self._pending.popleft()
+        return out
+
+    def _commit_window(self, window: ClosedWindow, shed_level: int) -> dict:
+        """Advance twins past one closed window and journal the record.
+
+        Safe to retry after a crash at any point: a window already in
+        ``records`` returns its committed entry, a window already in the
+        WAL is not appended again, and twin advancement targets absolute
+        window counts (chunking-invariant) rather than deltas.
+        """
+        if window.index < len(self.records):
+            return self.records[window.index]
+        target = len(self.records) + 1
+        self.deployed.advance(target - self.deployed.windows_advanced)
         body = {
             "kind": "window_closed",
             "window": window.to_dict(),
             "deployed": self.deployed.summary(),
-            "shadows": {
-                name: _shadow_answer(shadow, self.deployed)
-                for name, shadow in sorted(self.shadows.items())
-            },
         }
+        if shed_level >= 3:
+            # Deployed-only: shadows stop advancing; the lag is repaid by
+            # one chunked (chunking-invariant) advance when pressure drops.
+            self.windows_deployed_only += 1
+            body["shed_level"] = 3
+            body["shadows"] = {}
+        else:
+            for shadow in self.shadows.values():
+                shadow.advance(target - shadow.windows_advanced)
+            if shed_level >= 2 and self.shadows:
+                # Shadows advance but the equivalence deltas are shed.
+                self.windows_shed_shadows += 1
+                body["shed_level"] = 2
+                body["shadows"] = {
+                    name: shadow.summary()
+                    for name, shadow in sorted(self.shadows.items())
+                }
+            else:
+                body["shadows"] = {
+                    name: _shadow_answer(shadow, self.deployed)
+                    for name, shadow in sorted(self.shadows.items())
+                }
         entry = {**body, "chain": chain_digest(self.chain, body)}
-        if self.journal is not None:
+        if self.journal is not None and window.index > self._last_journaled_index:
             # WAL first (durable before served), then the best-effort blob.
             self.journal.append_window(entry)
+        self._last_journaled_index = max(self._last_journaled_index, window.index)
         self.chain = entry["chain"]
         self.records.append(entry)
         self._file_in_cache(entry)
         if self.journal is not None:
             self._save_blob(self.journal)
         return entry
+
+    def rebuild_twins(self) -> None:
+        """Replace the twins with fresh runners advanced to the committed head.
+
+        The supervisor's crash-recovery step: whatever state the crashed
+        twins were in, a rebuild replays the authoritative ledger —
+        ``advance(len(records))`` on brand-new runners — and cross-checks
+        the rebuilt digests against the last committed record, the same
+        bit-identity gate a journal resume applies.
+        """
+        self.deployed.close()
+        for shadow in self.shadows.values():
+            shadow.close()
+        config = self.config
+        self.deployed = TwinRunner(
+            config.scenario,
+            config.n_servers,
+            periods_per_window=config.periods_per_window,
+            seed=config.seed,
+        )
+        self.shadows = {
+            spec.name: TwinRunner.for_shadow(
+                spec,
+                config.scenario,
+                config.n_servers,
+                config.periods_per_window,
+                config.seed,
+            )
+            for spec in config.shadows
+        }
+        n_windows = len(self.records)
+        if n_windows:
+            self.deployed.advance(n_windows)
+            for shadow in self.shadows.values():
+                shadow.advance(n_windows)
+            last = self.records[-1]
+            self._check_digest(
+                "deployed", self.deployed.digest(), last["deployed"]["digest"]
+            )
+            for name, shadow in self.shadows.items():
+                recorded = last["shadows"].get(name)
+                if recorded is not None:
+                    self._check_digest(
+                        f"shadow {name!r}", shadow.digest(), recorded["digest"]
+                    )
+        self.rebuilds_total += 1
 
     def _file_in_cache(self, entry: dict) -> None:
         chain = entry["chain"]
@@ -260,6 +408,15 @@ class DigitalTwinService:
             self.cache.put(answer["topology_hash"], chain, answer)
 
     def _save_blob(self, journal: ServiceJournal) -> None:
+        if any(
+            shadow.windows_advanced != len(self.records)
+            for shadow in self.shadows.values()
+        ):
+            # Deployed-only shedding left the shadows lagging; the blob
+            # format assumes every twin sits at the committed head, so
+            # skip the refresh — a resume falls back to the WAL, which
+            # rebuilds (and fully catches up) deterministically.
+            return
         state = {
             "deployed": self.deployed.fleet.snapshot(),
             "shadows": {
@@ -283,7 +440,7 @@ class DigitalTwinService:
     def snapshot(self) -> dict:
         """The /healthz body (cheap, always available)."""
         return {
-            "status": "ok",
+            "status": self.health.state.value,
             "scenario": self.config.scenario,
             "n_servers": self.config.n_servers,
             "engine": "reference",
@@ -357,11 +514,25 @@ class DigitalTwinService:
             "shadows": {parsed.name: answer},
         }
 
+    @property
+    def shadow_lag(self) -> int:
+        """Windows the furthest-behind shadow owes (deployed-only rung)."""
+        if not self.shadows:
+            return 0
+        return len(self.records) - min(
+            shadow.windows_advanced for shadow in self.shadows.values()
+        )
+
     def metrics_counters(self) -> dict:
         """Raw counters for the /metrics renderer."""
         counters = dict(self.windows.counters())
         counters["windows_closed"] = self.windows_closed
         counters["watermark_s"] = self.windows.watermark_s
+        counters["windows_shed_shadows"] = self.windows_shed_shadows
+        counters["windows_deployed_only"] = self.windows_deployed_only
+        counters["shadow_lag"] = self.shadow_lag
+        counters["twin_rebuilds"] = self.rebuilds_total
+        counters["health"] = self.health.counters()
         counters.update(
             {f"cache_{k}": v for k, v in self.cache.counters().items()}
         )

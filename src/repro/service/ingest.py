@@ -26,14 +26,20 @@ import inspect
 import json
 import math
 import sys
+import threading
 from collections.abc import Awaitable, Callable, Iterator
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..errors import ConfigurationError
+from ..faults.network import DEFAULT_MAX_LINE_BYTES
 from ..runner import TIMING_KEYS
 from ..telemetry.serialize import load_trace_npz
 from ..telemetry.trace import Trace
 from .events import Event, heartbeat, make_event, parse_event
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .resilience.breaker import CircuitBreaker
 
 __all__ = [
     "FeedLine",
@@ -123,11 +129,43 @@ async def _deliver(feed_line: FeedLine, line: str) -> None:
         await result
 
 
-async def stdin_lines(feed_line: FeedLine) -> None:
-    """Feed LDJSON lines from stdin until EOF (off-loop readline)."""
+def _pump_stdin(
+    loop: asyncio.AbstractEventLoop,
+    queue: "asyncio.Queue[str]",
+    credits: threading.Semaphore,
+) -> None:
+    """Thread body: blockingly read stdin and post lines onto the loop."""
+    try:
+        while True:
+            credits.acquire()
+            line = sys.stdin.readline()
+            loop.call_soon_threadsafe(queue.put_nowait, line)
+            if not line:
+                return
+    except RuntimeError:
+        return  # The loop closed mid-post: the service is going down.
+
+
+async def stdin_lines(feed_line: FeedLine, max_pending: int = 64) -> None:
+    """Feed LDJSON lines from stdin until EOF.
+
+    A dedicated **daemon** pump thread owns the blocking ``readline`` —
+    not the default executor — so a quiet stdin can never hold up event
+    loop shutdown (a forced shutdown must exit promptly even while the
+    reader is mid-block). A credit semaphore caps the pump at
+    ``max_pending`` lines ahead of delivery, so stdin cannot outrun the
+    consumer without bound.
+    """
     loop = asyncio.get_running_loop()
+    queue: asyncio.Queue = asyncio.Queue()
+    credits = threading.Semaphore(max_pending)
+    threading.Thread(
+        target=_pump_stdin, args=(loop, queue, credits),
+        daemon=True, name="stdin-pump",
+    ).start()
     while True:
-        line = await loop.run_in_executor(None, sys.stdin.readline)
+        line = await queue.get()
+        credits.release()
         if not line:
             return
         line = line.strip()
@@ -135,30 +173,154 @@ async def stdin_lines(feed_line: FeedLine) -> None:
             await _deliver(feed_line, line)
 
 
+#: Bytes per socket read in the framed TCP handler.
+_READ_CHUNK = 8192
+
+
+async def _answer(writer: asyncio.StreamWriter, message: str) -> None:
+    """Best-effort structured error answer to a producer."""
+    try:
+        writer.write((json.dumps({"error": message}) + "\n").encode("utf-8"))
+        await writer.drain()
+    except (ConnectionError, RuntimeError):
+        pass  # The peer is gone; nothing left to tell it.
+
+
 async def serve_ingest(
-    feed_line: FeedLine, host: str, port: int
+    feed_line: FeedLine,
+    host: str,
+    port: int,
+    *,
+    max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+    idle_timeout_s: float | None = None,
+    max_conn_errors: int | None = None,
+    breaker: "CircuitBreaker | None" = None,
+    counters: dict[str, int] | None = None,
 ) -> asyncio.AbstractServer:
-    """Start the TCP LDJSON ingest listener; returns the asyncio server."""
+    """Start the TCP LDJSON ingest listener; returns the asyncio server.
+
+    The handler frames lines itself from bounded chunk reads, so a peer
+    can never grow an unbounded buffer server-side:
+
+    * a frame longer than ``max_line_bytes`` is answered with a
+      structured ``{"error": ...}`` line and discarded up to the next
+      newline (the connection survives, memory stays bounded);
+    * with ``idle_timeout_s``, a connection that sends nothing for that
+      long is answered and closed (the per-connection read deadline);
+    * with ``max_conn_errors``, a connection whose rejected-line count
+      reaches the budget is answered and closed;
+    * with ``breaker``, rejected lines feed the listener's circuit
+      breaker and new connections are refused (one line + close) while
+      it is open, with half-open probes after the seeded cooldown.
+
+    ``counters`` (when given) is updated in place with connection and
+    rejection totals for the ``/metrics`` surface.
+    """
+    stats = counters if counters is not None else {}
+
+    def bump(key: str) -> None:
+        stats[key] = stats.get(key, 0) + 1
+
+    async def process(writer: asyncio.StreamWriter, raw: bytes) -> bool:
+        """Deliver one framed line; True when it was rejected."""
+        if len(raw) > max_line_bytes:
+            bump("oversized_frames")
+            await _answer(
+                writer,
+                f"frame of {len(raw)} bytes exceeds the "
+                f"{max_line_bytes}-byte limit",
+            )
+            return True
+        line = raw.decode("utf-8", errors="replace").strip()
+        if not line:
+            return False
+        try:
+            await _deliver(feed_line, line)
+        except ConfigurationError as exc:
+            # A malformed producer line must not kill the stream;
+            # answer with a structured error and keep reading.
+            bump("rejected_lines")
+            await _answer(writer, str(exc))
+            return True
+        if breaker is not None:
+            breaker.record_success()
+        return False
 
     async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        bump("connections_total")
+        if breaker is not None and not breaker.allow():
+            bump("connections_refused")
+            await _answer(writer, "ingest breaker open; retry later")
+            writer.close()
+            return
+        errors = 0
+        failed = False
+        buffer = b""
+        discarding = False
         try:
             while True:
-                raw = await reader.readline()
-                if not raw:
-                    break
-                line = raw.decode("utf-8", errors="replace").strip()
-                if not line:
-                    continue
                 try:
-                    await _deliver(feed_line, line)
-                except ConfigurationError as exc:
-                    # A malformed producer line must not kill the stream;
-                    # answer with a structured error and keep reading.
-                    writer.write(
-                        (json.dumps({"error": str(exc)}) + "\n").encode("utf-8")
+                    if idle_timeout_s is not None:
+                        chunk = await asyncio.wait_for(
+                            reader.read(_READ_CHUNK), timeout=idle_timeout_s
+                        )
+                    else:
+                        chunk = await reader.read(_READ_CHUNK)
+                except TimeoutError:
+                    bump("connections_idle_closed")
+                    await _answer(
+                        writer,
+                        f"no data for {idle_timeout_s:g} s; closing connection",
                     )
-                    await writer.drain()
+                    failed = True
+                    return
+                if not chunk:
+                    # EOF: a trailing partial line still counts as a frame.
+                    if buffer and not discarding:
+                        await process(writer, buffer)
+                    return
+                buffer += chunk
+                while True:
+                    newline = buffer.find(b"\n")
+                    if newline < 0:
+                        if discarding:
+                            buffer = b""
+                        elif len(buffer) > max_line_bytes:
+                            # The frame is already over budget with no end
+                            # in sight: reject now, skip to the next line.
+                            bump("oversized_frames")
+                            await _answer(
+                                writer,
+                                f"frame exceeds the {max_line_bytes}-byte "
+                                "limit",
+                            )
+                            errors += 1
+                            if breaker is not None:
+                                breaker.record_failure()
+                            discarding = True
+                            buffer = b""
+                        break
+                    raw, buffer = buffer[:newline], buffer[newline + 1 :]
+                    if discarding:
+                        discarding = False
+                        continue
+                    rejected = await process(writer, raw)
+                    if rejected:
+                        errors += 1
+                        if breaker is not None:
+                            breaker.record_failure()
+                    if max_conn_errors is not None and errors >= max_conn_errors:
+                        bump("connections_error_limited")
+                        await _answer(
+                            writer,
+                            f"error budget ({max_conn_errors}) exhausted; "
+                            "closing connection",
+                        )
+                        failed = True
+                        return
         finally:
+            if failed and breaker is not None:
+                breaker.record_failure()
             writer.close()
 
     return await asyncio.start_server(handle, host=host, port=port)

@@ -1,0 +1,34 @@
+"""Self-healing machinery for the streaming service plane.
+
+Four cooperating pieces, all deterministic under a seed:
+
+* :class:`ResilienceConfig` — every bound, threshold, and policy knob;
+* :class:`IngestPipeline` — the bounded queue between all ingest sources
+  and the twin consumer, with the load-shedding ladder
+  (:class:`ShedLevel`) and the armed chaos transform;
+* :class:`CircuitBreaker` / :class:`BackoffPolicy` — retry discipline
+  for flaky transports, with seeded jitter;
+* :class:`TwinSupervisor` — crash/stall detection and WAL-backed restart
+  of the twin task, giving up (exit 2) after ``max_restarts``
+  consecutive failures;
+* :class:`HealthMonitor` — the ok → degraded → shedding → failed state
+  machine the HTTP surface serves.
+"""
+
+from .backpressure import IngestPipeline, ShedLevel
+from .breaker import BackoffPolicy, BreakerState, CircuitBreaker
+from .config import ResilienceConfig
+from .health import HealthMonitor, HealthState
+from .supervisor import TwinSupervisor
+
+__all__ = [
+    "BackoffPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "HealthMonitor",
+    "HealthState",
+    "IngestPipeline",
+    "ResilienceConfig",
+    "ShedLevel",
+    "TwinSupervisor",
+]

@@ -1,0 +1,152 @@
+"""Retry backoff and circuit breaking with deterministic seeded jitter.
+
+Wall-clock timing on the service plane is *operational*, not
+digest-relevant — no window digest ever depends on when a retry fired —
+but test determinism still matters: both classes draw their jitter from a
+``repro.rng.spawn`` stream keyed on a name, and take an injectable
+``clock`` so the unit tests can step time explicitly.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from enum import Enum
+
+from ...errors import ConfigurationError
+from ...rng import spawn
+
+__all__ = ["BackoffPolicy", "BreakerState", "CircuitBreaker"]
+
+
+class BackoffPolicy:
+    """Capped exponential backoff with deterministic seeded jitter.
+
+    ``delay(attempt)`` for attempt 0, 1, 2, … is
+    ``min(cap, base * 2**attempt)`` scaled by a jitter factor drawn from
+    the policy's private stream into ``[0.5, 1.0)`` — full-jitter's
+    thundering-herd protection, replayable under a fixed seed.
+    """
+
+    def __init__(
+        self,
+        base_s: float,
+        cap_s: float,
+        seed: int = 0,
+        name: str = "backoff",
+    ):
+        if base_s <= 0.0 or cap_s < base_s:
+            raise ConfigurationError("backoff must satisfy 0 < base <= cap")
+        self.base_s = float(base_s)
+        self.cap_s = float(cap_s)
+        self._rng = spawn(seed, f"resilience-{name}")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ConfigurationError("attempt must be >= 0")
+        raw = min(self.cap_s, self.base_s * (2.0 ** min(attempt, 32)))
+        return raw * (0.5 + 0.5 * float(self._rng.random()))
+
+
+class BreakerState(str, Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-counting breaker: closed → open → half-open probe → closed.
+
+    ``allow()`` answers "may this attempt proceed right now?": always in
+    CLOSED; in OPEN only once the cooldown (seeded-backoff-scaled by how
+    often the breaker has opened) has elapsed, which transitions to
+    HALF_OPEN; in HALF_OPEN exactly one probe is allowed in flight. A
+    probe's ``record_success`` closes the breaker and clears the failure
+    history; ``record_failure`` re-opens it with a longer cooldown.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int,
+        backoff: BackoffPolicy,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[BreakerState], None] | None = None,
+    ):
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self._backoff = backoff
+        self._clock = clock
+        self._on_transition = on_transition
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._opened_count = 0
+        self._open_until = 0.0
+        self._probe_in_flight = False
+        self.transitions: dict[str, int] = {s.value: 0 for s in BreakerState}
+
+    @property
+    def state(self) -> BreakerState:
+        return self._state
+
+    def _enter(self, state: BreakerState) -> None:
+        if state is not self._state:
+            self._state = state
+            self.transitions[state.value] += 1
+            if self._on_transition is not None:
+                self._on_transition(state)
+
+    def allow(self) -> bool:
+        """May one attempt proceed now? (may transition OPEN → HALF_OPEN)"""
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.OPEN:
+            if self._clock() < self._open_until:
+                return False
+            self._enter(BreakerState.HALF_OPEN)
+            self._probe_in_flight = True
+            return True
+        # HALF_OPEN: a single probe at a time.
+        if self._probe_in_flight:
+            return False
+        self._probe_in_flight = True
+        return True
+
+    def record_success(self) -> None:
+        """The attempt succeeded: close and forget the failure history."""
+        self._failures = 0
+        self._probe_in_flight = False
+        self._enter(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        """The attempt failed: count it; trip (or re-trip) when due."""
+        self._probe_in_flight = False
+        if self._state is BreakerState.HALF_OPEN:
+            self._trip()
+            return
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._failures = 0
+        cooldown = self._backoff.delay(self._opened_count)
+        self._opened_count += 1
+        self._open_until = self._clock() + cooldown
+        self._enter(BreakerState.OPEN)
+
+    def counters(self) -> dict[str, float]:
+        """Metrics-facing snapshot."""
+        return {
+            "state": float(
+                {
+                    BreakerState.CLOSED: 0,
+                    BreakerState.HALF_OPEN: 1,
+                    BreakerState.OPEN: 2,
+                }[self._state]
+            ),
+            "opened_total": float(self._opened_count),
+        }

@@ -1,0 +1,132 @@
+"""The service-plane health state machine: ok → degraded → shedding → failed.
+
+One :class:`HealthMonitor` per service aggregates the signals the
+resilience layer produces — the shed-ladder level, twin-supervisor
+restarts, stall detections, breaker trips — into a single ordered state
+the HTTP surface serves:
+
+``ok``
+    Every subsystem nominal.
+``degraded``
+    The plane is coping but impaired: the shed ladder is on its first
+    rung, a supervisor restart happened recently, or an ingest breaker is
+    open. Query endpoints answer 503 + ``Retry-After`` (reads could be
+    behind the stream) while ``/healthz`` and ``/metrics`` stay up.
+``shedding``
+    Load shedding is discarding work (shadow deltas or shadow advancement
+    deferred); the degraded contract applies a fortiori.
+``failed``
+    The supervisor exhausted its restart budget; the process is on its
+    way to exit 2 and everything except ``/metrics`` answers 503.
+
+Writes come from the single serve loop; the HTTP thread only reads. A
+lock still serializes transitions so counter/state pairs can never tear
+across threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from enum import Enum
+
+__all__ = ["HealthState", "HealthMonitor"]
+
+
+class HealthState(str, Enum):
+    OK = "ok"
+    DEGRADED = "degraded"
+    SHEDDING = "shedding"
+    FAILED = "failed"
+
+    @property
+    def rank(self) -> int:
+        return _RANK[self]
+
+
+_RANK = {
+    HealthState.OK: 0,
+    HealthState.DEGRADED: 1,
+    HealthState.SHEDDING: 2,
+    HealthState.FAILED: 3,
+}
+
+
+class HealthMonitor:
+    """Aggregates resilience signals into one ordered health state.
+
+    The state is *recomputed* from current signals on every ``note_*``
+    call rather than edge-triggered, so transient inputs (a restart that
+    succeeded, a queue that drained) naturally relax the state back down
+    — except ``failed``, which is terminal by design.
+    """
+
+    def __init__(self, degraded_hold_windows: int = 2):
+        self._lock = threading.Lock()
+        self._state = HealthState.OK
+        self._shed_level = 0
+        self._breaker_open = False
+        self._restart_hold = 0
+        self._hold_windows = int(degraded_hold_windows)
+        self._failed = False
+        self.transitions: dict[str, int] = {s.value: 0 for s in HealthState}
+
+    # -- signal inputs (serve-loop thread) ---------------------------------
+
+    def note_shed_level(self, level: int) -> None:
+        with self._lock:
+            self._shed_level = int(level)
+            self._recompute()
+
+    def note_breaker(self, open_: bool) -> None:
+        with self._lock:
+            self._breaker_open = bool(open_)
+            self._recompute()
+
+    def note_restart(self) -> None:
+        """A supervisor restart happened: hold degraded for a few windows."""
+        with self._lock:
+            self._restart_hold = self._hold_windows
+            self._recompute()
+
+    def note_window_closed(self) -> None:
+        """Progress: one window closed, decay the restart hold."""
+        with self._lock:
+            if self._restart_hold > 0:
+                self._restart_hold -= 1
+            self._recompute()
+
+    def note_failed(self) -> None:
+        """Terminal: the supervisor gave up."""
+        with self._lock:
+            self._failed = True
+            self._recompute()
+
+    def _recompute(self) -> None:
+        if self._failed:
+            target = HealthState.FAILED
+        elif self._shed_level >= 2:
+            target = HealthState.SHEDDING
+        elif self._shed_level == 1 or self._breaker_open or self._restart_hold > 0:
+            target = HealthState.DEGRADED
+        else:
+            target = HealthState.OK
+        if target is not self._state:
+            self._state = target
+            self.transitions[target.value] += 1
+
+    # -- read surface (HTTP thread) ----------------------------------------
+
+    @property
+    def state(self) -> HealthState:
+        with self._lock:
+            return self._state
+
+    def counters(self) -> dict[str, object]:
+        """Metrics-facing snapshot (state + per-state transition counts)."""
+        with self._lock:
+            return {
+                "state": self._state.value,
+                "rank": self._state.rank,
+                "transitions": dict(self.transitions),
+            }

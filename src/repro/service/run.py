@@ -1,11 +1,22 @@
-"""The ``repro serve`` loop: sources, twins, journal, HTTP, signals.
+"""The ``repro serve`` loop: sources, pipeline, supervised twin, HTTP.
 
-One asyncio loop owns ingestion (replay generator, stdin reader, TCP
-listener) and feeds the single :class:`DigitalTwinService`; the HTTP
-read surface runs on its own daemon thread. SIGINT/SIGTERM stop the loop
-gracefully (the journal is flushed per window anyway, so an abrupt
-SIGKILL loses at most the torn final WAL line — exactly what the replay
-path tolerates and CI's kill-resume drill exercises).
+One asyncio loop owns the whole plane. Ingest sources (replay generator,
+stdin reader, TCP listener) are *producers*: they submit raw LDJSON
+lines to the bounded :class:`~repro.service.resilience.IngestPipeline`
+(where the armed chaos transform, the frame guard, and the load-shedding
+ladder live). The single consumer — the twin task — is owned by the
+:class:`~repro.service.resilience.TwinSupervisor`, which restarts it
+from the hash-chained WAL on a crash or stall and gives up (exit 2)
+after ``max_restarts`` consecutive failures. The HTTP read surface runs
+on its own daemon thread and serves 503 + Retry-After while the health
+state machine reports degraded or worse.
+
+Signals: the first SIGINT/SIGTERM asks for a graceful drain (end of
+stream, consumer drains the queue, journal stays consistent); a second
+SIGINT raises :class:`~repro.errors.ForcedShutdown`, which the CLI maps
+to exit 130. An abrupt SIGKILL loses at most the torn final WAL line —
+exactly what the replay path tolerates and CI's kill-resume drill
+exercises.
 """
 
 from __future__ import annotations
@@ -14,14 +25,28 @@ import asyncio
 import contextlib
 import signal
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ForcedShutdown
+from ..faults.network import (
+    LineChaos,
+    NetworkFaultPlan,
+    ServiceFaultBank,
+    load_network_fault_plan,
+)
 from .core import DigitalTwinService, ServiceConfig
 from .http import ServiceHTTPServer
 from .ingest import replay_events, serve_ingest, stdin_lines
 from .journal import ServiceJournal
+from .resilience import (
+    BackoffPolicy,
+    BreakerState,
+    CircuitBreaker,
+    IngestPipeline,
+    ResilienceConfig,
+    TwinSupervisor,
+)
 
 __all__ = ["ServeOptions", "serve"]
 
@@ -40,6 +65,9 @@ class ServeOptions:
     listen_port: int | None = None
     oneshot: bool = False
     max_windows: int | None = None
+    fault_plan: Path | None = None
+    fault_seed: int | None = None
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
 
 def _build_service(config: ServiceConfig | None, options: ServeOptions) -> DigitalTwinService:
@@ -57,104 +85,243 @@ def _build_service(config: ServiceConfig | None, options: ServeOptions) -> Digit
     return DigitalTwinService(config, journal=journal)
 
 
+def _arm_faults(
+    options: ServeOptions, announce: Callable[[str], None]
+) -> tuple[LineChaos | None, ServiceFaultBank | None]:
+    if options.fault_plan is None:
+        return None, None
+    plan: NetworkFaultPlan = load_network_fault_plan(options.fault_plan)
+    seed = plan.seed if options.fault_seed is None else options.fault_seed
+    announce(
+        f"faults: armed {len(plan.faults)} fault(s) from "
+        f"{options.fault_plan} seed={seed}"
+    )
+    return LineChaos(plan, seed=seed), ServiceFaultBank(plan, seed=seed)
+
+
 async def _run(
     service: DigitalTwinService,
     options: ServeOptions,
     announce: Callable[[str], None],
 ) -> None:
     loop = asyncio.get_running_loop()
+    rconfig = options.resilience
     stop = asyncio.Event()
+    force = asyncio.Event()
+    signals_seen = 0
+
+    def on_signal() -> None:
+        nonlocal signals_seen
+        signals_seen += 1
+        if signals_seen == 1:
+            stop.set()
+        else:
+            # Second SIGINT: the operator wants out *now*.
+            force.set()
+
     for signum in (signal.SIGINT, signal.SIGTERM):
         with contextlib.suppress(NotImplementedError, ValueError):
-            loop.add_signal_handler(signum, stop.set)
+            loop.add_signal_handler(signum, on_signal)
 
-    def at_max() -> bool:
-        return (
-            options.max_windows is not None
-            and service.windows_closed >= options.max_windows
+    # The plan file read happens off-loop (REP501): arming is one-shot
+    # startup work, but the loop is already running here.
+    chaos, fault_bank = await asyncio.to_thread(_arm_faults, options, announce)
+    service.fault_bank = fault_bank
+    pipeline = IngestPipeline(rconfig, service.health, chaos)
+    supervisor = TwinSupervisor(
+        service,
+        pipeline,
+        rconfig,
+        announce=announce,
+        fault_bank=fault_bank,
+        max_windows=options.max_windows,
+    )
+    ingest_counters: dict[str, int] = {}
+    breaker: CircuitBreaker | None = None
+    if options.ingest_port is not None:
+        breaker = CircuitBreaker(
+            "tcp-ingest",
+            rconfig.breaker_failures,
+            BackoffPolicy(
+                rconfig.backoff_base_s,
+                rconfig.backoff_cap_s,
+                seed=rconfig.seed,
+                name="tcp-ingest",
+            ),
+            on_transition=lambda state: service.health.note_breaker(
+                state is BreakerState.OPEN
+            ),
         )
 
-    # The service is single-writer by contract; feed_lock serializes every
-    # source (stdin, TCP producers, replay) onto one feed at a time while
-    # the actual feeding — which ends in a journal write + fsync — runs on
-    # the default executor so it never stalls the event loop (REP501).
-    # ConfigurationError from a bad line propagates through the executor
-    # hop unchanged, so the TCP per-line {"error": ...} protocol holds.
-    feed_lock = asyncio.Lock()
+    def resilience_metrics() -> dict[str, object]:
+        flat: dict[str, object] = dict(pipeline.metrics())
+        for key, value in supervisor.metrics().items():
+            flat[f"supervisor_{key}"] = value
+        for key, value in ingest_counters.items():
+            flat[f"ingest_{key}"] = value
+        if breaker is not None:
+            for key, value in breaker.counters().items():
+                flat[f"breaker_{key}"] = value
+        return flat
 
     async def feed(line: str) -> None:
-        async with feed_lock:
-            await loop.run_in_executor(None, service.feed_line, line)
-        if at_max():
-            stop.set()
+        # TCP path: ConfigurationError propagates so the handler can
+        # answer the producer with {"error": ...}.
+        await pipeline.submit_line(line)
+
+    async def feed_quiet(line: str) -> None:
+        # stdin/replay path: nobody to answer — the pipeline counted it.
+        with contextlib.suppress(ConfigurationError):
+            await pipeline.submit_line(line)
+
+    async def replay_producer() -> None:
+        window_s = service.config.window_s
+        announce(f"replay: streaming {options.replay}")
+        events = replay_events(options.replay, window_s)
+        while not stop.is_set():
+            # The generator does file I/O lazily (open/read on first and
+            # subsequent next()), so advancing it is offloaded like the
+            # feeding itself.
+            event = await loop.run_in_executor(None, next, events, None)
+            if event is None:
+                announce("replay: done — all events submitted")
+                return
+            if chaos is None:
+                await pipeline.put_event(event)
+            else:
+                # Replay goes through the same chaos/guard path as the
+                # live sources, as canonical LDJSON lines.
+                await feed_quiet(event.canonical)
+            # Yield between events so the ingest listener and signal
+            # handlers run while a long replay streams.
+            await asyncio.sleep(0)
 
     http_server: ServiceHTTPServer | None = None
     ingest_server: asyncio.AbstractServer | None = None
-    tasks: list[asyncio.Task] = []
+    producers: list[asyncio.Task] = []
+    stdin_task: asyncio.Task | None = None
+    supervisor_task = asyncio.create_task(supervisor.run(), name="twin-supervisor")
+    stop_waiter = asyncio.create_task(stop.wait(), name="stop-waiter")
+    force_waiter = asyncio.create_task(force.wait(), name="force-waiter")
+    stream_end_task: asyncio.Task | None = None
     try:
         if options.listen_port is not None:
             http_server = ServiceHTTPServer(
-                service, options.listen_host, options.listen_port
+                service,
+                options.listen_host,
+                options.listen_port,
+                extra_metrics=resilience_metrics,
+                retry_after_s=rconfig.retry_after_s,
             )
             http_server.start()
             announce(f"http: serving on {http_server.host}:{http_server.port}")
         if options.ingest_port is not None:
             ingest_server = await serve_ingest(
-                feed, options.ingest_host, options.ingest_port
+                feed,
+                options.ingest_host,
+                options.ingest_port,
+                max_line_bytes=rconfig.max_line_bytes,
+                idle_timeout_s=rconfig.idle_timeout_s,
+                max_conn_errors=rconfig.max_conn_errors,
+                breaker=breaker,
+                counters=ingest_counters,
             )
             sockets = ingest_server.sockets or ()
             for sock in sockets:
                 host, port = sock.getsockname()[:2]
                 announce(f"ingest: listening on {host}:{port}")
         if options.use_stdin:
-            tasks.append(asyncio.create_task(stdin_lines(feed)))
+            stdin_task = asyncio.create_task(stdin_lines(feed_quiet), name="stdin")
+            producers.append(stdin_task)
         if options.replay is not None:
-            window_s = service.config.window_s
-            announce(f"replay: streaming {options.replay}")
-            events = replay_events(options.replay, window_s)
-            while True:
-                # The generator does file I/O lazily (open/read on first
-                # and subsequent next()), so advancing it is offloaded
-                # like the feeding itself.
-                event = await loop.run_in_executor(None, next, events, None)
-                if event is None:
-                    break
-                async with feed_lock:
-                    await loop.run_in_executor(None, service.feed_event, event)
-                if at_max():
-                    break
-                # Yield between events so the ingest listener and signal
-                # handlers run while a long replay streams.
-                await asyncio.sleep(0)
+            producers.append(asyncio.create_task(replay_producer(), name="replay"))
+
+        async def stream_end() -> None:
+            """Completes when the event stream is finished; pends while live."""
+            if producers:
+                await asyncio.gather(*producers)
+            if options.oneshot:
+                return
+            if stdin_task is not None and ingest_server is None:
+                # stdin was the terminal source: EOF ends the stream.
+                return
+            if ingest_server is None and http_server is None and stdin_task is None:
+                # Replay-only with nothing to keep serving for.
+                return
+            await asyncio.Event().wait()
+
+        stream_end_task = asyncio.create_task(stream_end(), name="stream-end")
+
+        async def drain_and_finish() -> None:
+            """End of stream: let the consumer drain, honoring force/fail."""
+            # end_of_stream can itself block on a full queue, so it races
+            # against the force signal and a dying supervisor too.
+            eos = asyncio.create_task(pipeline.end_of_stream())
+            try:
+                done, _ = await asyncio.wait(
+                    {eos, force_waiter, supervisor_task},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if force_waiter in done:
+                    raise ForcedShutdown("second SIGINT during drain")
+                if eos not in done:
+                    await supervisor_task  # raises, or --max-windows reached
+                    return
+            finally:
+                eos.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await eos
+            done, _ = await asyncio.wait(
+                {force_waiter, supervisor_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if force_waiter in done:
+                raise ForcedShutdown("second SIGINT during drain")
+            await supervisor_task  # propagate ServiceFailedError, if any
             announce(
-                f"replay: done — {service.windows_closed} windows closed, "
+                f"stream: done — {service.windows_closed} windows closed, "
                 f"watermark {service.windows.watermark_s:g}s"
             )
-        if options.oneshot and tasks and not at_max() and not stop.is_set():
-            # stdin is a finite source like the replay: --oneshot drains
-            # it to EOF (or a stop: signal / --max-windows) before exiting.
-            stopper = asyncio.ensure_future(stop.wait())
-            await asyncio.wait([stopper, *tasks], return_when=asyncio.FIRST_COMPLETED)
-            stopper.cancel()
-            with contextlib.suppress(asyncio.CancelledError):
-                await stopper
-        if options.oneshot or at_max():
+
+        done, _ = await asyncio.wait(
+            {stop_waiter, force_waiter, supervisor_task, stream_end_task},
+            return_when=asyncio.FIRST_COMPLETED,
+        )
+        if force_waiter in done:
+            raise ForcedShutdown("second SIGINT")
+        if supervisor_task in done:
+            # Crash-loop give-up (raises ServiceFailedError) or the
+            # --max-windows target was reached (returns cleanly).
+            await supervisor_task
             return
-        live = tasks or ingest_server is not None or http_server is not None
-        if not live:
+        if stream_end_task in done:
+            await stream_end_task  # propagate a broken replay source
+            await drain_and_finish()
             return
-        if tasks and ingest_server is None:
-            # stdin is the only ingest source: EOF ends the stream, and
-            # with it the service (HTTP stays up only while stdin lives).
-            done_or_stop = [asyncio.ensure_future(stop.wait()), *tasks]
-            await asyncio.wait(done_or_stop, return_when=asyncio.FIRST_COMPLETED)
-        else:
-            await stop.wait()
-    finally:
-        for task in tasks:
+        # stop_waiter: graceful drain of whatever is already queued.
+        for task in producers:
             task.cancel()
-        for task in tasks:
+        for task in producers:
             with contextlib.suppress(asyncio.CancelledError):
+                await task
+        if not supervisor_task.done():
+            await drain_and_finish()
+        else:
+            await supervisor_task
+    finally:
+        for task in producers:
+            task.cancel()
+        for task in (supervisor_task, stop_waiter, force_waiter, stream_end_task):
+            if task is not None:
+                task.cancel()
+        for task in [
+            *producers,
+            supervisor_task,
+            stop_waiter,
+            force_waiter,
+            *([stream_end_task] if stream_end_task is not None else []),
+        ]:
+            with contextlib.suppress(asyncio.CancelledError, Exception):
                 await task
         if ingest_server is not None:
             ingest_server.close()

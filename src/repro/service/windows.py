@@ -123,6 +123,16 @@ class WindowManager:
         """Windows closed so far (== the next window index to close)."""
         return self._next_to_close
 
+    @property
+    def close_boundary_s(self) -> float:
+        """Event time at/behind which data events are late.
+
+        Everything before the end of the last closed window would be
+        counted and dropped by :meth:`add`; the shed-late rung of the
+        backpressure ladder uses this to drop such events at the door.
+        """
+        return self._next_to_close * self.window_s
+
     def window_index(self, t: float) -> int:
         """The window index event time ``t`` falls in."""
         return int(t // self.window_s)

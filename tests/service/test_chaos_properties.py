@@ -1,0 +1,189 @@
+"""Hypothesis properties: network storms never violate the window laws.
+
+The satellite claim behind the chaos drill: whatever a seeded storm mix
+does to the line stream — duplication, redelivery, reordering, tearing,
+holding lines late, swallowing heartbeats — the window manager's laws
+survive: the watermark stays monotone, windows close in index order,
+closed windows are immutable, duplicates never double-count, and the
+whole run is a pure function of ``(plan, seed, input lines)``.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.models import FaultWindow
+from repro.faults.network import (
+    DuplicateStorm,
+    LateStorm,
+    LineChaos,
+    NetDisconnect,
+    NetworkFaultPlan,
+    ReorderStorm,
+    TornFrame,
+    WatermarkStall,
+    line_survives,
+)
+from repro.service.events import parse_event
+from repro.service.windows import WindowManager
+
+
+@st.composite
+def line_streams(draw):
+    """Rounds of data lines, each closed by a heartbeat at the boundary."""
+    n_rounds = draw(st.integers(min_value=1, max_value=5))
+    lines = []
+    for k in range(n_rounds):
+        offsets = draw(
+            st.lists(
+                st.floats(min_value=0.05, max_value=0.95).map(
+                    lambda x: round(x, 3)
+                ),
+                max_size=4,
+            )
+        )
+        for j, dt in enumerate(offsets):
+            lines.append(
+                json.dumps({"kind": "telemetry", "t": k + dt, "x": j})
+            )
+        lines.append(json.dumps({"kind": "heartbeat", "t": float(k + 1)}))
+    return lines
+
+
+def fault_window(draw):
+    start = draw(st.integers(min_value=0, max_value=20))
+    count = draw(st.integers(min_value=1, max_value=12))
+    return FaultWindow(start, count)
+
+
+@st.composite
+def order_preserving_plans(draw):
+    """Storms that only duplicate in place: digest-neutral by design."""
+    faults = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        probability = draw(st.floats(min_value=0.3, max_value=1.0))
+        if draw(st.booleans()):
+            faults.append(
+                DuplicateStorm(
+                    window=fault_window(draw),
+                    probability=probability,
+                    copies=draw(st.integers(min_value=1, max_value=3)),
+                )
+            )
+        else:
+            faults.append(
+                NetDisconnect(window=fault_window(draw), probability=probability)
+            )
+    return NetworkFaultPlan(
+        faults=tuple(faults), seed=draw(st.integers(min_value=0, max_value=999))
+    )
+
+
+@st.composite
+def storm_plans(draw):
+    """The full storm mix, any combination, any seeding."""
+    makers = [
+        lambda p: DuplicateStorm(
+            window=fault_window(draw),
+            probability=p,
+            copies=draw(st.integers(min_value=1, max_value=3)),
+        ),
+        lambda p: NetDisconnect(window=fault_window(draw), probability=p),
+        lambda p: TornFrame(window=fault_window(draw), probability=p),
+        lambda p: ReorderStorm(
+            window=fault_window(draw),
+            probability=p,
+            depth=draw(st.integers(min_value=2, max_value=5)),
+        ),
+        lambda p: LateStorm(
+            window=fault_window(draw),
+            probability=p,
+            hold_lines=draw(st.integers(min_value=1, max_value=6)),
+        ),
+        lambda p: WatermarkStall(window=fault_window(draw), probability=p),
+    ]
+    faults = tuple(
+        draw(st.sampled_from(makers))(draw(st.floats(min_value=0.3, max_value=1.0)))
+        for _ in range(draw(st.integers(min_value=1, max_value=4)))
+    )
+    return NetworkFaultPlan(
+        faults=faults, seed=draw(st.integers(min_value=0, max_value=999))
+    )
+
+
+def feed(lines):
+    """Feed surviving lines into a fresh manager; returns (windows, wm)."""
+    wm = WindowManager(1.0)
+    closed = []
+    for line in lines:
+        if not line_survives(line):
+            continue
+        closed.extend(wm.add(parse_event(line)))
+    closed.extend(wm.flush())
+    return closed, wm
+
+
+def digests(windows):
+    return [(w.index, w.digest, w.n_events) for w in windows]
+
+
+@given(line_streams(), order_preserving_plans())
+@settings(max_examples=60, deadline=None)
+def test_duplicate_storms_are_digest_neutral(lines, plan):
+    """In-place duplication (storms and redelivery) dedups to the clean
+    run: every closed window digest and membership count is identical."""
+    baseline, _ = feed(lines)
+    stormed, _ = feed(LineChaos(plan).transform(lines))
+    assert digests(stormed) == digests(baseline)
+
+
+@given(line_streams(), storm_plans())
+@settings(max_examples=60, deadline=None)
+def test_any_storm_keeps_watermark_monotone_and_indices_ordered(lines, plan):
+    wm = WindowManager(1.0)
+    closed = []
+    seen = wm.watermark_s
+    for line in LineChaos(plan).transform(lines):
+        if not line_survives(line):
+            continue
+        closed.extend(wm.add(parse_event(line)))
+        assert wm.watermark_s >= seen
+        seen = wm.watermark_s
+    closed.extend(wm.flush())
+    assert [w.index for w in closed] == list(range(len(closed)))
+
+
+@given(line_streams(), storm_plans())
+@settings(max_examples=60, deadline=None)
+def test_any_storm_run_is_deterministic(lines, plan):
+    """One seeded plan, one input stream: byte-identical twice over."""
+    first, _ = feed(LineChaos(plan).transform(lines))
+    second, _ = feed(LineChaos(plan).transform(lines))
+    assert digests(first) == digests(second)
+
+
+@given(line_streams(), storm_plans())
+@settings(max_examples=60, deadline=None)
+def test_closed_windows_are_immutable_under_any_storm(lines, plan):
+    """A window's digest never changes after close, whatever arrives later
+    — the chaos stream is fed twice back to back and the first run's
+    closed windows must re-appear unchanged as the prefix."""
+    stormed = list(LineChaos(plan).transform(lines))
+    once, _ = feed(stormed)
+    wm = WindowManager(1.0)
+    closed = []
+    for line in stormed:
+        if not line_survives(line):
+            continue
+        closed.extend(wm.add(parse_event(line)))
+    # Everything in the second pass is at/behind the watermark: duplicates
+    # or late drops only; already-closed windows must stay untouched.
+    snapshot = digests(closed)
+    for line in stormed:
+        if not line_survives(line):
+            continue
+        closed.extend(wm.add(parse_event(line)))
+    assert digests(closed) == snapshot
+    closed.extend(wm.flush())
+    assert digests(closed) == digests(once)

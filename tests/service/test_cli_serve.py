@@ -38,6 +38,22 @@ class TestParser:
         assert args.journal_dir is None
         assert not args.oneshot
 
+    def test_serve_resilience_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--replay", "x.npz",
+                "--fault-plan", "plan.json", "--fault-seed", "7",
+                "--queue-size", "32", "--max-restarts", "2",
+                "--idle-timeout-s", "0", "--max-line-bytes", "4096",
+            ]
+        )
+        assert args.fault_plan == "plan.json"
+        assert args.fault_seed == 7
+        assert args.queue_size == 32
+        assert args.max_restarts == 2
+        assert args.idle_timeout_s == 0.0
+        assert args.max_line_bytes == 4096
+
     def test_twin_requires_windows(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["twin"])
@@ -152,3 +168,152 @@ class TestServeCommand:
 
     def test_bad_shadow_spec_is_exit_2(self, trace_path):
         assert main(self.serve_args(trace_path, "--shadows", "cap=nope")) == 2
+
+    def test_fault_plan_smoke_matches_clean_run(self, tmp_path, trace_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps(
+                {
+                    "seed": 3,
+                    "faults": [
+                        {
+                            "kind": "net-duplicate-storm",
+                            "start": 0,
+                            "count": 4,
+                            "probability": 1.0,
+                            "copies": 2,
+                        }
+                    ],
+                }
+            )
+        )
+        assert main(
+            self.serve_args(
+                trace_path, "--fault-plan", str(plan),
+                "--journal", str(tmp_path / "faulted"),
+            )
+        ) == 0
+        faulted = json.loads(capsys.readouterr().out)
+        assert main(
+            self.serve_args(trace_path, "--journal", str(tmp_path / "clean"))
+        ) == 0
+        clean = json.loads(capsys.readouterr().out)
+        assert faulted["windows_closed"] == clean["windows_closed"] == 2
+
+        def digests(journal_dir):
+            out = []
+            for line in (journal_dir / "windows.jsonl").read_text().splitlines():
+                entry = json.loads(line)
+                out.append(
+                    (entry["window"]["digest"], entry["deployed"]["digest"])
+                )
+            return out
+
+        # Pure duplication dedups away: the duplicated events are counted
+        # (n_duplicates, hence a different chain) but every window digest
+        # and every deployed digest is bit-identical to the clean run.
+        assert digests(tmp_path / "faulted") == digests(tmp_path / "clean")
+
+    def test_crash_loop_is_exit_2(self, tmp_path, trace_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps(
+                {
+                    "faults": [
+                        {
+                            "kind": "twin-crash",
+                            "start": 0,
+                            "count": 1,
+                            "probability": 1.0,
+                            "times": None,
+                        }
+                    ]
+                }
+            )
+        )
+        assert main(
+            self.serve_args(
+                trace_path, "--fault-plan", str(plan), "--max-restarts", "1"
+            )
+        ) == 2
+        err = capsys.readouterr().err
+        assert "failed 2 consecutive times" in err
+
+    def test_missing_fault_plan_is_exit_2(self, trace_path, capsys):
+        assert main(
+            self.serve_args(trace_path, "--fault-plan", "/nonexistent/plan.json")
+        ) == 2
+        assert "plan" in capsys.readouterr().err
+
+
+@pytest.mark.chaos
+class TestSignalExitCodes:
+    def test_double_sigint_is_exit_130(self, tmp_path):
+        """End to end through a real process: a stalled consumer plus two
+        SIGINTs must exit 130, not hang the drain."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps(
+                {
+                    "faults": [
+                        {
+                            "kind": "twin-stall",
+                            "start": 0,
+                            "count": 1,
+                            "probability": 1.0,
+                            "times": None,
+                        }
+                    ]
+                }
+            )
+        )
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-u", "-m", "repro.cli", "serve", "--stdin",
+                "--servers", "4", "--fault-plan", str(plan),
+                "--max-restarts", "1000",
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        try:
+            proc.stdin.write(
+                b'{"kind": "telemetry", "t": 0.5, "power_w": 100.0}\n'
+                b'{"kind": "heartbeat", "t": 1.0}\n'
+            )
+            proc.stdin.flush()
+            # Wait for the supervisor to announce the (repeating) stall on
+            # stderr: proof the loop is up and signal handlers installed.
+            seen = []
+            while True:
+                line = proc.stderr.readline()
+                assert line, f"serve exited before detecting the stall: {seen}"
+                seen.append(line)
+                if b"supervisor:" in line and b"stalled" in line:
+                    break
+            proc.send_signal(signal.SIGINT)
+            time.sleep(0.5)
+            proc.send_signal(signal.SIGINT)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            proc.stdin.close()
+        stderr = b"".join(seen) + proc.stderr.read()
+        proc.stderr.close()
+        proc.stdout.close()
+        assert proc.returncode == 130, stderr.decode()
+        assert "second SIGINT" in stderr.decode()

@@ -108,6 +108,74 @@ class TestEndpoints:
         assert exc.value.code == 404
 
 
+@pytest.fixture()
+def degradable():
+    """A served twin whose health the test flips directly."""
+    service = DigitalTwinService(
+        ServiceConfig(scenario=SCENARIO, n_servers=N)
+    )
+    service.feed_event(
+        make_event({"kind": "telemetry", "t": 0.5, "power_w": 100.0})
+    )
+    service.feed_event(heartbeat(1.0))
+    server = ServiceHTTPServer(
+        service,
+        "127.0.0.1",
+        0,
+        extra_metrics=lambda: {"supervisor_restarts_total": 3},
+        retry_after_s=2.5,
+    )
+    server.start()
+    yield service, server
+    server.stop()
+    service.close()
+
+
+class TestDegradedContract:
+    @pytest.mark.parametrize("path", ["/windows", "/whatif"])
+    def test_query_endpoints_503_while_degraded(self, degradable, path):
+        service, server = degradable
+        service.health.note_shed_level(1)
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            fetch(server, path)
+        assert exc.value.code == 503
+        # Retry-After is integral seconds, rounded up from 2.5.
+        assert exc.value.headers["Retry-After"] == "3"
+        payload = json.loads(exc.value.read().decode("utf-8"))
+        assert payload["status"] == "degraded"
+        assert payload["retry_after_s"] == 2.5
+        # Recovery restores the endpoint without a restart.
+        service.health.note_shed_level(0)
+        status, _ = fetch(server, path)
+        assert status == 200
+
+    def test_healthz_stays_200_while_degraded(self, degradable):
+        service, server = degradable
+        service.health.note_shed_level(2)
+        status, body = fetch(server, "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "shedding"
+        service.health.note_shed_level(0)
+
+    def test_healthz_503_when_failed(self, degradable):
+        service, server = degradable
+        service.health.note_failed()
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            fetch(server, "/healthz")
+        assert exc.value.code == 503
+        assert json.loads(exc.value.read().decode("utf-8"))["status"] == "failed"
+
+    def test_metrics_always_200_with_health_series(self, degradable):
+        service, server = degradable
+        service.health.note_failed()
+        status, body = fetch(server, "/metrics")
+        assert status == 200
+        assert "repro_service_health_rank 3" in body
+        assert 'repro_service_health_state{state="failed"} 1' in body
+        assert 'repro_service_health_state{state="ok"} 0' in body
+        assert "repro_service_supervisor_restarts_total 3" in body
+
+
 class TestRenderMetrics:
     def test_escapes_label_values(self):
         class FakeService:

@@ -1,9 +1,18 @@
-"""Replay sources: trace and LDJSON streaming, path resolution."""
+"""Replay sources, plus the hardened TCP listener: framing, deadlines."""
+
+import asyncio
+import json
 
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.service.ingest import replay_events, resolve_replay_path, trace_events
+from repro.service.ingest import (
+    replay_events,
+    resolve_replay_path,
+    serve_ingest,
+    trace_events,
+)
+from repro.service.resilience.breaker import BackoffPolicy, CircuitBreaker
 from repro.telemetry.serialize import save_trace_npz
 from repro.telemetry.trace import Trace
 
@@ -90,3 +99,173 @@ class TestReplayEvents:
         path.write_text("a,b\n")
         with pytest.raises(ConfigurationError, match="neither"):
             list(replay_events(path, window_s=1.0))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def start(feed, **kwargs):
+    """serve_ingest on an ephemeral port; returns (server, host, port)."""
+    server = await serve_ingest(feed, "127.0.0.1", 0, **kwargs)
+    host, port = server.sockets[0].getsockname()[:2]
+    return server, host, port
+
+
+async def read_error(reader):
+    line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+    return json.loads(line)
+
+
+class TestServeIngestHardening:
+    def test_oversized_frame_answered_and_connection_survives(self):
+        async def scenario():
+            lines = []
+            server, host, port = await start(lines.append, max_line_bytes=64)
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b'{"kind": "x", "pad": "' + b"x" * 100 + b'"}\n')
+                await writer.drain()
+                answer = await read_error(reader)
+                assert "byte" in answer["error"]
+                # The connection is still open: a valid line goes through.
+                writer.write(b'{"kind": "telemetry", "t": 1.0}\n')
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                await asyncio.sleep(0.05)
+                assert lines == ['{"kind": "telemetry", "t": 1.0}']
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_unterminated_oversized_frame_discarded_incrementally(self):
+        async def scenario():
+            lines = []
+            counters = {}
+            server, host, port = await start(
+                lines.append, max_line_bytes=64, counters=counters
+            )
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                # No newline in sight, already over budget: rejected while
+                # still streaming, so memory stays bounded.
+                writer.write(b"x" * 200)
+                await writer.drain()
+                answer = await read_error(reader)
+                assert "exceeds" in answer["error"]
+                # Everything up to the next newline is part of the dead
+                # frame; the line after it is processed normally.
+                writer.write(b"y" * 50 + b"\n")
+                writer.write(b'{"kind": "telemetry", "t": 2.0}\n')
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                await asyncio.sleep(0.05)
+                assert lines == ['{"kind": "telemetry", "t": 2.0}']
+                assert counters["oversized_frames"] == 1
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_idle_timeout_answers_and_closes(self):
+        async def scenario():
+            counters = {}
+            server, host, port = await start(
+                lambda _: None, idle_timeout_s=0.1, counters=counters
+            )
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                answer = await read_error(reader)
+                assert "no data" in answer["error"]
+                eof = await asyncio.wait_for(reader.read(), timeout=5.0)
+                assert eof == b""
+                assert counters["connections_idle_closed"] == 1
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_error_budget_closes_connection(self):
+        def feed(line):
+            raise ConfigurationError("rejected by test")
+
+        async def scenario():
+            counters = {}
+            server, host, port = await start(
+                feed, max_conn_errors=2, counters=counters
+            )
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"bad one\nbad two\n")
+                await writer.drain()
+                answers = []
+                while True:
+                    line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                    if not line:
+                        break
+                    answers.append(json.loads(line)["error"])
+                assert answers[0] == "rejected by test"
+                assert any("error budget" in a for a in answers)
+                assert counters["rejected_lines"] == 2
+                assert counters["connections_error_limited"] == 1
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_open_breaker_refuses_new_connections(self):
+        def feed(line):
+            raise ConfigurationError("rejected by test")
+
+        async def scenario():
+            breaker = CircuitBreaker(
+                "test", 1, BackoffPolicy(60.0, 120.0, seed=0)
+            )
+            counters = {}
+            server, host, port = await start(
+                feed, breaker=breaker, counters=counters
+            )
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"bad\n")
+                await writer.drain()
+                await read_error(reader)  # the rejection trips the breaker
+                writer.close()
+                await writer.wait_closed()
+
+                reader2, writer2 = await asyncio.open_connection(host, port)
+                answer = await read_error(reader2)
+                assert "breaker open" in answer["error"]
+                eof = await asyncio.wait_for(reader2.read(), timeout=5.0)
+                assert eof == b""
+                assert counters["connections_refused"] == 1
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+    def test_trailing_partial_line_processed_at_eof(self):
+        async def scenario():
+            lines = []
+            server, host, port = await start(lines.append)
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b'{"kind": "telemetry", "t": 1.0}')  # no newline
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                await asyncio.sleep(0.05)
+                assert lines == ['{"kind": "telemetry", "t": 1.0}']
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())

@@ -1,12 +1,24 @@
 """The serve loop and the TCP ingest listener."""
 
 import asyncio
+import json
 import warnings
 
 import pytest
 
-from repro.errors import CheckpointError, ConfigurationError
-from repro.service import ServeOptions, ServiceConfig, offline_whatif, serve
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    ForcedShutdown,
+    ServiceFailedError,
+)
+from repro.service import (
+    ResilienceConfig,
+    ServeOptions,
+    ServiceConfig,
+    offline_whatif,
+    serve,
+)
 from repro.service.events import parse_event
 from repro.service.ingest import serve_ingest
 from repro.service.run import _build_service
@@ -119,6 +131,254 @@ class TestServeLoop:
         assert resumed.windows_closed == 3
         assert resumed.chain == chain
         resumed.close()
+
+
+def write_events(path, n_windows):
+    lines = []
+    for k in range(n_windows):
+        lines.append(
+            json.dumps({"kind": "telemetry", "t": k + 0.5, "power_w": 100.0 + k})
+        )
+        lines.append(json.dumps({"kind": "heartbeat", "t": float(k + 1)}))
+    path.write_text("\n".join(lines) + "\n")
+    return lines
+
+
+def chain_of(service):
+    return [
+        (r["window"]["digest"], r["chain"], r["deployed"]["digest"])
+        for r in service.records
+    ]
+
+
+class TestServeUnderFaults:
+    def fast_rc(self, **kwargs):
+        defaults = dict(
+            backoff_base_s=0.001,
+            backoff_cap_s=0.002,
+            probe_interval_s=0.05,
+            stall_checks=2,
+        )
+        defaults.update(kwargs)
+        return ResilienceConfig(**defaults)
+
+    def test_network_faults_match_clean_run_over_survivors(self, tmp_path):
+        from repro.faults.network import load_network_fault_plan, surviving_lines
+
+        events = tmp_path / "events.jsonl"
+        lines = write_events(events, 6)
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            json.dumps(
+                {
+                    "seed": 11,
+                    "faults": [
+                        {
+                            "kind": "net-duplicate-storm",
+                            "start": 2,
+                            "count": 4,
+                            "probability": 0.8,
+                            "copies": 2,
+                        },
+                        {
+                            "kind": "net-torn-frame",
+                            "start": 6,
+                            "count": 3,
+                            "probability": 0.6,
+                        },
+                        {
+                            "kind": "net-late-storm",
+                            "start": 9,
+                            "count": 2,
+                            "probability": 1.0,
+                            "hold_lines": 2,
+                        },
+                    ],
+                }
+            )
+        )
+        messages = []
+        faulted = serve(
+            config(),
+            ServeOptions(
+                replay=events,
+                oneshot=True,
+                fault_plan=plan_path,
+                resilience=self.fast_rc(),
+            ),
+            announce=messages.append,
+        )
+        faulted_chain = chain_of(faulted)
+        faulted.close()
+        assert any("faults: armed 3 fault(s)" in m for m in messages)
+
+        # The invariant: a clean run over the surviving lines (the lines
+        # that parsed and fit the frame guard) reproduces the chain.
+        plan = load_network_fault_plan(plan_path)
+        survivors = tmp_path / "survivors.jsonl"
+        survivors.write_text(
+            "\n".join(surviving_lines(plan, lines)) + "\n"
+        )
+        clean = serve(
+            config(),
+            ServeOptions(replay=survivors, oneshot=True),
+            announce=lambda _: None,
+        )
+        assert faulted_chain == chain_of(clean)
+        clean.close()
+
+    def test_twin_crash_recovers_and_matches_clean_run(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        write_events(events, 4)
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            json.dumps(
+                {
+                    "faults": [
+                        {
+                            "kind": "twin-crash",
+                            "start": 1,
+                            "count": 1,
+                            "times": 1,
+                        }
+                    ]
+                }
+            )
+        )
+        messages = []
+        faulted = serve(
+            config(),
+            ServeOptions(
+                replay=events,
+                oneshot=True,
+                fault_plan=plan_path,
+                resilience=self.fast_rc(),
+            ),
+            announce=messages.append,
+        )
+        faulted_chain = chain_of(faulted)
+        assert faulted.windows_closed == 4
+        assert faulted.rebuilds_total == 1
+        faulted.close()
+        assert any("restart #1" in m for m in messages)
+
+        clean = serve(
+            config(),
+            ServeOptions(replay=events, oneshot=True),
+            announce=lambda _: None,
+        )
+        assert faulted_chain == chain_of(clean)
+        clean.close()
+
+    def test_crash_loop_raises_service_failed(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        write_events(events, 3)
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            json.dumps(
+                {
+                    "faults": [
+                        {
+                            "kind": "twin-crash",
+                            "start": 1,
+                            "count": 1,
+                            "probability": 1.0,
+                            "times": None,
+                        }
+                    ]
+                }
+            )
+        )
+        with pytest.raises(ServiceFailedError, match="max_restarts=1"):
+            serve(
+                config(),
+                ServeOptions(
+                    replay=events,
+                    oneshot=True,
+                    fault_plan=plan_path,
+                    resilience=self.fast_rc(max_restarts=1),
+                ),
+                announce=lambda _: None,
+            )
+
+
+class TestSignals:
+    def test_second_sigint_forces_shutdown(self, tmp_path):
+        """First SIGINT asks for a drain; a second one must not wait for a
+        stalled consumer — it raises ForcedShutdown (exit 130)."""
+        import os
+        import re
+        import signal
+        import socket
+        import threading
+        import time
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            json.dumps(
+                {
+                    "faults": [
+                        {
+                            "kind": "twin-stall",
+                            "start": 0,
+                            "count": 1,
+                            "probability": 1.0,
+                            "times": None,
+                        }
+                    ]
+                }
+            )
+        )
+        messages = []
+        lock = threading.Lock()
+
+        def announce(message):
+            with lock:
+                messages.append(message)
+
+        def ingest_port():
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                with lock:
+                    for m in messages:
+                        match = re.match(r"ingest: listening on .*:(\d+)", m)
+                        if match:
+                            return int(match.group(1))
+                time.sleep(0.01)
+            raise AssertionError("ingest listener never announced")
+
+        def driver():
+            port = ingest_port()
+            with socket.create_connection(("127.0.0.1", port)) as sock:
+                sock.sendall(
+                    b'{"kind": "telemetry", "t": 0.5, "power_w": 100.0}\n'
+                    b'{"kind": "heartbeat", "t": 1.0}\n'
+                )
+                # Let the consumer pick the event up and hit the stall.
+                time.sleep(0.3)
+                os.kill(os.getpid(), signal.SIGINT)
+                time.sleep(0.3)
+                os.kill(os.getpid(), signal.SIGINT)
+
+        thread = threading.Thread(target=driver)
+        thread.start()
+        try:
+            with pytest.raises(ForcedShutdown):
+                serve(
+                    config(),
+                    ServeOptions(
+                        ingest_port=0,
+                        fault_plan=plan_path,
+                        resilience=ResilienceConfig(
+                            probe_interval_s=0.05,
+                            stall_checks=100,  # never declare the stall
+                        ),
+                    ),
+                    announce=announce,
+                )
+        finally:
+            thread.join(timeout=10.0)
+        assert not thread.is_alive()
 
 
 class TestBuildService:
